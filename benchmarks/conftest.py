@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive studies run once per session at the *bench scale*: all
+4,221 vulnerable hosts (vuln_rate=1.0), a 1% sample of the secure AWE
+population, and a sparse background.  Each bench then times the analysis
+that regenerates its table or figure and prints the regenerated rows so
+the output can be compared with the paper side by side.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import StudyConfig
+from repro.experiments.defenders import run_defender_study
+from repro.experiments.honeypots import run_honeypot_study
+from repro.experiments.observe import run_observer_study
+from repro.experiments.scan import run_scan_study
+from repro.net.population import PopulationModel
+from repro.util.clock import HOUR
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> StudyConfig:
+    return StudyConfig(
+        population=PopulationModel(
+            awe_rate=0.01, vuln_rate=1.0, background_rate=2e-6
+        ),
+        rescan_interval=6 * HOUR,
+    )
+
+
+@pytest.fixture(scope="session")
+def scan_study(bench_config):
+    return run_scan_study(bench_config)
+
+
+@pytest.fixture(scope="session")
+def observer_study(scan_study):
+    return run_observer_study(scan_study)
+
+
+@pytest.fixture(scope="session")
+def honeypot_study(bench_config):
+    return run_honeypot_study(bench_config)
+
+
+@pytest.fixture(scope="session")
+def defender_study():
+    return run_defender_study()
+
+
+def print_table(table) -> None:
+    print()
+    print(table.render())

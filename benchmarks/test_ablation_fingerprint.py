@@ -1,0 +1,77 @@
+"""Ablation: voluntary disclosure vs hash-knowledge-base fingerprinting.
+
+The paper combines two mechanisms: 13 applications reveal their version
+voluntarily; the rest need the static-file hash knowledge base.  This
+bench measures coverage and cost of each mechanism alone against the same
+population.
+"""
+
+import pytest
+
+from repro.apps.catalog import scanned_ports
+from repro.core.fingerprint.knowledge_base import build_default_knowledge_base
+from repro.core.pipeline import ScanPipeline
+from repro.net.population import PopulationModel, generate_internet
+from repro.net.transport import InMemoryTransport
+
+
+@pytest.fixture(scope="module")
+def fp_world():
+    internet, _geo, _census = generate_internet(
+        PopulationModel(awe_rate=0.004, vuln_rate=0.1, background_rate=1e-7)
+    )
+    kb = build_default_knowledge_base()
+    return internet, kb
+
+
+def _coverage(internet, kb, use_disclosure, use_hashes):
+    from repro.core.fingerprint.fingerprinter import VersionFingerprinter
+    from repro.core.prefilter import Prefilter
+    from repro.core.masscan import Masscan
+
+    transport = InMemoryTransport(internet)
+    scan = Masscan(transport, scanned_ports()).scan(
+        internet.populated_addresses()
+    )
+    findings = Prefilter(transport).run(scan)
+    fingerprinter = VersionFingerprinter(
+        transport, kb, use_disclosure=use_disclosure, use_hashes=use_hashes
+    )
+    identified = 0
+    for finding in findings:
+        result = fingerprinter.fingerprint(
+            finding.ip, finding.port, finding.scheme, finding.candidates
+        )
+        if result is not None:
+            identified += 1
+    return identified, len(findings), transport.stats.http_requests
+
+
+def test_disclosure_only(benchmark, fp_world):
+    internet, kb = fp_world
+    identified, total, requests = benchmark.pedantic(
+        _coverage, args=(internet, kb, True, False), rounds=1, iterations=1
+    )
+    print(f"\ndisclosure only: {identified}/{total} identified, {requests} requests")
+    assert identified / total > 0.5  # the 13 disclosing apps dominate
+
+
+def test_hashes_only(benchmark, fp_world):
+    internet, kb = fp_world
+    identified, total, requests = benchmark.pedantic(
+        _coverage, args=(internet, kb, False, True), rounds=1, iterations=1
+    )
+    print(f"\nhash KB only: {identified}/{total} identified, {requests} requests")
+    assert identified / total > 0.5
+
+
+def test_combined_beats_either(benchmark, fp_world):
+    internet, kb = fp_world
+    disclosure, total, _ = _coverage(internet, kb, True, False)
+    hashes, _, _ = _coverage(internet, kb, False, True)
+    combined, _, _ = benchmark.pedantic(
+        _coverage, args=(internet, kb, True, True), rounds=1, iterations=1
+    )
+    print(f"\ndisclosure {disclosure}, hashes {hashes}, combined {combined} of {total}")
+    assert combined >= max(disclosure, hashes)
+    assert combined / total > 0.9

@@ -1,0 +1,71 @@
+"""Ablation: what does the stage-II prefilter buy?
+
+The paper's pipeline inserts a cheap signature match between the port
+scan and the expensive Tsunami plugins, so stage III only runs against
+plausible candidates.  This bench runs the same sweep with the prefilter
+disabled (every open port goes to every plugin) and compares plugin
+invocations and request volume.
+"""
+
+import pytest
+
+from repro.apps.catalog import scanned_ports
+from repro.core.pipeline import ScanPipeline
+from repro.net.population import PopulationModel, generate_internet
+from repro.net.transport import InMemoryTransport
+
+
+@pytest.fixture(scope="module")
+def ablation_internet():
+    internet, _geo, _census = generate_internet(
+        PopulationModel(awe_rate=0.002, vuln_rate=0.05, background_rate=2e-6)
+    )
+    return internet
+
+
+def _sweep(internet, use_prefilter: bool):
+    transport = InMemoryTransport(internet)
+    pipeline = ScanPipeline(
+        transport, scanned_ports(), fingerprint=False, use_prefilter=use_prefilter
+    )
+    report = pipeline.run(internet.populated_addresses())
+    return report, pipeline, transport
+
+
+def test_with_prefilter(benchmark, ablation_internet):
+    report, pipeline, transport = benchmark.pedantic(
+        _sweep, args=(ablation_internet, True), rounds=1, iterations=1
+    )
+    print(f"\nwith prefilter: {pipeline.engine.stats.plugins_run} plugin runs, "
+          f"{transport.stats.http_requests} HTTP requests")
+    assert report.vulnerable_ips()
+
+
+def test_without_prefilter(benchmark, ablation_internet):
+    report, pipeline, transport = benchmark.pedantic(
+        _sweep, args=(ablation_internet, False), rounds=1, iterations=1
+    )
+    print(f"\nwithout prefilter: {pipeline.engine.stats.plugins_run} plugin runs, "
+          f"{transport.stats.http_requests} HTTP requests")
+    assert report.vulnerable_ips()
+
+
+def test_prefilter_saves_plugin_work(benchmark, ablation_internet):
+    """The headline ablation result: stage II slashes stage-III work
+    without changing the findings."""
+    with_report, with_pipeline, with_transport = benchmark.pedantic(
+        _sweep, args=(ablation_internet, True), rounds=1, iterations=1
+    )
+    without_report, without_pipeline, without_transport = _sweep(
+        ablation_internet, False
+    )
+
+    found_with = {ip.value for ip in with_report.vulnerable_ips()}
+    found_without = {ip.value for ip in without_report.vulnerable_ips()}
+    assert found_with == found_without  # same detections...
+
+    runs_with = with_pipeline.engine.stats.plugins_run
+    runs_without = without_pipeline.engine.stats.plugins_run
+    assert runs_without > 10 * runs_with  # ...at a fraction of the work
+
+    assert with_transport.stats.http_requests < without_transport.stats.http_requests

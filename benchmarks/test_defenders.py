@@ -1,0 +1,22 @@
+"""E-S5: regenerate the §5 defender-awareness result."""
+
+from conftest import print_table
+
+from repro.experiments.defenders import run_defender_study
+from repro.util.clock import HOUR
+
+
+def test_defender_awareness(benchmark):
+    study = benchmark.pedantic(run_defender_study, rounds=1, iterations=1)
+    print_table(study.table())
+
+    detections = study.detections()
+    # Paper: scanners detect 5 and 3 of the 18 MAVs.
+    assert len(detections["Scanner 1"]) == 5
+    assert len(detections["Scanner 2"]) == 3
+    # Overlap limited to Docker and Consul.
+    assert detections["Scanner 1"] & detections["Scanner 2"] == {
+        "consul", "docker",
+    }
+    # Scanner 2's scan takes hours -- too slow against fast exploitation.
+    assert study.runs["Scanner 2"].duration_seconds > 3 * HOUR

@@ -1,0 +1,23 @@
+"""Extension bench (§6.2): Certificate Transparency discovery race.
+
+Quantifies the paper's future-work conjecture that attackers monitoring
+CT logs find unfinished installations far faster than IPv4 sweepers.
+"""
+
+from repro.experiments.ct_race import CtRaceConfig, run_ct_race
+from repro.util.clock import MINUTE
+
+
+def test_ct_race(benchmark):
+    result = benchmark.pedantic(
+        run_ct_race, args=(CtRaceConfig(deployments=400),), rounds=1, iterations=1
+    )
+    print()
+    print(result.table().render())
+
+    # The conjectured shape: CT monitoring nearly always wins the race,
+    # sweeping mostly loses it, and the gap is large.
+    assert result.ct.hijack_rate > 0.9
+    assert result.sweep.hijack_rate < 0.6
+    assert result.ct.median_delay < 10 * MINUTE
+    assert result.ct.median_delay * 10 < result.sweep.median_delay

@@ -1,0 +1,21 @@
+"""Extension bench (§6.2): MAV recall under injected packet loss.
+
+Puts a number on the false-negative component of the paper's lower-bound
+caveat: hosts that were "unresponsive [or] temporarily unavailable".
+"""
+
+from repro.experiments.packet_loss import run_packet_loss_study
+
+
+def test_packet_loss_recall(benchmark):
+    result = benchmark.pedantic(run_packet_loss_study, rounds=1, iterations=1)
+    print()
+    print(result.table().render())
+
+    by_rate = {point.loss_rate: point.recall for point in result.points}
+    assert by_rate[0.0] == 1.0
+    assert by_rate[0.01] > 0.9          # light loss barely matters
+    assert by_rate[0.25] < by_rate[0.05]  # heavy loss clearly does
+    # Recall decays monotonically with loss.
+    recalls = [point.recall for point in result.points]
+    assert recalls == sorted(recalls, reverse=True)

@@ -1,0 +1,34 @@
+"""E-F1: regenerate Figure 1 (release dates, secure vs vulnerable)."""
+
+from repro.analysis.figures import Figure1
+from repro.analysis.versions import (
+    old_version_mav_share,
+    to_versioned,
+)
+
+
+def test_figure1(benchmark, scan_study):
+    observations = to_versioned(scan_study.report.observations())
+
+    figure = benchmark(Figure1.build, observations)
+    print()
+    print(figure.render())
+
+    # Vulnerable skews old, secure skews new (paper's headline contrast).
+    def mean_bin_index(counts):
+        order = ["<2016", "2016", "2017", "2018", "2019", "2020", "2021"]
+        total = sum(counts.values())
+        return sum(order.index(k) * v for k, v in counts.items()) / total
+
+    assert mean_bin_index(figure.overall_vulnerable) < mean_bin_index(
+        figure.overall_secure
+    )
+
+    # Jupyter Notebook: pre-4.3 releases hold ~80% of its MAVs.
+    share = old_version_mav_share(observations, "jupyter-notebook", "4.3")
+    assert 0.7 < share < 0.9
+
+    # Hadoop: vulnerable instances spread over the whole release range.
+    hadoop_vulnerable = figure.detail["hadoop"]["vulnerable"]
+    populated_bins = sum(1 for count in hadoop_vulnerable.values() if count > 0)
+    assert populated_bins >= 6

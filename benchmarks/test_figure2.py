@@ -1,0 +1,63 @@
+"""E-F2: regenerate Figure 2 (longevity of the detected MAVs).
+
+The four-week observer study (re-scans on a fixed cadence) runs once in
+the session fixture; this bench times the survival-curve extraction and
+checks the published shape: ~10% gone in six hours, over two thirds still
+vulnerable at two weeks, over half at four, fixes rare and CMS-driven,
+offline dominating the exits.
+"""
+
+from repro.analysis.longevity import HostStatus
+from repro.util.clock import DAY, HOUR, WEEK
+
+
+def _extract_all_series(observer_study):
+    figure = observer_study.figure2()
+    return {
+        "all": {
+            status: observer_study.log.series(status) for status in HostStatus
+        },
+        "by_default": {
+            status: figure.curves_by_default(status) for status in HostStatus
+        },
+    }
+
+
+def test_figure2(benchmark, observer_study):
+    series = benchmark(_extract_all_series, observer_study)
+    print()
+    print(observer_study.figure2().render())
+
+    vulnerable = series["all"][HostStatus.VULNERABLE]
+    assert vulnerable.at(0) > 0.99
+    assert 0.82 < vulnerable.at(6 * HOUR) < 0.96   # ~10% gone in 6h
+    assert 0.55 < vulnerable.at(2 * WEEK) < 0.80   # over two thirds
+    assert 0.45 < vulnerable.at(4 * WEEK) < 0.70   # over half
+
+    fixed = series["all"][HostStatus.FIXED]
+    offline = series["all"][HostStatus.OFFLINE]
+    assert fixed.final() < 0.10                     # paper: 3.2%
+    assert 0.30 < offline.final() < 0.55            # paper: 43.2%
+    assert offline.final() > 4 * fixed.final()
+
+    # Insecure-by-default instances disappear faster on day one.
+    by_default = series["by_default"][HostStatus.VULNERABLE]
+    insecure = dict(by_default["insecure-by-default"])
+    modified = dict(by_default["explicitly-modified"])
+    day1 = next(t for t in sorted(insecure) if t >= 1 * DAY)
+    assert insecure[day1] <= modified[day1]
+
+    # Category contrast: notebooks stay vulnerable longer than CI.
+    by_category = observer_study.figure2().curves_by_category(
+        HostStatus.VULNERABLE
+    )
+    nb_final = by_category["NB"][-1][1]
+    ci_final = by_category["CI"][-1][1]
+    assert nb_final > ci_final
+
+    # Per-app longevity ordering: "Jenkins and WordPress were on average
+    # vulnerable for the shortest time while Joomla and Drupal remained
+    # vulnerable for the longest."
+    durations = observer_study.log.mean_vulnerable_duration_by_app()
+    assert durations["joomla"] > durations["jenkins"]
+    assert durations["drupal"] > durations["wordpress"]

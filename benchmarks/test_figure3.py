@@ -1,0 +1,37 @@
+"""E-F3: regenerate Figure 3 (attack timeline, new vs repeated)."""
+
+from repro.analysis.figures import Figure3
+from repro.util.clock import WEEK
+
+
+def test_figure3(benchmark, honeypot_study):
+    figure = benchmark(Figure3.build, honeypot_study.attacks)
+    print()
+    print(figure.render())
+
+    # Hadoop under constant pressure: attacks every single day.
+    hadoop = figure.daily_histogram("hadoop")
+    assert all(count > 0 for count in hadoop)
+
+    # Docker and Jupyter Notebook show no long breaks once they start
+    # (the paper: "attacked at least every other day").
+    for slug in ("docker", "jupyter-notebook"):
+        histogram = figure.daily_histogram(slug)
+        first_day = next(i for i, c in enumerate(histogram) if c)
+        active = histogram[first_day:]
+        for window_start in range(len(active) - 2):
+            assert sum(active[window_start:window_start + 3]) > 0, slug
+
+    # Jupyter Lab heats up toward the end of the study.
+    lab_times = [t for t, _new in figure.timeline["jupyterlab"]]
+    early = sum(1 for t in lab_times if t < 2 * WEEK)
+    late = sum(1 for t in lab_times if t >= 2 * WEEK)
+    assert late > early
+
+    # WordPress: one fast fluke, then over a week of silence.
+    wp_times = sorted(t for t, _new in figure.timeline["wordpress"])
+    assert wp_times[1] - wp_times[0] > 1 * WEEK
+
+    # New payloads (yellow stars) are a minority of Hadoop's events.
+    hadoop_flags = [new for _t, new in figure.timeline["hadoop"]]
+    assert sum(hadoop_flags) < 0.1 * len(hadoop_flags)

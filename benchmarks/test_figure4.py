@@ -1,0 +1,32 @@
+"""E-F4: regenerate Figure 4 (cross-application attackers)."""
+
+from repro.analysis.attacks import cluster_attackers
+from repro.analysis.figures import Figure4
+
+
+def test_figure4(benchmark, honeypot_study):
+    def build():
+        clusters = cluster_attackers(honeypot_study.attacks)
+        return Figure4.build(clusters)
+
+    figure = benchmark(build)
+    print()
+    print(figure.render())
+
+    # Paper: 10 attackers hit >= 2 applications, together 419 attacks.
+    assert 8 <= len(figure.multi_app_clusters) <= 12
+    assert 380 <= figure.total_multi_app_attacks <= 460
+
+    pairings = {frozenset(c.honeypots) for c in figure.multi_app_clusters}
+    assert frozenset({"hadoop", "docker"}) in pairings
+    assert frozenset({"jupyterlab", "jupyter-notebook"}) in pairings
+    # Exactly one actor bridges Docker and Jupyter Notebook (actor I)...
+    bridge = [
+        c for c in figure.multi_app_clusters
+        if c.honeypots == {"docker", "jupyter-notebook"}
+    ]
+    assert len(bridge) == 1
+    # ...and it is the IP-richest actor (paper: 14 addresses).
+    assert len(bridge[0].ips) == max(
+        len(c.ips) for c in figure.multi_app_clusters
+    )

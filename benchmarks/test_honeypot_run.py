@@ -1,0 +1,16 @@
+"""End-to-end benchmark of the four-week honeypot study (§4)."""
+
+from repro.experiments.config import StudyConfig
+from repro.experiments.honeypots import run_honeypot_study
+
+
+def test_honeypot_study_run(benchmark):
+    study = benchmark.pedantic(
+        run_honeypot_study, args=(StudyConfig.default(),), rounds=1, iterations=1
+    )
+    assert len(study.attacks) == 2195
+    assert study.attacked_applications() == {
+        "jenkins", "wordpress", "grav", "docker", "hadoop",
+        "jupyterlab", "jupyter-notebook",
+    }
+    study.fleet.log.verify_integrity()

@@ -1,0 +1,23 @@
+"""E-T1: regenerate Table 1 (the manual investigation of 25 apps)."""
+
+from conftest import print_table
+
+from repro.analysis.tables import table1
+
+
+def test_table1(benchmark):
+    table = benchmark(table1)
+    print_table(table)
+
+    rows = {row["App"]: row for row in table.as_dicts()}
+    assert len(rows) == 25
+    # Spot-check the paper's rows.
+    assert rows["GoCD"]["Default MAV"] == "yes"
+    assert rows["Jenkins"]["Default MAV"] == "< 2.0 (2016)"
+    assert rows["Joomla"]["Default MAV"] == "< 3.7.4 (2017)"
+    assert rows["Adminer"]["Default MAV"] == "< 4.6.3 (2018)"
+    assert rows["Kubernetes"]["Default MAV"] == "no"
+    assert rows["Ghost"]["Vuln"] == "-"
+    # 18 of 25 in scope.
+    in_scope = [r for r in rows.values() if r["Vuln"] != "-"]
+    assert len(in_scope) == 18

@@ -1,0 +1,36 @@
+"""E-T2: regenerate Table 2 (open ports and HTTP(S) responses).
+
+The bench scan sweeps the simulated IPv4 population through stage I and
+stage II; this bench times the Horvitz-Thompson estimation that scales
+the stratified sample back to Internet-wide counts.
+"""
+
+from conftest import print_table
+
+from repro.analysis.tables import table2
+from repro.apps.catalog import scanned_ports
+
+
+def test_table2(benchmark, scan_study):
+    table = benchmark(
+        table2, scan_study.report, scan_study.census, scanned_ports()
+    )
+    print_table(table)
+
+    rows = {row["Port"]: row for row in table.as_dicts()}
+    # Shape checks against the paper's Table 2:
+    # 80 and 443 dominate (56.8M / 50.1M opens).
+    assert rows[80]["# Open"] > rows[8080]["# Open"]
+    assert rows[443]["# Open"] > rows[8080]["# Open"]
+    assert 30e6 < rows[80]["# Open"] < 90e6
+    assert 30e6 < rows[443]["# Open"] < 80e6
+    # port 80 answers mostly HTTP, 443 only HTTPS.
+    assert rows[80]["# HTTPS"] == 0
+    assert rows[443]["# HTTP"] == 0
+    assert rows[80]["# HTTP"] > 0.7 * rows[80]["# Open"]
+    # 2375 (Docker) is among the rarest ports.
+    assert rows[2375]["# Open"] < rows[6443]["# Open"]
+    # 80+443 produce the bulk of all responses (paper: ~85%).
+    total = rows["Total"]
+    big_two = rows[80]["# HTTP"] + rows[443]["# HTTPS"]
+    assert big_two / (total["# HTTP"] + total["# HTTPS"]) > 0.7

@@ -1,0 +1,36 @@
+"""E-T3: regenerate Table 3 (AWE prevalence and MAV counts)."""
+
+from conftest import print_table
+
+from repro.analysis.tables import table3
+from repro.net.population import PAPER_PREVALENCE
+
+
+def test_table3(benchmark, scan_study):
+    table = benchmark(table3, scan_study.report, scan_study.census)
+    print_table(table)
+
+    rows = {row["App"]: row for row in table.as_dicts()}
+    # The MAV column reproduces the paper's counts exactly (vuln_rate=1).
+    paper = {p.slug: p.mavs for p in PAPER_PREVALENCE}
+    assert rows["Docker"]["# MAVs"] == paper["docker"] == 657
+    assert rows["Hadoop"]["# MAVs"] == paper["hadoop"] == 556
+    assert rows["Nomad"]["# MAVs"] == paper["nomad"] == 729
+    assert rows["WordPress"]["# MAVs"] == 345
+    assert rows["Polynote"]["# MAVs"] == 8
+    assert table.as_dicts()[-1]["# MAVs"] == 4221
+
+    # Host estimates land near the paper's prevalence.
+    assert 1.2e6 < rows["WordPress"]["# Hosts"] < 1.8e6
+    assert 0.55e6 < rows["Kubernetes"]["# Hosts"] < 0.9e6
+
+    # Who wins: insecure-by-default CM products are majority-vulnerable,
+    # CMSes are ~0% (short-lived installers).
+    def mav_pct(name):
+        return float(str(rows[name]["MAV %"]).rstrip("%"))
+
+    for app in ("Docker", "Hadoop", "Nomad"):
+        assert mav_pct(app) > 40, app
+    for app in ("WordPress", "Joomla", "Adminer"):
+        assert mav_pct(app) < 1, app
+    assert mav_pct("Polynote") == 100.0

@@ -1,0 +1,27 @@
+"""E-T4: regenerate Table 4 (countries/ASes of the vulnerable hosts)."""
+
+from conftest import print_table
+
+from repro.analysis.tables import table4
+
+
+def test_table4(benchmark, scan_study):
+    table = benchmark(
+        table4, scan_study.report.vulnerable_ips(), scan_study.geo
+    )
+    print_table(table)
+
+    dicts = table.as_dicts()
+    countries = [row["Country"] for row in dicts[:5]]
+    # Paper: US (2104) then China (1000) lead by a wide margin.
+    assert countries[0] == "United States"
+    assert countries[1] == "China"
+    counts = [row["Hosts"] for row in dicts[:2]]
+    assert counts[0] > 1.5 * counts[1]
+
+    providers = [row["Provider"] for row in dicts[:5] if row["Provider"]]
+    assert "Amazon EC2" in providers
+    assert "Alibaba" in providers
+
+    hosting = float(str(dicts[-1]["Hosts"]).rstrip("%"))
+    assert 55 <= hosting <= 75  # paper: ~64% dedicated hosting

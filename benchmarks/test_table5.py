@@ -1,0 +1,31 @@
+"""E-T5: regenerate Table 5 (attacks per honeypot application)."""
+
+from conftest import print_table
+
+from repro.analysis.tables import table5
+
+
+def test_table5(benchmark, honeypot_study):
+    table = benchmark(table5, honeypot_study.attacks)
+    print_table(table)
+
+    rows = {row["App"]: row for row in table.as_dicts()}
+    # Exact per-application attack counts from the paper.
+    assert rows["Jenkins"]["# Attacks"] == 4
+    assert rows["WordPress"]["# Attacks"] == 9
+    assert rows["Grav"]["# Attacks"] == 1
+    assert rows["Docker"]["# Attacks"] == 132
+    assert rows["Hadoop"]["# Attacks"] == 1921
+    assert rows["Jupyter Lab"]["# Attacks"] == 29
+    assert rows["Jupyter Notebook"]["# Attacks"] == 99
+
+    # Unique attacks match the paper's per-app values.
+    assert rows["Hadoop"]["# Uniq. Attacks"] == 49
+    assert rows["Jupyter Notebook"]["# Uniq. Attacks"] == 50
+    assert rows["Docker"]["# Uniq. Attacks"] == 12
+    assert rows["Jenkins"]["# Uniq. Attacks"] == 3
+
+    total = table.as_dicts()[-1]
+    assert total["# Attacks"] == 2195
+    assert 110 <= total["# Uniq. Attacks"] <= 135   # paper: 122
+    assert 140 <= total["# Uniq. IPs"] <= 175       # paper: 160

@@ -1,0 +1,24 @@
+"""E-T7: regenerate Table 7 (attack-origin countries)."""
+
+from conftest import print_table
+
+from repro.analysis.tables import table7
+
+
+def test_table7(benchmark, honeypot_study):
+    table = benchmark(table7, honeypot_study.attacks, honeypot_study.geo)
+    print_table(table)
+
+    dicts = table.as_dicts()
+    top4 = [row["Country"] for row in dicts[:4]]
+    # Paper: Netherlands (496), Brazil (398), US (359) lead.
+    assert "Netherlands" in top4
+    assert "Brazil" in top4
+    assert "United States" in top4
+
+    by_country = {row["Country"]: row for row in dicts}
+    assert by_country["Netherlands"]["# Attacks"] > 300
+    assert by_country["Brazil"]["# Attacks"] > 250
+    # Moldova concentrates in very few ASes (paper: 2).
+    if "Moldova" in by_country:
+        assert by_country["Moldova"]["# AS"] <= 3

@@ -1,0 +1,23 @@
+"""E-T8: regenerate Table 8 (attack-origin autonomous systems)."""
+
+from conftest import print_table
+
+from repro.analysis.tables import table8
+
+
+def test_table8(benchmark, honeypot_study):
+    table = benchmark(table8, honeypot_study.attacks, honeypot_study.geo)
+    print_table(table)
+
+    dicts = table.as_dicts()
+    providers = [row["Provider"] for row in dicts]
+    # Paper: Serverion BV, Gamers Club, DigitalOcean lead.
+    assert providers[0] in ("Serverion BV", "Gamers Club")
+    assert "Serverion BV" in providers[:3]
+    assert "Gamers Club" in providers[:3]
+    assert "DigitalOcean" in providers
+
+    by_provider = {row["Provider"]: row for row in dicts}
+    # DigitalOcean spreads across many countries; Serverion does not.
+    assert by_provider["DigitalOcean"]["# Countries"] >= 3
+    assert by_provider["Serverion BV"]["# Countries"] <= 3

@@ -1,0 +1,31 @@
+"""E-T9: regenerate Table 9 (the combined summary)."""
+
+from conftest import print_table
+
+from repro.analysis.tables import table9
+
+
+def test_table9(benchmark, scan_study, honeypot_study, defender_study):
+    table = benchmark(
+        table9,
+        scan_study.report,
+        scan_study.census,
+        honeypot_study.attacks,
+        defender_study.detections(),
+    )
+    print_table(table)
+
+    rows = {row["App"]: row for row in table.as_dicts()}
+    assert len(rows) == 18
+    assert rows["Hadoop"]["Attacks"] == 1921
+    assert rows["Docker"]["Defend"] == "Scanner 1&Scanner 2"
+    assert rows["Consul"]["Defend"] == "Scanner 1&Scanner 2"
+    assert rows["Jupyter Lab"]["Defend"] == "none"      # attacked, undetected
+    assert rows["Jupyter Lab"]["Attacks"] == 29
+    assert rows["GoCD"]["Attacks"] == 0
+    # "Defaults are important": every app with >= 5% MAV share (short-
+    # lived installers aside) is insecure by default.
+    for name, row in rows.items():
+        pct = float(str(row["Vulnerable"]).split("(")[1].rstrip("%)"))
+        if pct >= 5.0:
+            assert row["Default"] == "X", name

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Audit real services on localhost with the same pipeline.
+
+The scanning pipeline is transport-agnostic: here it probes *real TCP
+sockets* on 127.0.0.1.  We start two genuine HTTP servers backed by the
+application emulators — a Jupyter Notebook misconfigured with an empty
+password, and a properly-secured one — and let the Tsunami plugins and
+the fingerprinter tell them apart, exactly as they would against the
+simulator.
+
+Run:  python examples/audit_localhost.py
+"""
+
+from repro.apps.catalog import create_instance
+from repro.core.fingerprint.fingerprinter import VersionFingerprinter
+from repro.core.fingerprint.knowledge_base import build_default_knowledge_base
+from repro.core.prefilter import match_signatures
+from repro.core.tsunami.plugin import PluginContext
+from repro.core.tsunami.plugins import plugin_for
+from repro.net.http import Scheme
+from repro.net.server import LocalAppServer, SocketTransport
+
+
+def audit(server: LocalAppServer, transport: SocketTransport, kb) -> None:
+    ip, port = server.ip, server.port
+    print(f"\n--- auditing {ip}:{port} ---")
+
+    if not transport.syn_probe(ip, port):
+        print("port closed")
+        return
+
+    landing = transport.get(ip, port, "/")
+    candidates = match_signatures(landing.body)
+    print(f"stage II candidates: {candidates or '(none)'}")
+
+    fingerprinter = VersionFingerprinter(transport, kb)
+    fingerprint = fingerprinter.fingerprint(ip, port, Scheme.HTTP, candidates)
+    if fingerprint:
+        print(f"fingerprint: {fingerprint.slug} v{fingerprint.version} "
+              f"(via {fingerprint.method.value})")
+
+    for slug in candidates:
+        plugin = plugin_for(slug)
+        if plugin is None:
+            continue
+        report = plugin.detect(PluginContext(transport, ip, port, Scheme.HTTP))
+        if report is None:
+            print(f"{slug}: no missing-authentication vulnerability")
+        else:
+            print(f"!! VULNERABLE: {report.title}")
+            print(f"   evidence: {report.details}")
+
+
+def main() -> None:
+    kb = build_default_knowledge_base()
+    transport = SocketTransport()  # refuses anything but 127.0.0.1
+
+    # --NotebookApp.password='' : the misconfiguration from the paper.
+    exposed = create_instance("jupyter-notebook", vulnerable=True)
+    hardened = create_instance("jupyter-notebook")
+
+    with LocalAppServer(exposed) as bad, LocalAppServer(hardened) as good:
+        print(f"serving a misconfigured notebook on 127.0.0.1:{bad.port}")
+        print(f"serving a token-protected notebook on 127.0.0.1:{good.port}")
+        audit(bad, transport, kb)
+        audit(good, transport, kb)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Replay the four-week honeypot study and analyse the attackers.
+
+Deploys the 18 vulnerable applications behind Packetbeat/Auditbeat-style
+monitoring, replays the calibrated attack schedule (2,195 attacks from a
+heavy-tailed attacker population, Kinsing-style campaigns included), and
+prints the attack tables, the timeline, and the cross-application
+attacker map.
+
+Run:  python examples/honeypot_campaign.py
+"""
+
+from repro import StudyConfig, run_honeypot_study
+from repro.util.clock import HOUR
+
+
+def main() -> None:
+    study = run_honeypot_study(StudyConfig.default())
+
+    print(study.table5().render())
+    print()
+    print(study.table6().render())
+    print()
+    print(study.figure3().render())
+    print()
+    print(study.figure4().render())
+
+    print("\nAttacker concentration:")
+    for top in (1, 5, 10):
+        share = study.top_share(top)
+        print(f"  top {top:>2} attackers cause {share:5.1%} of all attacks")
+
+    first = min(a.start for a in study.attacks)
+    print(f"\nfirst compromise {first / HOUR:.1f}h after exposure "
+          f"({study.fleet.total_restores()} snapshot restores during the study)")
+
+    # The central log is tamper-evident; prove the chain is intact.
+    study.fleet.log.verify_integrity()
+    print(f"central log intact: {len(study.fleet.log):,} events, hash chain verified")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: sweep a simulated Internet for missing-authentication
+vulnerabilities and print the headline results.
+
+This runs the paper's full three-stage pipeline (masscan-style port scan,
+signature prefilter, Tsunami-style MAV verification plugins, version
+fingerprinting) against a small calibrated population, then prints the
+prevalence table and where the vulnerable hosts live.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PopulationModel, ScanPipeline, InMemoryTransport, generate_internet
+from repro.apps.catalog import scanned_ports
+from repro.analysis.tables import table3, table4
+
+
+def main() -> None:
+    # A 2%-of-the-paper population: ~85 vulnerable hosts plus a sampled
+    # secure population and background noise.
+    model = PopulationModel(awe_rate=0.005, vuln_rate=0.02, background_rate=5e-7)
+    internet, geo, census = generate_internet(model)
+    print(f"generated {len(internet):,} hosts "
+          f"({len(internet.true_vulnerable_hosts())} secretly vulnerable)")
+
+    # The pipeline only sees the transport: open ports and HTTP bodies.
+    transport = InMemoryTransport(internet)
+    pipeline = ScanPipeline(transport, scanned_ports(), fingerprint=True)
+    report = pipeline.run(internet.populated_addresses())
+
+    found = report.vulnerable_ips()
+    truth = internet.true_vulnerable_hosts()
+    print(f"\npipeline found {len(found)} MAVs "
+          f"(ground truth {len(truth)}; "
+          f"{transport.stats.http_requests:,} HTTP requests, all GET)")
+
+    print()
+    print(table3(report, census).render())
+    print()
+    print(table4(found, geo).render())
+
+    print("\nMost exposed endpoints right now:")
+    for detection in report.detections[:5]:
+        print(f"  {detection}")
+
+
+if __name__ == "__main__":
+    main()

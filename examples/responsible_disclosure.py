@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Plan responsible disclosure for a scan's findings (paper §3.2).
+
+After an Internet-wide scan you hold thousands of vulnerable IPs and no
+email addresses.  The paper's workflow: batch cloud-provider IPs into
+per-provider reports, probe everyone else over HTTPS and mail
+``security@`` the certificate's domain, and accept that the rest is
+unreachable.  This example runs a scan and prints the disclosure plan.
+
+Run:  python examples/responsible_disclosure.py
+"""
+
+from repro import PopulationModel, ScanPipeline, InMemoryTransport, generate_internet
+from repro.apps.catalog import scanned_ports
+from repro.notify import DisclosureChannel, DisclosurePlanner
+
+
+def main() -> None:
+    internet, geo, _census = generate_internet(
+        PopulationModel(awe_rate=0.003, vuln_rate=0.1, background_rate=2e-7)
+    )
+    transport = InMemoryTransport(internet)
+    pipeline = ScanPipeline(transport, scanned_ports(), fingerprint=False)
+    report = pipeline.run(internet.populated_addresses())
+
+    findings = []
+    for finding in report.findings.values():
+        for slug in finding.vulnerable_slugs:
+            observation = finding.observations[slug]
+            findings.append((finding.ip, slug, observation.port))
+    print(f"scan found {len(findings)} vulnerable deployments\n")
+
+    planner = DisclosurePlanner(transport=transport, geo=geo)
+    plan = planner.plan(findings)
+
+    print(plan.summary_table().render())
+    print(f"\nreachable through a responsible channel: {plan.coverage():.0%}\n")
+
+    print("Cloud-provider batches (one report per provider):")
+    for provider, batch in sorted(
+        plan.provider_batches().items(), key=lambda kv: -len(kv[1])
+    ):
+        apps = sorted({n.slug for n in batch})
+        print(f"  {provider:<16} {len(batch):>4} assets  ({', '.join(apps)})")
+
+    emails = plan.by_channel(DisclosureChannel.SECURITY_EMAIL)
+    print(f"\nDirect security@ notifications ({len(emails)} hosts), first five:")
+    for notification in emails[:5]:
+        print(f"  {notification.recipient:<40} {notification.slug} on {notification.ip}")
+
+
+if __name__ == "__main__":
+    main()

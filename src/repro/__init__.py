@@ -1,0 +1,51 @@
+"""repro — reproduction of "No Keys to the Kingdom Required" (IMC 2022).
+
+A complete, laptop-scale reproduction of the paper's study of *missing
+authentication vulnerabilities* (MAVs) in administrative web endpoints:
+
+* 25 application emulators with per-version security defaults
+  (:mod:`repro.apps`);
+* a census-calibrated simulated IPv4 Internet (:mod:`repro.net`);
+* the paper's contribution — the three-stage masscan → prefilter →
+  Tsunami scanning pipeline with a version fingerprinter
+  (:mod:`repro.core`);
+* high-interaction honeypots with Beats-style monitoring
+  (:mod:`repro.honeypot`) and a calibrated attacker model
+  (:mod:`repro.attacker`);
+* two simulated commercial scanners (:mod:`repro.defender`);
+* analyses reproducing Tables 1-9 and Figures 1-4
+  (:mod:`repro.analysis`), driven end to end by
+  :mod:`repro.experiments`.
+
+Quickstart::
+
+    from repro import StudyConfig, run_full_study
+    print(run_full_study(StudyConfig.tiny()).render())
+"""
+
+from repro.experiments.config import StudyConfig
+from repro.experiments.defenders import run_defender_study
+from repro.experiments.full_study import FullStudy, run_full_study
+from repro.experiments.honeypots import run_honeypot_study
+from repro.experiments.observe import run_observer_study
+from repro.experiments.scan import run_scan_study
+from repro.core.pipeline import ScanPipeline
+from repro.net.population import PopulationModel, generate_internet
+from repro.net.transport import InMemoryTransport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StudyConfig",
+    "FullStudy",
+    "run_full_study",
+    "run_scan_study",
+    "run_observer_study",
+    "run_honeypot_study",
+    "run_defender_study",
+    "ScanPipeline",
+    "PopulationModel",
+    "generate_internet",
+    "InMemoryTransport",
+    "__version__",
+]

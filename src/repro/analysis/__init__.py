@@ -1,0 +1,32 @@
+"""Analysis layer: turns raw measurements into the paper's tables/figures.
+
+* :mod:`repro.analysis.attacks` — attack grouping, uniqueness, attacker
+  clustering (RQ4-6).
+* :mod:`repro.analysis.longevity` — survival analysis of vulnerable
+  hosts (RQ3 / Figure 2).
+* :mod:`repro.analysis.versions` — release-date statistics (RQ2 /
+  Figure 1).
+* :mod:`repro.analysis.tables` — Tables 1-9.
+* :mod:`repro.analysis.figures` — data series behind Figures 1-4.
+* :mod:`repro.analysis.report` — plain-text rendering.
+"""
+
+from repro.analysis.attacks import (
+    Attack,
+    AttackerCluster,
+    cluster_attackers,
+    group_attacks,
+    unique_attacks,
+)
+from repro.analysis.longevity import HostStatus, LongevitySeries, ObservationLog
+
+__all__ = [
+    "Attack",
+    "AttackerCluster",
+    "cluster_attackers",
+    "group_attacks",
+    "unique_attacks",
+    "HostStatus",
+    "LongevitySeries",
+    "ObservationLog",
+]

@@ -1,0 +1,183 @@
+"""Attack grouping and attacker clustering (RQ4-RQ6).
+
+Definitions, straight from the paper:
+
+* an **attack** groups all commands executed from the same source IP on
+  the same honeypot within 15 minutes;
+* a **unique attack** is an attack whose payload was not seen on that
+  honeypot before (repeated payloads from known IPs are "repeats");
+* an **attacker** groups attacks "by payloads and source IP addresses" —
+  we realise this as connected components of the IP↔payload bipartite
+  graph (two IPs using the same payload variant are the same actor; one
+  IP using several payloads links them all), the automatic version of
+  the paper's semi-automatic procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.honeypot.monitor import AuditEvent
+from repro.util.clock import MINUTE
+
+ATTACK_WINDOW = 15 * MINUTE
+
+
+@dataclass
+class Attack:
+    """One grouped attack."""
+
+    honeypot: str
+    source_ip: int          # IPv4 integer value
+    start: float
+    end: float
+    commands: list[str] = field(default_factory=list)
+    fingerprints: set[int] = field(default_factory=set)
+
+    @property
+    def primary_fingerprint(self) -> int:
+        return min(self.fingerprints)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def group_attacks(
+    events: list[AuditEvent], window: float = ATTACK_WINDOW
+) -> list[Attack]:
+    """Merge command executions into attacks per the 15-minute rule."""
+    by_key: dict[tuple[str, int], list[AuditEvent]] = {}
+    for event in events:
+        by_key.setdefault((event.honeypot, event.source_ip.value), []).append(event)
+
+    attacks: list[Attack] = []
+    for (honeypot, ip_value), stream in by_key.items():
+        stream.sort(key=lambda e: e.timestamp)
+        current: Attack | None = None
+        for event in stream:
+            if current is None or event.timestamp - current.end > window:
+                current = Attack(honeypot, ip_value, event.timestamp, event.timestamp)
+                attacks.append(current)
+            current.end = event.timestamp
+            current.commands.append(event.command)
+            current.fingerprints.add(event.payload_fingerprint)
+    attacks.sort(key=lambda a: a.start)
+    return attacks
+
+
+def unique_attacks(attacks: list[Attack]) -> list[Attack]:
+    """First attack per (honeypot, payload fingerprint) — the 'new' stars
+    in Figure 3.  Attacks reusing any already-seen payload are repeats."""
+    seen: set[tuple[str, int]] = set()
+    out = []
+    for attack in sorted(attacks, key=lambda a: a.start):
+        keys = {(attack.honeypot, fp) for fp in attack.fingerprints}
+        if keys & seen:
+            continue
+        seen.update(keys)
+        out.append(attack)
+    return out
+
+
+def attacks_per_app(attacks: list[Attack]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for attack in attacks:
+        counts[attack.honeypot] = counts.get(attack.honeypot, 0) + 1
+    return counts
+
+
+def unique_ips_per_app(attacks: list[Attack]) -> dict[str, int]:
+    ips: dict[str, set[int]] = {}
+    for attack in attacks:
+        ips.setdefault(attack.honeypot, set()).add(attack.source_ip)
+    return {slug: len(values) for slug, values in ips.items()}
+
+
+@dataclass
+class AttackerCluster:
+    """One inferred attacker: the IPs and payloads that travel together."""
+
+    label: str
+    ips: set[int]
+    fingerprints: set[int]
+    honeypots: set[str]
+    attack_count: int
+
+    @property
+    def is_multi_app(self) -> bool:
+        return len(self.honeypots) >= 2
+
+
+def cluster_attackers(attacks: list[Attack]) -> list[AttackerCluster]:
+    """Group attacks into attackers via the IP↔payload bipartite graph."""
+    graph = nx.Graph()
+    for attack in attacks:
+        ip_node = ("ip", attack.source_ip)
+        graph.add_node(ip_node)
+        for fingerprint in attack.fingerprints:
+            payload_node = ("payload", fingerprint)
+            graph.add_edge(ip_node, payload_node)
+
+    clusters: list[AttackerCluster] = []
+    for index, component in enumerate(nx.connected_components(graph)):
+        ips = {value for kind, value in component if kind == "ip"}
+        fingerprints = {value for kind, value in component if kind == "payload"}
+        member_attacks = [
+            a for a in attacks
+            if a.source_ip in ips and a.fingerprints & fingerprints
+        ]
+        clusters.append(
+            AttackerCluster(
+                label=f"cluster-{index}",
+                ips=ips,
+                fingerprints=fingerprints,
+                honeypots={a.honeypot for a in member_attacks},
+                attack_count=len(member_attacks),
+            )
+        )
+    clusters.sort(key=lambda c: -c.attack_count)
+    for rank, cluster in enumerate(clusters, start=1):
+        cluster.label = f"attacker-{rank:02d}"
+    return clusters
+
+
+def top_attacker_share(clusters: list[AttackerCluster], top: int) -> float:
+    """Fraction of all attacks caused by the ``top`` busiest attackers."""
+    total = sum(c.attack_count for c in clusters)
+    if total == 0:
+        return 0.0
+    busiest = sorted(clusters, key=lambda c: -c.attack_count)[:top]
+    return sum(c.attack_count for c in busiest) / total
+
+
+@dataclass(frozen=True)
+class GapStats:
+    """Table 6 row: time-to-compromise statistics for one application."""
+
+    first: float
+    average_gap: float
+    unique_shortest: float
+    unique_longest: float
+    unique_average: float
+
+
+def gap_statistics(attacks: list[Attack], honeypot: str) -> GapStats | None:
+    """Timing stats for one honeypot, in seconds."""
+    own = sorted((a for a in attacks if a.honeypot == honeypot), key=lambda a: a.start)
+    if not own:
+        return None
+    first = own[0].start
+    gaps = [b.start - a.start for a, b in zip(own, own[1:])]
+    average = sum(gaps) / len(gaps) if gaps else first
+
+    uniq = unique_attacks(own)
+    unique_gaps = [b.start - a.start for a, b in zip(uniq, uniq[1:])]
+    if unique_gaps:
+        shortest, longest = min(unique_gaps), max(unique_gaps)
+        unique_average = sum(unique_gaps) / len(unique_gaps)
+    else:
+        shortest = longest = unique_average = uniq[0].start
+    return GapStats(first, average, shortest, longest, unique_average)

@@ -1,0 +1,145 @@
+"""Attack forensics: classify what the attackers were after (§4.3/RQ4).
+
+The paper manually analysed a sample of compromised machines and "found
+them mostly to be abused for cryptojacking", highlighting three cases: a
+Monero miner that kills competitors and persists via cron, the Kinsing
+campaign spreading from Docker to Hadoop, and a vigilante shutting the
+server down.  This module automates that triage: commands from the audit
+log are classified by behavioural markers, and campaign-level summaries
+are derived per attacker cluster.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.analysis.attacks import Attack, AttackerCluster
+from repro.util.tables import Table
+
+
+class AttackPurpose(enum.Enum):
+    CRYPTOJACKING = "cryptojacking"
+    WEBSHELL = "webshell"
+    BOTNET = "botnet"
+    VIGILANTE = "vigilante"
+    RECONNAISSANCE = "reconnaissance"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class CommandTraits:
+    """Behavioural markers extracted from one command."""
+
+    purpose: AttackPurpose
+    downloads_dropper: bool
+    persists: bool
+    kills_competitors: bool
+
+
+_DOWNLOAD_RE = re.compile(r"\b(curl|wget)\b")
+_PERSIST_RE = re.compile(r"\b(crontab|cron|systemd|@reboot)\b")
+_KILL_RE = re.compile(r"\b(pkill|kill(all)?)[\w-]*\b")
+_MINER_RE = re.compile(r"\b(miner|xmrig|monero|kinsing|pool)\b", re.IGNORECASE)
+_SHELL_RE = re.compile(r"<\?php|system\(|/dev/tcp/")
+_SHUTDOWN_RE = re.compile(r"\bshutdown\b|\bhalt\b|\bpoweroff\b")
+_RECON_RE = re.compile(r"\buname\b|\bid\b|\bnproc\b|/etc/passwd")
+
+
+def classify_command(command: str) -> CommandTraits:
+    """Classify one executed command by its observable behaviour."""
+    downloads = bool(_DOWNLOAD_RE.search(command))
+    persists = bool(_PERSIST_RE.search(command))
+    kills = bool(_KILL_RE.search(command))
+
+    if _SHUTDOWN_RE.search(command):
+        purpose = AttackPurpose.VIGILANTE
+    elif _MINER_RE.search(command) or (downloads and persists):
+        purpose = AttackPurpose.CRYPTOJACKING
+    elif "/dev/tcp/" in command:
+        purpose = AttackPurpose.BOTNET
+    elif _SHELL_RE.search(command):
+        purpose = AttackPurpose.WEBSHELL
+    elif downloads:
+        purpose = AttackPurpose.CRYPTOJACKING  # dropper: assume the common case
+    elif _RECON_RE.search(command):
+        purpose = AttackPurpose.RECONNAISSANCE
+    else:
+        purpose = AttackPurpose.UNKNOWN
+    return CommandTraits(purpose, downloads, persists, kills)
+
+
+def classify_attack(attack: Attack) -> AttackPurpose:
+    """An attack's purpose: the most severe purpose among its commands."""
+    severity = {
+        AttackPurpose.CRYPTOJACKING: 5,
+        AttackPurpose.BOTNET: 4,
+        AttackPurpose.WEBSHELL: 3,
+        AttackPurpose.VIGILANTE: 2,
+        AttackPurpose.RECONNAISSANCE: 1,
+        AttackPurpose.UNKNOWN: 0,
+    }
+    purposes = [classify_command(c).purpose for c in attack.commands]
+    return max(purposes, key=lambda p: severity[p]) if purposes else AttackPurpose.UNKNOWN
+
+
+def purpose_breakdown(attacks: list[Attack]) -> dict[AttackPurpose, int]:
+    counts: Counter[AttackPurpose] = Counter(classify_attack(a) for a in attacks)
+    return dict(counts)
+
+
+@dataclass(frozen=True)
+class CampaignProfile:
+    """Per-attacker-cluster behavioural summary (the Kinsing-style view)."""
+
+    label: str
+    purpose: AttackPurpose
+    attack_count: int
+    applications: tuple[str, ...]
+    persists: bool
+    kills_competitors: bool
+
+    @property
+    def is_cross_application_campaign(self) -> bool:
+        return len(self.applications) >= 2
+
+
+def profile_campaigns(
+    attacks: list[Attack], clusters: list[AttackerCluster]
+) -> list[CampaignProfile]:
+    """Summarise each attacker cluster's behaviour."""
+    profiles = []
+    for cluster in clusters:
+        own = [
+            a for a in attacks
+            if a.source_ip in cluster.ips and a.fingerprints & cluster.fingerprints
+        ]
+        commands = [c for a in own for c in a.commands]
+        traits = [classify_command(c) for c in commands]
+        purposes = Counter(t.purpose for t in traits)
+        profiles.append(
+            CampaignProfile(
+                label=cluster.label,
+                purpose=purposes.most_common(1)[0][0] if purposes else AttackPurpose.UNKNOWN,
+                attack_count=len(own),
+                applications=tuple(sorted(cluster.honeypots)),
+                persists=any(t.persists for t in traits),
+                kills_competitors=any(t.kills_competitors for t in traits),
+            )
+        )
+    return profiles
+
+
+def forensics_table(attacks: list[Attack]) -> Table:
+    """RQ4's purpose breakdown as a table."""
+    table = Table(
+        "Attack purposes (automated triage of the audit log)",
+        ("Purpose", "# Attacks", "Share"),
+    )
+    breakdown = purpose_breakdown(attacks)
+    total = sum(breakdown.values()) or 1
+    for purpose, count in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        table.add_row(purpose.value, count, f"{count / total:.0%}")
+    return table

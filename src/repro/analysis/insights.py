@@ -1,0 +1,147 @@
+"""Programmatic versions of the paper's §6.1 insights.
+
+The discussion section condenses the four studies into four lessons;
+each function here computes the corresponding quantitative statement
+from the measurement artefacts, so the lessons can be *checked* rather
+than narrated:
+
+1. **Defaults are important** — insecure-by-default products dominate
+   the high-MAV-rate regime.
+2. **Changing defaults is effective, but slow** — for changed-default
+   software the MAV mass sits in the pre-change long tail.
+3. **Defenders are behind** — scanners miss applications that are
+   already under active attack.
+4. **There is no consensus on MAVs** — the scanners' detection sets
+   barely overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.attacks import Attack, attacks_per_app
+from repro.analysis.versions import VersionedObservation, old_version_mav_share
+from repro.apps.catalog import DefaultPosture, app_by_slug, in_scope_apps
+from repro.core.pipeline import ScanReport
+from repro.net.population import Census
+
+
+@dataclass(frozen=True)
+class DefaultsInsight:
+    """Lesson 1: MAV rate by default posture."""
+
+    #: slugs with >= threshold vulnerable share, excluding installer CMSes
+    high_rate_apps: tuple[str, ...]
+    #: those of them that are insecure by default
+    insecure_by_default: tuple[str, ...]
+
+    @property
+    def holds(self) -> bool:
+        """All high-rate apps are insecure by default (the paper's claim)."""
+        return set(self.high_rate_apps) == set(self.insecure_by_default)
+
+
+def defaults_insight(
+    report: ScanReport, census: Census, threshold: float = 0.05
+) -> DefaultsInsight:
+    hosts_weighted: dict[str, float] = {}
+    mav_counts: dict[str, int] = {}
+    for finding in report.findings.values():
+        weight = census.weight_of(finding.ip)
+        for slug, observation in finding.observations.items():
+            hosts_weighted[slug] = hosts_weighted.get(slug, 0.0) + weight
+            if observation.vulnerable:
+                mav_counts[slug] = mav_counts.get(slug, 0) + 1
+
+    high_rate = []
+    for spec in in_scope_apps():
+        if spec.vuln_kind.value == "Install":
+            continue  # short-lived installers are the paper's exception
+        hosts = hosts_weighted.get(spec.slug, 0.0)
+        if hosts and mav_counts.get(spec.slug, 0) / hosts >= threshold:
+            high_rate.append(spec.slug)
+    insecure = [
+        slug for slug in high_rate
+        if app_by_slug(slug).posture is DefaultPosture.INSECURE
+    ]
+    return DefaultsInsight(tuple(high_rate), tuple(insecure))
+
+
+@dataclass(frozen=True)
+class ChangedDefaultsInsight:
+    """Lesson 2: the long tail behind a changed default."""
+
+    slug: str
+    old_version_mav_share: float
+    remaining_mavs: int
+
+    @property
+    def change_was_effective(self) -> bool:
+        """Most remaining MAVs run pre-change releases."""
+        return self.old_version_mav_share > 0.5
+
+    @property
+    def tail_still_exists(self) -> bool:
+        """...but years later the problem has not fully disappeared."""
+        return self.remaining_mavs > 0
+
+
+def changed_defaults_insight(
+    observations: list[VersionedObservation],
+    slug: str = "jupyter-notebook",
+) -> ChangedDefaultsInsight:
+    spec = app_by_slug(slug)
+    if spec.secured_since is None:
+        raise ValueError(f"{slug} never changed its default")
+    share = old_version_mav_share(observations, slug, spec.secured_since)
+    remaining = sum(1 for o in observations if o.slug == slug and o.vulnerable)
+    return ChangedDefaultsInsight(slug, share, remaining)
+
+
+@dataclass(frozen=True)
+class DefenderGapInsight:
+    """Lesson 3: attacked-but-undetected applications."""
+
+    attacked: frozenset[str]
+    detected_by_any_scanner: frozenset[str]
+
+    @property
+    def attacked_but_undetected(self) -> frozenset[str]:
+        return self.attacked - self.detected_by_any_scanner
+
+    @property
+    def defenders_are_behind(self) -> bool:
+        return bool(self.attacked_but_undetected)
+
+
+def defender_gap_insight(
+    attacks: list[Attack], scanner_detections: dict[str, set[str]]
+) -> DefenderGapInsight:
+    attacked = frozenset(attacks_per_app(attacks))
+    detected = frozenset().union(*scanner_detections.values()) if scanner_detections else frozenset()
+    return DefenderGapInsight(attacked, detected)
+
+
+@dataclass(frozen=True)
+class ConsensusInsight:
+    """Lesson 4: scanner agreement via Jaccard overlap."""
+
+    overlap: frozenset[str]
+    union: frozenset[str]
+
+    @property
+    def jaccard(self) -> float:
+        return len(self.overlap) / len(self.union) if self.union else 0.0
+
+    @property
+    def no_consensus(self) -> bool:
+        return self.jaccard < 0.5
+
+
+def consensus_insight(scanner_detections: dict[str, set[str]]) -> ConsensusInsight:
+    sets = list(scanner_detections.values())
+    if not sets:
+        return ConsensusInsight(frozenset(), frozenset())
+    overlap = frozenset(set.intersection(*sets))
+    union = frozenset(set.union(*sets))
+    return ConsensusInsight(overlap, union)

@@ -1,0 +1,307 @@
+"""Builders for the paper's Tables 1-9.
+
+Each function returns a :class:`repro.util.tables.Table` whose rows have
+the same columns (and, where the simulation is calibrated, the same
+shape) as the corresponding table in the paper.  Internet-scale counts
+use the census's Horvitz-Thompson weights: a host generated at sampling
+rate *r* stands for ``1/r`` real hosts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis.attacks import (
+    Attack,
+    attacks_per_app,
+    gap_statistics,
+    unique_attacks,
+    unique_ips_per_app,
+)
+from repro.apps.catalog import all_apps, app_by_slug, in_scope_apps
+from repro.core.pipeline import ScanReport
+from repro.net.geo import GeoDatabase
+from repro.net.ipv4 import IPv4Address
+from repro.net.population import Census
+from repro.util.clock import HOUR
+from repro.util.tables import Table
+
+
+def table1() -> Table:
+    """Table 1: the manual investigation of 25 applications."""
+    table = Table(
+        "Table 1: investigated applications (attack vector, defaults, warnings)",
+        ("Type", "App", "Stars", "Vuln", "Default MAV", "Warn"),
+    )
+    for spec in all_apps():
+        table.add_row(
+            spec.category.short,
+            spec.name,
+            f"{spec.github_stars_k}k",
+            spec.vuln_kind.value,
+            spec.default_mav_cell(),
+            spec.warn_cell(),
+        )
+    return table
+
+
+def _weighted_port_counts(
+    counts_by_ip: dict[int, tuple[int, ...]], census: Census
+) -> dict[int, float]:
+    out: dict[int, float] = {}
+    for ip_value, ports in counts_by_ip.items():
+        weight = census.weight_of(IPv4Address(ip_value))
+        for port in ports:
+            out[port] = out.get(port, 0.0) + weight
+    return out
+
+
+def table2(report: ScanReport, census: Census, ports: tuple[int, ...]) -> Table:
+    """Table 2: open ports and HTTP(S) responses (Internet-scale estimates).
+
+    Hosts with *every* scanned port open are excluded, like the paper's
+    3.0M always-open middleboxes which "distorted the results".
+    """
+    all_ports = set(ports)
+    filtered = {
+        ip: open_ports
+        for ip, open_ports in report.port_scan.open_ports.items()
+        if set(open_ports) != all_ports
+    }
+    open_estimates = _weighted_port_counts(filtered, census)
+
+    # Response counts are per (port, scheme); scale each responding host
+    # by its weight.  The prefilter stats count responses, not hosts, but
+    # one host answers each (port, scheme) at most once in our pipeline.
+    table = Table(
+        "Table 2: open ports and HTTP(S) responses (estimated, full IPv4)",
+        ("Port", "# Open", "# HTTP", "# HTTPS"),
+    )
+    # Scale raw response tallies by the mean stratum weight of that port's
+    # responding hosts — we approximate with the open-port weight ratio.
+    totals = [0.0, 0.0, 0.0]
+    for port in ports:
+        open_est = open_estimates.get(port, 0.0)
+        raw_open = sum(1 for p in filtered.values() if port in p)
+        scale = (open_est / raw_open) if raw_open else 0.0
+        http_est = report.http_responses.get(port, 0) * scale
+        https_est = report.https_responses.get(port, 0) * scale
+        table.add_row(port, int(open_est), int(http_est), int(https_est))
+        totals[0] += open_est
+        totals[1] += http_est
+        totals[2] += https_est
+    table.add_row("Total", int(totals[0]), int(totals[1]), int(totals[2]))
+    return table
+
+
+def table3(report: ScanReport, census: Census) -> Table:
+    """Table 3: AWE prevalence and MAV counts per application."""
+    hosts_weighted: dict[str, float] = {}
+    mav_counts: dict[str, int] = {}
+    for finding in report.findings.values():
+        weight = census.weight_of(finding.ip)
+        for slug, observation in finding.observations.items():
+            hosts_weighted[slug] = hosts_weighted.get(slug, 0.0) + weight
+            if observation.vulnerable:
+                mav_counts[slug] = mav_counts.get(slug, 0) + 1
+
+    in_scope = [spec.slug for spec in in_scope_apps()]
+    total_hosts = sum(hosts_weighted.get(slug, 0.0) for slug in in_scope)
+    table = Table(
+        "Table 3: AWE prevalence and MAVs on the Internet (estimated hosts)",
+        ("Type", "App", "# Hosts", "Share", "# MAVs", "MAV %", "Default"),
+    )
+    for spec in in_scope_apps():
+        hosts = hosts_weighted.get(spec.slug, 0.0)
+        mavs = mav_counts.get(spec.slug, 0)
+        share = 100.0 * hosts / total_hosts if total_hosts else 0.0
+        mav_pct = 100.0 * mavs / hosts if hosts else 0.0
+        table.add_row(
+            spec.category.short,
+            spec.name,
+            int(hosts),
+            f"{share:.2f}%",
+            mavs,
+            f"{mav_pct:.1f}%",
+            spec.posture.symbol,
+        )
+    table.add_row(
+        "", "Total", int(total_hosts), "100%",
+        sum(mav_counts.get(s, 0) for s in in_scope), "", "",
+    )
+    return table
+
+
+def table4(vulnerable_ips: list[IPv4Address], geo: GeoDatabase) -> Table:
+    """Table 4: where the vulnerable hosts live (countries and ASes)."""
+    countries: Counter[str] = Counter()
+    ases: Counter[tuple[str, str]] = Counter()
+    hosting = 0
+    for ip in vulnerable_ips:
+        metadata = geo.lookup(ip)
+        countries[metadata.country] += 1
+        ases[(metadata.asn, metadata.provider)] += 1
+        if metadata.is_hosting:
+            hosting += 1
+
+    table = Table(
+        "Table 4: top countries and ASes hosting vulnerable applications",
+        ("Country", "Hosts", "AS", "Provider", "AS Hosts"),
+    )
+    top_countries = countries.most_common(5)
+    top_ases = ases.most_common(5)
+    for index in range(5):
+        country, c_count = top_countries[index] if index < len(top_countries) else ("", "")
+        if index < len(top_ases):
+            (asn, provider), a_count = top_ases[index]
+        else:
+            asn = provider = a_count = ""
+        table.add_row(country, c_count, asn, provider, a_count)
+    hosting_share = 100.0 * hosting / len(vulnerable_ips) if vulnerable_ips else 0.0
+    table.add_row("(hosting networks)", f"{hosting_share:.0f}%", "", "", "")
+    return table
+
+
+def table5(attacks: list[Attack]) -> Table:
+    """Table 5: attacks per application."""
+    per_app = attacks_per_app(attacks)
+    uniq = attacks_per_app(unique_attacks(attacks))
+    ips = unique_ips_per_app(attacks)
+    table = Table(
+        "Table 5: attacks observed on the honeypots",
+        ("Type", "App", "# Attacks", "# Uniq. Attacks", "# Uniq. IPs"),
+    )
+    total_ips: set[int] = set()
+    for attack in attacks:
+        total_ips.add(attack.source_ip)
+    ordered = [
+        spec for spec in in_scope_apps() if spec.slug in per_app
+    ]
+    for spec in ordered:
+        table.add_row(
+            spec.category.short,
+            spec.name,
+            per_app[spec.slug],
+            uniq.get(spec.slug, 0),
+            ips.get(spec.slug, 0),
+        )
+    total_unique = len(unique_attacks(attacks))
+    table.add_row("", "Total", len(attacks), total_unique, len(total_ips))
+    return table
+
+
+def table6(attacks: list[Attack]) -> Table:
+    """Table 6: time until compromise, in hours."""
+    table = Table(
+        "Table 6: time until compromise (hours)",
+        ("Application", "First", "Average", "Uniq shortest", "Uniq longest",
+         "Uniq average"),
+    )
+    for slug in sorted({a.honeypot for a in attacks}):
+        stats = gap_statistics(attacks, slug)
+        if stats is None:
+            continue
+        spec = app_by_slug(slug)
+        table.add_row(
+            spec.name,
+            round(stats.first / HOUR, 1),
+            round(stats.average_gap / HOUR, 1),
+            round(stats.unique_shortest / HOUR, 1),
+            round(stats.unique_longest / HOUR, 1),
+            round(stats.unique_average / HOUR, 1),
+        )
+    return table
+
+
+def table7(attacks: list[Attack], geo: GeoDatabase) -> Table:
+    """Table 7: attack origin countries with AS diversity."""
+    country_attacks: Counter[str] = Counter()
+    country_ases: dict[str, set[str]] = {}
+    for attack in attacks:
+        metadata = geo.lookup(IPv4Address(attack.source_ip))
+        country_attacks[metadata.country] += 1
+        country_ases.setdefault(metadata.country, set()).add(metadata.asn)
+    table = Table(
+        "Table 7: top attack-origin countries",
+        ("Country", "# Attacks", "# AS"),
+    )
+    for country, count in country_attacks.most_common(10):
+        table.add_row(country, count, len(country_ases[country]))
+    return table
+
+
+def table8(attacks: list[Attack], geo: GeoDatabase) -> Table:
+    """Table 8: attack origin ASes with country diversity."""
+    as_attacks: Counter[tuple[str, str]] = Counter()
+    as_countries: dict[str, set[str]] = {}
+    for attack in attacks:
+        metadata = geo.lookup(IPv4Address(attack.source_ip))
+        as_attacks[(metadata.asn, metadata.provider)] += 1
+        as_countries.setdefault(metadata.asn, set()).add(metadata.country)
+    table = Table(
+        "Table 8: top attack-origin autonomous systems",
+        ("AS", "Provider", "# Attacks", "# Countries"),
+    )
+    for (asn, provider), count in as_attacks.most_common(5):
+        table.add_row(asn, provider, count, len(as_countries[asn]))
+    return table
+
+
+def table9(
+    report: ScanReport,
+    census: Census,
+    attacks: list[Attack],
+    scanner_detections: dict[str, set[str]],
+) -> Table:
+    """Table 9: the combined summary of all four studies."""
+    hosts_weighted: dict[str, float] = {}
+    mav_counts: dict[str, int] = {}
+    for finding in report.findings.values():
+        weight = census.weight_of(finding.ip)
+        for slug, observation in finding.observations.items():
+            hosts_weighted[slug] = hosts_weighted.get(slug, 0.0) + weight
+            if observation.vulnerable:
+                mav_counts[slug] = mav_counts.get(slug, 0) + 1
+    per_app_attacks = attacks_per_app(attacks)
+
+    table = Table(
+        "Table 9: summary (defaults, prevalence, attacks, defender coverage)",
+        ("Type", "App", "Default", "Vulnerable", "Attacks", "Defend"),
+    )
+    for spec in in_scope_apps():
+        mavs = mav_counts.get(spec.slug, 0)
+        hosts = hosts_weighted.get(spec.slug, 0.0)
+        pct = 100.0 * mavs / hosts if hosts else 0.0
+        detectors = sorted(
+            name for name, slugs in scanner_detections.items() if spec.slug in slugs
+        )
+        table.add_row(
+            spec.category.short,
+            spec.name,
+            spec.posture.symbol,
+            f"{mavs} ({pct:.1f}%)",
+            per_app_attacks.get(spec.slug, 0),
+            "&".join(detectors) if detectors else "none",
+        )
+    return table
+
+
+def scanner_table(scanner_detections: dict[str, set[str]],
+                  scanner_informational: dict[str, set[str]]) -> Table:
+    """Section 5's result: what each commercial scanner found."""
+    table = Table(
+        "Defender awareness: commercial scanner coverage of the 18 MAVs",
+        ("Scanner", "Detected", "# Detected", "Informational only"),
+    )
+    for name in sorted(scanner_detections):
+        detected = sorted(scanner_detections[name])
+        informational = sorted(
+            scanner_informational.get(name, set()) - set(detected)
+        )
+        table.add_row(
+            name,
+            ", ".join(detected),
+            len(detected),
+            ", ".join(informational) if informational else "-",
+        )
+    return table

@@ -1,0 +1,47 @@
+"""Behavioural emulators of the 25 investigated applications.
+
+Each emulator serves the real endpoints and body markers the paper's
+detection pipeline relies on (Appendix A, Table 10), models per-version
+security defaults (e.g. Jenkins < 2.0 was insecure by default), and exposes
+the misconfiguration knobs the paper discusses (empty Jupyter password,
+Docker API bound to 0.0.0.0, Consul script checks, ...).
+
+The catalog (:mod:`repro.apps.catalog`) is the machine-readable form of the
+paper's Table 1.
+"""
+
+from repro.apps.base import (
+    AppCategory,
+    VulnKind,
+    WebApplication,
+    AppInstance,
+    CommandExecution,
+)
+from repro.apps.catalog import (
+    APP_CATALOG,
+    AppSpec,
+    DefaultPosture,
+    all_apps,
+    in_scope_apps,
+    app_by_slug,
+    create_instance,
+)
+from repro.apps.versions import RELEASE_DB, ReleaseDatabase, Release
+
+__all__ = [
+    "AppCategory",
+    "VulnKind",
+    "WebApplication",
+    "AppInstance",
+    "CommandExecution",
+    "APP_CATALOG",
+    "AppSpec",
+    "DefaultPosture",
+    "all_apps",
+    "in_scope_apps",
+    "app_by_slug",
+    "create_instance",
+    "RELEASE_DB",
+    "ReleaseDatabase",
+    "Release",
+]

@@ -1,0 +1,247 @@
+"""The application catalog: the paper's Table 1 in machine-readable form.
+
+For each of the 25 investigated applications this records the category,
+GitHub-star popularity used for selection, the MAV attack vector, the
+security posture of the default configuration (and when it changed), and
+whether the vendor warns about insecure deployment.  The catalog also acts
+as the factory for emulator instances.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.apps import ci, cluster, cms, notebooks, panels
+from repro.apps.base import AppCategory, VulnKind, WebApplication
+from repro.apps.versions import RELEASE_DB
+from repro.util.errors import ConfigError
+
+
+class DefaultPosture(enum.Enum):
+    """Security of the default configuration (legend of Tables 3 and 9)."""
+
+    SECURE = "secure"       # ✓ secure by default
+    CHANGED = "changed"     # † insecure in older versions, fixed since
+    INSECURE = "insecure"   # ✗ MAV exists by default
+    NOT_APPLICABLE = "n/a"  # out of scope
+
+    @property
+    def symbol(self) -> str:
+        return {"secure": "Y", "changed": "t", "insecure": "X", "n/a": "-"}[self.value]
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One row of Table 1, plus the emulator class and simulation hooks."""
+
+    slug: str
+    emulator: type[WebApplication]
+    github_stars_k: int
+    posture: DefaultPosture
+    #: version from which the default became secure (posture CHANGED only)
+    secured_since: str | None = None
+    #: year the default changed (posture CHANGED only)
+    secured_year: int | None = None
+    #: True = vendor warns, False = no warning, None = not applicable
+    warns: bool | None = None
+    #: config overrides that make an instance of this app vulnerable
+    insecure_overrides: dict[str, object] | None = None
+
+    @property
+    def name(self) -> str:
+        return self.emulator.name
+
+    @property
+    def category(self) -> AppCategory:
+        return self.emulator.category
+
+    @property
+    def vuln_kind(self) -> VulnKind:
+        return self.emulator.vuln_kind
+
+    @property
+    def in_scope(self) -> bool:
+        return self.vuln_kind is not VulnKind.NONE
+
+    @property
+    def default_ports(self) -> tuple[int, ...]:
+        return self.emulator.default_ports
+
+    def default_mav_in(self, version: str) -> bool:
+        """Was this version's *default* configuration vulnerable?
+
+        Distinguishes insecure-by-default deployments from explicitly
+        misconfigured ones — the split Figure 2's right column is about.
+        """
+        if not self.in_scope:
+            return False
+        if self.posture is DefaultPosture.INSECURE:
+            return True
+        if self.posture is DefaultPosture.CHANGED and self.secured_since is not None:
+            from repro.apps.base import parse_version
+
+            return parse_version(version) < parse_version(self.secured_since)
+        return False
+
+    def default_mav_cell(self) -> str:
+        """Render the 'Default MAV' column of Table 1."""
+        if not self.in_scope:
+            return "-"
+        if self.posture is DefaultPosture.INSECURE:
+            return "yes"
+        if self.posture is DefaultPosture.CHANGED:
+            return f"< {self.secured_since} ({self.secured_year})"
+        return "no"
+
+    def warn_cell(self) -> str:
+        if self.warns is None:
+            return "-"
+        return "yes" if self.warns else "no"
+
+
+def _spec(
+    emulator: type[WebApplication],
+    stars: int,
+    posture: DefaultPosture,
+    *,
+    secured_since: str | None = None,
+    secured_year: int | None = None,
+    warns: bool | None = None,
+    insecure: dict[str, object] | None = None,
+) -> AppSpec:
+    return AppSpec(
+        slug=emulator.slug,
+        emulator=emulator,
+        github_stars_k=stars,
+        posture=posture,
+        secured_since=secured_since,
+        secured_year=secured_year,
+        warns=warns,
+        insecure_overrides=insecure,
+    )
+
+
+#: Table 1, in the paper's row order.
+APP_CATALOG: tuple[AppSpec, ...] = (
+    # -- Continuous Integration ------------------------------------------------
+    _spec(ci.Gitlab, 23, DefaultPosture.NOT_APPLICABLE),
+    _spec(ci.Drone, 23, DefaultPosture.NOT_APPLICABLE),
+    _spec(ci.Jenkins, 18, DefaultPosture.CHANGED, secured_since="2.0",
+          secured_year=2016, insecure={"auth_enabled": False}),
+    _spec(ci.Travis, 8, DefaultPosture.NOT_APPLICABLE),
+    _spec(ci.GoCD, 6, DefaultPosture.INSECURE, warns=True,
+          insecure={"auth_enabled": False}),
+    # -- Content Management Systems -----------------------------------------------
+    _spec(cms.Ghost, 38, DefaultPosture.NOT_APPLICABLE),
+    _spec(cms.WordPress, 15, DefaultPosture.INSECURE, warns=False,
+          insecure={"installed": False}),
+    _spec(cms.Grav, 13, DefaultPosture.INSECURE, warns=False,
+          insecure={"installed": False}),
+    _spec(cms.Joomla, 4, DefaultPosture.CHANGED, secured_since="3.7.4",
+          secured_year=2017, insecure={"installed": False}),
+    _spec(cms.Drupal, 4, DefaultPosture.INSECURE, warns=False,
+          insecure={"installed": False}),
+    # -- Cluster Management ---------------------------------------------------------
+    _spec(cluster.Kubernetes, 78, DefaultPosture.SECURE,
+          insecure={"anonymous_auth": True}),
+    _spec(cluster.Docker, 23, DefaultPosture.INSECURE, warns=False,
+          insecure={"tls_client_auth": False}),
+    _spec(cluster.Consul, 22, DefaultPosture.SECURE,
+          insecure={"enable_script_checks": True}),
+    _spec(cluster.Hadoop, 12, DefaultPosture.INSECURE, warns=False,
+          insecure={"kerberos": False}),
+    _spec(cluster.Nomad, 9, DefaultPosture.INSECURE, warns=True,
+          insecure={"acl_enabled": False}),
+    # -- Notebooks ----------------------------------------------------------------------
+    _spec(notebooks.JupyterLab, 11, DefaultPosture.SECURE,
+          insecure={"auth_enabled": False}),
+    _spec(notebooks.JupyterNotebook, 8, DefaultPosture.CHANGED,
+          secured_since="4.3", secured_year=2016,
+          insecure={"auth_enabled": False}),
+    _spec(notebooks.Zeppelin, 5, DefaultPosture.INSECURE, warns=False,
+          insecure={"shiro_auth": False}),
+    _spec(notebooks.Polynote, 4, DefaultPosture.INSECURE, warns=True,
+          insecure={}),
+    _spec(notebooks.SparkNotebook, 3, DefaultPosture.NOT_APPLICABLE),
+    # -- Control Panels ---------------------------------------------------------------------
+    _spec(panels.Ajenti, 6, DefaultPosture.SECURE, warns=True,
+          insecure={"autologin": True}),
+    _spec(panels.PhpMyAdmin, 6, DefaultPosture.SECURE, warns=False,
+          insecure={"allow_no_password": True, "root_password_empty": True}),
+    _spec(panels.Adminer, 5, DefaultPosture.CHANGED, secured_since="4.6.3",
+          secured_year=2018, insecure={"root_password_empty": True}),
+    _spec(panels.VestaCP, 3, DefaultPosture.NOT_APPLICABLE),
+    _spec(panels.OmniDB, 3, DefaultPosture.NOT_APPLICABLE),
+)
+
+_BY_SLUG = {spec.slug: spec for spec in APP_CATALOG}
+
+
+def all_apps() -> tuple[AppSpec, ...]:
+    """All 25 investigated applications, in Table 1 order."""
+    return APP_CATALOG
+
+
+def in_scope_apps() -> tuple[AppSpec, ...]:
+    """The 18 applications with a MAV attack vector."""
+    return tuple(spec for spec in APP_CATALOG if spec.in_scope)
+
+
+def app_by_slug(slug: str) -> AppSpec:
+    try:
+        return _BY_SLUG[slug]
+    except KeyError:
+        raise ConfigError(f"unknown application slug: {slug!r}") from None
+
+
+def create_instance(
+    slug: str,
+    version: str | None = None,
+    vulnerable: bool = False,
+) -> WebApplication:
+    """Instantiate an emulator in a secure or vulnerable configuration.
+
+    ``version=None`` installs the latest release.  ``vulnerable=True``
+    applies the per-application insecure overrides — for CHANGED-posture
+    apps this may mean the old insecure default (if the version predates
+    the fix) or an explicit misconfiguration (if it does not); the emulator
+    semantics handle both identically.
+    """
+    spec = app_by_slug(slug)
+    if vulnerable and not spec.in_scope:
+        raise ConfigError(f"{spec.name} has no MAV to enable")
+    config = dict(spec.insecure_overrides or {}) if vulnerable else {}
+    if version is None:
+        if vulnerable:
+            # Latest release whose overrides actually yield a MAV (Adminer's
+            # empty-password trick only works before 4.6.3, for example).
+            for release in reversed(RELEASE_DB.releases(slug)):
+                candidate = spec.emulator(release.version, dict(config))
+                if candidate.is_vulnerable():
+                    return candidate
+            raise ConfigError(f"no version of {slug} accepts the insecure overrides")
+        version = RELEASE_DB.latest(slug).version
+    instance = spec.emulator(version, config)
+    if vulnerable and not instance.is_vulnerable():
+        raise ConfigError(
+            f"insecure overrides for {slug} v{version} did not produce a MAV"
+        )
+    if not vulnerable and instance.is_vulnerable():
+        # Insecure-by-default software: a "secure" instance is one whose
+        # owner explicitly enabled authentication.  Polynote is the one
+        # app with nothing to enable; it stays vulnerable (its only
+        # mitigation is not exposing it, which is a host property).
+        try:
+            instance.secure()
+        except NotImplementedError:
+            pass
+    return instance
+
+
+def scanned_ports() -> tuple[int, ...]:
+    """The 12 ports of the paper's scan: 80, 443, plus app defaults."""
+    ports = {80, 443}
+    for spec in in_scope_apps():
+        ports.update(spec.default_ports)
+    return tuple(sorted(ports))

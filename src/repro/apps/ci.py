@@ -1,0 +1,249 @@
+"""Continuous-integration application emulators: Gitlab, Drone, Jenkins,
+Travis, GoCD.
+
+Security model per the paper's Table 1:
+
+* **Jenkins** — before 2.0 (April 2016) anyone could create jobs; from 2.0
+  the setup wizard creates an admin account with a random password, but
+  operators can still disable security (``auth_enabled=False``).
+* **GoCD** — "A newly installed GoCD server does not require users to
+  authenticate"; insecure by default, documented warning.
+* Gitlab, Drone, Travis — out of scope (secure by default, no easy
+  misconfiguration).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import (
+    AppCategory,
+    VulnKind,
+    WebApplication,
+    html_page,
+    route,
+    versioned_asset,
+)
+from repro.net.http import HttpRequest, HttpResponse
+
+
+class Jenkins(WebApplication):
+    """Jenkins CI.  Vulnerable when security is disabled (default < 2.0)."""
+
+    name = "Jenkins"
+    slug = "jenkins"
+    category = AppCategory.CI
+    vuln_kind = VulnKind.SYSCMD
+    default_ports = (8080,)
+    discloses_version = True
+
+    def validate_config(self) -> None:
+        self.config.setdefault("auth_enabled", not self.version_before("2.0"))
+
+    def is_vulnerable(self) -> bool:
+        return not self.cfg("auth_enabled")
+
+    def secure(self) -> None:
+        self.config["auth_enabled"] = True
+
+    def static_files(self) -> dict[str, str]:
+        return {
+            "/static/css/style.css": versioned_asset(self.slug, "style.css", self.version),
+            "/static/scripts/hudson-behavior.js": versioned_asset(
+                self.slug, "hudson-behavior.js", self.version
+            ),
+        }
+
+    def landing_page(self) -> str:
+        return html_page(
+            "Dashboard [Jenkins]",
+            '<div id="jenkins">Welcome to Jenkins!</div>'
+            '<a href="/view/all/newJob">New Item</a>',
+            assets=["/static/scripts/hudson-behavior.js"],
+        )
+
+    def _headers(self) -> dict[str, str]:
+        return {"x-jenkins": self.version, "content-type": "text/html"}
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            # Real Jenkins bounces anonymous visitors to the login form.
+            response = HttpResponse.redirect("/login")
+            return HttpResponse(
+                response.status, {**response.headers, **self._headers()}, ""
+            )
+        return HttpResponse(200, self._headers(), self.landing_page())
+
+    @route("GET", "/login")
+    def login(self, request: HttpRequest) -> HttpResponse:
+        # Like the real product, the X-Jenkins version header is present
+        # even on the login form.
+        return HttpResponse(
+            200,
+            self._headers(),
+            html_page("Sign in [Jenkins]", '<form action="/j_spring_security_check"></form>'),
+        )
+
+    @route("GET", "/view/all/newJob")
+    def new_job(self, request: HttpRequest) -> HttpResponse:
+        # Table 10: the MAV check looks for a reachable `form#createItem`.
+        if not self.is_vulnerable():
+            return HttpResponse.redirect("/login")
+        body = html_page(
+            "New Item [Jenkins]",
+            '<form id="createItem" action="/createItem" method="post">'
+            '<input name="name"></form>',
+        )
+        return HttpResponse(200, self._headers(), body)
+
+    @route("POST", "/createItem")
+    def create_item(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.unauthorized("Jenkins")
+        return HttpResponse(200, self._headers(), "created")
+
+    @route("POST", "/job/*")
+    def build_job(self, request: HttpRequest) -> HttpResponse:
+        """Triggering a build runs the attacker-controlled build step."""
+        if not self.is_vulnerable():
+            return HttpResponse.unauthorized("Jenkins")
+        command = request.form.get("command", request.body)
+        self.record_execution(command, via=request.path_only, mechanism="build-step")
+        return HttpResponse(201, self._headers(), "build scheduled")
+
+
+class GoCD(WebApplication):
+    """GoCD.  Insecure by default: pipelines (and thus commands) for all."""
+
+    name = "GoCD"
+    slug = "gocd"
+    category = AppCategory.CI
+    vuln_kind = VulnKind.SYSCMD
+    default_ports = (8153,)
+    discloses_version = True
+
+    def validate_config(self) -> None:
+        self.config.setdefault("auth_enabled", False)  # insecure by default
+
+    def is_vulnerable(self) -> bool:
+        return not self.cfg("auth_enabled")
+
+    def secure(self) -> None:
+        self.config["auth_enabled"] = True
+
+    def static_files(self) -> dict[str, str]:
+        return {
+            "/go/assets/application.css": versioned_asset(self.slug, "application.css", self.version),
+            "/go/assets/single_page_apps/pipelines.js": versioned_asset(
+                self.slug, "pipelines.js", self.version
+            ),
+        }
+
+    def landing_page(self) -> str:
+        """The dashboard markup changed repeatedly across GoCD's life —
+        Table 10's detection accepts four marker pairs for that reason.
+        We serve a different era's markup per major version."""
+        if self.version_before("17.0"):
+            return html_page(
+                "Pipelines - Go",
+                f'<div data-version="{self.version}">'
+                '<a href="/go/admin/pipelines">Add Pipeline</a>'
+                '<div id="admin_pipelines"></div></div>',
+                assets=["/go/assets/application.css"],
+            )
+        if self.version_before("20.0"):
+            return html_page(
+                "Dashboard - Go",
+                f'<div class="dashboard" data-version="{self.version}">'
+                '<a href="/go/admin/pipelines/">pipelines</a></div>',
+                assets=["/go/assets/application.css"],
+            )
+        return html_page(
+            "Create a pipeline - Go",
+            f'<div class="pipelines-page" data-version="{self.version}">'
+            '<a href="/go/admin/pipelines">Add Pipeline</a></div>',
+            assets=["/go/assets/application.css"],
+        )
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.redirect("/go/home")
+
+    @route("GET", "/go/home")
+    def home(self, request: HttpRequest) -> HttpResponse:
+        # Table 10 accepts several body-marker pairs across GoCD versions;
+        # we serve the first ('Create a pipeline - Go' + 'pipelines-page').
+        if not self.is_vulnerable():
+            return HttpResponse.redirect("/go/auth/login")
+        return HttpResponse.html(self.landing_page())
+
+    @route("GET", "/go/auth/login")
+    def login(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.html(
+            html_page("Login - Go", f'<form id="login">GoCD {self.version}</form>')
+        )
+
+    @route("POST", "/go/api/admin/pipelines")
+    def create_pipeline(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.unauthorized("GoCD")
+        command = request.form.get("command", request.body)
+        self.record_execution(command, via=request.path_only, mechanism="pipeline-task")
+        return HttpResponse(200, {}, "pipeline created")
+
+
+class _OutOfScopeCi(WebApplication):
+    """Shared behaviour for the CI products with no MAV."""
+
+    vuln_kind = VulnKind.NONE
+
+    def is_vulnerable(self) -> bool:
+        return False
+
+    def secure(self) -> None:  # already secure
+        pass
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.html(self.landing_page())
+
+
+class Gitlab(_OutOfScopeCi):
+    name = "Gitlab"
+    slug = "gitlab"
+    category = AppCategory.CI
+    default_ports = (80, 443)
+    discloses_version = False
+
+    def landing_page(self) -> str:
+        return html_page(
+            "Sign in - GitLab",
+            '<div class="login-page gl-h-full">GitLab Community Edition</div>',
+            assets=["/assets/webpack/main.chunk.js"],
+        )
+
+    def static_files(self) -> dict[str, str]:
+        return {
+            "/assets/webpack/main.chunk.js": versioned_asset(self.slug, "main.chunk.js", self.version)
+        }
+
+
+class Drone(_OutOfScopeCi):
+    name = "Drone"
+    slug = "drone"
+    category = AppCategory.CI
+    default_ports = (80,)
+    discloses_version = False
+
+    def landing_page(self) -> str:
+        return html_page("drone", '<div id="root" data-app="drone-ci"></div>')
+
+
+class Travis(_OutOfScopeCi):
+    name = "Travis"
+    slug = "travis"
+    category = AppCategory.CI
+    default_ports = (80, 443)
+    discloses_version = False
+
+    def landing_page(self) -> str:
+        return html_page("Travis CI", '<div class="travis-ci">Sign in with GitHub</div>')

@@ -1,0 +1,446 @@
+"""Cluster-management emulators: Kubernetes, Docker, Consul, Hadoop, Nomad.
+
+All five expose an HTTP API that can run code; they differ in whether that
+API is reachable and authenticated by default:
+
+* **Kubernetes** — API server requires authentication by default; only
+  misconfigured clusters allow anonymous access.
+* **Docker** — the REST API has no authentication at all; exposure on
+  tcp://0.0.0.0:2375 *is* the vulnerability.
+* **Consul** — API exposed by default, but code execution only when
+  ``enable_script_checks`` / ``enable_remote_script_checks`` is on.
+* **Hadoop** — YARN ResourceManager accepts job submissions from the
+  anonymous ``dr.who`` user by default.
+* **Nomad** — "Nomad is not secure-by-default": ACLs are off by default.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.apps.base import (
+    AppCategory,
+    VulnKind,
+    WebApplication,
+    html_page,
+    route,
+    versioned_asset,
+)
+from repro.net.http import HttpRequest, HttpResponse
+
+
+class Kubernetes(WebApplication):
+    """Kubernetes API server.  Vulnerable iff anonymous auth is authorized."""
+
+    name = "Kubernetes"
+    slug = "kubernetes"
+    category = AppCategory.CM
+    vuln_kind = VulnKind.API
+    default_ports = (6443,)
+    discloses_version = True  # the /version endpoint
+
+    def validate_config(self) -> None:
+        self.config.setdefault("anonymous_auth", False)  # secure by default
+
+    def is_vulnerable(self) -> bool:
+        return bool(self.cfg("anonymous_auth"))
+
+    def secure(self) -> None:
+        self.config["anonymous_auth"] = False
+
+    def _unauthorized(self) -> HttpResponse:
+        return HttpResponse.json(
+            json.dumps(
+                {
+                    "kind": "Status",
+                    "apiVersion": "v1",
+                    "status": "Failure",
+                    "message": "Unauthorized",
+                    "code": 401,
+                }
+            ),
+            status=401,
+        )
+
+    def landing_page(self) -> str:
+        # API discovery document; contains the Table-10 markers.
+        paths = [
+            "/api", "/api/v1", "/apis", "/apis/certificates.k8s.io",
+            "/apis/certificates.k8s.io/v1", "/healthz", "/healthz/ping",
+            "/livez", "/metrics", "/openapi/v2", "/version",
+        ]
+        return json.dumps({"paths": paths})
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return self._unauthorized()
+        return HttpResponse.json(self.landing_page())
+
+    @route("GET", "/version")
+    def version_endpoint(self, request: HttpRequest) -> HttpResponse:
+        # Real API servers expose /version even to unauthenticated callers.
+        major, minor = (self.version_tuple() + (0,))[:2]
+        return HttpResponse.json(
+            json.dumps(
+                {
+                    "major": str(major),
+                    "minor": str(minor),
+                    "gitVersion": f"v{self.version}",
+                    "platform": "linux/amd64",
+                }
+            )
+        )
+
+    @route("GET", "/api/v1/pods")
+    def list_pods(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return self._unauthorized()
+        pods = [
+            {
+                "metadata": {"name": f"workload-{i}", "namespace": "default"},
+                "status": {"phase": "Running"},
+            }
+            for i in range(3)
+        ]
+        return HttpResponse.json(
+            json.dumps({"kind": "PodList", "apiVersion": "v1", "items": pods})
+        )
+
+    @route("POST", "/api/v1/namespaces/default/pods")
+    def create_pod(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return self._unauthorized()
+        try:
+            spec = json.loads(request.body or "{}")
+        except json.JSONDecodeError:
+            return HttpResponse.json('{"message":"invalid body"}', status=400)
+        containers = spec.get("spec", {}).get("containers", [{}])
+        command = " ".join(containers[0].get("command", [])) or "<image entrypoint>"
+        self.record_execution(command, via=request.path_only, mechanism="pod")
+        return HttpResponse.json('{"kind":"Pod","status":{"phase":"Pending"}}', status=201)
+
+
+class Docker(WebApplication):
+    """Docker Engine API.  Exposure without TLS client auth is the MAV."""
+
+    name = "Docker"
+    slug = "docker"
+    category = AppCategory.CM
+    vuln_kind = VulnKind.API
+    default_ports = (2375,)
+    discloses_version = True  # the /version endpoint
+
+    def validate_config(self) -> None:
+        self.config.setdefault("tls_client_auth", False)
+
+    def is_vulnerable(self) -> bool:
+        return not self.cfg("tls_client_auth")
+
+    def secure(self) -> None:
+        self.config["tls_client_auth"] = True
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.forbidden("client certificate required")
+        return HttpResponse.json('{"message":"page not found"}', status=404)
+
+    def default_response(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.forbidden("client certificate required")
+        return HttpResponse.json('{"message":"page not found"}', status=404)
+
+    @route("GET", "/version")
+    def version_endpoint(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.forbidden("client certificate required")
+        return HttpResponse.json(
+            json.dumps(
+                {
+                    "Version": self.version,
+                    "ApiVersion": "1.41",
+                    "MinAPIVersion": "1.12",
+                    "Os": "linux",
+                    "KernelVersion": "5.4.0-72-generic",
+                }
+            )
+        )
+
+    @route("POST", "/containers/create")
+    def create_container(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.forbidden("client certificate required")
+        try:
+            spec = json.loads(request.body or "{}")
+        except json.JSONDecodeError:
+            return HttpResponse.json('{"message":"invalid body"}', status=400)
+        command = " ".join(spec.get("Cmd", [])) or "<image entrypoint>"
+        self.config["_pending_command"] = command
+        return HttpResponse.json('{"Id":"c0ffee","Warnings":[]}', status=201)
+
+    @route("POST", "/containers/c0ffee/start")
+    def start_container(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.forbidden("client certificate required")
+        command = str(self.config.pop("_pending_command", "<image entrypoint>"))
+        self.record_execution(command, via=request.path_only, mechanism="container")
+        return HttpResponse(204)
+
+
+class Consul(WebApplication):
+    """Consul agent API.  Code execution only with script checks enabled."""
+
+    name = "Consul"
+    slug = "consul"
+    category = AppCategory.CM
+    vuln_kind = VulnKind.API
+    default_ports = (8500,)
+    discloses_version = True  # /v1/agent/self discloses the version
+
+    def validate_config(self) -> None:
+        self.config.setdefault("enable_script_checks", False)
+        self.config.setdefault("enable_remote_script_checks", False)
+
+    def is_vulnerable(self) -> bool:
+        return bool(
+            self.cfg("enable_script_checks") or self.cfg("enable_remote_script_checks")
+        )
+
+    def secure(self) -> None:
+        self.config["enable_script_checks"] = False
+        self.config["enable_remote_script_checks"] = False
+
+    def landing_page(self) -> str:
+        return html_page(
+            "Consul by HashiCorp",
+            f"<!-- CONSUL_VERSION: {self.version} -->"
+            '<div class="consul-ui">Consul</div>',
+            assets=["/ui/assets/consul-ui.js"],
+        )
+
+    def static_files(self) -> dict[str, str]:
+        return {
+            "/ui/assets/consul-ui.js": versioned_asset(self.slug, "consul-ui.js", self.version)
+        }
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.redirect("/ui/")
+
+    @route("GET", "/ui/")
+    def ui(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.html(self.landing_page())
+
+    @route("GET", "/v1/agent/self")
+    def agent_self(self, request: HttpRequest) -> HttpResponse:
+        # Exposed by default; the MAV verdict hinges on DebugConfig flags.
+        return HttpResponse.json(
+            json.dumps(
+                {
+                    "Config": {"Datacenter": "dc1", "NodeName": "agent-1",
+                               "Version": self.version},
+                    "DebugConfig": {
+                        "EnableLocalScriptChecks": bool(self.cfg("enable_script_checks")),
+                        "EnableRemoteScriptChecks": bool(
+                            self.cfg("enable_remote_script_checks")
+                        ),
+                    },
+                }
+            )
+        )
+
+    @route("PUT", "/v1/agent/check/register")
+    def register_check(self, request: HttpRequest) -> HttpResponse:
+        try:
+            spec = json.loads(request.body or "{}")
+        except json.JSONDecodeError:
+            return HttpResponse.json('{"error":"invalid body"}', status=400)
+        args = spec.get("Args") or spec.get("Script")
+        if args is None:
+            return HttpResponse(200, {}, "")
+        if not self.is_vulnerable():
+            return HttpResponse(
+                500, {}, "Scripts are disabled on this agent; to enable, configure "
+                "'enable_script_checks' or 'enable_local_script_checks' to true",
+            )
+        command = " ".join(args) if isinstance(args, list) else str(args)
+        self.record_execution(command, via=request.path_only, mechanism="health-check")
+        return HttpResponse(200, {}, "")
+
+
+class Hadoop(WebApplication):
+    """Hadoop YARN ResourceManager.  Anonymous job submission by default."""
+
+    name = "Hadoop"
+    slug = "hadoop"
+    category = AppCategory.CM
+    vuln_kind = VulnKind.API
+    default_ports = (8088,)
+    discloses_version = True  # /ws/v1/cluster/info
+
+    def validate_config(self) -> None:
+        self.config.setdefault("kerberos", False)  # insecure by default
+
+    def is_vulnerable(self) -> bool:
+        return not self.cfg("kerberos")
+
+    def secure(self) -> None:
+        self.config["kerberos"] = True
+
+    def static_files(self) -> dict[str, str]:
+        return {
+            "/static/yarn.css": versioned_asset(self.slug, "yarn.css", self.version),
+            "/static/hadoop-st.png": versioned_asset(self.slug, "hadoop-st.png", self.version),
+        }
+
+    def landing_page(self) -> str:
+        return html_page(
+            "All Applications",
+            '<div id="apps">Apache Hadoop ResourceManager</div>'
+            "<div>Logged in as: dr.who</div>",
+            assets=["/static/yarn.css"],
+        )
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.redirect("/cluster")
+
+    @route("GET", "/cluster")
+    def cluster(self, request: HttpRequest) -> HttpResponse:
+        return self.cluster_about(request)
+
+    @route("GET", "/cluster/cluster")
+    def cluster_about(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            # Kerberos-protected UIs still reveal what they are.
+            return HttpResponse(
+                401,
+                {"www-authenticate": "Negotiate", "content-type": "text/html"},
+                html_page(
+                    "Apache Hadoop",
+                    "Authentication required for the ResourceManager web UI",
+                    assets=["/static/yarn.css"],
+                ),
+            )
+        body = html_page(
+            "About the Cluster",
+            "<h2>Apache Hadoop</h2><table><tr><td>ResourceManager state</td>"
+            f"<td>STARTED</td></tr><tr><td>Hadoop version</td><td>{self.version}"
+            "</td></tr></table><div>Logged in as: dr.who</div>",
+            assets=["/static/yarn.css"],
+        )
+        return HttpResponse.html(body)
+
+    @route("GET", "/ws/v1/cluster/info")
+    def cluster_info(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.unauthorized("Kerberos")
+        return HttpResponse.json(
+            json.dumps(
+                {"clusterInfo": {"state": "STARTED", "hadoopVersion": self.version}}
+            )
+        )
+
+    @route("GET", "/ws/v1/cluster/apps/new-application")
+    def new_application(self, request: HttpRequest) -> HttpResponse:
+        # Real YARN expects POST; it answers GET with the same JSON shape,
+        # which is what makes the paper's non-invasive probe possible.
+        if not self.is_vulnerable():
+            return HttpResponse.unauthorized("Kerberos")
+        return HttpResponse.json(
+            json.dumps(
+                {
+                    "application-id": "application_1623683200000_0001",
+                    "maximum-resource-capability": {"memory": 8192, "vCores": 4},
+                }
+            )
+        )
+
+    @route("POST", "/ws/v1/cluster/apps")
+    def submit_application(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.unauthorized("Kerberos")
+        try:
+            spec = json.loads(request.body or "{}")
+        except json.JSONDecodeError:
+            return HttpResponse.json('{"error":"invalid body"}', status=400)
+        command = (
+            spec.get("am-container-spec", {}).get("commands", {}).get("command", "")
+            or "<empty command>"
+        )
+        self.record_execution(command, via=request.path_only, mechanism="yarn-app")
+        return HttpResponse.json("{}", status=202)
+
+
+class Nomad(WebApplication):
+    """HashiCorp Nomad.  ACLs off by default; raw_exec runs commands."""
+
+    name = "Nomad"
+    slug = "nomad"
+    category = AppCategory.CM
+    vuln_kind = VulnKind.API
+    default_ports = (4646,)
+    discloses_version = True  # /v1/agent/self
+
+    def validate_config(self) -> None:
+        self.config.setdefault("acl_enabled", False)  # insecure by default
+
+    def is_vulnerable(self) -> bool:
+        return not self.cfg("acl_enabled")
+
+    def secure(self) -> None:
+        self.config["acl_enabled"] = True
+
+    def landing_page(self) -> str:
+        return html_page(
+            "Nomad",
+            '<div id="nomad-ui">Nomad by HashiCorp</div>',
+            assets=["/ui/assets/nomad-ui.js"],
+        )
+
+    def static_files(self) -> dict[str, str]:
+        return {
+            "/ui/assets/nomad-ui.js": versioned_asset(self.slug, "nomad-ui.js", self.version)
+        }
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.redirect("/ui/")
+
+    @route("GET", "/ui/")
+    def ui(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.html(self.landing_page())
+
+    @route("GET", "/v1/jobs")
+    def list_jobs(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.json('{"error":"Permission denied"}', status=403)
+        return HttpResponse.json(
+            json.dumps([{"ID": "example", "Status": "running", "Type": "service"}])
+        )
+
+    @route("GET", "/v1/agent/self")
+    def agent_self(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.json('{"error":"Permission denied"}', status=403)
+        return HttpResponse.json(
+            json.dumps({"config": {"Version": {"Version": self.version}}})
+        )
+
+    @route("PUT", "/v1/jobs")
+    def submit_job(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.json('{"error":"Permission denied"}', status=403)
+        try:
+            spec = json.loads(request.body or "{}")
+        except json.JSONDecodeError:
+            return HttpResponse.json('{"error":"invalid body"}', status=400)
+        command = "<no command>"
+        for group in spec.get("Job", {}).get("TaskGroups", []):
+            for task in group.get("Tasks", []):
+                if task.get("Driver") == "raw_exec":
+                    cfg = task.get("Config", {})
+                    command = " ".join([cfg.get("command", "")] + cfg.get("args", []))
+        self.record_execution(command, via=request.path_only, mechanism="nomad-job")
+        return HttpResponse.json('{"EvalID":"deadbeef"}')

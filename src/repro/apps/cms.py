@@ -1,0 +1,368 @@
+"""Content-management-system emulators: Ghost, WordPress, Grav, Joomla,
+Drupal.
+
+The CMS MAV is the *installation hijack*: the admin password is set on a
+publicly reachable page, so whoever reaches an unfinished installation
+first owns the site, and all four in-scope CMSes then allow PHP/template
+editing, i.e. code execution.  An instance is therefore vulnerable iff
+``installed`` is false.  Ghost is out of scope (no code editing).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import (
+    AppCategory,
+    VulnKind,
+    WebApplication,
+    html_page,
+    route,
+    versioned_asset,
+)
+from repro.net.http import HttpRequest, HttpResponse
+
+
+class _InstallableCms(WebApplication):
+    """Shared behaviour for CMSes with a hijackable installation."""
+
+    vuln_kind = VulnKind.INSTALL
+
+    def validate_config(self) -> None:
+        self.config.setdefault("installed", True)
+
+    def is_vulnerable(self) -> bool:
+        return not self.cfg("installed")
+
+    def secure(self) -> None:
+        """Completing the installation is what 'fixes' a CMS MAV."""
+        self.config["installed"] = True
+
+    def complete_installation(self, admin_password: str) -> None:
+        """State change performed by whoever reaches the wizard first."""
+        self.config["installed"] = True
+        self.config["admin_password"] = admin_password
+
+    def authorized(self, request: HttpRequest) -> bool:
+        """Check the admin credential set during installation.
+
+        The hijacker knows the password (they chose it); the legitimate
+        owner's password on a pre-installed instance is unknown to an
+        attacker, so post-install admin actions fail for them.
+        """
+        expected = self.cfg("admin_password")
+        return expected is not None and request.form.get("auth") == expected
+
+
+class WordPress(_InstallableCms):
+    """WordPress.  /wp-admin/install.php is world-reachable until finished."""
+
+    name = "WordPress"
+    slug = "wordpress"
+    category = AppCategory.CMS
+    default_ports = (80, 443)
+    discloses_version = True  # meta generator tag
+
+    def static_files(self) -> dict[str, str]:
+        return {
+            "/wp-includes/js/wp-embed.min.js": versioned_asset(
+                self.slug, "wp-embed.min.js", self.version
+            ),
+            "/wp-includes/css/dist/block-library/style.min.css": versioned_asset(
+                self.slug, "block-library.css", self.version
+            ),
+            "/wp-admin/js/common.min.js": versioned_asset(self.slug, "common.min.js", self.version),
+        }
+
+    def landing_page(self) -> str:
+        return html_page(
+            "Just another WordPress site",
+            f'<meta name="generator" content="WordPress {self.version}">'
+            '<link rel="https://api.w.org/" href="/wp-json/">'
+            '<div class="wp-site-blocks">Hello world!</div>',
+            assets=["/wp-includes/js/wp-embed.min.js"],
+        )
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        if self.is_vulnerable():
+            return HttpResponse.redirect("/wp-admin/install.php")
+        return HttpResponse.html(self.landing_page())
+
+    @route("GET", "/wp-login.php")
+    def login(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.html(
+            html_page("Log In", '<form name="loginform" id="loginform"></form>')
+        )
+
+    @route("GET", "/wp-admin/install.php")
+    def install(self, request: HttpRequest) -> HttpResponse:
+        # Table 10: MAV iff `form#setup` with `input#pass1` is served here.
+        if not self.is_vulnerable():
+            return HttpResponse.html(
+                html_page("WordPress", "<p>WordPress is already installed.</p>")
+            )
+        body = html_page(
+            "WordPress &rsaquo; Installation",
+            f'<meta name="generator" content="WordPress {self.version}">'
+            '<h1>Welcome to WordPress</h1>'
+            '<form id="setup" method="post" action="install.php?step=2">'
+            '<input name="admin_password" id="pass1" type="password">'
+            "</form>",
+        )
+        return HttpResponse.html(body)
+
+    @route("POST", "/wp-admin/install.php")
+    def install_submit(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.forbidden("already installed")
+        self.complete_installation(request.form.get("admin_password", ""))
+        return HttpResponse.html(html_page("Success!", "WordPress has been installed."))
+
+    @route("POST", "/wp-admin/theme-editor.php")
+    def theme_editor(self, request: HttpRequest) -> HttpResponse:
+        """Editing a PHP template is the code-execution step after hijack."""
+        if not self.cfg("installed"):
+            return HttpResponse.redirect("/wp-admin/install.php")
+        if not self.authorized(request):
+            return HttpResponse.redirect("/wp-login.php")
+        command = request.form.get("newcontent", request.body)
+        self.record_execution(command, via=request.path_only, mechanism="php-template")
+        return HttpResponse.html("File edited successfully.")
+
+
+class Grav(_InstallableCms):
+    """Grav.  The admin plugin prompts to 'Create User' until one exists."""
+
+    name = "Grav"
+    slug = "grav"
+    category = AppCategory.CMS
+    default_ports = (80, 443)
+    discloses_version = False
+
+    def static_files(self) -> dict[str, str]:
+        return {
+            "/system/assets/jquery/jquery-3.x.min.js": versioned_asset(
+                self.slug, "jquery.js", self.version
+            ),
+            "/user/plugins/admin/themes/grav/css/admin.css": versioned_asset(
+                self.slug, "admin.css", self.version
+            ),
+        }
+
+    def landing_page(self) -> str:
+        return html_page(
+            "Grav",
+            '<div class="grav-site">Grav was <b>successfully installed</b></div>',
+            assets=["/system/assets/jquery/jquery-3.x.min.js"],
+        )
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        if self.is_vulnerable():
+            return HttpResponse.html(
+                html_page(
+                    "Grav Admin",
+                    "<p>The Admin plugin has been installed.</p>"
+                    '<a href="/admin">Create User</a>',
+                )
+            )
+        return HttpResponse.html(self.landing_page())
+
+    @route("GET", "/admin")
+    def admin(self, request: HttpRequest) -> HttpResponse:
+        if self.is_vulnerable():
+            return HttpResponse.html(
+                html_page(
+                    "Grav Admin",
+                    "<p>No user accounts found, please <b>create one</b></p>"
+                    '<form id="admin-user-form"></form>',
+                )
+            )
+        return HttpResponse.html(html_page("Grav Admin Login", '<form id="login-form"></form>'))
+
+    @route("POST", "/admin")
+    def create_user(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.unauthorized("Grav")
+        self.complete_installation(request.form.get("password", ""))
+        return HttpResponse.html("User created")
+
+    @route("POST", "/admin/tools")
+    def twig_editor(self, request: HttpRequest) -> HttpResponse:
+        if self.is_vulnerable():
+            return HttpResponse.redirect("/admin")
+        if not self.authorized(request):
+            return HttpResponse.unauthorized("Grav")
+        command = request.form.get("content", request.body)
+        self.record_execution(command, via=request.path_only, mechanism="twig-template")
+        return HttpResponse.html("saved")
+
+
+class Joomla(_InstallableCms):
+    """Joomla.  Web installer; since 3.7.4 remote-DB installs need proof of
+    file ownership, closing the remote hijack for that configuration."""
+
+    name = "Joomla"
+    slug = "joomla"
+    category = AppCategory.CMS
+    default_ports = (80, 443)
+    discloses_version = False
+
+    def static_files(self) -> dict[str, str]:
+        return {
+            "/media/jui/js/bootstrap.min.js": versioned_asset(self.slug, "bootstrap.js", self.version),
+            "/media/system/js/core.js": versioned_asset(self.slug, "core.js", self.version),
+        }
+
+    def landing_page(self) -> str:
+        return html_page(
+            "Home",
+            '<meta name="generator" content="Joomla! - Open Source Content Management">'
+            '<div class="joomla-site">Welcome</div>',
+            assets=["/media/system/js/core.js"],
+        )
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        if self.is_vulnerable():
+            return HttpResponse.redirect("/installation/index.php")
+        return HttpResponse.html(self.landing_page())
+
+    @route("GET", "/installation/index.php")
+    def installer(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.not_found()
+        return HttpResponse.html(
+            html_page(
+                "Joomla! Web Installer",
+                "<h3>Enter the name of your Joomla! site</h3>"
+                '<form id="adminForm"><input name="admin_password"></form>',
+            )
+        )
+
+    @route("POST", "/installation/index.php")
+    def installer_submit(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.not_found()
+        remote_db = request.form.get("db_host", "localhost") != "localhost"
+        if remote_db and not self.version_before("3.7.4"):
+            # The countermeasure: prove ownership by deleting a random file.
+            return HttpResponse.forbidden(
+                "Please delete the verification file from the server to continue."
+            )
+        self.complete_installation(request.form.get("admin_password", ""))
+        return HttpResponse.html("Congratulations! Joomla! is now installed.")
+
+    @route("POST", "/administrator/index.php")
+    def template_edit(self, request: HttpRequest) -> HttpResponse:
+        if self.is_vulnerable():
+            return HttpResponse.redirect("/installation/index.php")
+        if not self.authorized(request):
+            return HttpResponse.unauthorized("Joomla")
+        command = request.form.get("jform[source]", request.body)
+        self.record_execution(command, via=request.path_only, mechanism="php-template")
+        return HttpResponse.html("Template saved")
+
+
+class Drupal(_InstallableCms):
+    """Drupal.  /core/install.php walks through DB setup publicly."""
+
+    name = "Drupal"
+    slug = "drupal"
+    category = AppCategory.CMS
+    default_ports = (80, 443)
+    discloses_version = False
+
+    def static_files(self) -> dict[str, str]:
+        return {
+            "/core/misc/drupal.js": versioned_asset(self.slug, "drupal.js", self.version),
+            "/core/themes/stable/css/system/components/ajax-progress.module.css": versioned_asset(
+                self.slug, "ajax-progress.css", self.version
+            ),
+        }
+
+    def landing_page(self) -> str:
+        return html_page(
+            "Welcome | Drupal",
+            '<meta name="Generator" content="Drupal (https://www.drupal.org)">'
+            '<div data-drupal-selector="main">No front page content.</div>',
+            assets=["/core/misc/drupal.js"],
+        )
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        if self.is_vulnerable():
+            return HttpResponse.redirect("/core/install.php")
+        return HttpResponse.html(self.landing_page())
+
+    @route("GET", "/core/install.php")
+    def installer(self, request: HttpRequest) -> HttpResponse:
+        # Table 10 strips whitespace before matching because Drupal's
+        # markup spacing differs across versions; we vary it too.
+        if not self.is_vulnerable():
+            return HttpResponse.html(
+                html_page("Drupal", "Drupal already installed.")
+            )
+        spacing = " " if self.version_before("9.0") else ""
+        body = html_page(
+            "Choose language | Drupal",
+            "<ol><li>Choose language</li>"
+            f'<li{spacing} class="is-active">Set up{spacing} database</li>'
+            "<li>Install site</li></ol>"
+            '<form class="install-form"><input name="db_name"></form>',
+        )
+        return HttpResponse.html(body)
+
+    @route("POST", "/core/install.php")
+    def installer_submit(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.forbidden("already installed")
+        self.complete_installation(request.form.get("account[pass]", ""))
+        return HttpResponse.html("Congratulations, you installed Drupal!")
+
+    @route("POST", "/admin/appearance/settings")
+    def template_edit(self, request: HttpRequest) -> HttpResponse:
+        if self.is_vulnerable():
+            return HttpResponse.redirect("/core/install.php")
+        if not self.authorized(request):
+            return HttpResponse.unauthorized("Drupal")
+        command = request.form.get("twig", request.body)
+        self.record_execution(command, via=request.path_only, mechanism="twig-template")
+        return HttpResponse.html("saved")
+
+
+class Ghost(WebApplication):
+    """Ghost.  Admin panel exists but no code editing: out of scope."""
+
+    name = "Ghost"
+    slug = "ghost"
+    category = AppCategory.CMS
+    vuln_kind = VulnKind.NONE
+    default_ports = (80, 443)
+    discloses_version = False
+
+    def is_vulnerable(self) -> bool:
+        return False
+
+    def secure(self) -> None:
+        pass
+
+    def static_files(self) -> dict[str, str]:
+        return {
+            "/assets/built/casper.js": versioned_asset(self.slug, "casper.js", self.version)
+        }
+
+    def landing_page(self) -> str:
+        return html_page(
+            "Ghost",
+            '<meta name="generator" content="Ghost">'
+            '<div class="gh-site">Thoughts, stories and ideas.</div>',
+            assets=["/assets/built/casper.js"],
+        )
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.html(self.landing_page())
+
+    @route("GET", "/ghost/")
+    def admin(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.html(html_page("Ghost Admin", '<form id="login"></form>'))

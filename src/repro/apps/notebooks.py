@@ -1,0 +1,271 @@
+"""Notebook emulators: Jupyter Lab, Jupyter Notebook, Zeppelin, Polynote,
+Spark Notebook.
+
+Notebooks ship a web terminal or ``%sh``-style cells, i.e. direct system
+command execution.  Security posture:
+
+* **Jupyter Notebook** — token auth on by default since 4.3 (Dec 2016);
+  older versions listened without authentication, and any version can be
+  misconfigured with ``--NotebookApp.password=''``.
+* **Jupyter Lab** — always shipped with token auth (secure by default),
+  same misconfiguration knob.
+* **Zeppelin** — anonymous access by default.
+* **Polynote** — no authentication support at all; exposure = MAV.
+* **Spark Notebook** — discontinued, excluded from the study.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.apps.base import (
+    AppCategory,
+    VulnKind,
+    WebApplication,
+    html_page,
+    route,
+    versioned_asset,
+)
+from repro.net.http import HttpRequest, HttpResponse
+
+
+class _Jupyter(WebApplication):
+    """Shared behaviour of the two Jupyter products."""
+
+    category = AppCategory.NB
+    vuln_kind = VulnKind.SYSCMD
+    default_ports = (8888,)
+    discloses_version = True  # the /api endpoint returns {"version": ...}
+
+    #: product name surfaced in page titles and API bodies
+    product_title = "Jupyter"
+
+    def validate_config(self) -> None:
+        self.config.setdefault("auth_enabled", self._default_auth())
+
+    def _default_auth(self) -> bool:
+        raise NotImplementedError
+
+    def is_vulnerable(self) -> bool:
+        return not self.cfg("auth_enabled")
+
+    def secure(self) -> None:
+        self.config["auth_enabled"] = True
+
+    def _forbidden(self) -> HttpResponse:
+        return HttpResponse.json('{"message": "Forbidden"}', status=403)
+
+    def landing_page(self) -> str:
+        return html_page(
+            self.product_title,
+            f'<div id="jupyter-main-app" data-product="{self.product_title}">'
+            f"{self.product_title}</div>",
+            assets=["/static/base/js/main.min.js"],
+        )
+
+    def static_files(self) -> dict[str, str]:
+        return {
+            "/static/base/js/main.min.js": versioned_asset(self.slug, "main.min.js", self.version),
+            "/static/style/style.min.css": versioned_asset(self.slug, "style.min.css", self.version),
+        }
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        if self.is_vulnerable():
+            return HttpResponse.html(self.landing_page())
+        return HttpResponse.redirect("/login")
+
+    @route("GET", "/login")
+    def login(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.html(
+            html_page(
+                f"{self.product_title} Login",
+                '<form action="/login" method="post">'
+                "Password or token: <input name=password></form>",
+            )
+        )
+
+    @route("GET", "/api")
+    def api_root(self, request: HttpRequest) -> HttpResponse:
+        # Jupyter discloses its version here even when auth is enabled.
+        return HttpResponse.json(json.dumps({"version": self.version}))
+
+    @route("GET", "/api/terminals")
+    def list_terminals(self, request: HttpRequest) -> HttpResponse:
+        # Table 10's probe.  The body names the product so the plugin can
+        # distinguish Lab from Notebook.
+        if not self.is_vulnerable():
+            return self._forbidden()
+        return HttpResponse.json(
+            json.dumps({"product": self.product_title, "terminals": []})
+        )
+
+    @route("POST", "/api/terminals")
+    def create_terminal(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return self._forbidden()
+        return HttpResponse.json('{"name": "1"}', status=201)
+
+    @route("POST", "/terminals/websocket/1")
+    def terminal_input(self, request: HttpRequest) -> HttpResponse:
+        """Stands in for the WebSocket a real terminal uses."""
+        if not self.is_vulnerable():
+            return self._forbidden()
+        command = request.form.get("stdin", request.body)
+        self.record_execution(command, via=request.path_only, mechanism="terminal")
+        return HttpResponse.json('["stdout", ""]')
+
+
+class JupyterLab(_Jupyter):
+    name = "Jupyter Lab"
+    slug = "jupyterlab"
+    product_title = "JupyterLab"
+
+    def _default_auth(self) -> bool:
+        return True  # token auth from the first release
+
+
+class JupyterNotebook(_Jupyter):
+    name = "Jupyter Notebook"
+    slug = "jupyter-notebook"
+    product_title = "Jupyter Notebook"
+
+    def _default_auth(self) -> bool:
+        # Random token generation introduced in the 4.3 security release.
+        return not self.version_before("4.3")
+
+
+class Zeppelin(WebApplication):
+    """Apache Zeppelin.  Anonymous access (and %sh cells) by default."""
+
+    name = "Zeppelin"
+    slug = "zeppelin"
+    category = AppCategory.NB
+    vuln_kind = VulnKind.SYSCMD
+    default_ports = (8080,)
+    discloses_version = True  # /api/version
+
+    def validate_config(self) -> None:
+        self.config.setdefault("shiro_auth", False)  # insecure by default
+
+    def is_vulnerable(self) -> bool:
+        return not self.cfg("shiro_auth")
+
+    def secure(self) -> None:
+        self.config["shiro_auth"] = True
+
+    def landing_page(self) -> str:
+        return html_page(
+            "Zeppelin",
+            '<div id="zeppelin-home" ng-app="zeppelinWebApp">Welcome to Zeppelin!</div>',
+            assets=["/scripts/vendor.js"],
+        )
+
+    def static_files(self) -> dict[str, str]:
+        return {
+            "/scripts/vendor.js": versioned_asset(self.slug, "vendor.js", self.version)
+        }
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.html(self.landing_page())
+
+    @route("GET", "/api/version")
+    def api_version(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.json(
+            json.dumps({"status": "OK", "message": "", "body": {"version": self.version}})
+        )
+
+    @route("GET", "/api/notebook")
+    def list_notebooks(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.json(
+                '{"status":"FORBIDDEN","message":"Authentication required"}', status=403
+            )
+        return HttpResponse.json(
+            '{"status":"OK","message":"","body":[{"id":"2A94M5J1Z","name":"tutorial"}]}'
+        )
+
+    @route("POST", "/api/notebook")
+    def create_notebook(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.json('{"status":"FORBIDDEN"}', status=403)
+        return HttpResponse.json('{"status":"OK","body":"2A94M5J1Z"}', status=201)
+
+    @route("POST", "/api/notebook/job/2A94M5J1Z")
+    def run_paragraph(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.json('{"status":"FORBIDDEN"}', status=403)
+        command = request.form.get("paragraph", request.body)
+        if command.startswith("%sh"):
+            command = command[len("%sh"):].strip()
+        self.record_execution(command, via=request.path_only, mechanism="paragraph")
+        return HttpResponse.json('{"status":"OK"}')
+
+
+class Polynote(WebApplication):
+    """Polynote.  No authentication support: reachable means vulnerable."""
+
+    name = "Polynote"
+    slug = "polynote"
+    category = AppCategory.NB
+    vuln_kind = VulnKind.SYSCMD
+    default_ports = (8192,)
+    discloses_version = False  # fingerprinted via static files
+
+    def is_vulnerable(self) -> bool:
+        return True
+
+    def secure(self) -> None:
+        # Polynote cannot be secured in-app; owners firewall it instead.
+        # The lifecycle model therefore only ever takes these offline.
+        raise NotImplementedError("Polynote has no authentication to enable")
+
+    def landing_page(self) -> str:
+        return html_page(
+            "Polynote",
+            '<div id="Main" class="polynote">Polynote</div>',
+            assets=["/static/dist/main.js"],
+        )
+
+    def static_files(self) -> dict[str, str]:
+        return {
+            "/static/dist/main.js": versioned_asset(self.slug, "main.js", self.version),
+            "/static/style/polynote.css": versioned_asset(self.slug, "polynote.css", self.version),
+        }
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.html(self.landing_page())
+
+    @route("POST", "/ws")
+    def websocket(self, request: HttpRequest) -> HttpResponse:
+        """Stands in for Polynote's kernel WebSocket."""
+        command = request.form.get("cell", request.body)
+        self.record_execution(command, via=request.path_only, mechanism="cell")
+        return HttpResponse.json('{"status":"complete"}')
+
+
+class SparkNotebook(WebApplication):
+    """Spark Notebook.  Discontinued (no updates since Feb 2019); the paper
+    excluded it, so it only appears as background population."""
+
+    name = "Spark NB"
+    slug = "spark-notebook"
+    category = AppCategory.NB
+    vuln_kind = VulnKind.NONE
+    default_ports = (9001,)
+    discloses_version = False
+
+    def is_vulnerable(self) -> bool:
+        return False
+
+    def secure(self) -> None:
+        pass
+
+    def landing_page(self) -> str:
+        return html_page("Spark Notebook", '<div class="spark-notebook">Notebooks</div>')
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.html(self.landing_page())

@@ -1,0 +1,251 @@
+"""Control-panel emulators: Ajenti, phpMyAdmin, Adminer, VestaCP, OmniDB.
+
+* **Ajenti** — requires OS credentials by default; the documented
+  ``--autologin`` flag skips authentication entirely.
+* **phpMyAdmin** — requires SQL credentials; only vulnerable when the
+  operator enables ``AllowNoPassword`` *and* the SQL root password is empty.
+* **Adminer** — accepted empty passwords until 4.6.3 (mid 2018).
+* VestaCP, OmniDB — generate credentials during installation with no knob
+  to skip; out of scope.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import (
+    AppCategory,
+    VulnKind,
+    WebApplication,
+    html_page,
+    route,
+    versioned_asset,
+)
+from repro.net.http import HttpRequest, HttpResponse
+
+
+class Ajenti(WebApplication):
+    """Ajenti admin panel with its documented ``--autologin`` foot-gun."""
+
+    name = "Ajenti"
+    slug = "ajenti"
+    category = AppCategory.CP
+    vuln_kind = VulnKind.SYSCMD
+    default_ports = (8000,)
+    discloses_version = False
+
+    def validate_config(self) -> None:
+        self.config.setdefault("autologin", False)  # secure by default
+
+    def is_vulnerable(self) -> bool:
+        return bool(self.cfg("autologin"))
+
+    def secure(self) -> None:
+        self.config["autologin"] = False
+
+    def landing_page(self) -> str:
+        return html_page(
+            "Ajenti",
+            '<div ng-app="ajenti.core">Ajenti server admin panel</div>',
+            assets=["/resources/all.css"],
+        )
+
+    def static_files(self) -> dict[str, str]:
+        return {
+            "/resources/all.css": versioned_asset(self.slug, "all.css", self.version),
+            "/resources/all.js": versioned_asset(self.slug, "all.js", self.version),
+        }
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.redirect("/view/")
+
+    @route("GET", "/view/")
+    def view(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.html(
+                html_page("Login - Ajenti", '<form id="login"><input name="password"></form>')
+            )
+        body = html_page(
+            "Ajenti",
+            "<script>document.title = customization.plugins.core.title || 'Ajenti';"
+            "var ajentiPlatformUnmapped = 'debian';</script>"
+            '<div class="dashboard">Terminal | File Manager | Services</div>',
+        )
+        return HttpResponse.html(body)
+
+    @route("POST", "/api/terminal")
+    def terminal(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.unauthorized("Ajenti")
+        command = request.form.get("input", request.body)
+        self.record_execution(command, via=request.path_only, mechanism="terminal")
+        return HttpResponse.json('{"output": ""}')
+
+
+class PhpMyAdmin(WebApplication):
+    """phpMyAdmin.  Vulnerable only with ``AllowNoPassword`` + empty root
+    password, in which case the server console is open to the world."""
+
+    name = "phpMyAdmin"
+    slug = "phpmyadmin"
+    category = AppCategory.CP
+    vuln_kind = VulnKind.SQL
+    default_ports = (80, 443)
+    discloses_version = True  # version shown on the login page
+
+    def validate_config(self) -> None:
+        self.config.setdefault("allow_no_password", False)
+        self.config.setdefault("root_password_empty", False)
+
+    def is_vulnerable(self) -> bool:
+        return bool(self.cfg("allow_no_password") and self.cfg("root_password_empty"))
+
+    def secure(self) -> None:
+        self.config["allow_no_password"] = False
+
+    def static_files(self) -> dict[str, str]:
+        return {
+            "/themes/pmahomme/css/theme.css": versioned_asset(self.slug, "theme.css", self.version),
+            "/js/vendor/jquery/jquery.min.js": versioned_asset(self.slug, "jquery.js", self.version),
+        }
+
+    def _login_page(self) -> str:
+        return html_page(
+            "phpMyAdmin",
+            f'<div class="pma-logo">phpMyAdmin {self.version}</div>'
+            '<form method="post" action="index.php" name="login_form">'
+            '<input name="pma_username"><input name="pma_password" type="password">'
+            "</form>",
+            assets=["/themes/pmahomme/css/theme.css"],
+        )
+
+    def _server_page(self) -> str:
+        return html_page(
+            "localhost / phpMyAdmin",
+            f'<span class="version">phpMyAdmin {self.version}</span>'
+            "<h2>General settings</h2>"
+            "<label>Server connection collation</label>"
+            '<select name="collation_connection"><option>utf8mb4_unicode_ci</option></select>'
+            '<a href="./doc/html/index.html">phpMyAdmin documentation</a>',
+            assets=["/themes/pmahomme/css/theme.css"],
+        )
+
+    def landing_page(self) -> str:
+        return self._server_page() if self.is_vulnerable() else self._login_page()
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.html(self.landing_page())
+
+    @route("GET", "/phpmyadmin")
+    def aliased_index(self, request: HttpRequest) -> HttpResponse:
+        # Many deployments serve PMA under /phpmyadmin; Table 10 probes both.
+        return HttpResponse.html(self.landing_page())
+
+    @route("POST", "/import.php")
+    def run_sql(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.unauthorized("phpMyAdmin")
+        statement = request.form.get("sql_query", request.body)
+        self.record_execution(statement, via=request.path_only, mechanism="sql")
+        return HttpResponse.html("Your SQL query has been executed successfully.")
+
+
+class Adminer(WebApplication):
+    """Adminer.  Empty-password logins rejected since 4.6.3 (2018)."""
+
+    name = "Adminer"
+    slug = "adminer"
+    category = AppCategory.CP
+    vuln_kind = VulnKind.SQL
+    default_ports = (80, 443)
+    discloses_version = True  # version shown on the login page
+
+    def validate_config(self) -> None:
+        self.config.setdefault("root_password_empty", False)
+
+    def is_vulnerable(self) -> bool:
+        return bool(self.cfg("root_password_empty")) and self.version_before("4.6.3")
+
+    def secure(self) -> None:
+        self.config["root_password_empty"] = False
+
+    def static_files(self) -> dict[str, str]:
+        return {
+            "/adminer.css": versioned_asset(self.slug, "adminer.css", self.version)
+        }
+
+    def landing_page(self) -> str:
+        return html_page(
+            "Login - Adminer",
+            f'<div id="menu"><h1>Adminer <span class="version">{self.version}</span></h1></div>'
+            '<form method="post"><input name="auth[username]"></form>',
+            assets=["/adminer.css"],
+        )
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.html(self.landing_page())
+
+    @route("GET", "/adminer.php")
+    def adminer_php(self, request: HttpRequest) -> HttpResponse:
+        # The paper probes /adminer.php?username=root: with an empty root
+        # password on a pre-4.6.3 Adminer the GET lands in a session.
+        if request.query.get("username") == "root" and self.is_vulnerable():
+            body = html_page(
+                "Server - Adminer",
+                f"<p>MySQL 5.7 through PHP extension mysqli</p>"
+                f"<p>Logged as: <b>root@localhost</b></p>"
+                f'<span class="version">{self.version}</span>',
+                assets=["/adminer.css"],
+            )
+            return HttpResponse.html(body)
+        return HttpResponse.html(self.landing_page())
+
+    @route("GET", "/adminer/adminer.php")
+    def aliased_adminer_php(self, request: HttpRequest) -> HttpResponse:
+        return self.adminer_php(request)
+
+    @route("POST", "/adminer.php")
+    def run_sql(self, request: HttpRequest) -> HttpResponse:
+        if not self.is_vulnerable():
+            return HttpResponse.unauthorized("Adminer")
+        statement = request.form.get("query", request.body)
+        self.record_execution(statement, via=request.path_only, mechanism="sql")
+        return HttpResponse.html("Query executed OK")
+
+
+class _OutOfScopePanel(WebApplication):
+    """Panels that always generate credentials during install."""
+
+    category = AppCategory.CP
+    vuln_kind = VulnKind.NONE
+
+    def is_vulnerable(self) -> bool:
+        return False
+
+    def secure(self) -> None:
+        pass
+
+    @route("GET", "/")
+    def index(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.html(self.landing_page())
+
+
+class VestaCP(_OutOfScopePanel):
+    name = "VestaCP"
+    slug = "vestacp"
+    default_ports = (8083,)
+    discloses_version = False
+
+    def landing_page(self) -> str:
+        return html_page("Vesta", '<div class="login"><form id="vstobjects"></form></div>')
+
+
+class OmniDB(_OutOfScopePanel):
+    name = "OmniDB"
+    slug = "omnidb"
+    default_ports = (8000,)
+    discloses_version = False
+
+    def landing_page(self) -> str:
+        return html_page("OmniDB", '<div id="omnidb__main">OmniDB sign in</div>')

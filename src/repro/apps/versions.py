@@ -1,0 +1,232 @@
+"""Release history database for the 25 investigated applications.
+
+The paper's RQ2 and Figure 1 reason about software age via *release dates*
+rather than version numbers ("to make the versions of all the different
+software comparable").  This module records, per application, a curated
+release history spanning 2014-2021 with the security-relevant thresholds:
+
+* Jenkins < 2.0 (April 2016): no authentication by default
+* Jupyter Notebook < 4.3 (December 2016): no token/password by default
+* Joomla < 3.7.4 (July 2017): installation hijackable with remote DB
+* Adminer < 4.6.3 (June 2018): empty SQL password accepted
+
+Dates are stored as fractional years (2016.95 ~ December 2016), which is
+all the precision the paper's 7-bin histogram needs and keeps arithmetic
+trivial.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigError
+
+#: Date of the paper's Internet-wide scan (June 03, 2021).
+SCAN_DATE = 2021.42
+
+
+@dataclass(frozen=True, order=True)
+class Release:
+    """One published release of an application."""
+
+    date: float       # fractional year, e.g. 2016.95
+    version: str
+
+    @property
+    def year(self) -> int:
+        return int(self.date)
+
+
+def _spread(series: str, start: float, end: float, count: int) -> list[Release]:
+    """Evenly spread ``count`` patch releases of ``series`` over a window.
+
+    ``series`` is a format string with one ``{i}`` placeholder, e.g.
+    ``"2.{i}"``; ``i`` counts from 0.
+    """
+    if count == 1:
+        return [Release(start, series.format(i=0))]
+    step = (end - start) / (count - 1)
+    return [Release(start + i * step, series.format(i=i)) for i in range(count)]
+
+
+def _r(date: float, version: str) -> Release:
+    return Release(date, version)
+
+
+# Curated release histories.  Versions are modelled on the real projects'
+# numbering; dates are approximate but order- and threshold-accurate.
+_HISTORIES: dict[str, list[Release]] = {
+    # ----- Continuous Integration -------------------------------------------
+    "gitlab": _spread("{i}.0", 2014.2, 2021.35, 10),
+    "drone": [_r(2015.3, "0.4"), _r(2017.2, "0.7"), _r(2019.1, "1.0"),
+              _r(2020.3, "1.9"), _r(2021.2, "2.0")],
+    "jenkins": (
+        _spread("1.{i}", 2014.1, 2016.25, 12)[:-1]  # 1.x era, insecure default
+        + [_r(2016.3, "2.0")]                        # setup wizard introduced
+        + _spread("2.{i}", 2016.5, 2021.35, 14)[1:]
+    ),
+    "travis": [_r(2015.0, "2.0"), _r(2018.0, "3.0"), _r(2020.8, "3.2")],
+    "gocd": [_r(2014.5, "14.2"), _r(2016.2, "16.1"), _r(2017.6, "17.8"),
+             _r(2018.9, "18.10"), _r(2019.8, "19.9"), _r(2020.6, "20.5"),
+             _r(2021.1, "21.1"), _r(2021.35, "21.2")],
+    # ----- Content Management Systems -----------------------------------------
+    "ghost": _spread("{i}.0", 2014.0, 2021.3, 8),
+    "wordpress": (
+        [_r(2014.3, "3.9"), _r(2014.9, "4.0"), _r(2015.3, "4.2"),
+         _r(2015.9, "4.4"), _r(2016.3, "4.5"), _r(2016.9, "4.7"),
+         _r(2017.4, "4.8"), _r(2017.9, "4.9"), _r(2018.9, "5.0"),
+         _r(2019.2, "5.1"), _r(2019.4, "5.2"), _r(2019.9, "5.3"),
+         _r(2020.2, "5.4"), _r(2020.6, "5.5"), _r(2020.9, "5.6"),
+         _r(2021.2, "5.7"), _r(2021.4, "5.7.2")]
+    ),
+    "grav": [_r(2015.6, "1.0"), _r(2016.5, "1.1"), _r(2017.2, "1.2"),
+             _r(2018.1, "1.4"), _r(2019.3, "1.6"), _r(2020.9, "1.7"),
+             _r(2021.3, "1.7.14")],
+    "joomla": [_r(2014.2, "3.2"), _r(2015.2, "3.4"), _r(2016.2, "3.5"),
+               _r(2016.9, "3.6"), _r(2017.3, "3.7.0"), _r(2017.55, "3.7.4"),
+               _r(2017.9, "3.8"), _r(2018.8, "3.9"), _r(2021.1, "3.9.24"),
+               _r(2021.35, "3.9.27")],
+    "drupal": [_r(2014.1, "7.26"), _r(2015.9, "8.0"), _r(2017.3, "8.3"),
+               _r(2018.7, "8.6"), _r(2019.9, "8.8"), _r(2020.4, "9.0"),
+               _r(2020.9, "9.1"), _r(2021.3, "9.1.7")],
+    # ----- Cluster Management -----------------------------------------------
+    "kubernetes": (
+        [_r(2015.5, "1.0"), _r(2016.2, "1.2"), _r(2016.7, "1.4"),
+         _r(2017.2, "1.6"), _r(2017.7, "1.8"), _r(2018.2, "1.10"),
+         _r(2018.7, "1.12"), _r(2019.2, "1.14"), _r(2019.7, "1.16"),
+         _r(2020.2, "1.18"), _r(2020.7, "1.19"), _r(2020.95, "1.20"),
+         _r(2021.28, "1.21")]
+    ),
+    "docker": [_r(2014.4, "1.0"), _r(2015.8, "1.9"), _r(2016.5, "1.12"),
+               _r(2017.2, "17.03"), _r(2017.7, "17.09"), _r(2018.2, "18.03"),
+               _r(2018.8, "18.09"), _r(2019.5, "19.03"), _r(2020.95, "20.10"),
+               _r(2021.3, "20.10.6")],
+    "consul": [_r(2014.3, "0.3"), _r(2015.8, "0.6"), _r(2017.3, "0.8"),
+               _r(2017.8, "1.0"), _r(2018.9, "1.4"), _r(2019.6, "1.6"),
+               _r(2020.4, "1.8"), _r(2020.9, "1.9"), _r(2021.3, "1.9.5")],
+    "hadoop": [_r(2014.6, "2.5"), _r(2015.4, "2.7"), _r(2016.0, "2.7.2"),
+               _r(2017.0, "2.8"), _r(2017.9, "3.0"), _r(2018.4, "3.1"),
+               _r(2019.0, "3.1.2"), _r(2019.7, "3.2.1"), _r(2020.5, "3.3"),
+               _r(2021.0, "3.2.2"), _r(2021.35, "3.3.1")],
+    "nomad": [_r(2015.7, "0.1"), _r(2016.5, "0.4"), _r(2017.5, "0.6"),
+              _r(2018.5, "0.8"), _r(2019.7, "0.10"), _r(2020.4, "0.11"),
+              _r(2020.8, "0.12"), _r(2021.0, "1.0"), _r(2021.3, "1.1")],
+    # ----- Notebooks ---------------------------------------------------------
+    "jupyterlab": [_r(2018.1, "0.31"), _r(2018.6, "0.33"), _r(2019.1, "0.35"),
+                   _r(2019.5, "1.0"), _r(2020.2, "2.0"), _r(2020.6, "2.2"),
+                   _r(2021.0, "3.0"), _r(2021.3, "3.0.14")],
+    "jupyter-notebook": [
+        _r(2014.3, "3.0"),            # IPython-notebook era
+        _r(2015.6, "4.0"), _r(2016.0, "4.1"), _r(2016.5, "4.2"),
+        _r(2016.95, "4.3"),           # token auth on by default from here
+        _r(2017.1, "4.4"), _r(2017.3, "5.0"), _r(2017.7, "5.1"),
+        _r(2018.0, "5.4"), _r(2018.5, "5.6"), _r(2019.0, "5.7.4"),
+        _r(2019.5, "6.0"), _r(2020.1, "6.0.3"), _r(2020.5, "6.1"),
+        _r(2021.0, "6.2"), _r(2021.3, "6.3"),
+    ],
+    "zeppelin": [_r(2015.9, "0.5"), _r(2016.7, "0.6"), _r(2017.3, "0.7"),
+                 _r(2018.0, "0.8"), _r(2019.8, "0.8.2"), _r(2020.7, "0.9"),
+                 _r(2021.2, "0.9.1")],
+    "polynote": [_r(2019.8, "0.2"), _r(2020.2, "0.3"), _r(2020.9, "0.3.12"),
+                 _r(2021.2, "0.4.0")],
+    "spark-notebook": [_r(2015.5, "0.6"), _r(2017.0, "0.7"), _r(2019.1, "0.9")],
+    # ----- Control Panels ------------------------------------------------------
+    "ajenti": [_r(2014.4, "1.2"), _r(2016.0, "2.0"), _r(2017.5, "2.1.20"),
+               _r(2019.0, "2.1.32"), _r(2020.5, "2.1.36"), _r(2021.2, "2.1.37")],
+    "phpmyadmin": [_r(2014.4, "4.2"), _r(2015.8, "4.5"), _r(2016.9, "4.6.5"),
+                   _r(2017.6, "4.7"), _r(2018.4, "4.8"), _r(2019.4, "4.9"),
+                   _r(2020.2, "5.0"), _r(2020.8, "5.0.4"), _r(2021.1, "5.1")],
+    "adminer": [_r(2014.5, "4.1"), _r(2016.0, "4.2.4"), _r(2017.0, "4.3"),
+                _r(2018.0, "4.6"), _r(2018.45, "4.6.2"),
+                _r(2018.5, "4.6.3"),  # empty password rejected from here
+                _r(2019.0, "4.7"), _r(2020.0, "4.7.6"), _r(2021.0, "4.8"),
+                _r(2021.3, "4.8.1")],
+    "vestacp": [_r(2014.8, "0.9.8"), _r(2017.5, "0.9.8-18"), _r(2019.2, "0.9.8-24"),
+                _r(2020.5, "0.9.8-26")],
+    "omnidb": [_r(2017.8, "2.0"), _r(2018.8, "2.11"), _r(2019.8, "2.17"),
+               _r(2020.3, "3.0")],
+}
+
+
+class ReleaseDatabase:
+    """Query interface over the curated release histories."""
+
+    def __init__(self, histories: dict[str, list[Release]] | None = None) -> None:
+        self._histories = {
+            slug: sorted(releases)
+            for slug, releases in (histories or _HISTORIES).items()
+        }
+        for slug, releases in self._histories.items():
+            if not releases:
+                raise ConfigError(f"empty release history for {slug}")
+
+    def slugs(self) -> list[str]:
+        return sorted(self._histories)
+
+    def releases(self, slug: str) -> list[Release]:
+        try:
+            return list(self._histories[slug])
+        except KeyError:
+            raise ConfigError(f"unknown application slug: {slug!r}") from None
+
+    def latest(self, slug: str, as_of: float = SCAN_DATE) -> Release:
+        """Most recent release published on or before ``as_of``."""
+        candidates = [r for r in self.releases(slug) if r.date <= as_of]
+        if not candidates:
+            raise ConfigError(f"{slug} has no release before {as_of}")
+        return candidates[-1]
+
+    def release_date(self, slug: str, version: str) -> float:
+        for release in self.releases(slug):
+            if release.version == version:
+                return release.date
+        raise ConfigError(f"unknown version {version!r} for {slug}")
+
+    def is_known_version(self, slug: str, version: str) -> bool:
+        return any(r.version == version for r in self.releases(slug))
+
+    def sample(
+        self,
+        rng: random.Random,
+        slug: str,
+        freshness: float,
+        as_of: float = SCAN_DATE,
+    ) -> Release:
+        """Draw an installed version with an age bias.
+
+        ``freshness`` in [0, 1]: 1.0 means deployments track the newest
+        release closely (WordPress auto-updates), 0.0 means installs are
+        uniform over the full history (abandoned control panels).  The draw
+        uses an exponential recency weighting so the population exhibits
+        the long tail of outdated software the paper measures.
+        """
+        if not 0.0 <= freshness <= 1.0:
+            raise ConfigError(f"freshness out of range: {freshness}")
+        candidates = [r for r in self.releases(slug) if r.date <= as_of]
+        if not candidates:
+            raise ConfigError(f"{slug} has no release before {as_of}")
+        # Weight each release by exp(-age * rate): higher freshness -> faster
+        # decay -> newer versions dominate.
+        rate = 0.15 + 5.0 * freshness
+        weights = [pow(2.718281828, -(as_of - r.date) * rate) for r in candidates]
+        total = sum(weights)
+        point = rng.random() * total
+        cumulative = 0.0
+        for release, weight in zip(candidates, weights):
+            cumulative += weight
+            if point < cumulative:
+                return release
+        return candidates[-1]
+
+    def next_release_after(self, slug: str, date: float) -> Release | None:
+        """First release strictly after ``date`` (used by the update model)."""
+        releases = self.releases(slug)
+        dates = [r.date for r in releases]
+        index = bisect.bisect_right(dates, date)
+        return releases[index] if index < len(releases) else None
+
+
+#: The default, shared release database instance.
+RELEASE_DB = ReleaseDatabase()

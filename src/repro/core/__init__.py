@@ -1,0 +1,25 @@
+"""The paper's primary contribution: the three-stage MAV scanning pipeline.
+
+* Stage I   — :mod:`repro.core.masscan`: fast TCP port sweep.
+* Stage II  — :mod:`repro.core.prefilter`: signature match of HTTP bodies.
+* Stage III — :mod:`repro.core.tsunami`: per-application MAV detection
+  plugins (a reimplementation of the open-sourced Tsunami scanner design).
+* Version   — :mod:`repro.core.fingerprint`: voluntary disclosure parsing
+  plus a hash-knowledge-base fingerprinter.
+* Orchestration — :mod:`repro.core.pipeline`.
+"""
+
+from repro.core.masscan import Masscan, PortScanResult
+from repro.core.prefilter import Prefilter, PrefilterFinding, SIGNATURES
+from repro.core.pipeline import ScanPipeline, ScanReport, HostFinding
+
+__all__ = [
+    "Masscan",
+    "PortScanResult",
+    "Prefilter",
+    "PrefilterFinding",
+    "SIGNATURES",
+    "ScanPipeline",
+    "ScanReport",
+    "HostFinding",
+]

@@ -1,0 +1,30 @@
+"""Version fingerprinting.
+
+Two complementary mechanisms, mirroring the paper:
+
+* :mod:`repro.core.fingerprint.disclosure` — 13 of the 18 applications
+  voluntarily reveal their version (an API endpoint, an HTML comment, a
+  generator meta tag); cheap regex/JSON extraction.
+* :mod:`repro.core.fingerprint.knowledge_base` +
+  :mod:`repro.core.fingerprint.crawler` — for the rest (and for hosts
+  that strip version strings): crawl the application's static files,
+  hash them, and match the hashes against a knowledge base built from
+  the applications' release corpus.
+
+:class:`~repro.core.fingerprint.fingerprinter.VersionFingerprinter`
+combines both, disclosure first.
+"""
+
+from repro.core.fingerprint.knowledge_base import KnowledgeBase, build_default_knowledge_base
+from repro.core.fingerprint.crawler import StaticFileCrawler
+from repro.core.fingerprint.disclosure import extract_disclosed_version
+from repro.core.fingerprint.fingerprinter import Fingerprint, VersionFingerprinter
+
+__all__ = [
+    "KnowledgeBase",
+    "build_default_knowledge_base",
+    "StaticFileCrawler",
+    "extract_disclosed_version",
+    "Fingerprint",
+    "VersionFingerprinter",
+]

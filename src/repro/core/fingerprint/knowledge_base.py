@@ -1,0 +1,96 @@
+"""Hash knowledge base for static-file fingerprinting.
+
+The paper builds its knowledge base "using the repositories of the
+open-source applications", hashing static files (images, scripts,
+stylesheets) of every release.  We build ours from the same corpus our
+Internet runs on: every release of every emulator, hashed file by file.
+The matching logic is identical either way — given a set of
+``(path, hash)`` observations from a crawl, find the (application,
+version) whose release corpus explains them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.apps.catalog import all_apps
+from repro.apps.versions import RELEASE_DB
+
+
+def file_hash(content: str) -> str:
+    """The digest stored in the knowledge base (SHA-256, hex)."""
+    return hashlib.sha256(content.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class KbEntry:
+    slug: str
+    version: str
+    path: str
+
+
+@dataclass
+class KnowledgeBase:
+    """hash -> releases that ship a file with that hash."""
+
+    entries: dict[str, list[KbEntry]] = field(default_factory=dict)
+    #: slug -> static paths any of its releases serve (crawler probe list)
+    known_paths: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def add(self, slug: str, version: str, path: str, content: str) -> None:
+        digest = file_hash(content)
+        self.entries.setdefault(digest, []).append(KbEntry(slug, version, path))
+
+    def lookup(self, digest: str) -> list[KbEntry]:
+        return self.entries.get(digest, [])
+
+    def paths_for(self, slug: str) -> tuple[str, ...]:
+        return self.known_paths.get(slug, ())
+
+    def identify(self, observations: dict[str, str]) -> tuple[str, str] | None:
+        """Identify an application from crawled ``path -> hash`` pairs.
+
+        Each observed hash votes for the releases that ship it; the
+        release explaining the most observed files wins.  Ties break
+        toward the *newest* release (a strict subset of files rarely
+        distinguishes adjacent patch releases; newest is the maximum-
+        likelihood guess given how deployments skew).  Returns
+        ``(slug, version)`` or ``None`` if nothing matches.
+        """
+        votes: dict[tuple[str, str], int] = {}
+        for digest in observations.values():
+            for entry in self.lookup(digest):
+                key = (entry.slug, entry.version)
+                votes[key] = votes.get(key, 0) + 1
+        if not votes:
+            return None
+        best_count = max(votes.values())
+        tied = [key for key, count in votes.items() if count == best_count]
+        if len(tied) == 1:
+            return tied[0]
+        # Deterministic tie-break: newest release date, then slug.
+        def sort_key(key: tuple[str, str]) -> tuple[float, str]:
+            slug, version = key
+            return (RELEASE_DB.release_date(slug, version), slug)
+
+        return max(tied, key=sort_key)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self.entries.values())
+
+
+def build_default_knowledge_base() -> KnowledgeBase:
+    """Hash every static file of every release of every catalog app."""
+    kb = KnowledgeBase()
+    for spec in all_apps():
+        paths: set[str] = set()
+        for release in RELEASE_DB.releases(spec.slug):
+            instance = spec.emulator(release.version, {})
+            if hasattr(instance, "validate_config"):
+                pass  # constructor already validated
+            for path, content in instance.static_files().items():
+                kb.add(spec.slug, release.version, path, content)
+                paths.add(path)
+        kb.known_paths[spec.slug] = tuple(sorted(paths))
+    return kb

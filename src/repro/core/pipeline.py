@@ -1,0 +1,286 @@
+"""The three-stage scanning pipeline (orchestration).
+
+Wires stage I (masscan) → stage II (prefilter) → stage III (Tsunami) and
+the version fingerprinter together, with the paper's interleaving: the
+port scan yields batches, and each batch flows through the later stages
+before the sweep continues, "to prevent running the next two stages on
+hosts that went offline in the meantime".
+
+The pipeline only sees a :class:`~repro.net.transport.Transport`; it runs
+unchanged against the simulator or a real loopback socket.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.fingerprint.fingerprinter import Fingerprint, VersionFingerprinter
+from repro.core.fingerprint.knowledge_base import (
+    KnowledgeBase,
+    build_default_knowledge_base,
+)
+from repro.core.masscan import Masscan, PortScanResult
+from repro.core.prefilter import Prefilter, PrefilterFinding
+from repro.core.tsunami.engine import TsunamiEngine
+from repro.core.tsunami.plugin import DetectionReport
+from repro.net.http import Scheme
+from repro.net.ipv4 import IPv4Address
+
+
+@dataclass
+class AppObservation:
+    """Everything the pipeline learned about one application on one host."""
+
+    ip: IPv4Address
+    slug: str
+    port: int
+    scheme: Scheme
+    vulnerable: bool = False
+    detection: DetectionReport | None = None
+    fingerprint: Fingerprint | None = None
+
+    @property
+    def version(self) -> str | None:
+        return self.fingerprint.version if self.fingerprint else None
+
+
+@dataclass
+class HostFinding:
+    """Stage-II/III results for one responsive host."""
+
+    ip: IPv4Address
+    observations: dict[str, AppObservation] = field(default_factory=dict)
+
+    @property
+    def slugs(self) -> tuple[str, ...]:
+        return tuple(sorted(self.observations))
+
+    @property
+    def vulnerable_slugs(self) -> tuple[str, ...]:
+        return tuple(
+            sorted(s for s, o in self.observations.items() if o.vulnerable)
+        )
+
+
+@dataclass
+class ScanReport:
+    """Aggregate output of one full pipeline run."""
+
+    port_scan: PortScanResult = field(default_factory=PortScanResult)
+    http_responses: dict[int, int] = field(default_factory=dict)
+    https_responses: dict[int, int] = field(default_factory=dict)
+    findings: dict[int, HostFinding] = field(default_factory=dict)
+    detections: list[DetectionReport] = field(default_factory=list)
+
+    def finding_for(self, ip: IPv4Address) -> HostFinding:
+        finding = self.findings.get(ip.value)
+        if finding is None:
+            finding = HostFinding(ip)
+            self.findings[ip.value] = finding
+        return finding
+
+    # -- Table-3-shaped accessors ------------------------------------------
+
+    def hosts_per_app(self) -> dict[str, int]:
+        """Hosts running each application (counted once per host)."""
+        counts: dict[str, int] = {}
+        for finding in self.findings.values():
+            for slug in finding.observations:
+                counts[slug] = counts.get(slug, 0) + 1
+        return counts
+
+    def mavs_per_app(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings.values():
+            for slug in finding.vulnerable_slugs:
+                counts[slug] = counts.get(slug, 0) + 1
+        return counts
+
+    def vulnerable_ips(self) -> list[IPv4Address]:
+        return [
+            finding.ip
+            for finding in self.findings.values()
+            if finding.vulnerable_slugs
+        ]
+
+    def observations(self) -> list[AppObservation]:
+        return [
+            observation
+            for finding in self.findings.values()
+            for observation in finding.observations.values()
+        ]
+
+    def total_awe_hosts(self) -> int:
+        return len(self.findings)
+
+    def merge(self, other: "ScanReport") -> None:
+        self.port_scan.merge(other.port_scan)
+        for port, count in other.http_responses.items():
+            self.http_responses[port] = self.http_responses.get(port, 0) + count
+        for port, count in other.https_responses.items():
+            self.https_responses[port] = self.https_responses.get(port, 0) + count
+        self.findings.update(other.findings)
+        self.detections.extend(other.detections)
+
+
+@dataclass
+class ScanPipeline:
+    """Configurable three-stage pipeline."""
+
+    transport: object  # Transport; typed loosely to avoid import cycles in docs
+    ports: tuple[int, ...]
+    seed: int = 0
+    batch_size: int = 4096
+    fingerprint: bool = True
+    use_prefilter: bool = True
+    knowledge_base: KnowledgeBase | None = None
+
+    def __post_init__(self) -> None:
+        self._masscan = Masscan(
+            self.transport, self.ports, rng=random.Random(self.seed)
+        )
+        self._prefilter = Prefilter(self.transport)
+        self._engine = TsunamiEngine(self.transport)
+        if self.fingerprint:
+            kb = self.knowledge_base or build_default_knowledge_base()
+            self._fingerprinter = VersionFingerprinter(self.transport, kb)
+        else:
+            self._fingerprinter = None
+
+    @property
+    def engine(self) -> TsunamiEngine:
+        return self._engine
+
+    @property
+    def prefilter(self) -> Prefilter:
+        return self._prefilter
+
+    def run(self, candidates: Iterable[IPv4Address]) -> ScanReport:
+        """Sweep ``candidates`` through all three stages."""
+        report = ScanReport()
+        for batch in self._masscan.scan_in_batches(candidates, self.batch_size):
+            report.port_scan.merge(batch)
+            self._run_later_stages(batch, report)
+        self._fold_prefilter_stats(report)
+        return report
+
+    def rescan_hosts(
+        self, addresses: Sequence[IPv4Address], ports_by_host: dict[int, tuple[int, ...]] | None = None
+    ) -> ScanReport:
+        """Re-scan known hosts (the observer's three-hourly sweep).
+
+        Skips stage I's full port matrix when the interesting ports are
+        already known from a previous scan.
+        """
+        report = ScanReport()
+        scan = PortScanResult()
+        for ip in addresses:
+            ports = (
+                ports_by_host.get(ip.value, self.ports)
+                if ports_by_host
+                else self.ports
+            )
+            open_ports = [p for p in ports if self.transport.syn_probe(ip, p)]
+            scan.addresses_scanned += 1
+            scan.probes_sent += len(ports)
+            scan.record(ip, open_ports)
+        report.port_scan.merge(scan)
+        self._run_later_stages(scan, report)
+        self._fold_prefilter_stats(report)
+        return report
+
+    # -- internals -----------------------------------------------------------
+
+    def _run_later_stages(self, batch: PortScanResult, report: ScanReport) -> None:
+        if self.use_prefilter:
+            findings = self._prefilter.run(batch)
+        else:
+            findings = self._probe_without_prefilter(batch)
+        for finding in findings:
+            self._verify_and_fingerprint(finding, report)
+
+    def _probe_without_prefilter(self, batch: PortScanResult) -> list[PrefilterFinding]:
+        """Ablation mode: skip signature matching, try *every* plugin.
+
+        Stage II still has to discover which scheme the port speaks, but
+        instead of narrowing candidates it hands every open port to every
+        plugin — the configuration the prefilter ablation measures.
+        """
+        from repro.util.errors import TransportError
+
+        all_slugs = tuple(p.slug for p in self._engine.plugins)
+        findings = []
+        for ip in batch.hosts_with_open_ports():
+            for port in batch.ports_of(ip):
+                for scheme in self._prefilter.schemes_for_port(port):
+                    try:
+                        response = self.transport.get(ip, port, "/", scheme)
+                    except TransportError:
+                        continue
+                    self._prefilter.stats.note(ip, port, scheme)
+                    findings.append(
+                        PrefilterFinding(ip, port, scheme, all_slugs, response.body)
+                    )
+        return findings
+
+    def _verify_and_fingerprint(
+        self, finding: PrefilterFinding, report: ScanReport
+    ) -> None:
+        host_finding = report.finding_for(finding.ip)
+        detections = self._engine.scan_target(
+            finding.ip, finding.port, finding.scheme, finding.candidates
+        )
+        detected_slugs = {d.slug for d in detections}
+        report.detections.extend(
+            d for d in detections
+            if not (
+                d.slug in host_finding.observations
+                and host_finding.observations[d.slug].vulnerable
+            )
+        )
+
+        fingerprint = None
+        if self._fingerprinter is not None:
+            fingerprint = self._fingerprinter.fingerprint(
+                finding.ip, finding.port, finding.scheme, finding.candidates
+            )
+
+        # Attribute the host to application(s): a fingerprint pins the
+        # slug; otherwise every stage-II candidate remains attributed
+        # (multiple candidates on one body are rare and stage III keeps
+        # the vulnerable bit per-application anyway).
+        slugs: tuple[str, ...]
+        if fingerprint is not None:
+            slugs = (fingerprint.slug,)
+        else:
+            slugs = finding.candidates
+        for slug in slugs:
+            observation = host_finding.observations.get(slug)
+            if observation is None:
+                observation = AppObservation(
+                    finding.ip, slug, finding.port, finding.scheme
+                )
+                host_finding.observations[slug] = observation
+            if slug in detected_slugs:
+                observation.vulnerable = True
+                observation.detection = next(
+                    d for d in detections if d.slug == slug
+                )
+            if fingerprint is not None and fingerprint.slug == slug:
+                observation.fingerprint = fingerprint
+        # Detections for slugs the fingerprinter excluded still count.
+        for detection in detections:
+            if detection.slug not in host_finding.observations:
+                observation = AppObservation(
+                    finding.ip, detection.slug, finding.port, finding.scheme,
+                    vulnerable=True, detection=detection,
+                )
+                host_finding.observations[detection.slug] = observation
+
+    def _fold_prefilter_stats(self, report: ScanReport) -> None:
+        for port, count in self._prefilter.stats.http_responses.items():
+            report.http_responses[port] = count
+        for port, count in self._prefilter.stats.https_responses.items():
+            report.https_responses[port] = count

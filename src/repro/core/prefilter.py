@@ -1,0 +1,253 @@
+"""Stage II: HTTP(S) probing and signature prefiltering.
+
+For every open port found by stage I, this stage
+
+1. determines which protocols the port speaks — HTTP only on port 80,
+   HTTPS only on 443, both attempted elsewhere (the paper's rule);
+2. follows redirects until a response body arrives;
+3. matches the body against the signature corpus below; hosts matching no
+   signature are discarded, the rest move on to stage III with their
+   candidate application list.
+
+The corpus holds 90 hand-written signatures, five per in-scope
+application, mirroring the paper's "90 such signatures, an average of 5
+per application".  Signatures are deliberately loose — their job is cheap
+*candidate selection*, not vulnerability detection; several may fire on
+one body (both Jupyter products share markup, for instance) and stage III
+disambiguates.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core.masscan import PortScanResult
+from repro.net.http import HttpResponse, Scheme
+from repro.net.ipv4 import IPv4Address
+from repro.net.transport import Transport
+from repro.util.errors import TransportError
+
+#: signature corpus: slug -> five regular expressions.
+SIGNATURES: dict[str, tuple[str, ...]] = {
+    "jenkins": (
+        r"Dashboard \[Jenkins\]",
+        r"hudson-behavior\.js",
+        r"Sign in \[Jenkins\]",
+        r"j_spring_security_check",
+        r"Welcome to Jenkins",
+    ),
+    "gocd": (
+        r"Create a pipeline - Go",
+        r"/go/assets/",
+        r"pipelines-page",
+        r"Login - Go</title>",
+        r"/go/admin/pipelines",
+    ),
+    "wordpress": (
+        r"wp-json",
+        r"wp-includes/",
+        r"wp-admin/install\.php",
+        r'content="WordPress',
+        r"WordPress &rsaquo;",
+    ),
+    "grav": (
+        r"The Admin plugin has been installed",
+        r"/user/plugins/admin/",
+        r"grav-site",
+        r"No user accounts found",
+        r"<title>Grav",
+    ),
+    "joomla": (
+        r"Joomla! Web Installer",
+        r'content="Joomla!',
+        r"/media/jui/js/",
+        r"/media/system/js/core\.js",
+        r"joomla-site",
+    ),
+    "drupal": (
+        r'content="Drupal',
+        r"/core/misc/drupal\.js",
+        r"data-drupal-selector",
+        r"\| Drupal</title>",
+        r"Set up\s*database",
+    ),
+    "kubernetes": (
+        r"certificates\.k8s\.io",
+        r"healthz/ping",
+        r'"kind":\s*"Status"',
+        r'"apiVersion":\s*"v1"',
+        r'"gitVersion":\s*"v1\.',
+    ),
+    "docker": (
+        r'\{"message":"page not found"\}',
+        r'"MinAPIVersion"',
+        r'"KernelVersion"',
+        r"client certificate required",
+        r'"ApiVersion"',
+    ),
+    "consul": (
+        r"Consul by HashiCorp",
+        r"CONSUL_VERSION",
+        r"consul-ui",
+        r'"Datacenter"',
+        r"EnableLocalScriptChecks|EnableRemoteScriptChecks",
+    ),
+    "hadoop": (
+        r"/static/yarn\.css",
+        r"Apache Hadoop",
+        r"ResourceManager",
+        r"[Ll]ogged in as: dr\.who",
+        r"hadoop-st\.png",
+    ),
+    "nomad": (
+        r"<title>Nomad</title>",
+        r"Nomad by HashiCorp",
+        r"nomad-ui\.js",
+        r'"EvalID"',
+        r"#nomad-ui|id=\"nomad-ui\"",
+    ),
+    "jupyterlab": (
+        r"<title>JupyterLab</title>",
+        r'data-product="JupyterLab"',
+        r"JupyterLab Login",
+        r'"product": "JupyterLab"',
+        r"jupyter-main-app.*JupyterLab",
+    ),
+    "jupyter-notebook": (
+        r"<title>Jupyter Notebook</title>",
+        r'data-product="Jupyter Notebook"',
+        r"Jupyter Notebook Login",
+        r'"product": "Jupyter Notebook"',
+        r"jupyter-main-app.*Jupyter Notebook",
+    ),
+    "zeppelin": (
+        r"<title>Zeppelin</title>",
+        r"zeppelinWebApp",
+        r"zeppelin-home",
+        r"Welcome to Zeppelin!",
+        r'\{"status":"OK",',
+    ),
+    "polynote": (
+        r"<title>Polynote</title>",
+        r'class="polynote"',
+        r"/static/dist/main\.js",
+        r'id="Main"',
+        r"polynote\.css",
+    ),
+    "ajenti": (
+        r"<title>Ajenti</title>",
+        r"<title>Login - Ajenti</title>",
+        r'ng-app="ajenti\.core"',
+        r"ajentiPlatformUnmapped",
+        r"Ajenti server admin panel",
+    ),
+    "phpmyadmin": (
+        r"phpMyAdmin",
+        r"pma_username",
+        r"pmahomme",
+        r"Server connection collation",
+        r"phpMyAdmin documentation",
+    ),
+    "adminer": (
+        r"<title>Login - Adminer</title>",
+        r"Adminer <span",
+        r"adminer\.css",
+        r"Logged as:",
+        r"through PHP extension",
+    ),
+}
+
+_COMPILED: dict[str, tuple[re.Pattern[str], ...]] = {
+    slug: tuple(re.compile(pattern) for pattern in patterns)
+    for slug, patterns in SIGNATURES.items()
+}
+
+
+def signature_count() -> int:
+    """Total signatures in the corpus (the paper reports 90)."""
+    return sum(len(patterns) for patterns in SIGNATURES.values())
+
+
+def match_signatures(body: str) -> tuple[str, ...]:
+    """Candidate application slugs whose signatures fire on ``body``."""
+    matches = [
+        slug
+        for slug, patterns in _COMPILED.items()
+        if any(pattern.search(body) for pattern in patterns)
+    ]
+    return tuple(matches)
+
+
+@dataclass(frozen=True)
+class PrefilterFinding:
+    """An open port whose body matched at least one signature."""
+
+    ip: IPv4Address
+    port: int
+    scheme: Scheme
+    candidates: tuple[str, ...]
+    body: str
+
+
+@dataclass
+class PrefilterStats:
+    """Stage-II accounting, reproduced in Table 2's response columns."""
+
+    http_responses: dict[int, int] = field(default_factory=dict)
+    https_responses: dict[int, int] = field(default_factory=dict)
+    #: ips (values) that produced at least one HTTP(S) response
+    responsive_hosts: set[int] = field(default_factory=set)
+
+    def note(self, ip: IPv4Address, port: int, scheme: Scheme) -> None:
+        counts = self.http_responses if scheme is Scheme.HTTP else self.https_responses
+        counts[port] = counts.get(port, 0) + 1
+        self.responsive_hosts.add(ip.value)
+
+
+class Prefilter:
+    """Stage-II prober."""
+
+    def __init__(self, transport: Transport, max_redirects: int = 5) -> None:
+        self.transport = transport
+        self.max_redirects = max_redirects
+        self.stats = PrefilterStats()
+
+    def schemes_for_port(self, port: int) -> tuple[Scheme, ...]:
+        if port == 80:
+            return (Scheme.HTTP,)
+        if port == 443:
+            return (Scheme.HTTPS,)
+        return (Scheme.HTTP, Scheme.HTTPS)
+
+    def probe(self, ip: IPv4Address, port: int) -> list[PrefilterFinding]:
+        """Probe one open port on every applicable scheme."""
+        findings = []
+        for scheme in self.schemes_for_port(port):
+            try:
+                response = self.transport.get(
+                    ip, port, "/", scheme, follow_redirects=self.max_redirects
+                )
+            except TransportError:
+                continue
+            self.stats.note(ip, port, scheme)
+            finding = self.evaluate(ip, port, scheme, response)
+            if finding is not None:
+                findings.append(finding)
+        return findings
+
+    def evaluate(
+        self, ip: IPv4Address, port: int, scheme: Scheme, response: HttpResponse
+    ) -> PrefilterFinding | None:
+        candidates = match_signatures(response.body)
+        if not candidates:
+            return None
+        return PrefilterFinding(ip, port, scheme, candidates, response.body)
+
+    def run(self, port_scan: PortScanResult) -> list[PrefilterFinding]:
+        """Probe every (host, open port) pair from stage I."""
+        findings = []
+        for ip in port_scan.hosts_with_open_ports():
+            for port in port_scan.ports_of(ip):
+                findings.extend(self.probe(ip, port))
+        return findings

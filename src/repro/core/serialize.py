@@ -1,0 +1,120 @@
+"""Persist scan results to JSON and load them back.
+
+A real measurement pipeline separates collection from analysis: the scan
+runs once (22 hours, 64 machines) and the analysis iterates offline.
+This module serialises a :class:`~repro.core.pipeline.ScanReport` to a
+stable JSON document — findings, detections, fingerprints, port counts —
+so analyses can re-run without re-scanning.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.fingerprint.fingerprinter import Fingerprint, FingerprintMethod
+from repro.core.pipeline import AppObservation, HostFinding, ScanReport
+from repro.core.tsunami.plugin import DetectionReport
+from repro.net.http import Scheme
+from repro.net.ipv4 import IPv4Address
+
+FORMAT_VERSION = 1
+
+
+def report_to_dict(report: ScanReport) -> dict:
+    """A JSON-safe dictionary capturing the whole report."""
+    findings = []
+    for finding in report.findings.values():
+        observations = []
+        for observation in finding.observations.values():
+            entry: dict = {
+                "slug": observation.slug,
+                "port": observation.port,
+                "scheme": observation.scheme.value,
+                "vulnerable": observation.vulnerable,
+            }
+            if observation.fingerprint is not None:
+                entry["fingerprint"] = {
+                    "slug": observation.fingerprint.slug,
+                    "version": observation.fingerprint.version,
+                    "method": observation.fingerprint.method.value,
+                }
+            if observation.detection is not None:
+                entry["detection"] = {
+                    "title": observation.detection.title,
+                    "details": observation.detection.details,
+                }
+            observations.append(entry)
+        findings.append({"ip": str(finding.ip), "observations": observations})
+    return {
+        "format_version": FORMAT_VERSION,
+        "open_ports": {
+            str(IPv4Address(value)): list(ports)
+            for value, ports in report.port_scan.open_ports.items()
+        },
+        "probes_sent": report.port_scan.probes_sent,
+        "addresses_scanned": report.port_scan.addresses_scanned,
+        "http_responses": dict(report.http_responses),
+        "https_responses": dict(report.https_responses),
+        "findings": findings,
+    }
+
+
+def report_from_dict(payload: dict) -> ScanReport:
+    """Rebuild a report from :func:`report_to_dict` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported report format version: {version!r}")
+    report = ScanReport()
+    for text, ports in payload["open_ports"].items():
+        report.port_scan.record(IPv4Address.parse(text), ports)
+    report.port_scan.probes_sent = payload["probes_sent"]
+    report.port_scan.addresses_scanned = payload["addresses_scanned"]
+    report.http_responses = {int(k): v for k, v in payload["http_responses"].items()}
+    report.https_responses = {int(k): v for k, v in payload["https_responses"].items()}
+
+    for entry in payload["findings"]:
+        ip = IPv4Address.parse(entry["ip"])
+        finding = HostFinding(ip)
+        for raw in entry["observations"]:
+            observation = AppObservation(
+                ip=ip,
+                slug=raw["slug"],
+                port=raw["port"],
+                scheme=Scheme(raw["scheme"]),
+                vulnerable=raw["vulnerable"],
+            )
+            fingerprint = raw.get("fingerprint")
+            if fingerprint:
+                observation.fingerprint = Fingerprint(
+                    slug=fingerprint["slug"],
+                    version=fingerprint["version"],
+                    method=FingerprintMethod(fingerprint["method"]),
+                )
+            detection = raw.get("detection")
+            if detection:
+                observation.detection = DetectionReport(
+                    ip=ip,
+                    port=raw["port"],
+                    scheme=Scheme(raw["scheme"]),
+                    slug=raw["slug"],
+                    title=detection["title"],
+                    details=detection["details"],
+                )
+            finding.observations[raw["slug"]] = observation
+        report.findings[ip.value] = finding
+        report.detections.extend(
+            o.detection for o in finding.observations.values()
+            if o.detection is not None
+        )
+    return report
+
+
+def save_report(report: ScanReport, path: str | Path) -> None:
+    """Write the report as (indented) JSON."""
+    Path(path).write_text(json.dumps(report_to_dict(report), indent=1))
+
+
+def load_report(path: str | Path) -> ScanReport:
+    """Load a report previously written by :func:`save_report`."""
+    return report_from_dict(json.loads(Path(path).read_text()))

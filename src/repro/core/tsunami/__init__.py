@@ -1,0 +1,25 @@
+"""Stage III: the Tsunami-style plugin scanner.
+
+A reimplementation of the design the paper open-sourced as the *Tsunami
+security scanner*: an engine with an extensible plugin system where each
+MAV verification logic is a dedicated plugin.  The plugins in
+:mod:`repro.core.tsunami.plugins` transcribe the detection steps of the
+paper's Table 10 (Appendix A).
+"""
+
+from repro.core.tsunami.plugin import (
+    DetectionReport,
+    MavDetectionPlugin,
+    PluginContext,
+)
+from repro.core.tsunami.engine import TsunamiEngine
+from repro.core.tsunami.plugins import ALL_PLUGINS, plugin_for
+
+__all__ = [
+    "DetectionReport",
+    "MavDetectionPlugin",
+    "PluginContext",
+    "TsunamiEngine",
+    "ALL_PLUGINS",
+    "plugin_for",
+]

@@ -1,0 +1,80 @@
+"""The Tsunami scanning engine.
+
+Selects the appropriate detection plugins for a target "based on the port
+and application information from Stage I and Stage II" (the paper's
+words): stage II hands over a candidate application list, the engine runs
+exactly those plugins, and collects verified findings.  Plugins that blow
+up are isolated — one broken plugin must never abort a scan batch.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+from repro.core.tsunami.plugin import DetectionReport, MavDetectionPlugin, PluginContext
+from repro.core.tsunami.plugins import ALL_PLUGINS
+from repro.net.http import Scheme
+from repro.net.ipv4 import IPv4Address
+from repro.net.transport import Transport
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class EngineStats:
+    plugins_run: int = 0
+    detections: int = 0
+    plugin_errors: int = 0
+    runs_per_plugin: dict[str, int] = field(default_factory=dict)
+
+
+class TsunamiEngine:
+    """Runs MAV detection plugins against prefiltered targets."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        plugins: tuple[MavDetectionPlugin, ...] = ALL_PLUGINS,
+    ) -> None:
+        self.transport = transport
+        self._by_slug = {plugin.slug: plugin for plugin in plugins}
+        self.stats = EngineStats()
+
+    @property
+    def plugins(self) -> tuple[MavDetectionPlugin, ...]:
+        return tuple(self._by_slug.values())
+
+    def plugins_for_candidates(
+        self, candidates: tuple[str, ...]
+    ) -> list[MavDetectionPlugin]:
+        return [
+            self._by_slug[slug] for slug in candidates if slug in self._by_slug
+        ]
+
+    def scan_target(
+        self,
+        ip: IPv4Address,
+        port: int,
+        scheme: Scheme,
+        candidates: tuple[str, ...],
+    ) -> list[DetectionReport]:
+        """Run every candidate's plugin against one (ip, port, scheme)."""
+        context = PluginContext(self.transport, ip, port, scheme)
+        reports = []
+        for plugin in self.plugins_for_candidates(candidates):
+            self.stats.plugins_run += 1
+            self.stats.runs_per_plugin[plugin.slug] = (
+                self.stats.runs_per_plugin.get(plugin.slug, 0) + 1
+            )
+            try:
+                report = plugin.detect(context)
+            except Exception:
+                # A plugin crash is a plugin bug, not a scan failure.
+                self.stats.plugin_errors += 1
+                logger.exception("plugin %s crashed on %s:%s", plugin.slug, ip, port)
+                continue
+            if report is not None:
+                self.stats.detections += 1
+                reports.append(report)
+        return reports

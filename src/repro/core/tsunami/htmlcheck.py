@@ -1,0 +1,96 @@
+"""Small HTML inspection helpers used by the detection plugins.
+
+Several Table-10 steps "parse the HTML response and verify that element X
+exists"; this module provides that on top of the stdlib parser, plus a
+well-formedness check (the Jenkins and WordPress plugins require "valid
+HTML" before trusting body markers).
+"""
+
+from __future__ import annotations
+
+from html.parser import HTMLParser
+
+
+class _ElementCollector(HTMLParser):
+    """Records (tag, id) pairs and parent-child containment."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.elements: list[tuple[str, str | None]] = []
+        self._stack: list[tuple[str, str | None]] = []
+        self.contained: set[tuple[str, str | None, str, str | None]] = set()
+        self.malformed = False
+
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        element_id = dict(attrs).get("id")
+        element = (tag, element_id)
+        self.elements.append(element)
+        for ancestor in self._stack:
+            self.contained.add((*ancestor, *element))
+        if tag not in _VOID_TAGS:
+            self._stack.append(element)
+
+    def handle_startendtag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        element_id = dict(attrs).get("id")
+        element = (tag, element_id)
+        self.elements.append(element)
+        for ancestor in self._stack:
+            self.contained.add((*ancestor, *element))
+
+    def handle_endtag(self, tag: str) -> None:
+        for index in range(len(self._stack) - 1, -1, -1):
+            if self._stack[index][0] == tag:
+                del self._stack[index:]
+                return
+        self.malformed = True  # close tag without a matching open
+
+
+_VOID_TAGS = frozenset(
+    {"area", "base", "br", "col", "embed", "hr", "img", "input",
+     "link", "meta", "source", "track", "wbr"}
+)
+
+
+def _parse(body: str) -> _ElementCollector:
+    collector = _ElementCollector()
+    try:
+        collector.feed(body)
+        collector.close()
+    except Exception:  # html.parser raises on pathological input
+        collector.malformed = True
+    return collector
+
+
+def is_valid_html(body: str) -> bool:
+    """Loose well-formedness: parses, and has at least one element."""
+    collector = _parse(body)
+    return not collector.malformed and bool(collector.elements)
+
+
+def has_element(body: str, tag: str, element_id: str | None = None) -> bool:
+    """Does the document contain ``<tag id=element_id>``?"""
+    collector = _parse(body)
+    for found_tag, found_id in collector.elements:
+        if found_tag == tag and (element_id is None or found_id == element_id):
+            return True
+    return False
+
+
+def has_element_within(
+    body: str,
+    outer_tag: str,
+    outer_id: str | None,
+    inner_tag: str,
+    inner_id: str | None,
+) -> bool:
+    """Does ``<outer>`` contain ``<inner>`` (CSS ``outer inner``)?"""
+    collector = _parse(body)
+    for outer_t, outer_i, inner_t, inner_i in collector.contained:
+        if outer_t != outer_tag or inner_t != inner_tag:
+            continue
+        if outer_id is not None and outer_i != outer_id:
+            continue
+        if inner_id is not None and inner_i != inner_id:
+            continue
+        return True
+    return False

@@ -1,0 +1,89 @@
+"""Plugin API of the Tsunami-style scanner.
+
+Each plugin verifies one application's MAV with a handful of
+non-state-changing GET requests.  Plugins receive a :class:`PluginContext`
+wrapping the transport plus the target coordinates, use its helpers
+(``fetch``, ``fetch_json``), and return a :class:`DetectionReport` when —
+and only when — every detection step succeeds.
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.net.http import HttpResponse, Scheme
+from repro.net.ipv4 import IPv4Address
+from repro.net.transport import Transport
+from repro.util.errors import TransportError
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """A verified missing-authentication vulnerability."""
+
+    ip: IPv4Address
+    port: int
+    scheme: Scheme
+    slug: str
+    title: str
+    details: str
+
+    def __str__(self) -> str:
+        return f"[{self.slug}] {self.ip}:{self.port} — {self.title}"
+
+
+@dataclass
+class PluginContext:
+    """Target coordinates plus transport helpers for one plugin run."""
+
+    transport: Transport
+    ip: IPv4Address
+    port: int
+    scheme: Scheme
+
+    def fetch(self, path: str, follow_redirects: int = 5) -> HttpResponse | None:
+        """GET ``path``; ``None`` on any transport failure."""
+        try:
+            return self.transport.get(
+                self.ip, self.port, path, self.scheme, follow_redirects
+            )
+        except TransportError:
+            return None
+
+    def fetch_json(self, path: str) -> object | None:
+        """GET ``path`` and parse the body as JSON; ``None`` on failure."""
+        response = self.fetch(path)
+        if response is None or response.status >= 400:
+            return None
+        try:
+            return json.loads(response.body)
+        except json.JSONDecodeError:
+            return None
+
+
+class MavDetectionPlugin(ABC):
+    """Base class for the 18 MAV verification plugins."""
+
+    #: application this plugin verifies (catalog slug)
+    slug: str = "abstract"
+    #: human-readable finding title
+    title: str = "Missing authentication"
+
+    @abstractmethod
+    def detect(self, context: PluginContext) -> DetectionReport | None:
+        """Run the detection steps; report only if all succeed."""
+
+    def report(self, context: PluginContext, details: str) -> DetectionReport:
+        return DetectionReport(
+            ip=context.ip,
+            port=context.port,
+            scheme=context.scheme,
+            slug=self.slug,
+            title=self.title,
+            details=details,
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} slug={self.slug}>"

@@ -1,0 +1,76 @@
+"""The 18 MAV detection plugins (paper Appendix A, Table 10).
+
+One module per application; :data:`ALL_PLUGINS` is the registry the
+engine selects from based on stage-II candidates.
+"""
+
+from repro.core.tsunami.plugin import MavDetectionPlugin
+from repro.core.tsunami.plugins.adminer import AdminerPlugin
+from repro.core.tsunami.plugins.ajenti import AjentiPlugin
+from repro.core.tsunami.plugins.consul import ConsulPlugin
+from repro.core.tsunami.plugins.docker import DockerPlugin
+from repro.core.tsunami.plugins.drupal import DrupalPlugin
+from repro.core.tsunami.plugins.gocd import GocdPlugin
+from repro.core.tsunami.plugins.grav import GravPlugin
+from repro.core.tsunami.plugins.hadoop import HadoopPlugin
+from repro.core.tsunami.plugins.jenkins import JenkinsPlugin
+from repro.core.tsunami.plugins.joomla import JoomlaPlugin
+from repro.core.tsunami.plugins.jupyter import JupyterLabPlugin, JupyterNotebookPlugin
+from repro.core.tsunami.plugins.kubernetes import KubernetesPlugin
+from repro.core.tsunami.plugins.nomad import NomadPlugin
+from repro.core.tsunami.plugins.phpmyadmin import PhpMyAdminPlugin
+from repro.core.tsunami.plugins.polynote import PolynotePlugin
+from repro.core.tsunami.plugins.wordpress import WordPressPlugin
+from repro.core.tsunami.plugins.zeppelin import ZeppelinPlugin
+
+ALL_PLUGINS: tuple[MavDetectionPlugin, ...] = (
+    JenkinsPlugin(),
+    GocdPlugin(),
+    WordPressPlugin(),
+    GravPlugin(),
+    JoomlaPlugin(),
+    DrupalPlugin(),
+    KubernetesPlugin(),
+    DockerPlugin(),
+    ConsulPlugin(),
+    HadoopPlugin(),
+    NomadPlugin(),
+    JupyterLabPlugin(),
+    JupyterNotebookPlugin(),
+    ZeppelinPlugin(),
+    PolynotePlugin(),
+    AjentiPlugin(),
+    PhpMyAdminPlugin(),
+    AdminerPlugin(),
+)
+
+_BY_SLUG = {plugin.slug: plugin for plugin in ALL_PLUGINS}
+
+
+def plugin_for(slug: str) -> MavDetectionPlugin | None:
+    """The detection plugin for an application, if one exists."""
+    return _BY_SLUG.get(slug)
+
+
+__all__ = [
+    "ALL_PLUGINS",
+    "plugin_for",
+    "JenkinsPlugin",
+    "GocdPlugin",
+    "WordPressPlugin",
+    "GravPlugin",
+    "JoomlaPlugin",
+    "DrupalPlugin",
+    "KubernetesPlugin",
+    "DockerPlugin",
+    "ConsulPlugin",
+    "HadoopPlugin",
+    "NomadPlugin",
+    "JupyterLabPlugin",
+    "JupyterNotebookPlugin",
+    "ZeppelinPlugin",
+    "PolynotePlugin",
+    "AjentiPlugin",
+    "PhpMyAdminPlugin",
+    "AdminerPlugin",
+]

@@ -1,0 +1,27 @@
+"""Adminer empty-password detection (Table 10).
+
+1. Visit ``/adminer.php?username=root`` and check for 'through PHP
+   extension' and 'Logged as' — a GET with only a username lands in a
+   session when the root password is empty (pre-4.6.3 behaviour).
+2. Otherwise repeat on ``/adminer/adminer.php?username=root``.
+"""
+
+from __future__ import annotations
+
+from repro.core.tsunami.plugin import DetectionReport, MavDetectionPlugin, PluginContext
+
+_MARKERS = ("through PHP extension", "Logged as")
+
+
+class AdminerPlugin(MavDetectionPlugin):
+    slug = "adminer"
+    title = "Adminer logs in with an empty password"
+
+    def detect(self, context: PluginContext) -> DetectionReport | None:
+        for path in ("/adminer.php?username=root", "/adminer/adminer.php?username=root"):
+            response = context.fetch(path)
+            if response is None or response.status != 200:
+                continue
+            if all(marker in response.body for marker in _MARKERS):
+                return self.report(context, f"anonymous root session at {path}")
+        return None

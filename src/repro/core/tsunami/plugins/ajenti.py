@@ -1,0 +1,27 @@
+"""Ajenti autologin detection (Table 10).
+
+1. Visit ``/view/``.
+2. Check for ``customization.plugins.core.title || 'Ajenti'`` and
+   ``ajentiPlatformUnmapped`` — markers of the dashboard shell, which is
+   only served pre-authentication when ``--autologin`` is on.
+"""
+
+from __future__ import annotations
+
+from repro.core.tsunami.plugin import DetectionReport, MavDetectionPlugin, PluginContext
+
+
+class AjentiPlugin(MavDetectionPlugin):
+    slug = "ajenti"
+    title = "Ajenti panel auto-logs-in anonymous visitors"
+
+    def detect(self, context: PluginContext) -> DetectionReport | None:
+        response = context.fetch("/view/")
+        if response is None or response.status != 200:
+            return None
+        body = response.body
+        if "customization.plugins.core.title || 'Ajenti'" not in body:
+            return None
+        if "ajentiPlatformUnmapped" not in body:
+            return None
+        return self.report(context, "dashboard served without login")

@@ -1,0 +1,40 @@
+"""Consul script-check detection (Table 10).
+
+1. Visit ``/v1/agent/self`` and check the response is valid JSON.
+2. Check the ``DebugConfig`` property exists.
+3. Check that at least one of the script-check options is enabled —
+   only then can registering a health check run attacker commands.
+
+Consul's exposed-but-hardened agents (script checks off) are the reason
+its MAV rate in Table 3 is low despite wide exposure.
+"""
+
+from __future__ import annotations
+
+from repro.core.tsunami.plugin import DetectionReport, MavDetectionPlugin, PluginContext
+
+# Key spellings vary across Consul releases; accept any of them.
+_SCRIPT_KEYS = (
+    "EnableScriptChecks",
+    "EnableLocalScriptChecks",
+    "EnableRemoteScriptChecks",
+    "enableScriptChecks",
+    "enableRemoteChecks",
+)
+
+
+class ConsulPlugin(MavDetectionPlugin):
+    slug = "consul"
+    title = "Consul agent executes unauthenticated script checks"
+
+    def detect(self, context: PluginContext) -> DetectionReport | None:
+        agent = context.fetch_json("/v1/agent/self")
+        if not isinstance(agent, dict):
+            return None
+        debug_config = agent.get("DebugConfig") or agent.get("debugConfig")
+        if not isinstance(debug_config, dict):
+            return None
+        enabled = [key for key in _SCRIPT_KEYS if debug_config.get(key) is True]
+        if not enabled:
+            return None
+        return self.report(context, f"script checks enabled via {', '.join(enabled)}")

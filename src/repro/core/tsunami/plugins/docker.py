@@ -1,0 +1,29 @@
+"""Docker Engine API detection (Table 10).
+
+1. Visit ``/`` and check for the daemon's characteristic
+   ``{"message":"page not found"}`` body.
+2. Visit ``/version``; lower-cased, the body must contain
+   'minapiversion' and 'kernelversion' — an unauthenticated Engine API,
+   i.e. root-equivalent container execution.
+"""
+
+from __future__ import annotations
+
+from repro.core.tsunami.plugin import DetectionReport, MavDetectionPlugin, PluginContext
+
+
+class DockerPlugin(MavDetectionPlugin):
+    slug = "docker"
+    title = "Docker Engine API exposed without authentication"
+
+    def detect(self, context: PluginContext) -> DetectionReport | None:
+        root = context.fetch("/")
+        if root is None or '{"message":"page not found"}' not in root.body:
+            return None
+        version = context.fetch("/version")
+        if version is None or version.status != 200:
+            return None
+        lowered = version.body.lower()
+        if "minapiversion" not in lowered or "kernelversion" not in lowered:
+            return None
+        return self.report(context, "Engine /version answered unauthenticated")

@@ -1,0 +1,29 @@
+"""Drupal installation-hijack detection (Table 10).
+
+1. Visit ``/core/install.php?langcode=en&profile=standard&continue=1``.
+2. Remove all whitespace from the response (markup spacing differs across
+   Drupal versions).
+3. Check that the body contains ``<liclass="is-active">Setupdatabase``.
+"""
+
+from __future__ import annotations
+
+from repro.core.tsunami.plugin import DetectionReport, MavDetectionPlugin, PluginContext
+
+_MARKER = '<liclass="is-active">Setupdatabase'
+
+
+class DrupalPlugin(MavDetectionPlugin):
+    slug = "drupal"
+    title = "Drupal installer is publicly reachable"
+
+    def detect(self, context: PluginContext) -> DetectionReport | None:
+        response = context.fetch(
+            "/core/install.php?langcode=en&profile=standard&continue=1"
+        )
+        if response is None or response.status != 200:
+            return None
+        squeezed = "".join(response.body.split())
+        if _MARKER not in squeezed:
+            return None
+        return self.report(context, "database-setup step served")

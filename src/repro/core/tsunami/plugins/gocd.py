@@ -1,0 +1,31 @@
+"""GoCD MAV detection (Table 10).
+
+1. Visit ``/go/home``.
+2. Accept any of the marker pairs that identify an unauthenticated GoCD
+   dashboard across versions.
+"""
+
+from __future__ import annotations
+
+from repro.core.tsunami.plugin import DetectionReport, MavDetectionPlugin, PluginContext
+
+_MARKER_PAIRS = (
+    ("Create a pipeline - Go", "pipelines-page"),
+    ("Add Pipeline", "admin_pipelines"),
+    ("Dashboard - Go", "/go/admin/pipelines/"),
+    ("Pipelines - Go", "/go/admin/pipelines"),
+)
+
+
+class GocdPlugin(MavDetectionPlugin):
+    slug = "gocd"
+    title = "GoCD dashboard exposed without authentication"
+
+    def detect(self, context: PluginContext) -> DetectionReport | None:
+        response = context.fetch("/go/home")
+        if response is None or response.status != 200:
+            return None
+        for first, second in _MARKER_PAIRS:
+            if first in response.body and second in response.body:
+                return self.report(context, f"markers {first!r} + {second!r}")
+        return None

@@ -1,0 +1,29 @@
+"""Grav installation-hijack detection (Table 10).
+
+1. Visit ``/`` and check for 'The Admin plugin has been installed' and
+   'Create User'.
+2. Otherwise visit ``/admin`` and check for 'No user accounts found' and
+   'create one'.
+"""
+
+from __future__ import annotations
+
+from repro.core.tsunami.plugin import DetectionReport, MavDetectionPlugin, PluginContext
+
+
+class GravPlugin(MavDetectionPlugin):
+    slug = "grav"
+    title = "Grav admin account can be created by anyone"
+
+    def detect(self, context: PluginContext) -> DetectionReport | None:
+        response = context.fetch("/")
+        if response is not None and response.status == 200:
+            body = response.body
+            if "The Admin plugin has been installed" in body and "Create User" in body:
+                return self.report(context, "front page invites account creation")
+        response = context.fetch("/admin")
+        if response is None or response.status != 200:
+            return None
+        if "No user accounts found" in response.body and "create one" in response.body:
+            return self.report(context, "/admin invites account creation")
+        return None

@@ -1,0 +1,34 @@
+"""Hadoop YARN ResourceManager detection (Table 10).
+
+1. Visit ``/cluster/cluster`` and lower-case the response.
+2. Check for 'hadoop', 'resourcemanager' and 'logged in as: dr.who'
+   (the anonymous default user).
+3. Visit ``/ws/v1/cluster/apps/new-application`` and check it is valid
+   JSON.
+4. Check the JSON contains the ``application-id`` object — i.e. anyone
+   can allocate (and then submit) YARN applications.
+"""
+
+from __future__ import annotations
+
+from repro.core.tsunami.plugin import DetectionReport, MavDetectionPlugin, PluginContext
+
+
+class HadoopPlugin(MavDetectionPlugin):
+    slug = "hadoop"
+    title = "Hadoop YARN accepts unauthenticated applications"
+
+    def detect(self, context: PluginContext) -> DetectionReport | None:
+        cluster = context.fetch("/cluster/cluster")
+        if cluster is None or cluster.status != 200:
+            return None
+        lowered = cluster.body.lower()
+        for marker in ("hadoop", "resourcemanager", "logged in as: dr.who"):
+            if marker not in lowered:
+                return None
+        new_app = context.fetch_json("/ws/v1/cluster/apps/new-application")
+        if not isinstance(new_app, dict) or "application-id" not in new_app:
+            return None
+        return self.report(
+            context, f"new-application returned {new_app['application-id']}"
+        )

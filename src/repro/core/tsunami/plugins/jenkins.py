@@ -1,0 +1,28 @@
+"""Jenkins MAV detection (Table 10).
+
+1. Visit ``/view/all/newJob``.
+2. Check that the body contains 'Jenkins' and is valid HTML.
+3. Parse the HTML and verify that element ``form#createItem`` exists —
+   i.e. an anonymous visitor can create a job, which means anonymous
+   build-step (system command) execution.
+"""
+
+from __future__ import annotations
+
+from repro.core.tsunami.htmlcheck import has_element, is_valid_html
+from repro.core.tsunami.plugin import DetectionReport, MavDetectionPlugin, PluginContext
+
+
+class JenkinsPlugin(MavDetectionPlugin):
+    slug = "jenkins"
+    title = "Jenkins allows unauthenticated job creation"
+
+    def detect(self, context: PluginContext) -> DetectionReport | None:
+        response = context.fetch("/view/all/newJob")
+        if response is None or response.status != 200:
+            return None
+        if "Jenkins" not in response.body or not is_valid_html(response.body):
+            return None
+        if not has_element(response.body, "form", "createItem"):
+            return None
+        return self.report(context, "form#createItem reachable without login")

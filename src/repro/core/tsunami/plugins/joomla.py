@@ -1,0 +1,24 @@
+"""Joomla installation-hijack detection (Table 10).
+
+1. Visit ``/installation/index.php``.
+2. Check that the body contains 'Joomla! Web Installer' or 'Enter the
+   name of your Joomla! site'.
+"""
+
+from __future__ import annotations
+
+from repro.core.tsunami.plugin import DetectionReport, MavDetectionPlugin, PluginContext
+
+
+class JoomlaPlugin(MavDetectionPlugin):
+    slug = "joomla"
+    title = "Joomla web installer is publicly reachable"
+
+    def detect(self, context: PluginContext) -> DetectionReport | None:
+        response = context.fetch("/installation/index.php")
+        if response is None or response.status != 200:
+            return None
+        body = response.body
+        if "Joomla! Web Installer" in body or "Enter the name of your Joomla! site" in body:
+            return self.report(context, "installer page served")
+        return None

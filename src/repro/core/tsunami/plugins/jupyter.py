@@ -1,0 +1,41 @@
+"""Jupyter Lab / Notebook detection (Table 10).
+
+1. Visit ``/api/terminals``.
+2. Check that the (successful) response names the product — 'JupyterLab'
+   or 'Jupyter Notebook'.  With authentication enabled this endpoint
+   returns 403, so a readable terminal list means anyone can open a web
+   terminal on the server.
+"""
+
+from __future__ import annotations
+
+from repro.core.tsunami.plugin import DetectionReport, MavDetectionPlugin, PluginContext
+
+
+class _JupyterPlugin(MavDetectionPlugin):
+    product_marker = ""
+
+    def detect(self, context: PluginContext) -> DetectionReport | None:
+        response = context.fetch("/api/terminals")
+        if response is None or response.status != 200:
+            return None
+        if self.product_marker not in response.body:
+            return None
+        # Hardening beyond the published steps: the terminal API answers
+        # JSON; an HTML page that merely mentions the product (spoofed
+        # landing pages, error wrappers) must not count.
+        if context.fetch_json("/api/terminals") is None:
+            return None
+        return self.report(context, "terminal API readable without a token")
+
+
+class JupyterLabPlugin(_JupyterPlugin):
+    slug = "jupyterlab"
+    title = "JupyterLab terminals exposed without authentication"
+    product_marker = "JupyterLab"
+
+
+class JupyterNotebookPlugin(_JupyterPlugin):
+    slug = "jupyter-notebook"
+    title = "Jupyter Notebook terminals exposed without authentication"
+    product_marker = "Jupyter Notebook"

@@ -1,0 +1,38 @@
+"""Kubernetes anonymous-API detection (Table 10).
+
+1. Visit ``/`` and check for 'certificates.k8s.io' and 'healthz/ping'
+   (the unauthenticated API discovery document).
+2. Visit ``/api/v1/pods``; after removing whitespace the body must
+   contain ``"phase":"Running"``.
+3. Parse the response as JSON and check that ``items`` exists and is
+   non-empty — anonymous users can read (and by extension create) pods.
+"""
+
+from __future__ import annotations
+
+from repro.core.tsunami.plugin import DetectionReport, MavDetectionPlugin, PluginContext
+
+
+class KubernetesPlugin(MavDetectionPlugin):
+    slug = "kubernetes"
+    title = "Kubernetes API allows anonymous access"
+
+    def detect(self, context: PluginContext) -> DetectionReport | None:
+        root = context.fetch("/")
+        if root is None or root.status != 200:
+            return None
+        if "certificates.k8s.io" not in root.body or "healthz/ping" not in root.body:
+            return None
+        pods_response = context.fetch("/api/v1/pods")
+        if pods_response is None or pods_response.status != 200:
+            return None
+        squeezed = "".join(pods_response.body.split())
+        if '"phase":"Running"' not in squeezed:
+            return None
+        pods = context.fetch_json("/api/v1/pods")
+        if not isinstance(pods, dict):
+            return None
+        items = pods.get("items")
+        if not isinstance(items, list) or not items:
+            return None
+        return self.report(context, f"anonymous pod list returned {len(items)} pods")

@@ -1,0 +1,26 @@
+"""Nomad ACL-less API detection (after Table 10).
+
+The paper's published steps probe ``/v1/jobs`` and look for
+``<title>Nomad</title>``.  The two observations live on different
+endpoints in practice (the JSON API vs the bundled UI), so this plugin
+verifies both faithfully: the job list must be readable without an ACL
+token, and the UI must identify the product.
+"""
+
+from __future__ import annotations
+
+from repro.core.tsunami.plugin import DetectionReport, MavDetectionPlugin, PluginContext
+
+
+class NomadPlugin(MavDetectionPlugin):
+    slug = "nomad"
+    title = "Nomad API reachable without ACL token"
+
+    def detect(self, context: PluginContext) -> DetectionReport | None:
+        jobs = context.fetch_json("/v1/jobs")
+        if not isinstance(jobs, list):
+            return None
+        ui = context.fetch("/")
+        if ui is None or "<title>Nomad</title>" not in ui.body:
+            return None
+        return self.report(context, f"job list readable ({len(jobs)} jobs)")

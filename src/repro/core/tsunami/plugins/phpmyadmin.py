@@ -1,0 +1,30 @@
+"""phpMyAdmin empty-password detection (Table 10).
+
+1. Visit ``/`` and check for 'Server connection collation' and
+   'phpMyAdmin documentation' (the post-login server page; seeing it
+   without credentials means ``AllowNoPassword`` + empty root password).
+2. Otherwise repeat on ``/phpmyadmin``.
+
+Like the paper, the check never submits a login form — the vulnerable
+state is inferred from the page served to an anonymous GET.
+"""
+
+from __future__ import annotations
+
+from repro.core.tsunami.plugin import DetectionReport, MavDetectionPlugin, PluginContext
+
+_MARKERS = ("Server connection collation", "phpMyAdmin documentation")
+
+
+class PhpMyAdminPlugin(MavDetectionPlugin):
+    slug = "phpmyadmin"
+    title = "phpMyAdmin grants SQL access without a password"
+
+    def detect(self, context: PluginContext) -> DetectionReport | None:
+        for path in ("/", "/phpmyadmin"):
+            response = context.fetch(path)
+            if response is None or response.status != 200:
+                continue
+            if all(marker in response.body for marker in _MARKERS):
+                return self.report(context, f"server page served at {path}")
+        return None

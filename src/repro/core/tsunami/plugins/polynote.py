@@ -1,0 +1,23 @@
+"""Polynote detection (Table 10).
+
+1. Visit ``/``.
+2. Check for ``<title>Polynote</title>`` — Polynote has no
+   authentication, so a reachable instance is a vulnerable instance.
+"""
+
+from __future__ import annotations
+
+from repro.core.tsunami.plugin import DetectionReport, MavDetectionPlugin, PluginContext
+
+
+class PolynotePlugin(MavDetectionPlugin):
+    slug = "polynote"
+    title = "Polynote exposed (no authentication support)"
+
+    def detect(self, context: PluginContext) -> DetectionReport | None:
+        response = context.fetch("/")
+        if response is None or response.status != 200:
+            return None
+        if "<title>Polynote</title>" not in response.body:
+            return None
+        return self.report(context, "Polynote UI reachable")

@@ -1,0 +1,30 @@
+"""WordPress installation-hijack detection (Table 10).
+
+1. Visit ``/wp-admin/install.php?step=1``.
+2. Check that the body contains 'WordPress' and is valid HTML.
+3. Parse the HTML and verify that ``form#setup`` and
+   ``form#setup input#pass1`` exist — the page where the first visitor
+   chooses the admin password.
+"""
+
+from __future__ import annotations
+
+from repro.core.tsunami.htmlcheck import has_element, has_element_within, is_valid_html
+from repro.core.tsunami.plugin import DetectionReport, MavDetectionPlugin, PluginContext
+
+
+class WordPressPlugin(MavDetectionPlugin):
+    slug = "wordpress"
+    title = "WordPress installation can be hijacked"
+
+    def detect(self, context: PluginContext) -> DetectionReport | None:
+        response = context.fetch("/wp-admin/install.php?step=1")
+        if response is None or response.status != 200:
+            return None
+        if "WordPress" not in response.body or not is_valid_html(response.body):
+            return None
+        if not has_element(response.body, "form", "setup"):
+            return None
+        if not has_element_within(response.body, "form", "setup", "input", "pass1"):
+            return None
+        return self.report(context, "installation wizard serves the admin-password form")

@@ -1,0 +1,29 @@
+"""Apache Zeppelin detection (Table 10).
+
+1. Visit ``/api/notebook``.
+2. Check that the response contains ``{"status":"OK",`` — the notebook
+   list is readable, so anonymous users can create notes and run ``%sh``
+   paragraphs.
+"""
+
+from __future__ import annotations
+
+from repro.core.tsunami.plugin import DetectionReport, MavDetectionPlugin, PluginContext
+
+
+class ZeppelinPlugin(MavDetectionPlugin):
+    slug = "zeppelin"
+    title = "Zeppelin notebook API open to anonymous users"
+
+    def detect(self, context: PluginContext) -> DetectionReport | None:
+        response = context.fetch("/api/notebook")
+        if response is None or response.status != 200:
+            return None
+        if '{"status":"OK",' not in response.body:
+            return None
+        # Hardening beyond the published steps: verify it parses as the
+        # API's JSON envelope, so marker-stuffed HTML cannot spoof it.
+        payload = context.fetch_json("/api/notebook")
+        if not isinstance(payload, dict) or payload.get("status") != "OK":
+            return None
+        return self.report(context, "notebook list readable anonymously")

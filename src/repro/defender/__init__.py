@@ -1,0 +1,27 @@
+"""Defender-side security scanners (paper §5).
+
+Models the two commercial, industry-leading scanners the paper ran
+against its honeypots.  Their identities are withheld in the paper, so we
+model them as *Scanner 1* and *Scanner 2* with exactly the detection
+coverage the paper reports, implemented as genuine (but narrow) HTTP
+checks rather than hard-coded verdicts — the point the paper makes is
+that their plugin coverage, not their scanning machinery, is what lags.
+"""
+
+from repro.defender.scanners import (
+    CommercialScanner,
+    FindingSeverity,
+    ScannerFinding,
+    ScannerRun,
+    make_scanner_1,
+    make_scanner_2,
+)
+
+__all__ = [
+    "CommercialScanner",
+    "FindingSeverity",
+    "ScannerFinding",
+    "ScannerRun",
+    "make_scanner_1",
+    "make_scanner_2",
+]

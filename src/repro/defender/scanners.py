@@ -1,0 +1,183 @@
+"""Simulated commercial vulnerability scanners.
+
+Each scanner owns a set of *vulnerability checks* (real HTTP probes
+reusing our plugin logic for the applications its vendor supports) and a
+set of *informational fingerprints* (it can tell you the software is
+there but raises no vulnerability).  Scan speed is modelled too: the
+paper notes the second scanner took "several hours", long enough that
+honeypots were compromised mid-scan.
+
+Coverage is taken from §5:
+
+* Scanner 1 detects 5/18: Consul, Docker, Jupyter Notebook, WordPress,
+  Hadoop.
+* Scanner 2 detects 3/18: Consul, Docker, Jenkins — and flags Joomla,
+  phpMyAdmin, Kubernetes, Hadoop as informational findings only.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.prefilter import match_signatures
+from repro.core.tsunami.plugin import PluginContext
+from repro.core.tsunami.plugins import plugin_for
+from repro.net.http import Scheme
+from repro.net.ipv4 import IPv4Address
+from repro.net.transport import Transport
+from repro.util.clock import HOUR, MINUTE
+from repro.util.errors import TransportError
+
+
+class FindingSeverity(enum.Enum):
+    VULNERABILITY = "vulnerability"
+    INFORMATIONAL = "informational"
+
+
+@dataclass(frozen=True)
+class ScannerFinding:
+    scanner: str
+    target: str          # honeypot slug / host label
+    ip: IPv4Address
+    port: int
+    slug: str
+    severity: FindingSeverity
+    title: str
+
+
+@dataclass
+class ScannerRun:
+    """Results and cost of one scanner invocation."""
+
+    scanner: str
+    findings: list[ScannerFinding] = field(default_factory=list)
+    duration_seconds: float = 0.0
+    requests_sent: int = 0
+    #: per-target (start, end) offsets within the scan, in seconds —
+    #: the basis of the "too slow to beat the attackers" analysis
+    visit_windows: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    def detected_slugs(self) -> set[str]:
+        return {
+            f.slug for f in self.findings
+            if f.severity is FindingSeverity.VULNERABILITY
+        }
+
+    def informational_slugs(self) -> set[str]:
+        return {
+            f.slug for f in self.findings
+            if f.severity is FindingSeverity.INFORMATIONAL
+        }
+
+
+@dataclass
+class CommercialScanner:
+    """A commercial scanner with fixed plugin coverage."""
+
+    name: str
+    #: applications for which the vendor ships a MAV vulnerability check
+    vulnerability_coverage: frozenset[str]
+    #: applications only fingerprinted, never flagged as vulnerable
+    informational_coverage: frozenset[str]
+    #: simulated wall-clock cost per probe request
+    seconds_per_request: float = 0.5
+    #: extra per-host overhead (port enumeration, service discovery, ...)
+    seconds_per_host: float = 60.0
+
+    def scan_host(
+        self,
+        transport: Transport,
+        label: str,
+        ip: IPv4Address,
+        port: int,
+        scheme: Scheme = Scheme.HTTP,
+    ) -> ScannerRun:
+        """Scan a single host (one honeypot machine)."""
+        run = ScannerRun(scanner=self.name)
+        before = transport.stats.http_requests
+        run.duration_seconds += self.seconds_per_host
+
+        # Service discovery: what is running here?
+        try:
+            landing = transport.get(ip, port, "/", scheme)
+        except TransportError:
+            run.requests_sent = transport.stats.http_requests - before
+            run.duration_seconds += run.requests_sent * self.seconds_per_request
+            return run
+        candidates = match_signatures(landing.body)
+
+        for slug in candidates:
+            if slug in self.vulnerability_coverage:
+                plugin = plugin_for(slug)
+                if plugin is None:
+                    continue
+                context = PluginContext(transport, ip, port, scheme)
+                report = plugin.detect(context)
+                if report is not None:
+                    run.findings.append(
+                        ScannerFinding(
+                            scanner=self.name,
+                            target=label,
+                            ip=ip,
+                            port=port,
+                            slug=slug,
+                            severity=FindingSeverity.VULNERABILITY,
+                            title=report.title,
+                        )
+                    )
+            elif slug in self.informational_coverage:
+                run.findings.append(
+                    ScannerFinding(
+                        scanner=self.name,
+                        target=label,
+                        ip=ip,
+                        port=port,
+                        slug=slug,
+                        severity=FindingSeverity.INFORMATIONAL,
+                        title=f"{slug} service detected",
+                    )
+                )
+
+        run.requests_sent = transport.stats.http_requests - before
+        run.duration_seconds += run.requests_sent * self.seconds_per_request
+        return run
+
+    def scan_fleet(self, transport: Transport, targets: list[tuple[str, IPv4Address, int]]) -> ScannerRun:
+        """Scan many hosts sequentially; durations and findings accumulate."""
+        total = ScannerRun(scanner=self.name)
+        for label, ip, port in targets:
+            started = total.duration_seconds
+            run = self.scan_host(transport, label, ip, port)
+            total.findings.extend(run.findings)
+            total.duration_seconds += run.duration_seconds
+            total.requests_sent += run.requests_sent
+            total.visit_windows[label] = (started, total.duration_seconds)
+        return total
+
+
+def make_scanner_1() -> CommercialScanner:
+    """Scanner 1: 5/18 MAV checks, fast."""
+    return CommercialScanner(
+        name="Scanner 1",
+        vulnerability_coverage=frozenset(
+            {"consul", "docker", "jupyter-notebook", "wordpress", "hadoop"}
+        ),
+        informational_coverage=frozenset(),
+        seconds_per_request=0.3,
+        seconds_per_host=2 * MINUTE,
+    )
+
+
+def make_scanner_2() -> CommercialScanner:
+    """Scanner 2: 3/18 MAV checks, several informational rules, slow."""
+    return CommercialScanner(
+        name="Scanner 2",
+        vulnerability_coverage=frozenset({"consul", "docker", "jenkins"}),
+        informational_coverage=frozenset(
+            {"joomla", "phpmyadmin", "kubernetes", "hadoop"}
+        ),
+        seconds_per_request=2.0,
+        # "the entire scan took several hours to complete"
+        seconds_per_host=0.5 * HOUR,
+    )

@@ -1,0 +1,102 @@
+"""Command-line entry point: ``repro-study``.
+
+Examples::
+
+    repro-study --experiment scan --scale tiny
+    repro-study --experiment full --scale default --out report.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import StudyConfig
+from repro.experiments.defenders import run_defender_study
+from repro.experiments.full_study import run_full_study
+from repro.experiments.honeypots import run_honeypot_study
+from repro.experiments.observe import run_observer_study
+from repro.experiments.scan import run_scan_study
+
+_SCALES = {
+    "tiny": StudyConfig.tiny,
+    "default": StudyConfig.default,
+    "paper": StudyConfig.paper,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description="Reproduce the MAV measurement study (IMC 2022).",
+    )
+    parser.add_argument(
+        "--experiment",
+        choices=("full", "scan", "observe", "honeypot", "defender",
+                 "ct-race", "vhosts", "packet-loss"),
+        default="full",
+    )
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="default")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--markdown", action="store_true",
+                        help="render the full report as markdown")
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the report to this file instead of stdout")
+    return parser
+
+
+def _run(experiment: str, config: StudyConfig, markdown: bool = False) -> str:
+    if experiment == "full":
+        study = run_full_study(config)
+        return study.render_markdown() if markdown else study.render()
+    if experiment == "scan":
+        study = run_scan_study(config)
+        return "\n\n".join(
+            [study.table2().render(), study.table3().render(),
+             study.table4().render(), study.figure1().render()]
+        )
+    if experiment == "observe":
+        study = run_scan_study(config)
+        observer = run_observer_study(study)
+        return observer.figure2().render()
+    if experiment == "honeypot":
+        study = run_honeypot_study(config)
+        return "\n\n".join(
+            [study.table5().render(), study.table6().render(),
+             study.figure3().render(), study.figure4().render(),
+             study.table7().render(), study.table8().render()]
+        )
+    if experiment == "defender":
+        return run_defender_study().table().render()
+    if experiment == "ct-race":
+        from repro.experiments.ct_race import run_ct_race
+
+        return run_ct_race().table().render()
+    if experiment == "vhosts":
+        from repro.experiments.vhosts import run_vhost_study
+
+        return run_vhost_study().table().render()
+    if experiment == "packet-loss":
+        from repro.experiments.packet_loss import run_packet_loss_study
+
+        return run_packet_loss_study().table().render()
+    raise ValueError(f"unknown experiment {experiment!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = _SCALES[args.scale]()
+    if args.seed is not None:
+        config = config.with_seed(args.seed)
+    report = _run(args.experiment, config, markdown=args.markdown)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report + "\n")
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

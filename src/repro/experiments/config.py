@@ -1,0 +1,63 @@
+"""Shared experiment configuration.
+
+One :class:`StudyConfig` parameterises every study so the full pipeline
+can run at three natural sizes:
+
+* ``tiny()`` — seconds; unit/integration tests;
+* ``default()`` — tens of seconds; benchmarks and examples;
+* ``paper()`` — all 4,221 vulnerable hosts at rate 1.0 and a denser
+  background, matching the published population most closely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.net.population import PopulationModel
+from repro.util.clock import HOUR, WEEK
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Knobs shared by the four studies."""
+
+    seed: int = 20210603
+    population: PopulationModel = field(default_factory=PopulationModel)
+    #: observation window of the longevity and honeypot studies
+    observation_window: float = 4 * WEEK
+    #: re-scan interval of the observer
+    rescan_interval: float = 3 * HOUR
+    #: fingerprint during the initial scan?
+    fingerprint: bool = True
+    attack_seed: int = 7
+
+    @classmethod
+    def tiny(cls) -> "StudyConfig":
+        """Second-scale config for tests."""
+        return cls(
+            population=PopulationModel(
+                awe_rate=0.002, vuln_rate=0.05, background_rate=2e-7
+            ),
+            rescan_interval=12 * HOUR,
+        )
+
+    @classmethod
+    def default(cls) -> "StudyConfig":
+        """Bench-scale config: all MAVs, sampled secure population."""
+        return cls(
+            population=PopulationModel(
+                awe_rate=0.01, vuln_rate=1.0, background_rate=2e-6
+            ),
+        )
+
+    @classmethod
+    def paper(cls) -> "StudyConfig":
+        """Closest to the published study (slower)."""
+        return cls(
+            population=PopulationModel(
+                awe_rate=0.02, vuln_rate=1.0, background_rate=5e-6
+            ),
+        )
+
+    def with_seed(self, seed: int) -> "StudyConfig":
+        return replace(self, seed=seed, population=replace(self.population, seed=seed))

@@ -1,0 +1,182 @@
+"""Extension experiment: CT-log monitoring vs IPv4 sweeping (§6.2).
+
+The paper observes that its IP-based scan *under-counts* short-lived
+installation-hijack windows, and that attackers could do better than
+full sweeps by watching Certificate Transparency logs for fresh
+deployments.  This experiment quantifies that race:
+
+* a stream of fresh WordPress deployments appears over the window; each
+  obtains a CA-issued certificate (published to CT) the moment it comes
+  online, and its owner finishes the installation after an exponential
+  delay — closing the hijack window;
+* a **sweep attacker** rescans the full IPv4 space on a fixed period
+  (the paper's fastest observed attackers need hours per pass), so each
+  deployment is first probed at a uniformly-random phase of the sweep;
+* a **CT attacker** polls the log every few minutes and probes each new
+  domain immediately.
+
+Both attackers *verify* with the real WordPress detection plugin before
+"compromising" anything — the probe path is the production pipeline's.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from statistics import median
+
+from repro.apps.base import AppInstance
+from repro.apps.catalog import create_instance
+from repro.core.tsunami.plugin import PluginContext
+from repro.core.tsunami.plugins import plugin_for
+from repro.net.ct import CertificateTransparencyLog
+from repro.net.host import Host, HostKind, Service
+from repro.net.http import Scheme
+from repro.net.network import SimulatedInternet, allocate_addresses
+from repro.net.tls import issue_certificate
+from repro.net.transport import InMemoryTransport
+from repro.util.clock import DAY, HOUR, MINUTE
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class CtRaceConfig:
+    seed: int = 404
+    window: float = 7 * DAY
+    #: fresh deployments appearing during the window
+    deployments: int = 400
+    #: mean time until the owner completes the installation
+    completion_mean: float = 6 * HOUR
+    #: full-IPv4 sweep duration of the sweeping attacker
+    sweep_period: float = 24 * HOUR
+    #: CT monitor poll interval
+    ct_poll: float = 5 * MINUTE
+
+
+@dataclass(frozen=True)
+class _Deployment:
+    ip_value: int
+    appears_at: float
+    completes_at: float
+    domain: str
+
+
+@dataclass
+class StrategyOutcome:
+    name: str
+    hijacked: int = 0
+    missed: int = 0
+    discovery_delays: list[float] = field(default_factory=list)
+
+    @property
+    def hijack_rate(self) -> float:
+        total = self.hijacked + self.missed
+        return self.hijacked / total if total else 0.0
+
+    @property
+    def median_delay(self) -> float:
+        return median(self.discovery_delays) if self.discovery_delays else float("inf")
+
+
+@dataclass
+class CtRaceResult:
+    config: CtRaceConfig
+    sweep: StrategyOutcome
+    ct: StrategyOutcome
+    log_size: int
+
+    def table(self) -> Table:
+        table = Table(
+            "Extension: discovery race — CT monitoring vs IPv4 sweeping",
+            ("Strategy", "Hijacked", "Missed", "Hijack rate", "Median delay (h)"),
+        )
+        for outcome in (self.sweep, self.ct):
+            table.add_row(
+                outcome.name,
+                outcome.hijacked,
+                outcome.missed,
+                f"{outcome.hijack_rate:.0%}",
+                round(outcome.median_delay / HOUR, 2),
+            )
+        return table
+
+
+def _probe_is_vulnerable(transport: InMemoryTransport, ip_value: int) -> bool:
+    """Verify with the production WordPress plugin (GET-only)."""
+    from repro.net.ipv4 import IPv4Address
+
+    plugin = plugin_for("wordpress")
+    context = PluginContext(transport, IPv4Address(ip_value), 443, Scheme.HTTPS)
+    return plugin.detect(context) is not None
+
+
+def run_ct_race(config: CtRaceConfig | None = None) -> CtRaceResult:
+    """Run the race and report per-strategy outcomes."""
+    config = config or CtRaceConfig()
+    rng = random.Random(config.seed)
+
+    internet = SimulatedInternet()
+    ct_log = CertificateTransparencyLog()
+    taken: set[int] = set()
+
+    # Generate the deployment stream (time-ordered for the CT log).
+    deployments: list[_Deployment] = []
+    appear_times = sorted(rng.uniform(0, config.window) for _ in range(config.deployments))
+    for appears_at in appear_times:
+        ip = allocate_addresses(rng, 1, taken)[0]
+        certificate = issue_certificate(rng, issued_at=appears_at,
+                                        self_signed_chance=0.0)
+        ct_log.submit(certificate, appears_at)
+        app = create_instance("wordpress", vulnerable=True)
+        host = Host(ip, HostKind.AWE)
+        host.add_service(
+            Service(443, frozenset({Scheme.HTTPS}),
+                    app=AppInstance(app, 443, tls=True), certificate=certificate)
+        )
+        internet.add_host(host)
+        completes_at = appears_at + rng.expovariate(1.0 / config.completion_mean)
+        deployments.append(
+            _Deployment(ip.value, appears_at, completes_at,
+                        certificate.contact_domain() or "")
+        )
+
+    transport = InMemoryTransport(internet)
+
+    def attempt(outcome: StrategyOutcome, deployment: _Deployment,
+                discovered_at: float) -> None:
+        from repro.net.ipv4 import IPv4Address
+
+        host = internet.host_at(IPv4Address(deployment.ip_value))
+        # Owner finishes the install at completes_at: flip state lazily.
+        app = host.apps()[0].app
+        if discovered_at >= deployment.completes_at and app.is_vulnerable():
+            app.complete_installation("owner-password")
+        if _probe_is_vulnerable(transport, deployment.ip_value):
+            outcome.hijacked += 1
+            outcome.discovery_delays.append(discovered_at - deployment.appears_at)
+            # Reset for the other strategy's independent attempt.
+            app.config["installed"] = False
+            app.config.pop("admin_password", None)
+        else:
+            outcome.missed += 1
+            app.config["installed"] = False
+            app.config.pop("admin_password", None)
+
+    # Strategy 1: the full-IPv4 sweeper.  A deployment appearing at t is
+    # first visited at the sweep's next pass over its address — a uniform
+    # phase in [0, period).
+    sweep = StrategyOutcome("ipv4-sweep")
+    for deployment in deployments:
+        phase = rng.uniform(0, config.sweep_period)
+        discovered_at = deployment.appears_at + phase
+        attempt(sweep, deployment, discovered_at)
+
+    # Strategy 2: the CT monitor.  Deployments surface at the next poll.
+    ct = StrategyOutcome("ct-monitor")
+    for deployment in deployments:
+        next_poll = (
+            (deployment.appears_at // config.ct_poll) + 1
+        ) * config.ct_poll
+        attempt(ct, deployment, next_poll)
+
+    return CtRaceResult(config=config, sweep=sweep, ct=ct, log_size=len(ct_log))

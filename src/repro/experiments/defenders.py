@@ -1,0 +1,99 @@
+"""The defender-awareness study (paper §5).
+
+Runs the two simulated commercial scanners against a fresh honeypot
+fleet (all 18 applications in their vulnerable state) and reports which
+MAVs each scanner detects, which it only fingerprints, and how long the
+scan takes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import scanner_table
+from repro.apps.base import AppInstance
+from repro.defender.scanners import (
+    CommercialScanner,
+    ScannerRun,
+    make_scanner_1,
+    make_scanner_2,
+)
+from repro.honeypot.fleet import HoneypotFleet
+from repro.net.host import Host, HostKind, Service
+from repro.net.http import Scheme
+from repro.net.network import SimulatedInternet
+from repro.net.transport import InMemoryTransport
+from repro.util.tables import Table
+
+
+@dataclass
+class DefenderStudy:
+    """Scanner runs plus derived coverage sets."""
+
+    runs: dict[str, ScannerRun]
+
+    def detections(self) -> dict[str, set[str]]:
+        return {name: run.detected_slugs() for name, run in self.runs.items()}
+
+    def informational(self) -> dict[str, set[str]]:
+        return {name: run.informational_slugs() for name, run in self.runs.items()}
+
+    def table(self) -> Table:
+        return scanner_table(self.detections(), self.informational())
+
+    def detected_count(self, scanner: str) -> int:
+        return len(self.runs[scanner].detected_slugs())
+
+
+def _fleet_as_network(fleet: HoneypotFleet) -> SimulatedInternet:
+    """Expose the honeypot machines as scannable network hosts."""
+    internet = SimulatedInternet()
+    for machine in fleet.machines.values():
+        host = Host(machine.ip, HostKind.AWE)
+        host.add_service(
+            Service(
+                machine.port,
+                frozenset({Scheme.HTTP}),
+                app=AppInstance(machine.app, machine.port),
+            )
+        )
+        internet.add_host(host)
+    return internet
+
+
+def mid_scan_compromises(attacks, run: ScannerRun, scan_started_at: float = 0.0) -> int:
+    """Attacks that landed before the scanner finished each honeypot.
+
+    The paper's §5 anecdote: Scanner 2's hours-long scan was overtaken by
+    live exploitation.  An attack "beats" the scanner when it hits a
+    honeypot before the scanner completed that honeypot's visit.
+    """
+    beaten = 0
+    for attack in attacks:
+        window = run.visit_windows.get(attack.honeypot)
+        if window is None:
+            continue
+        visit_end = scan_started_at + window[1]
+        if attack.start < visit_end:
+            beaten += 1
+    return beaten
+
+
+def run_defender_study(
+    fleet: HoneypotFleet | None = None,
+    scanners: list[CommercialScanner] | None = None,
+) -> DefenderStudy:
+    """Point the commercial scanners at the (vulnerable) honeypots."""
+    if fleet is None:
+        fleet = HoneypotFleet.deploy()
+        fleet.go_live()
+    internet = _fleet_as_network(fleet)
+    targets = [
+        (machine.name, machine.ip, machine.port)
+        for machine in fleet.machines.values()
+    ]
+    runs: dict[str, ScannerRun] = {}
+    for scanner in scanners or [make_scanner_1(), make_scanner_2()]:
+        transport = InMemoryTransport(internet)
+        runs[scanner.name] = scanner.scan_fleet(transport, targets)
+    return DefenderStudy(runs=runs)

@@ -1,0 +1,123 @@
+"""The honeypot study (paper §4).
+
+Deploys the 18 honeypots, generates the calibrated four-week attack
+schedule, and replays it through the monitored fleet on a simulated
+clock, with containment sweeps every 15 minutes (resource thresholds) and
+availability restores after every event (trust-on-first-use traps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.attacks import (
+    Attack,
+    AttackerCluster,
+    cluster_attackers,
+    group_attacks,
+    top_attacker_share,
+)
+from repro.analysis.figures import Figure3, Figure4
+from repro.analysis.tables import table5, table6, table7, table8
+from repro.attacker.engine import AttackSchedule, build_schedule, execute_event
+from repro.experiments.config import StudyConfig
+from repro.honeypot.fleet import HoneypotFleet
+from repro.net.geo import GeoDatabase
+from repro.util.clock import MINUTE, SimClock
+from repro.util.tables import Table
+
+
+@dataclass
+class HoneypotStudy:
+    """Results of the four-week honeypot deployment."""
+
+    fleet: HoneypotFleet
+    schedule: AttackSchedule
+    geo: GeoDatabase
+    attacks: list[Attack]
+    clusters: list[AttackerCluster]
+    delivered_events: int
+    dropped_events: int
+
+    def table5(self) -> Table:
+        return table5(self.attacks)
+
+    def table6(self) -> Table:
+        return table6(self.attacks)
+
+    def table7(self) -> Table:
+        return table7(self.attacks, self.geo)
+
+    def table8(self) -> Table:
+        return table8(self.attacks, self.geo)
+
+    def figure3(self) -> Figure3:
+        return Figure3.build(self.attacks)
+
+    def figure4(self) -> Figure4:
+        return Figure4.build(self.clusters)
+
+    def top_share(self, top: int) -> float:
+        return top_attacker_share(self.clusters, top)
+
+    def attacked_applications(self) -> set[str]:
+        return {attack.honeypot for attack in self.attacks}
+
+
+def run_honeypot_study(
+    config: StudyConfig | None = None,
+    geo: GeoDatabase | None = None,
+    taken_ips: set[int] | None = None,
+) -> HoneypotStudy:
+    """Deploy, expose, and observe the honeypot fleet for four weeks."""
+    config = config or StudyConfig.default()
+    geo = geo if geo is not None else GeoDatabase()
+
+    fleet = HoneypotFleet.deploy()
+    fleet.go_live()
+
+    schedule = build_schedule(
+        seed=config.attack_seed,
+        duration=config.observation_window,
+        geo=geo,
+        taken_ips=taken_ips,
+    )
+
+    clock = SimClock()
+    delivered = 0
+    dropped = 0
+
+    def containment_tick() -> None:
+        fleet.containment_sweep(clock.now)
+        if clock.now + 15 * MINUTE <= config.observation_window:
+            clock.schedule(15 * MINUTE, containment_tick)
+
+    def fire(event) -> None:
+        nonlocal delivered, dropped
+        if execute_event(fleet, event):
+            delivered += 1
+        else:
+            dropped += 1
+        # Availability monitoring notices one-shot traps immediately and
+        # restores them so the next attacker finds a fresh installation.
+        fleet.availability_sweep()
+
+    clock.schedule(15 * MINUTE, containment_tick)
+    for event in schedule.events:
+        clock.schedule_at(event.time, lambda event=event: fire(event))
+    clock.run_until(config.observation_window)
+
+    fleet.log.verify_integrity()
+    audit_events = fleet.log.audit_events()
+    attacks = group_attacks(audit_events)
+    clusters = cluster_attackers(attacks)
+
+    return HoneypotStudy(
+        fleet=fleet,
+        schedule=schedule,
+        geo=geo,
+        attacks=attacks,
+        clusters=clusters,
+        delivered_events=delivered,
+        dropped_events=dropped,
+    )

@@ -1,0 +1,158 @@
+"""Extension experiment: virtual-host under-counting (§6.2).
+
+"We conducted our scan only on IP addresses and not domain names, thus,
+e.g., missing applications running on shared hosting services that are
+distinguished by the Host header.  Overall, our scanning results should
+thus be seen as a lower bound."
+
+This experiment quantifies that lower bound: it generates shared-hosting
+servers where one IP fronts many name-based virtual hosts (a default
+site plus hidden tenants, some mid-installation and hijackable), then
+measures three observers:
+
+* the **IP scan** — the paper's pipeline, no Host header: it only ever
+  sees each IP's default site;
+* the **domain-aware scan** — the same probes sent once per known domain
+  (a zone-file / CT-derived list) with the Host header set;
+* **ground truth** from the simulator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.apps.base import AppInstance
+from repro.apps.catalog import create_instance
+from repro.core.tsunami.plugin import PluginContext
+from repro.core.tsunami.plugins import plugin_for
+from repro.net.host import Host, HostKind, Service
+from repro.net.http import HttpRequest, Scheme
+from repro.net.ipv4 import IPv4Address
+from repro.net.network import SimulatedInternet, allocate_addresses
+from repro.net.tls import generate_domain
+from repro.net.transport import InMemoryTransport
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class VhostStudyConfig:
+    seed: int = 2606
+    shared_hosts: int = 120
+    #: tenants per shared-hosting IP (in addition to the default site)
+    tenants_per_host: int = 8
+    #: probability that any given site is a hijackable fresh install
+    vulnerable_share: float = 0.04
+
+
+@dataclass
+class VhostStudyResult:
+    config: VhostStudyConfig
+    true_vulnerable_sites: int
+    ip_scan_found: int
+    domain_scan_found: int
+
+    @property
+    def undercount_factor(self) -> float:
+        """How many real MAVs exist per MAV the IP scan reports."""
+        if self.ip_scan_found == 0:
+            return float("inf")
+        return self.true_vulnerable_sites / self.ip_scan_found
+
+    def table(self) -> Table:
+        table = Table(
+            "Extension: vhost under-counting — IP scan vs domain-aware scan",
+            ("Observer", "Vulnerable sites found", "Recall"),
+        )
+        truth = self.true_vulnerable_sites or 1
+        table.add_row("ground truth", self.true_vulnerable_sites, "100%")
+        table.add_row(
+            "ip-scan (paper)", self.ip_scan_found,
+            f"{self.ip_scan_found / truth:.0%}",
+        )
+        table.add_row(
+            "domain-aware scan", self.domain_scan_found,
+            f"{self.domain_scan_found / truth:.0%}",
+        )
+        return table
+
+
+class _HostAwareRequestShim:
+    """Wraps a transport so plugin GETs carry a fixed Host header.
+
+    The production plugins build plain GETs; for the domain-aware scan
+    we inject the Host header at the transport boundary — exactly where
+    a domain-based scanner would set it.
+    """
+
+    def __init__(self, transport: InMemoryTransport, host_header: str) -> None:
+        self._transport = transport
+        self._host_header = host_header
+
+    def get(self, ip, port, path, scheme=Scheme.HTTP, follow_redirects=5):
+        request = HttpRequest(
+            "GET", path, headers={"host": self._host_header}, scheme=scheme
+        )
+        return self._transport.request(ip, port, scheme, request)
+
+    def __getattr__(self, name):
+        return getattr(self._transport, name)
+
+
+def _build_population(config: VhostStudyConfig):
+    rng = random.Random(config.seed)
+    internet = SimulatedInternet()
+    taken: set[int] = set()
+    domains: list[tuple[str, IPv4Address]] = []
+    truth = 0
+
+    def make_site() -> AppInstance:
+        nonlocal truth
+        vulnerable = rng.random() < config.vulnerable_share
+        if vulnerable:
+            truth += 1
+        app = create_instance("wordpress", vulnerable=vulnerable)
+        return AppInstance(app, 80)
+
+    for _ in range(config.shared_hosts):
+        ip = allocate_addresses(rng, 1, taken)[0]
+        host = Host(ip, HostKind.AWE)
+        default_site = make_site()
+        vhosts: dict[str, AppInstance] = {}
+        for _tenant in range(config.tenants_per_host):
+            domain = generate_domain(rng)
+            vhosts[domain] = make_site()
+            domains.append((domain, ip))
+        host.add_service(Service(80, app=default_site, vhosts=vhosts))
+        internet.add_host(host)
+    return internet, domains, truth
+
+
+def run_vhost_study(config: VhostStudyConfig | None = None) -> VhostStudyResult:
+    config = config or VhostStudyConfig()
+    internet, domains, truth = _build_population(config)
+    transport = InMemoryTransport(internet)
+    plugin = plugin_for("wordpress")
+
+    # Observer 1: the paper's IP scan (no Host header -> default site).
+    ip_found = 0
+    for host in internet.hosts():
+        context = PluginContext(transport, host.ip, 80, Scheme.HTTP)
+        if plugin.detect(context) is not None:
+            ip_found += 1
+
+    # Observer 2: domain-aware scan over the known-domain list, plus the
+    # default sites the IP scan already covers.
+    domain_found = ip_found
+    for domain, ip in domains:
+        shim = _HostAwareRequestShim(transport, domain)
+        context = PluginContext(shim, ip, 80, Scheme.HTTP)
+        if plugin.detect(context) is not None:
+            domain_found += 1
+
+    return VhostStudyResult(
+        config=config,
+        true_vulnerable_sites=truth,
+        ip_scan_found=ip_found,
+        domain_scan_found=domain_found,
+    )

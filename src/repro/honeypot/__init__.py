@@ -1,0 +1,29 @@
+"""High-interaction honeypot infrastructure (paper §4).
+
+Eighteen vulnerable application deployments, each wrapped in a
+:class:`~repro.honeypot.machine.HoneypotMachine` with snapshot/restore, a
+Packetbeat/Auditbeat-style :class:`~repro.honeypot.monitor.BeatsMonitor`
+shipping to an append-only :class:`~repro.honeypot.logstore.CentralLogStore`,
+an out-of-band :class:`~repro.honeypot.resource.ResourceMonitor`, and a
+:class:`~repro.honeypot.fleet.HoneypotFleet` that restores compromised
+machines from their snapshots.
+"""
+
+from repro.honeypot.machine import HoneypotMachine, Snapshot
+from repro.honeypot.monitor import AuditEvent, BeatsMonitor, NetworkEvent
+from repro.honeypot.logstore import CentralLogStore, LogRecord
+from repro.honeypot.resource import ResourceMonitor, ResourceSample
+from repro.honeypot.fleet import HoneypotFleet
+
+__all__ = [
+    "HoneypotMachine",
+    "Snapshot",
+    "AuditEvent",
+    "BeatsMonitor",
+    "NetworkEvent",
+    "CentralLogStore",
+    "LogRecord",
+    "ResourceMonitor",
+    "ResourceSample",
+    "HoneypotFleet",
+]

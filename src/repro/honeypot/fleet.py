@@ -1,0 +1,117 @@
+"""The honeypot fleet: 18 machines plus monitoring and restore logic.
+
+Mirrors the paper's deployment: one machine per vulnerable application,
+each with a static IP, Packetbeat+Auditbeat shipping to the central log,
+an out-of-band resource monitor, and automatic snapshot restore when a
+compromise consumes resources or breaks the trap's re-exploitability
+(trust-on-first-use applications are restored as soon as they are
+hijacked, so multiple attacks remain observable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.catalog import create_instance, in_scope_apps
+from repro.honeypot.logstore import CentralLogStore
+from repro.honeypot.machine import HoneypotMachine
+from repro.honeypot.monitor import BeatsMonitor
+from repro.honeypot.resource import ResourceMonitor
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.ipv4 import IPv4Address
+from repro.util.errors import ConfigError, TransportError
+
+
+@dataclass
+class HoneypotFleet:
+    """All honeypots, addressable by application slug."""
+
+    log: CentralLogStore = field(default_factory=CentralLogStore)
+    resources: ResourceMonitor = field(default_factory=ResourceMonitor)
+    machines: dict[str, HoneypotMachine] = field(default_factory=dict)
+    monitors: dict[str, BeatsMonitor] = field(default_factory=dict)
+
+    @classmethod
+    def deploy(cls, base_ip: str = "198.51.100.0") -> "HoneypotFleet":
+        """Install the 18 in-scope applications in a vulnerable state.
+
+        Each gets a dedicated machine and static IP.  Machines come up
+        firewalled; call :meth:`go_live` once setup is complete.
+        """
+        fleet = cls()
+        base = IPv4Address.parse(base_ip).value
+        for offset, spec in enumerate(in_scope_apps(), start=1):
+            app = create_instance(spec.slug, vulnerable=True)
+            machine = HoneypotMachine(
+                name=spec.slug,
+                ip=IPv4Address(base + offset),
+                port=spec.default_ports[0],
+                app=app,
+            )
+            fleet.machines[spec.slug] = machine
+            fleet.monitors[spec.slug] = BeatsMonitor(machine, fleet.log)
+        return fleet
+
+    def go_live(self) -> None:
+        """Snapshot every machine and drop the setup firewall."""
+        for machine in self.machines.values():
+            machine.finalize()
+
+    def machine(self, slug: str) -> HoneypotMachine:
+        try:
+            return self.machines[slug]
+        except KeyError:
+            raise ConfigError(f"no honeypot for {slug!r}") from None
+
+    def deliver(
+        self, slug: str, timestamp: float, source_ip: IPv4Address, request: HttpRequest
+    ) -> HttpResponse | None:
+        """Deliver attacker traffic; None if the machine is unreachable."""
+        monitor = self.monitors.get(slug)
+        if monitor is None:
+            raise ConfigError(f"no honeypot for {slug!r}")
+        try:
+            return monitor.deliver(timestamp, source_ip, request)
+        except TransportError:
+            return None
+
+    # -- availability & containment ----------------------------------------
+
+    def apply_payload_load(self, slug: str, cpu: float, network: float) -> None:
+        self.resources.apply_load(slug, cpu, network)
+
+    def containment_sweep(self, timestamp: float) -> list[str]:
+        """Shut down and restore machines whose resource use spiked.
+
+        Returns the slugs restored in this sweep.
+        """
+        over = self.resources.machines_over_threshold(
+            timestamp, list(self.machines)
+        )
+        for slug in over:
+            self.restore(slug)
+        return over
+
+    def availability_sweep(self) -> list[str]:
+        """Restore honeypots that stopped being exploitable.
+
+        Detects attacks that 'fix' the application (completed CMS install,
+        vigilante shutdown) and restores the snapshot so further attacks
+        stay observable.
+        """
+        restored = []
+        for slug, machine in self.machines.items():
+            if not machine.firewalled and not machine.is_vulnerable():
+                self.restore(slug)
+                restored.append(slug)
+        return restored
+
+    def restore(self, slug: str) -> None:
+        machine = self.machine(slug)
+        machine.restore()
+        self.resources.clear(slug)
+        # The restored machine is re-instrumented.
+        self.monitors[slug] = BeatsMonitor(machine, self.log)
+
+    def total_restores(self) -> int:
+        return sum(machine.restore_count for machine in self.machines.values())

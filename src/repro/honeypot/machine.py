@@ -1,0 +1,82 @@
+"""One honeypot machine: a vulnerable application plus snapshot/restore.
+
+The paper installs each application on a dedicated cloud server, takes a
+snapshot of the finalised honeypot, and restores it whenever a compromise
+is detected — essential because several MAVs (trust-on-first-use
+installations) can only be exploited once.
+
+A machine also models the out-of-band firewall: during setup all incoming
+requests are blocked, so no attacker can interact with a half-configured
+honeypot.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.apps.base import WebApplication
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.ipv4 import IPv4Address
+from repro.util.errors import ConnectionTimeout, SnapshotError
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A full copy of the application state at snapshot time."""
+
+    version: str
+    config: dict[str, object]
+
+
+@dataclass
+class HoneypotMachine:
+    """A vulnerable application instance on a dedicated (simulated) server."""
+
+    name: str
+    ip: IPv4Address
+    port: int
+    app: WebApplication
+    cpu_cores: int = 2
+    memory_gb: int = 8
+    firewalled: bool = True  # blocked until setup completes
+    snapshot: Snapshot | None = None
+    restore_count: int = 0
+    #: cumulative requests seen (availability monitoring)
+    requests_seen: int = 0
+
+    @property
+    def slug(self) -> str:
+        return self.app.slug
+
+    def take_snapshot(self) -> Snapshot:
+        """Snapshot the finalised honeypot before exposing it."""
+        self.snapshot = Snapshot(self.app.version, copy.deepcopy(self.app.config))
+        return self.snapshot
+
+    def finalize(self) -> None:
+        """Snapshot and open the firewall: the honeypot goes live."""
+        self.take_snapshot()
+        self.firewalled = False
+
+    def restore(self) -> None:
+        """Restore the machine from its snapshot after a compromise."""
+        if self.snapshot is None:
+            raise SnapshotError(f"{self.name}: no snapshot to restore from")
+        app_type = type(self.app)
+        self.app = app_type(self.snapshot.version, copy.deepcopy(self.snapshot.config))
+        self.restore_count += 1
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Deliver one request to the honeypot application."""
+        if self.firewalled:
+            raise ConnectionTimeout(f"{self.name} is firewalled during setup")
+        self.requests_seen += 1
+        return self.app.handle(request)
+
+    def is_vulnerable(self) -> bool:
+        return self.app.is_vulnerable()
+
+    def __repr__(self) -> str:
+        state = "firewalled" if self.firewalled else "live"
+        return f"<HoneypotMachine {self.name} {self.ip}:{self.port} {state}>"

@@ -1,0 +1,98 @@
+"""Packetbeat/Auditbeat-style monitoring.
+
+Two taps, mirroring the paper's deployment:
+
+* the **network tap** (Packetbeat) records every HTTP transaction read
+  straight off the interface — including POST bodies and the WebSocket-
+  equivalent traffic that never reaches web-server logs;
+* the **audit tap** (Auditbeat) reads the kernel audit stream and records
+  process executions with their arguments.
+
+Both taps ship their events to the central log immediately; nothing is
+buffered on the (compromisable) honeypot itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import CommandExecution
+from repro.honeypot.logstore import CentralLogStore
+from repro.honeypot.machine import HoneypotMachine
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.ipv4 import IPv4Address
+
+
+@dataclass(frozen=True)
+class NetworkEvent:
+    """One HTTP transaction as Packetbeat would report it."""
+
+    honeypot: str
+    timestamp: float
+    source_ip: IPv4Address
+    method: str
+    path: str
+    request_body: str
+    status: int
+
+    @property
+    def kind(self) -> str:
+        return "network"
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One process execution as Auditbeat would report it."""
+
+    honeypot: str
+    timestamp: float
+    source_ip: IPv4Address
+    command: str
+    via: str          # web endpoint that triggered the execve
+    mechanism: str    # terminal, build-step, container, ...
+    payload_fingerprint: int
+
+    @property
+    def kind(self) -> str:
+        return "audit"
+
+
+class BeatsMonitor:
+    """Wraps a honeypot machine and ships events to the central log."""
+
+    def __init__(self, machine: HoneypotMachine, log: CentralLogStore) -> None:
+        self.machine = machine
+        self.log = log
+
+    def deliver(
+        self, timestamp: float, source_ip: IPv4Address, request: HttpRequest
+    ) -> HttpResponse:
+        """Pass attacker traffic through the taps into the honeypot."""
+        response = self.machine.handle(request)
+        self.log.append(
+            NetworkEvent(
+                honeypot=self.machine.name,
+                timestamp=timestamp,
+                source_ip=source_ip,
+                method=request.method,
+                path=request.path,
+                request_body=request.body,
+                status=response.status,
+            )
+        )
+        for execution in self.machine.app.drain_executions():
+            self.log.append(self._audit_event(timestamp, source_ip, execution))
+        return response
+
+    def _audit_event(
+        self, timestamp: float, source_ip: IPv4Address, execution: CommandExecution
+    ) -> AuditEvent:
+        return AuditEvent(
+            honeypot=self.machine.name,
+            timestamp=timestamp,
+            source_ip=source_ip,
+            command=execution.command,
+            via=execution.via,
+            mechanism=execution.mechanism,
+            payload_fingerprint=execution.payload_fingerprint,
+        )

@@ -1,0 +1,72 @@
+"""Out-of-band resource monitoring (the paper's abuse brake).
+
+"We implemented a resource monitor to observe CPU and network bandwidth
+usage ... Once a threshold was exceeded, we shut down the honeypot and
+restored the initial state."  Crucially, the monitor runs in the cloud
+provider's control plane — an attacker with root on the honeypot cannot
+disable it.
+
+Payloads attach a resource profile (a cryptominer pins the CPU, a DDoS
+bot saturates the uplink); the monitor samples usage and reports machines
+exceeding their thresholds so the fleet can restore them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    timestamp: float
+    machine: str
+    cpu_percent: float
+    network_mbps: float
+
+
+@dataclass
+class ResourceMonitor:
+    """Threshold monitor; thresholds derive from pre-exposure baselines."""
+
+    cpu_threshold: float = 80.0
+    network_threshold_mbps: float = 50.0
+    #: current simulated load per machine name
+    _cpu: dict[str, float] = field(default_factory=dict)
+    _network: dict[str, float] = field(default_factory=dict)
+    samples: list[ResourceSample] = field(default_factory=list)
+    #: SSH egress is blocked out-of-band for every machine
+    ssh_egress_blocked: bool = True
+
+    def apply_load(self, machine: str, cpu_percent: float, network_mbps: float) -> None:
+        """A payload started consuming resources on ``machine``."""
+        self._cpu[machine] = self._cpu.get(machine, 0.0) + cpu_percent
+        self._network[machine] = self._network.get(machine, 0.0) + network_mbps
+
+    def clear(self, machine: str) -> None:
+        """Machine was restored from snapshot: load is gone."""
+        self._cpu.pop(machine, None)
+        self._network.pop(machine, None)
+
+    def sample(self, timestamp: float, machine: str) -> ResourceSample:
+        sample = ResourceSample(
+            timestamp=timestamp,
+            machine=machine,
+            cpu_percent=min(100.0, self._cpu.get(machine, 2.0)),
+            network_mbps=self._network.get(machine, 0.1),
+        )
+        self.samples.append(sample)
+        return sample
+
+    def exceeded(self, sample: ResourceSample) -> bool:
+        return (
+            sample.cpu_percent > self.cpu_threshold
+            or sample.network_mbps > self.network_threshold_mbps
+        )
+
+    def machines_over_threshold(self, timestamp: float, machines: list[str]) -> list[str]:
+        """Sample every machine and return the ones over threshold."""
+        return [
+            name
+            for name in machines
+            if self.exceeded(self.sample(timestamp, name))
+        ]

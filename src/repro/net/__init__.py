@@ -1,0 +1,39 @@
+"""Simulated Internet substrate.
+
+This subpackage provides everything the scanning pipeline observes when it
+"scans the Internet": an IPv4 address space (:mod:`repro.net.ipv4`), an
+HTTP message model (:mod:`repro.net.http`), simulated hosts and services
+(:mod:`repro.net.host`), the network itself (:mod:`repro.net.network`),
+a transport abstraction that also works over real sockets
+(:mod:`repro.net.transport`), an IP metadata service (:mod:`repro.net.geo`),
+a census-calibrated population generator (:mod:`repro.net.population`),
+and host churn over time (:mod:`repro.net.lifecycle`).
+"""
+
+from repro.net.ipv4 import IPv4Address, IPv4Network, iana_reserved_networks
+from repro.net.http import HttpRequest, HttpResponse, Scheme
+from repro.net.transport import Transport, InMemoryTransport
+from repro.net.host import Host, Service
+from repro.net.network import SimulatedInternet
+from repro.net.geo import GeoDatabase, IpMetadata
+from repro.net.population import PopulationModel, generate_internet
+from repro.net.lifecycle import LifecycleModel
+
+__all__ = [
+    "IPv4Address",
+    "IPv4Network",
+    "iana_reserved_networks",
+    "HttpRequest",
+    "HttpResponse",
+    "Scheme",
+    "Transport",
+    "InMemoryTransport",
+    "Host",
+    "Service",
+    "SimulatedInternet",
+    "GeoDatabase",
+    "IpMetadata",
+    "PopulationModel",
+    "generate_internet",
+    "LifecycleModel",
+]

@@ -1,0 +1,64 @@
+"""Certificate Transparency log substrate.
+
+The paper's §6.2: "attackers could increase the likelihood to discover
+unsecured applications and unfinished installations by using Certificate
+Transparency (CT) logs to discover newly registered domains and scan
+those preferably instead of a full sweep of the IPv4 space."
+
+This module models the observable part of CT: an append-only public log
+of certificate issuances.  CAs publish every certificate they issue
+(self-signed certificates never appear); anyone — including attackers —
+can tail the log and learn (domain, time) pairs the moment a new
+deployment obtains its certificate.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.net.tls import Certificate
+
+
+@dataclass(frozen=True)
+class CtEntry:
+    """One precertificate entry as a log monitor sees it."""
+
+    index: int
+    logged_at: float
+    domain: str
+    certificate: Certificate
+
+
+@dataclass
+class CertificateTransparencyLog:
+    """Append-only, publicly readable certificate log."""
+
+    entries: list[CtEntry] = field(default_factory=list)
+    _times: list[float] = field(default_factory=list)
+
+    def submit(self, certificate: Certificate, logged_at: float) -> CtEntry | None:
+        """CA-side submission; self-signed certs never reach the log."""
+        if certificate.self_signed:
+            return None
+        if self._times and logged_at < self._times[-1]:
+            raise ValueError("CT log is append-only; entries must be in time order")
+        domain = certificate.contact_domain() or certificate.common_name
+        entry = CtEntry(
+            index=len(self.entries),
+            logged_at=logged_at,
+            domain=domain,
+            certificate=certificate,
+        )
+        self.entries.append(entry)
+        self._times.append(logged_at)
+        return entry
+
+    def entries_between(self, since: float, until: float) -> list[CtEntry]:
+        """Monitor-side poll: entries logged in ``(since, until]``."""
+        lo = bisect.bisect_right(self._times, since)
+        hi = bisect.bisect_right(self._times, until)
+        return self.entries[lo:hi]
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,59 @@
+"""Failure injection: a transport that loses packets.
+
+The paper's false-negative discussion (§6.2): the scan "missed hosts
+that were unresponsive [or] temporarily unavailable".  Wrapping any
+transport in :class:`FlakyTransport` makes SYN probes and HTTP requests
+fail with seeded probabilities, so tests and benches can measure how the
+pipeline's recall degrades under packet loss — and verify that nothing
+*crashes* when the network misbehaves.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.http import HttpRequest, HttpResponse, Scheme
+from repro.net.ipv4 import IPv4Address
+from repro.net.transport import Transport
+from repro.util.errors import ConnectionTimeout
+
+
+class FlakyTransport(Transport):
+    """Decorator transport with independent per-operation loss."""
+
+    def __init__(
+        self,
+        inner: Transport,
+        syn_loss: float = 0.0,
+        request_loss: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(enforce_ethics=inner.enforce_ethics)
+        if not 0.0 <= syn_loss <= 1.0 or not 0.0 <= request_loss <= 1.0:
+            raise ValueError("loss rates must be in [0, 1]")
+        self.inner = inner
+        self.syn_loss = syn_loss
+        self.request_loss = request_loss
+        self._rng = random.Random(seed)
+        self.dropped_probes = 0
+        self.dropped_requests = 0
+
+    def _port_open(self, ip: IPv4Address, port: int) -> bool:
+        if self._rng.random() < self.syn_loss:
+            self.dropped_probes += 1
+            return False  # a lost SYN/ACK looks like a filtered port
+        return self.inner._port_open(ip, port)
+
+    def _exchange(
+        self, ip: IPv4Address, port: int, scheme: Scheme, request: HttpRequest
+    ) -> HttpResponse:
+        if self._rng.random() < self.request_loss:
+            self.dropped_requests += 1
+            raise ConnectionTimeout(f"request to {ip}:{port} timed out (injected)")
+        return self.inner._exchange(ip, port, scheme, request)
+
+    def fetch_certificate(self, ip: IPv4Address, port: int):
+        if self._rng.random() < self.request_loss:
+            self.dropped_requests += 1
+            return None
+        return self.inner.fetch_certificate(ip, port)

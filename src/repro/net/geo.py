@@ -1,0 +1,147 @@
+"""IP metadata service (the paper uses IPHub for this role).
+
+Maps an address to country, autonomous system, provider name, and whether
+the network is a dedicated hosting provider.  The simulation *assigns*
+metadata when it creates hosts or attackers, drawing from weighted
+profiles calibrated to the paper's observed mixes (Tables 4, 7, 8); the
+analysis layer then *queries* the service exactly like the paper queried
+IPHub, without access to the generation-side truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.ipv4 import IPv4Address
+from repro.util.rand import stable_hash, weighted_choice
+
+
+@dataclass(frozen=True)
+class IpMetadata:
+    """What the metadata service knows about one address."""
+
+    country: str
+    asn: str            # e.g. "AS16509"
+    provider: str       # e.g. "Amazon EC2"
+    is_hosting: bool    # dedicated hosting provider network?
+
+
+@dataclass(frozen=True)
+class _ProfileEntry:
+    metadata: IpMetadata
+    weight: float
+
+
+def _entry(country: str, asn: str, provider: str, hosting: bool, weight: float) -> _ProfileEntry:
+    return _ProfileEntry(IpMetadata(country, asn, provider, hosting), weight)
+
+
+# Mix for *vulnerable AWE hosts*, calibrated to Table 4: US and China
+# dominate; Amazon EC2, Alibaba, Amazon AES, DigitalOcean and Google Cloud
+# are the top ASes; ~64% sit in dedicated hosting networks.
+VULNERABLE_HOST_PROFILE: tuple[_ProfileEntry, ...] = (
+    _entry("United States", "AS16509", "Amazon EC2", True, 860),
+    _entry("United States", "AS14618", "Amazon AES", True, 329),
+    _entry("United States", "AS396982", "Google Cloud", True, 170),
+    _entry("United States", "AS14061", "DigitalOcean", True, 130),
+    _entry("United States", "AS7922", "Comcast Cable", False, 380),
+    _entry("United States", "AS701", "Verizon Business", False, 235),
+    _entry("China", "AS37963", "Alibaba", True, 542),
+    _entry("China", "AS45090", "Tencent Cloud", True, 260),
+    _entry("China", "AS4134", "China Telecom", False, 198),
+    _entry("Germany", "AS24940", "Hetzner", True, 120),
+    _entry("Germany", "AS3320", "Deutsche Telekom", False, 52),
+    _entry("Singapore", "AS14061", "DigitalOcean", True, 60),
+    _entry("Singapore", "AS16509", "Amazon EC2", True, 37),
+    _entry("France", "AS16276", "OVH", True, 96),
+    _entry("Netherlands", "AS49981", "WorldStream", True, 60),
+    _entry("South Korea", "AS4766", "Korea Telecom", False, 95),
+    _entry("India", "AS14061", "DigitalOcean", True, 54),
+    _entry("Japan", "AS2516", "KDDI", False, 80),
+    _entry("Brazil", "AS28573", "Claro", False, 75),
+    _entry("Russia", "AS12389", "Rostelecom", False, 70),
+    _entry("United Kingdom", "AS20712", "Andrews & Arnold", False, 48),
+    _entry("Canada", "AS16276", "OVH", True, 70),
+)
+
+# Mix for generic background hosts: broader, more residential.
+BACKGROUND_HOST_PROFILE: tuple[_ProfileEntry, ...] = (
+    _entry("United States", "AS16509", "Amazon EC2", True, 180),
+    _entry("United States", "AS7922", "Comcast Cable", False, 220),
+    _entry("China", "AS4134", "China Telecom", False, 200),
+    _entry("Germany", "AS24940", "Hetzner", True, 90),
+    _entry("France", "AS16276", "OVH", True, 80),
+    _entry("Japan", "AS4713", "NTT", False, 90),
+    _entry("Brazil", "AS28573", "Claro", False, 70),
+    _entry("Russia", "AS12389", "Rostelecom", False, 70),
+)
+
+# Mix for *attack origins*, calibrated to Tables 7 and 8: Serverion BV in
+# the Netherlands and Gamers Club in Brazil lead, DigitalOcean spreads over
+# many countries, Alexhost concentrates in Moldova.
+ATTACKER_PROFILE: tuple[_ProfileEntry, ...] = (
+    _entry("Netherlands", "AS211252", "Serverion BV", True, 450),
+    _entry("Germany", "AS211252", "Serverion BV", True, 25),
+    _entry("Brazil", "AS268624", "Gamers Club", True, 380),
+    _entry("Poland", "AS268624", "Gamers Club", True, 16),
+    _entry("United States", "AS14061", "DigitalOcean", True, 170),
+    _entry("Singapore", "AS14061", "DigitalOcean", True, 110),
+    _entry("India", "AS14061", "DigitalOcean", True, 40),
+    _entry("United Kingdom", "AS14061", "DigitalOcean", True, 31),
+    _entry("Moldova", "AS200019", "Alexhost", True, 135),
+    _entry("United States", "AS16509", "Amazon EC2", True, 78),
+    _entry("United States", "AS398101", "GoDaddy", True, 60),
+    _entry("United States", "AS8075", "Microsoft Azure", True, 51),
+    _entry("Russia", "AS12389", "Rostelecom", False, 100),
+    _entry("Russia", "AS9123", "TimeWeb", True, 92),
+    _entry("Netherlands", "AS60781", "LeaseWeb", True, 46),
+    _entry("Poland", "AS12824", "home.pl", True, 53),
+    _entry("Switzerland", "AS51395", "Softplus", True, 51),
+    _entry("United Kingdom", "AS9009", "M247", True, 40),
+    _entry("India", "AS45609", "Bharti Airtel", False, 12),
+    _entry("China", "AS45090", "Tencent Cloud", True, 45),
+    _entry("Singapore", "AS16509", "Amazon EC2", True, 58),
+    _entry("France", "AS16276", "OVH", True, 30),
+)
+
+_FALLBACK = IpMetadata("Unknown", "AS0", "Unknown", False)
+
+
+class GeoDatabase:
+    """Registry + query service for IP metadata."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, IpMetadata] = {}
+
+    def assign(
+        self,
+        ip: IPv4Address,
+        rng: random.Random,
+        profile: tuple[_ProfileEntry, ...],
+    ) -> IpMetadata:
+        """Draw metadata from ``profile`` and register it for ``ip``."""
+        weights = {entry.metadata: entry.weight for entry in profile}
+        metadata = weighted_choice(rng, weights)
+        self._records[ip.value] = metadata
+        return metadata
+
+    def assign_fixed(self, ip: IPv4Address, metadata: IpMetadata) -> None:
+        self._records[ip.value] = metadata
+
+    def lookup(self, ip: IPv4Address) -> IpMetadata:
+        """Query interface (what the paper buys from IPHub).
+
+        Unregistered addresses get a stable, pseudo-random answer from the
+        background mix, so lookups never fail — like a real metadata
+        service, which has *some* answer for every routable address.
+        """
+        record = self._records.get(ip.value)
+        if record is not None:
+            return record
+        rng = random.Random(stable_hash("geo-fallback", ip.value))
+        weights = {e.metadata: e.weight for e in BACKGROUND_HOST_PROFILE}
+        return weighted_choice(rng, weights)
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,208 @@
+"""A compact HTTP/1.1 message model.
+
+The application emulators, the scanning pipeline, and the honeypot monitor
+all exchange :class:`HttpRequest`/:class:`HttpResponse` values.  The model
+covers what the paper's pipeline needs: methods, paths with query strings,
+headers, bodies, redirects, and wire (de)serialisation so the same messages
+can travel over the real-socket transport.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+from urllib.parse import parse_qsl, urlsplit
+
+
+class Scheme(enum.Enum):
+    """Application-layer protocol spoken on a port."""
+
+    HTTP = "http"
+    HTTPS = "https"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+REASON_PHRASES = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    301: "Moved Permanently",
+    302: "Found",
+    303: "See Other",
+    307: "Temporary Redirect",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+REDIRECT_CODES = frozenset({301, 302, 303, 307, 308})
+
+
+def _canonical(headers: Mapping[str, str] | None) -> dict[str, str]:
+    """Lower-case header names; HTTP header names are case-insensitive."""
+    if not headers:
+        return {}
+    return {name.lower(): value for name, value in headers.items()}
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """An HTTP request as seen by a service or honeypot monitor."""
+
+    method: str
+    path: str
+    headers: Mapping[str, str] = field(default_factory=dict)
+    body: str = ""
+    scheme: Scheme = Scheme.HTTP
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "headers", _canonical(self.headers))
+        if not self.path.startswith("/"):
+            raise ValueError(f"request path must be absolute: {self.path!r}")
+
+    @classmethod
+    def get(cls, path: str, scheme: Scheme = Scheme.HTTP) -> "HttpRequest":
+        return cls("GET", path, scheme=scheme)
+
+    @classmethod
+    def post(
+        cls,
+        path: str,
+        body: str = "",
+        scheme: Scheme = Scheme.HTTP,
+        headers: Mapping[str, str] | None = None,
+    ) -> "HttpRequest":
+        return cls("POST", path, headers=headers or {}, body=body, scheme=scheme)
+
+    @property
+    def path_only(self) -> str:
+        """The path with any query string removed."""
+        return urlsplit(self.path).path
+
+    @property
+    def query(self) -> dict[str, str]:
+        """Query-string parameters (last value wins on duplicates)."""
+        return dict(parse_qsl(urlsplit(self.path).query, keep_blank_values=True))
+
+    @property
+    def form(self) -> dict[str, str]:
+        """Body parsed as a urlencoded form."""
+        return dict(parse_qsl(self.body, keep_blank_values=True))
+
+    @property
+    def is_state_changing(self) -> bool:
+        """True for methods an ethical scanner must not send."""
+        return self.method.upper() not in ("GET", "HEAD", "OPTIONS")
+
+    def to_wire(self) -> bytes:
+        """Serialise for the socket transport."""
+        lines = [f"{self.method} {self.path} HTTP/1.1"]
+        headers = dict(self.headers)
+        headers.setdefault("content-length", str(len(self.body.encode())))
+        for name, value in sorted(headers.items()):
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n" + self.body).encode()
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """An HTTP response as produced by a service."""
+
+    status: int
+    headers: Mapping[str, str] = field(default_factory=dict)
+    body: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "headers", _canonical(self.headers))
+
+    @classmethod
+    def ok(cls, body: str, content_type: str = "text/html") -> "HttpResponse":
+        return cls(200, {"content-type": content_type}, body)
+
+    @classmethod
+    def html(cls, body: str, status: int = 200) -> "HttpResponse":
+        return cls(status, {"content-type": "text/html"}, body)
+
+    @classmethod
+    def json(cls, body: str, status: int = 200) -> "HttpResponse":
+        return cls(status, {"content-type": "application/json"}, body)
+
+    @classmethod
+    def redirect(cls, location: str, status: int = 302) -> "HttpResponse":
+        if status not in REDIRECT_CODES:
+            raise ValueError(f"{status} is not a redirect status")
+        return cls(status, {"location": location})
+
+    @classmethod
+    def not_found(cls, body: str = "404 Not Found") -> "HttpResponse":
+        return cls(404, {"content-type": "text/html"}, body)
+
+    @classmethod
+    def unauthorized(cls, realm: str = "restricted") -> "HttpResponse":
+        return cls(
+            401,
+            {"www-authenticate": f'Basic realm="{realm}"', "content-type": "text/html"},
+            "<html><body>401 Authorization Required</body></html>",
+        )
+
+    @classmethod
+    def forbidden(cls, body: str = "403 Forbidden") -> "HttpResponse":
+        return cls(403, {"content-type": "text/html"}, body)
+
+    @property
+    def reason(self) -> str:
+        return REASON_PHRASES.get(self.status, "Unknown")
+
+    @property
+    def is_redirect(self) -> bool:
+        return self.status in REDIRECT_CODES and "location" in self.headers
+
+    @property
+    def location(self) -> str | None:
+        return self.headers.get("location")
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("content-type", "")
+
+    def to_wire(self) -> bytes:
+        """Serialise for the socket transport."""
+        lines = [f"HTTP/1.1 {self.status} {self.reason}"]
+        headers = dict(self.headers)
+        headers.setdefault("content-length", str(len(self.body.encode())))
+        for name, value in sorted(headers.items()):
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n" + self.body).encode()
+
+
+def parse_wire_request(raw: bytes) -> HttpRequest:
+    """Parse a serialised request (socket transport receive path)."""
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode(errors="replace").split("\r\n")
+    method, path, _version = lines[0].split(" ", 2)
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return HttpRequest(method, path, headers=headers, body=body.decode(errors="replace"))
+
+
+def parse_wire_response(raw: bytes) -> HttpResponse:
+    """Parse a serialised response (socket transport receive path)."""
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode(errors="replace").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    status = int(parts[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return HttpResponse(status, headers=headers, body=body.decode(errors="replace"))

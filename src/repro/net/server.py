@@ -1,0 +1,144 @@
+"""Serve an application emulator over real TCP on localhost.
+
+This exists to demonstrate that the scanning pipeline is transport-
+agnostic: the same stages that sweep the simulated Internet can probe a
+real socket.  :class:`LocalAppServer` runs an emulator behind a real
+``http.server`` on 127.0.0.1, and :class:`SocketTransport` implements the
+:class:`~repro.net.transport.Transport` interface with genuine TCP
+connects and HTTP requests.
+
+Nothing here ever talks to a non-loopback address; the constructor
+refuses anything but 127.0.0.1.
+"""
+
+from __future__ import annotations
+
+import http.client
+import http.server
+import socket
+import threading
+
+from repro.apps.base import WebApplication
+from repro.net.http import HttpRequest, HttpResponse, Scheme
+from repro.net.ipv4 import IPv4Address
+from repro.net.transport import Transport
+from repro.util.errors import ConfigError, ConnectionRefused, ConnectionTimeout
+
+LOOPBACK = "127.0.0.1"
+
+
+class _EmulatorHandler(http.server.BaseHTTPRequestHandler):
+    """Bridges http.server requests into the emulator's handle()."""
+
+    app: WebApplication  # set on the subclass created per server
+    protocol_version = "HTTP/1.1"
+
+    def _dispatch(self) -> None:
+        length = int(self.headers.get("content-length", 0) or 0)
+        body = self.rfile.read(length).decode(errors="replace") if length else ""
+        request = HttpRequest(
+            self.command,
+            self.path,
+            headers={k.lower(): v for k, v in self.headers.items()},
+            body=body,
+        )
+        response = self.app.handle(request)
+        payload = response.body.encode()
+        self.send_response(response.status)
+        for name, value in response.headers.items():
+            if name != "content-length":
+                self.send_header(name, value)
+        self.send_header("content-length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    do_GET = _dispatch
+    do_POST = _dispatch
+    do_PUT = _dispatch
+    do_HEAD = _dispatch
+
+    def log_message(self, format: str, *args: object) -> None:
+        pass  # keep test output clean
+
+
+class LocalAppServer:
+    """An emulator listening on a real loopback socket.
+
+    Usable as a context manager::
+
+        with LocalAppServer(create_instance('jupyter-notebook', vulnerable=True)) as srv:
+            transport = SocketTransport()
+            response = transport.get(srv.ip, srv.port, '/api/terminals')
+    """
+
+    def __init__(self, app: WebApplication, port: int = 0) -> None:
+        handler = type("BoundHandler", (_EmulatorHandler,), {"app": app})
+        self.app = app
+        self._httpd = http.server.ThreadingHTTPServer((LOOPBACK, port), handler)
+        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def ip(self) -> IPv4Address:
+        return IPv4Address.parse(LOOPBACK)
+
+    def start(self) -> "LocalAppServer":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+
+    def __enter__(self) -> "LocalAppServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+class SocketTransport(Transport):
+    """Transport over real TCP, restricted to the loopback interface."""
+
+    def __init__(self, timeout: float = 2.0, enforce_ethics: bool = True) -> None:
+        super().__init__(enforce_ethics=enforce_ethics)
+        self.timeout = timeout
+
+    def _check_loopback(self, ip: IPv4Address) -> None:
+        if str(ip) != LOOPBACK:
+            raise ConfigError(
+                f"SocketTransport only talks to {LOOPBACK}; refusing {ip}"
+            )
+
+    def _port_open(self, ip: IPv4Address, port: int) -> bool:
+        self._check_loopback(ip)
+        try:
+            with socket.create_connection((str(ip), port), timeout=self.timeout):
+                return True
+        except OSError:
+            return False
+
+    def _exchange(
+        self, ip: IPv4Address, port: int, scheme: Scheme, request: HttpRequest
+    ) -> HttpResponse:
+        self._check_loopback(ip)
+        if scheme is Scheme.HTTPS:
+            raise ConnectionTimeout("loopback demo server speaks plain HTTP only")
+        try:
+            connection = http.client.HTTPConnection(str(ip), port, timeout=self.timeout)
+            connection.request(
+                request.method, request.path, body=request.body or None,
+                headers=dict(request.headers),
+            )
+            raw = connection.getresponse()
+            body = raw.read().decode(errors="replace")
+            headers = {k.lower(): v for k, v in raw.getheaders()}
+            connection.close()
+            return HttpResponse(raw.status, headers=headers, body=body)
+        except ConnectionRefusedError as exc:
+            raise ConnectionRefused(str(exc)) from exc
+        except OSError as exc:
+            raise ConnectionTimeout(str(exc)) from exc

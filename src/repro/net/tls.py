@@ -1,0 +1,113 @@
+"""TLS certificate modelling.
+
+Two consumers need certificates:
+
+* the paper's **responsible disclosure** (§3.2): "we try to connect to
+  each via HTTPS and inspected the returned certificate (if any) to see
+  if it contains a domain we can contact";
+* the paper's **future-work observation** (§6.2): attackers can watch
+  Certificate Transparency logs for newly issued certificates and probe
+  fresh deployments before their installation is finished.
+
+We model exactly what those uses observe: subject common name, SANs,
+issuance time, and whether the certificate is self-signed (no usable
+contact domain).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.util.rand import stable_hash
+
+#: word lists for plausible, clearly-fake domain generation
+_WORDS_A = (
+    "blue", "rapid", "cloud", "nova", "prime", "atlas", "delta", "lunar",
+    "pixel", "quant", "verdant", "ember", "polar", "citrus", "velvet",
+)
+_WORDS_B = (
+    "forge", "metrics", "labs", "stack", "works", "systems", "data",
+    "deploy", "hosting", "apps", "grid", "digital", "media", "soft",
+)
+_TLDS = ("example", "test", "invalid")  # RFC 2606 reserved, never routable
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """What a TLS handshake (or a CT log entry) reveals."""
+
+    common_name: str
+    subject_alt_names: tuple[str, ...]
+    issued_at: float          # simulation time (seconds)
+    issuer: str
+    self_signed: bool = False
+
+    @property
+    def domains(self) -> tuple[str, ...]:
+        """All names on the certificate, CN first, deduplicated."""
+        seen: list[str] = []
+        for name in (self.common_name, *self.subject_alt_names):
+            if name and name not in seen:
+                seen.append(name)
+        return tuple(seen)
+
+    def contact_domain(self) -> str | None:
+        """The registrable domain a notification could be sent to.
+
+        Self-signed certificates and wildcard-only names give nothing to
+        contact (the paper could only notify owners whose certificates
+        named a real domain).
+        """
+        if self.self_signed:
+            return None
+        for name in self.domains:
+            if name.startswith("*."):
+                name = name[2:]
+            if "." in name and not name.replace(".", "").isdigit():
+                return name
+        return None
+
+
+def generate_domain(rng: random.Random) -> str:
+    """A plausible but guaranteed-unroutable domain name."""
+    return (
+        f"{rng.choice(_WORDS_A)}{rng.choice(_WORDS_B)}"
+        f"{rng.randrange(100)}.{rng.choice(_TLDS)}"
+    )
+
+
+def issue_certificate(
+    rng: random.Random,
+    domain: str | None = None,
+    issued_at: float = 0.0,
+    self_signed_chance: float = 0.25,
+) -> Certificate:
+    """Issue a certificate like the population's CA mix would.
+
+    Roughly a quarter of HTTPS services in the wild present self-signed
+    or IP-literal certificates that carry no contactable domain.
+    """
+    if rng.random() < self_signed_chance:
+        return Certificate(
+            common_name="localhost",
+            subject_alt_names=(),
+            issued_at=issued_at,
+            issuer="self",
+            self_signed=True,
+        )
+    domain = domain or generate_domain(rng)
+    sans = (domain, f"www.{domain}")
+    issuer = rng.choice(("R3 (Let's Encrypt)", "Sectigo", "DigiCert"))
+    return Certificate(
+        common_name=domain,
+        subject_alt_names=sans,
+        issued_at=issued_at,
+        issuer=issuer,
+    )
+
+
+def deterministic_certificate(seed_parts: tuple[object, ...], issued_at: float = 0.0) -> Certificate:
+    """A reproducible certificate derived from a stable seed."""
+    rng = random.Random(stable_hash("certificate", *seed_parts))
+    return issue_certificate(rng, issued_at=issued_at)

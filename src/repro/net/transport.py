@@ -1,0 +1,146 @@
+"""Transport abstraction between the scanning pipeline and the network.
+
+The pipeline never touches the simulator directly: it talks to a
+:class:`Transport`, which answers two questions a real scanner asks the
+wire — "is this TCP port open?" and "what does this HTTP(S) request
+return?".  Two implementations exist:
+
+* :class:`InMemoryTransport` — backed by the simulated Internet; this is
+  what the experiments use.
+* :class:`SocketTransport` (in :mod:`repro.net.server`) — real TCP to
+  127.0.0.1, proving the pipeline is not coupled to the simulation.
+
+The transport also enforces the paper's ethics constraints when asked to
+(``enforce_ethics=True``): it refuses to forward state-changing requests,
+exactly like the paper's pipeline which is "limited to non-state-changing
+GET requests".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.net.http import HttpRequest, HttpResponse, Scheme
+from repro.net.ipv4 import IPv4Address
+from repro.util.errors import ReproError
+
+
+class EthicsViolation(ReproError):
+    """The pipeline attempted a state-changing request during a scan."""
+
+
+@dataclass
+class TransportStats:
+    """Counters for the load a scan places on the network.
+
+    Used both for reporting (requests per stage) and for the scan-order
+    ablation, which looks at how bursts concentrate within /24 blocks.
+    """
+
+    syn_probes: int = 0
+    http_requests: int = 0
+    requests_per_slash24: dict[int, int] = field(default_factory=dict)
+
+    def note_probe(self, ip: IPv4Address) -> None:
+        self.syn_probes += 1
+
+    def note_request(self, ip: IPv4Address) -> None:
+        self.http_requests += 1
+        block = ip.value & 0xFFFFFF00
+        self.requests_per_slash24[block] = self.requests_per_slash24.get(block, 0) + 1
+
+
+class Transport(ABC):
+    """What the scanning pipeline knows about the network."""
+
+    def __init__(self, enforce_ethics: bool = True) -> None:
+        self.enforce_ethics = enforce_ethics
+        self.stats = TransportStats()
+
+    @abstractmethod
+    def _port_open(self, ip: IPv4Address, port: int) -> bool:
+        """Backend hook: SYN/ACK or not."""
+
+    @abstractmethod
+    def _exchange(
+        self, ip: IPv4Address, port: int, scheme: Scheme, request: HttpRequest
+    ) -> HttpResponse:
+        """Backend hook: one HTTP round trip.  Raises TransportError."""
+
+    def syn_probe(self, ip: IPv4Address, port: int) -> bool:
+        """Stage-I probe: is the TCP port open?"""
+        self.stats.note_probe(ip)
+        return self._port_open(ip, port)
+
+    def request(
+        self, ip: IPv4Address, port: int, scheme: Scheme, request: HttpRequest
+    ) -> HttpResponse:
+        """One HTTP(S) round trip; raises TransportError on failure."""
+        if self.enforce_ethics and request.is_state_changing:
+            raise EthicsViolation(
+                f"scan attempted a {request.method} to {ip}:{port}{request.path}; "
+                "the pipeline must only send non-state-changing requests"
+            )
+        self.stats.note_request(ip)
+        return self._exchange(ip, port, scheme, request)
+
+    def fetch_certificate(self, ip: IPv4Address, port: int):
+        """The TLS certificate on (ip, port), or None.
+
+        Used by the responsible-disclosure workflow ("we try to connect
+        to each via HTTPS and inspected the returned certificate").
+        Backends without TLS visibility return None.
+        """
+        return None
+
+    def get(
+        self,
+        ip: IPv4Address,
+        port: int,
+        path: str,
+        scheme: Scheme = Scheme.HTTP,
+        follow_redirects: int = 5,
+    ) -> HttpResponse:
+        """GET with bounded redirect following (same host only).
+
+        The paper's stage II "followed redirects until we received a
+        response body"; cross-host redirects are not followed because the
+        scan is per-IP.
+        """
+        response = self.request(ip, port, scheme, HttpRequest.get(path, scheme))
+        hops = 0
+        while response.is_redirect and hops < follow_redirects:
+            location = response.location or "/"
+            if "://" in location:
+                # Absolute URL: only follow if it stays on this host.
+                _, _, rest = location.partition("://")
+                hostpart, _, pathpart = rest.partition("/")
+                if hostpart.split(":")[0] != str(ip):
+                    break
+                location = "/" + pathpart
+            if not location.startswith("/"):
+                location = "/" + location
+            response = self.request(ip, port, scheme, HttpRequest.get(location, scheme))
+            hops += 1
+        return response
+
+
+class InMemoryTransport(Transport):
+    """Transport backed by a :class:`~repro.net.network.SimulatedInternet`."""
+
+    def __init__(self, internet, enforce_ethics: bool = True) -> None:
+        super().__init__(enforce_ethics=enforce_ethics)
+        self.internet = internet
+
+    def _port_open(self, ip: IPv4Address, port: int) -> bool:
+        return self.internet.is_port_open(ip, port)
+
+    def _exchange(
+        self, ip: IPv4Address, port: int, scheme: Scheme, request: HttpRequest
+    ) -> HttpResponse:
+        return self.internet.exchange(ip, port, scheme, request)
+
+    def fetch_certificate(self, ip: IPv4Address, port: int):
+        self.stats.note_probe(ip)
+        return self.internet.certificate_on(ip, port)

@@ -1,0 +1,28 @@
+"""Responsible disclosure of scan findings (paper §3.2).
+
+"Reporting vulnerabilities discovered during an IP scan is a non-trivial
+problem, as no direct connection to a domain name and thus email address
+exists."  The paper's workflow — reproduced here:
+
+1. if the IP belongs to a large cloud provider, batch it into a per-
+   provider report (providers accept abuse reports for their ranges);
+2. otherwise connect via HTTPS and, if the certificate names a domain,
+   notify ``security@<domain>`` directly;
+3. everything else is unreachable by responsible channels.
+"""
+
+from repro.notify.planner import (
+    CLOUD_PROVIDERS,
+    DisclosureChannel,
+    DisclosurePlan,
+    DisclosurePlanner,
+    Notification,
+)
+
+__all__ = [
+    "CLOUD_PROVIDERS",
+    "DisclosureChannel",
+    "DisclosurePlan",
+    "DisclosurePlanner",
+    "Notification",
+]

@@ -1,0 +1,130 @@
+"""The disclosure planner: route each vulnerable host to a channel.
+
+The planner only uses information a real discloser has: the IP metadata
+service (provider/AS) and the certificate returned by an HTTPS probe.
+It never reads simulator ground truth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.net.geo import GeoDatabase
+from repro.net.ipv4 import IPv4Address
+from repro.net.transport import Transport
+from repro.util.tables import Table
+
+#: providers the paper contacted directly with "a list of all their
+#: affected assets" — the big clouds with formal abuse programmes.
+CLOUD_PROVIDERS: frozenset[str] = frozenset(
+    {
+        "Amazon EC2",
+        "Amazon AES",
+        "Google Cloud",
+        "Alibaba",
+        "Tencent Cloud",
+        "DigitalOcean",
+        "Microsoft Azure",
+    }
+)
+
+
+class DisclosureChannel(enum.Enum):
+    CLOUD_PROVIDER = "cloud-provider"
+    SECURITY_EMAIL = "security-email"
+    UNREACHABLE = "unreachable"
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One planned notification."""
+
+    ip: IPv4Address
+    slug: str
+    channel: DisclosureChannel
+    recipient: str  # provider name or email address; "" when unreachable
+
+
+@dataclass
+class DisclosurePlan:
+    """All routed notifications, plus per-channel accessors."""
+
+    notifications: list[Notification] = field(default_factory=list)
+
+    def by_channel(self, channel: DisclosureChannel) -> list[Notification]:
+        return [n for n in self.notifications if n.channel is channel]
+
+    def provider_batches(self) -> dict[str, list[Notification]]:
+        """Per-cloud-provider lists of affected assets."""
+        batches: dict[str, list[Notification]] = {}
+        for notification in self.by_channel(DisclosureChannel.CLOUD_PROVIDER):
+            batches.setdefault(notification.recipient, []).append(notification)
+        return batches
+
+    def coverage(self) -> float:
+        """Fraction of hosts reachable through some responsible channel."""
+        if not self.notifications:
+            return 0.0
+        reachable = sum(
+            1 for n in self.notifications
+            if n.channel is not DisclosureChannel.UNREACHABLE
+        )
+        return reachable / len(self.notifications)
+
+    def summary_table(self) -> Table:
+        table = Table(
+            "Responsible disclosure plan",
+            ("Channel", "# Hosts", "Distinct recipients"),
+        )
+        for channel in DisclosureChannel:
+            own = self.by_channel(channel)
+            recipients = {n.recipient for n in own if n.recipient}
+            table.add_row(channel.value, len(own), len(recipients))
+        return table
+
+
+@dataclass
+class DisclosurePlanner:
+    """Routes vulnerable hosts to disclosure channels."""
+
+    transport: Transport
+    geo: GeoDatabase
+    #: ports to try when probing for a certificate, in order
+    https_ports: tuple[int, ...] = (443,)
+
+    def plan(
+        self, findings: list[tuple[IPv4Address, str, int]]
+    ) -> DisclosurePlan:
+        """Route ``(ip, slug, port)`` findings.
+
+        The app's own port is tried for a certificate before 443, since
+        API-style AWEs often terminate TLS on their service port.
+        """
+        plan = DisclosurePlan()
+        for ip, slug, port in findings:
+            plan.notifications.append(self._route(ip, slug, port))
+        return plan
+
+    def _route(self, ip: IPv4Address, slug: str, port: int) -> Notification:
+        metadata = self.geo.lookup(ip)
+        if metadata.provider in CLOUD_PROVIDERS:
+            return Notification(
+                ip=ip, slug=slug,
+                channel=DisclosureChannel.CLOUD_PROVIDER,
+                recipient=metadata.provider,
+            )
+        for candidate_port in (port, *self.https_ports):
+            certificate = self.transport.fetch_certificate(ip, candidate_port)
+            if certificate is None:
+                continue
+            domain = certificate.contact_domain()
+            if domain is not None:
+                return Notification(
+                    ip=ip, slug=slug,
+                    channel=DisclosureChannel.SECURITY_EMAIL,
+                    recipient=f"security@{domain}",
+                )
+        return Notification(
+            ip=ip, slug=slug, channel=DisclosureChannel.UNREACHABLE, recipient=""
+        )

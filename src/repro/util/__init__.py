@@ -1,0 +1,22 @@
+"""Shared utilities: simulated clock, seeded randomness, table rendering.
+
+These utilities are deliberately dependency-free so every other subpackage
+can import them without cycles.
+"""
+
+from repro.util.clock import SimClock, Duration
+from repro.util.rand import SeededStreams, stable_hash
+from repro.util.tables import Table, render_table
+from repro.util.errors import ReproError, ConfigError, TransportError
+
+__all__ = [
+    "SimClock",
+    "Duration",
+    "SeededStreams",
+    "stable_hash",
+    "Table",
+    "render_table",
+    "ReproError",
+    "ConfigError",
+    "TransportError",
+]

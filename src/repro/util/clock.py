@@ -1,0 +1,155 @@
+"""A deterministic simulated clock.
+
+The paper's experiments are defined in wall-clock terms: a 22-hour scan,
+re-scans every three hours, a four-week honeypot study.  To reproduce those
+timelines deterministically (and in milliseconds instead of weeks) every
+time-dependent component takes a :class:`SimClock` instead of reading the
+real time.
+
+Times are modelled as seconds since the experiment epoch (a float), which
+keeps arithmetic trivial and avoids timezone handling entirely.  Helpers
+convert to human-readable offsets when rendering reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+
+
+@dataclass(frozen=True, order=True)
+class Duration:
+    """A span of simulated time, kept as seconds.
+
+    Thin value type used where a bare float would be ambiguous
+    (is ``3`` three seconds or three hours?).
+    """
+
+    seconds: float
+
+    @classmethod
+    def hours(cls, n: float) -> "Duration":
+        return cls(n * HOUR)
+
+    @classmethod
+    def days(cls, n: float) -> "Duration":
+        return cls(n * DAY)
+
+    @classmethod
+    def weeks(cls, n: float) -> "Duration":
+        return cls(n * WEEK)
+
+    @property
+    def in_hours(self) -> float:
+        return self.seconds / HOUR
+
+    @property
+    def in_days(self) -> float:
+        return self.seconds / DAY
+
+    def __add__(self, other: "Duration") -> "Duration":
+        return Duration(self.seconds + other.seconds)
+
+    def __mul__(self, factor: float) -> "Duration":
+        return Duration(self.seconds * factor)
+
+    def __str__(self) -> str:
+        if self.seconds >= DAY:
+            return f"{self.in_days:.1f}d"
+        if self.seconds >= HOUR:
+            return f"{self.in_hours:.1f}h"
+        if self.seconds >= MINUTE:
+            return f"{self.seconds / MINUTE:.1f}m"
+        return f"{self.seconds:.1f}s"
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    when: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class SimClock:
+    """Discrete-event simulated clock.
+
+    Components read :attr:`now` and may :meth:`schedule` callbacks.  The
+    experiment driver advances time with :meth:`advance` or :meth:`run_until`,
+    which fires due callbacks in timestamp order (ties broken by scheduling
+    order, so runs are deterministic).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._queue: list[_ScheduledEvent] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds since the epoch."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> _ScheduledEvent:
+        """Run ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        event = _ScheduledEvent(self._now + delay, self._sequence, callback)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> _ScheduledEvent:
+        """Run ``callback`` at absolute simulated time ``when``."""
+        return self.schedule(when - self._now, callback)
+
+    def cancel(self, event: _ScheduledEvent) -> None:
+        """Prevent a scheduled event from firing."""
+        event.cancelled = True
+
+    def advance(self, delta: float) -> None:
+        """Move time forward by ``delta`` seconds, firing due events."""
+        self.run_until(self._now + delta)
+
+    def run_until(self, deadline: float) -> None:
+        """Fire all events scheduled up to and including ``deadline``."""
+        if deadline < self._now:
+            raise ValueError("cannot run the clock backwards")
+        while self._queue and self._queue[0].when <= deadline:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            # Events may schedule further events; advancing now first keeps
+            # `clock.now` correct inside the callback.
+            self._now = event.when
+            event.callback()
+        self._now = deadline
+
+    def run_all(self) -> None:
+        """Fire every pending event, advancing time as far as needed."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.when
+            event.callback()
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled scheduled events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+
+def format_offset(seconds: float) -> str:
+    """Render an experiment-relative timestamp like ``d03 07:30``."""
+    days, rem = divmod(seconds, DAY)
+    hours, rem = divmod(rem, HOUR)
+    minutes = rem // MINUTE
+    return f"d{int(days):02d} {int(hours):02d}:{int(minutes):02d}"

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at the API boundary.  Subsystem-specific errors
+subclass it to keep ``except`` clauses precise.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An experiment or application was configured inconsistently."""
+
+
+class TransportError(ReproError):
+    """A network-level failure: refused connection, timeout, reset.
+
+    Mirrors the failures a real scanner sees from sockets.  The scanning
+    pipeline treats these as "host not responsive" rather than crashing.
+    """
+
+
+class ConnectionRefused(TransportError):
+    """The target port is closed (TCP RST in the real world)."""
+
+
+class ConnectionTimeout(TransportError):
+    """The target did not answer within the deadline (filtered port)."""
+
+
+class TlsError(TransportError):
+    """The target port is open but does not speak TLS."""
+
+
+class PluginError(ReproError):
+    """A Tsunami detection plugin failed in an unexpected way."""
+
+
+class SnapshotError(ReproError):
+    """A honeypot snapshot could not be taken or restored."""
+
+
+class LogIntegrityError(ReproError):
+    """The append-only central log detected tampering."""

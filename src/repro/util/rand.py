@@ -1,0 +1,90 @@
+"""Seeded randomness with named, independent streams.
+
+A single global RNG makes simulations fragile: adding one draw in the host
+population generator would perturb the attacker model.  Instead, every
+subsystem asks :class:`SeededStreams` for a *named* stream; each stream is
+an independent ``random.Random`` seeded from the master seed and the name,
+so subsystems evolve independently and runs stay reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def stable_hash(*parts: object) -> int:
+    """A process-independent 64-bit hash of the given parts.
+
+    Python's builtin ``hash`` is salted per process, so it cannot be used to
+    derive reproducible seeds or deterministic identifiers.  This helper
+    hashes the ``repr`` of each part with SHA-256 and folds it to 64 bits.
+    """
+    digest = hashlib.sha256("\x1f".join(repr(p) for p in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class SeededStreams:
+    """Factory of independent named random streams from one master seed."""
+
+    def __init__(self, master_seed: int) -> None:
+        self.master_seed = master_seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the (memoised) RNG for ``name``."""
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = random.Random(stable_hash(self.master_seed, name))
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, name: str) -> "SeededStreams":
+        """Derive a child factory whose streams are independent of ours."""
+        return SeededStreams(stable_hash(self.master_seed, "fork", name))
+
+
+def weighted_choice(rng: random.Random, weighted: dict[T, float]) -> T:
+    """Pick a key of ``weighted`` with probability proportional to its value."""
+    if not weighted:
+        raise ValueError("weighted_choice on empty mapping")
+    items: Sequence[tuple[T, float]] = list(weighted.items())
+    total = sum(w for _, w in items)
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    point = rng.random() * total
+    cumulative = 0.0
+    for key, weight in items:
+        cumulative += weight
+        if point < cumulative:
+            return key
+    return items[-1][0]
+
+
+def sample_zipf(rng: random.Random, n: int, alpha: float = 1.2) -> int:
+    """Sample an index in ``[0, n)`` with a Zipf-like heavy-tailed law.
+
+    Used for attacker activity: a few actors perform most attacks
+    (the paper: 5 attackers -> 67% of 2,195 compromises).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    weights = [1.0 / (rank + 1) ** alpha for rank in range(n)]
+    return weighted_choice(rng, dict(enumerate(weights)))
+
+
+def exponential_interarrival(rng: random.Random, mean_seconds: float) -> float:
+    """Draw a Poisson-process inter-arrival time with the given mean."""
+    if mean_seconds <= 0:
+        raise ValueError("mean must be positive")
+    return rng.expovariate(1.0 / mean_seconds)
+
+
+def shuffled(rng: random.Random, items: Iterable[T]) -> list[T]:
+    """Return a new list with ``items`` in random order."""
+    out = list(items)
+    rng.shuffle(out)
+    return out

@@ -1,0 +1,71 @@
+"""Plain-text table rendering for experiment reports.
+
+The paper's evaluation is mostly tables; the analysis layer produces
+:class:`Table` values and the report module renders them with this helper,
+so benchmark output visually matches the paper's rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class Table:
+    """A titled table with a header row and string-able cells."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def column(self, name: str) -> list[object]:
+        """Extract one column by header name."""
+        index = list(self.columns).index(name)
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def render(self) -> str:
+        return render_table(self.title, self.columns, self.rows)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Render a fixed-width ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    headers = [str(c) for c in columns]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    separator = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    body = [line(row) for row in str_rows]
+    return "\n".join([title, separator, line(headers), separator, *body, separator])
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:,.1f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)

@@ -1,0 +1,92 @@
+"""Unit tests for the attack-table builders on hand-built inputs.
+
+The integration tests exercise Tables 5-8 against the full honeypot
+study; these verify the builders' arithmetic on tiny, fully-known
+inputs.
+"""
+
+import pytest
+
+from repro.analysis.attacks import Attack
+from repro.analysis.tables import table5, table6, table7, table8
+from repro.net.geo import GeoDatabase, IpMetadata
+from repro.net.ipv4 import IPv4Address
+from repro.util.clock import HOUR
+
+IP_A = IPv4Address.parse("93.184.216.40")
+IP_B = IPv4Address.parse("93.184.216.41")
+
+
+def attack(honeypot, ip, start, fingerprints):
+    return Attack(honeypot, ip.value, start, start, ["cmd"], set(fingerprints))
+
+
+@pytest.fixture()
+def attacks():
+    return [
+        attack("hadoop", IP_A, 1 * HOUR, {1}),
+        attack("hadoop", IP_B, 2 * HOUR, {1}),   # repeat payload, new IP
+        attack("hadoop", IP_A, 5 * HOUR, {2}),   # new payload
+        attack("docker", IP_B, 7 * HOUR, {3}),
+    ]
+
+
+@pytest.fixture()
+def geo():
+    geo = GeoDatabase()
+    geo.assign_fixed(IP_A, IpMetadata("Netherlands", "AS211252", "Serverion BV", True))
+    geo.assign_fixed(IP_B, IpMetadata("Brazil", "AS268624", "Gamers Club", True))
+    return geo
+
+
+class TestTable5Unit:
+    def test_rows(self, attacks):
+        rows = {r["App"]: r for r in table5(attacks).as_dicts()}
+        assert rows["Hadoop"]["# Attacks"] == 3
+        assert rows["Hadoop"]["# Uniq. Attacks"] == 2
+        assert rows["Hadoop"]["# Uniq. IPs"] == 2
+        assert rows["Docker"]["# Attacks"] == 1
+
+    def test_total_deduplicates_ips(self, attacks):
+        total = table5(attacks).as_dicts()[-1]
+        assert total["# Attacks"] == 4
+        assert total["# Uniq. IPs"] == 2  # IP_B hit two apps
+
+    def test_unattacked_apps_absent(self, attacks):
+        names = {r["App"] for r in table5(attacks).as_dicts()}
+        assert "Nomad" not in names
+
+
+class TestTable6Unit:
+    def test_first_and_average(self, attacks):
+        rows = {r["Application"]: r for r in table6(attacks).as_dicts()}
+        assert rows["Hadoop"]["First"] == 1.0
+        # Gaps: 1h and 3h -> average 2h.
+        assert rows["Hadoop"]["Average"] == 2.0
+
+    def test_unique_gap_columns(self, attacks):
+        rows = {r["Application"]: r for r in table6(attacks).as_dicts()}
+        # Unique attacks at 1h (fp1) and 5h (fp2): one 4h gap.
+        assert rows["Hadoop"]["Uniq shortest"] == 4.0
+        assert rows["Hadoop"]["Uniq longest"] == 4.0
+
+
+class TestTable7And8Unit:
+    def test_country_counts(self, attacks, geo):
+        rows = {r["Country"]: r for r in table7(attacks, geo).as_dicts()}
+        assert rows["Netherlands"]["# Attacks"] == 2
+        assert rows["Brazil"]["# Attacks"] == 2
+        assert rows["Netherlands"]["# AS"] == 1
+
+    def test_as_counts(self, attacks, geo):
+        rows = {r["Provider"]: r for r in table8(attacks, geo).as_dicts()}
+        assert rows["Serverion BV"]["# Attacks"] == 2
+        assert rows["Serverion BV"]["# Countries"] == 1
+        assert rows["Gamers Club"]["# Attacks"] == 2
+
+    def test_unknown_ips_fall_back(self, attacks):
+        """Unregistered source IPs still resolve (like a real metadata
+        service) instead of crashing the analysis."""
+        empty_geo = GeoDatabase()
+        table = table7(attacks, empty_geo)
+        assert sum(r["# Attacks"] for r in table.as_dicts()) == 4

@@ -1,0 +1,178 @@
+"""Tests for attack grouping, uniqueness, and attacker clustering."""
+
+from repro.analysis.attacks import (
+    Attack,
+    attacks_per_app,
+    cluster_attackers,
+    gap_statistics,
+    group_attacks,
+    top_attacker_share,
+    unique_attacks,
+    unique_ips_per_app,
+)
+from repro.honeypot.monitor import AuditEvent
+from repro.net.ipv4 import IPv4Address
+from repro.util.clock import HOUR, MINUTE
+
+IP_A = IPv4Address.parse("93.184.216.1")
+IP_B = IPv4Address.parse("93.184.216.2")
+IP_C = IPv4Address.parse("93.184.216.3")
+
+
+def audit(honeypot, timestamp, ip, fingerprint, command="cmd"):
+    return AuditEvent(honeypot, timestamp, ip, command, "/x", "terminal", fingerprint)
+
+
+class TestGroupAttacks:
+    def test_commands_within_window_merge(self):
+        events = [
+            audit("hadoop", 0.0, IP_A, 1),
+            audit("hadoop", 5 * MINUTE, IP_A, 1),
+            audit("hadoop", 14 * MINUTE, IP_A, 1),
+        ]
+        attacks = group_attacks(events)
+        assert len(attacks) == 1
+        assert len(attacks[0].commands) == 3
+
+    def test_gap_over_window_splits(self):
+        events = [
+            audit("hadoop", 0.0, IP_A, 1),
+            audit("hadoop", 20 * MINUTE, IP_A, 1),
+        ]
+        assert len(group_attacks(events)) == 2
+
+    def test_window_is_rolling(self):
+        """Each command extends the window from the *last* command."""
+        events = [
+            audit("hadoop", 0.0, IP_A, 1),
+            audit("hadoop", 10 * MINUTE, IP_A, 1),
+            audit("hadoop", 20 * MINUTE, IP_A, 1),  # 10 min after previous
+        ]
+        assert len(group_attacks(events)) == 1
+
+    def test_different_ips_never_merge(self):
+        events = [
+            audit("hadoop", 0.0, IP_A, 1),
+            audit("hadoop", 1 * MINUTE, IP_B, 1),
+        ]
+        assert len(group_attacks(events)) == 2
+
+    def test_different_honeypots_never_merge(self):
+        events = [
+            audit("hadoop", 0.0, IP_A, 1),
+            audit("docker", 1 * MINUTE, IP_A, 1),
+        ]
+        assert len(group_attacks(events)) == 2
+
+    def test_sorted_by_start(self):
+        events = [
+            audit("a", 50.0, IP_A, 1),
+            audit("b", 10.0, IP_B, 2),
+        ]
+        attacks = group_attacks(events)
+        assert attacks[0].honeypot == "b"
+
+
+class TestUniqueAttacks:
+    def test_repeated_payload_not_unique(self):
+        attacks = group_attacks([
+            audit("hadoop", 0.0, IP_A, 1),
+            audit("hadoop", 1 * HOUR, IP_B, 1),  # same payload, new IP
+        ])
+        assert len(unique_attacks(attacks)) == 1
+
+    def test_new_payload_is_unique(self):
+        attacks = group_attacks([
+            audit("hadoop", 0.0, IP_A, 1),
+            audit("hadoop", 1 * HOUR, IP_A, 2),
+        ])
+        assert len(unique_attacks(attacks)) == 2
+
+    def test_same_payload_other_honeypot_counts_again(self):
+        attacks = group_attacks([
+            audit("hadoop", 0.0, IP_A, 1),
+            audit("docker", 1 * HOUR, IP_A, 1),
+        ])
+        assert len(unique_attacks(attacks)) == 2
+
+    def test_counters(self):
+        attacks = group_attacks([
+            audit("hadoop", 0.0, IP_A, 1),
+            audit("hadoop", 1 * HOUR, IP_B, 1),
+            audit("docker", 2 * HOUR, IP_B, 2),
+        ])
+        assert attacks_per_app(attacks) == {"hadoop": 2, "docker": 1}
+        assert unique_ips_per_app(attacks) == {"hadoop": 2, "docker": 1}
+
+
+class TestClustering:
+    def test_shared_payload_links_ips(self):
+        attacks = group_attacks([
+            audit("hadoop", 0.0, IP_A, 1),
+            audit("hadoop", 1 * HOUR, IP_B, 1),
+        ])
+        clusters = cluster_attackers(attacks)
+        assert len(clusters) == 1
+        assert clusters[0].ips == {IP_A.value, IP_B.value}
+
+    def test_shared_ip_links_payloads(self):
+        attacks = group_attacks([
+            audit("hadoop", 0.0, IP_A, 1),
+            audit("docker", 1 * HOUR, IP_A, 2),
+        ])
+        clusters = cluster_attackers(attacks)
+        assert len(clusters) == 1
+        assert clusters[0].is_multi_app
+
+    def test_unrelated_attacks_stay_separate(self):
+        attacks = group_attacks([
+            audit("hadoop", 0.0, IP_A, 1),
+            audit("hadoop", 1 * HOUR, IP_B, 2),
+        ])
+        assert len(cluster_attackers(attacks)) == 2
+
+    def test_clusters_ranked_by_volume(self):
+        events = [audit("hadoop", i * HOUR, IP_A, 1) for i in range(5)]
+        events += [audit("docker", i * HOUR, IP_B, 2) for i in range(2)]
+        clusters = cluster_attackers(group_attacks(events))
+        assert clusters[0].attack_count == 5
+        assert clusters[0].label == "attacker-01"
+
+    def test_top_share(self):
+        events = [audit("hadoop", i * HOUR, IP_A, 1) for i in range(8)]
+        events += [audit("hadoop", i * HOUR, IP_B, 2) for i in range(2)]
+        clusters = cluster_attackers(group_attacks(events))
+        assert top_attacker_share(clusters, 1) == 0.8
+
+    def test_top_share_empty(self):
+        assert top_attacker_share([], 5) == 0.0
+
+
+class TestGapStatistics:
+    def test_basic_stats(self):
+        attacks = group_attacks([
+            audit("hadoop", 1 * HOUR, IP_A, 1),
+            audit("hadoop", 2 * HOUR, IP_B, 2),
+            audit("hadoop", 4 * HOUR, IP_C, 2),
+        ])
+        stats = gap_statistics(attacks, "hadoop")
+        assert stats.first == 1 * HOUR
+        assert stats.average_gap == 1.5 * HOUR
+        # Unique attacks: fp1 at 1h, fp2 first seen at 2h.
+        assert stats.unique_shortest == 1 * HOUR
+
+    def test_single_attack(self):
+        attacks = group_attacks([audit("grav", 355 * HOUR, IP_A, 9)])
+        stats = gap_statistics(attacks, "grav")
+        assert stats.first == 355 * HOUR
+        assert stats.unique_average == 355 * HOUR
+
+    def test_no_attacks(self):
+        assert gap_statistics([], "gocd") is None
+
+
+class TestAttackValueType:
+    def test_primary_fingerprint_and_duration(self):
+        attack = Attack("h", 1, 0.0, 60.0, ["a", "b"], {9, 4})
+        assert attack.primary_fingerprint == 4
+        assert attack.duration == 60.0

@@ -1,0 +1,94 @@
+"""Tests for the figure data builders."""
+
+from repro.analysis.attacks import cluster_attackers, group_attacks
+from repro.analysis.figures import Figure1, Figure3, Figure4
+from repro.analysis.versions import VersionedObservation
+from repro.honeypot.monitor import AuditEvent
+from repro.net.ipv4 import IPv4Address
+from repro.util.clock import DAY, HOUR
+
+IP_A = IPv4Address.parse("93.184.216.10")
+IP_B = IPv4Address.parse("93.184.216.11")
+
+
+def audit(honeypot, timestamp, ip, fingerprint):
+    return AuditEvent(honeypot, timestamp, ip, "cmd", "/x", "m", fingerprint)
+
+
+class TestFigure1:
+    def test_build_and_render(self):
+        observations = [
+            VersionedObservation("jupyter-notebook", "4.2", True),
+            VersionedObservation("jupyter-notebook", "6.2", False),
+            VersionedObservation("hadoop", "2.5", True),
+        ]
+        figure = Figure1.build(observations)
+        assert figure.overall_vulnerable["2016"] == 1
+        assert figure.overall_secure["2021"] == 1
+        assert "jupyter-notebook" in figure.detail
+        text = figure.render()
+        assert "Figure 1" in text
+        assert "<2016" in text
+
+
+class TestFigure3:
+    def test_timeline_flags_new_payloads(self):
+        attacks = group_attacks([
+            audit("hadoop", 1 * HOUR, IP_A, 1),
+            audit("hadoop", 5 * HOUR, IP_B, 1),   # repeat payload
+            audit("hadoop", 9 * HOUR, IP_B, 2),   # new payload
+        ])
+        figure = Figure3.build(attacks)
+        flags = [is_new for _t, is_new in figure.timeline["hadoop"]]
+        assert flags == [True, False, True]
+
+    def test_daily_histogram(self):
+        attacks = group_attacks([
+            audit("docker", 0.5 * DAY, IP_A, 1),
+            audit("docker", 0.6 * DAY, IP_B, 1),
+            audit("docker", 3.5 * DAY, IP_A, 2),
+        ])
+        figure = Figure3.build(attacks)
+        histogram = figure.daily_histogram("docker", days=7)
+        assert histogram[0] == 2
+        assert histogram[3] == 1
+        assert sum(histogram) == 3
+
+    def test_render(self):
+        attacks = group_attacks([audit("grav", 2 * DAY, IP_A, 7)])
+        assert "grav" in Figure3.build(attacks).render()
+
+
+class TestFigure4:
+    def test_multi_app_clusters_only(self):
+        attacks = group_attacks([
+            audit("hadoop", 1 * HOUR, IP_A, 1),
+            audit("docker", 3 * HOUR, IP_A, 1),   # same actor, second app
+            audit("grav", 5 * HOUR, IP_B, 2),     # single-app actor
+        ])
+        figure = Figure4.build(cluster_attackers(attacks))
+        assert len(figure.multi_app_clusters) == 1
+        assert figure.total_multi_app_attacks == 2
+
+    def test_graph_structure(self):
+        attacks = group_attacks([
+            audit("hadoop", 1 * HOUR, IP_A, 1),
+            audit("docker", 3 * HOUR, IP_A, 1),
+        ])
+        figure = Figure4.build(cluster_attackers(attacks))
+        kinds = {data["kind"] for _n, data in figure.graph.nodes(data=True)}
+        assert kinds == {"attacker", "application", "ip"}
+        # attacker node connects to both app nodes
+        attacker = next(
+            n for n, d in figure.graph.nodes(data=True) if d["kind"] == "attacker"
+        )
+        neighbours = set(figure.graph.neighbors(attacker))
+        assert "app:hadoop" in neighbours and "app:docker" in neighbours
+
+    def test_render(self):
+        attacks = group_attacks([
+            audit("hadoop", 1 * HOUR, IP_A, 1),
+            audit("docker", 3 * HOUR, IP_A, 1),
+        ])
+        text = Figure4.build(cluster_attackers(attacks)).render()
+        assert "docker" in text and "hadoop" in text

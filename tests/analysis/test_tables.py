@@ -1,0 +1,125 @@
+"""Tests for the table builders against calibrated studies."""
+
+import pytest
+
+from repro.analysis.tables import table1
+from repro.apps.catalog import scanned_ports
+from repro.net.population import PAPER_PREVALENCE
+
+
+class TestTable1:
+    def test_25_rows(self):
+        assert len(table1().rows) == 25
+
+    def test_known_rows(self):
+        rows = {row["App"]: row for row in table1().as_dicts()}
+        assert rows["GoCD"]["Default MAV"] == "yes"
+        assert rows["GoCD"]["Warn"] == "yes"
+        assert rows["Jenkins"]["Default MAV"] == "< 2.0 (2016)"
+        assert rows["Kubernetes"]["Vuln"] == "API"
+        assert rows["Gitlab"]["Vuln"] == "-"
+        assert rows["phpMyAdmin"]["Vuln"] == "SQL"
+
+    def test_star_ordering_within_category(self):
+        """Table 1 lists the five most-starred per category, descending."""
+        dicts = table1().as_dicts()
+        by_type: dict[str, list[int]] = {}
+        for row in dicts:
+            by_type.setdefault(str(row["Type"]), []).append(
+                int(str(row["Stars"]).rstrip("k"))
+            )
+        for category, stars in by_type.items():
+            assert stars == sorted(stars, reverse=True), category
+
+
+class TestTable2:
+    def test_estimates_against_paper(self, calibrated_scan_study):
+        table = calibrated_scan_study.table2()
+        rows = {row["Port"]: row for row in table.as_dicts()}
+        # 80 and 443 dominate the open-port estimates (the background
+        # model at rate 1e-7 is noisy, so only coarse shape checks).
+        assert rows[80]["# Open"] > rows[2375]["# Open"]
+        assert rows["Total"]["# Open"] > 0
+
+    def test_estimates_with_denser_background(self):
+        from repro.experiments.config import StudyConfig
+        from repro.experiments.scan import run_scan_study
+        from repro.net.population import PopulationModel
+
+        config = StudyConfig(
+            population=PopulationModel(
+                awe_rate=0.002, vuln_rate=0.05, background_rate=5e-6
+            ),
+            fingerprint=False,
+        )
+        study = run_scan_study(config)
+        rows = {row["Port"]: row for row in study.table2().as_dicts()}
+        # Scaled-up estimates should land near the paper's Table 2.
+        assert 40e6 < rows[80]["# Open"] < 75e6
+        assert 40e6 < rows[80]["# HTTP"] < 70e6
+        assert 30e6 < rows[443]["# Open"] < 70e6
+        # HTTPS responses on 443 are ~70% of opens.
+        assert rows[443]["# HTTPS"] < rows[443]["# Open"]
+        # Docker's 2375 is the rarest scanned port.
+        small_ports = [rows[p]["# Open"] for p in (2375, 4646, 8153, 8192)]
+        assert rows[2375]["# Open"] == min(small_ports)
+
+
+class TestTable3:
+    def test_mav_column_matches_paper(self, calibrated_scan_study):
+        table = calibrated_scan_study.table3()
+        mavs = {row["App"]: row["# MAVs"] for row in table.as_dicts()}
+        assert mavs["Docker"] == 657
+        assert mavs["Nomad"] == 729
+        assert mavs["WordPress"] == 345
+        assert mavs["Polynote"] == 8
+        assert mavs["Ajenti"] == 0
+
+    def test_total_row(self, calibrated_scan_study):
+        table = calibrated_scan_study.table3()
+        total = table.as_dicts()[-1]
+        assert total["# MAVs"] == 4221
+
+    def test_wordpress_share_dominates(self, calibrated_scan_study):
+        table = calibrated_scan_study.table3()
+        shares = {row["App"]: row["Share"] for row in table.as_dicts()}
+        wordpress = float(str(shares["WordPress"]).rstrip("%"))
+        kubernetes = float(str(shares["Kubernetes"]).rstrip("%"))
+        assert 50 < wordpress < 66   # paper: 58.33%
+        assert 20 < kubernetes < 36  # paper: 28.16%
+
+    def test_default_symbols(self, calibrated_scan_study):
+        table = calibrated_scan_study.table3()
+        defaults = {row["App"]: row["Default"] for row in table.as_dicts()}
+        assert defaults["Kubernetes"] == "Y"
+        assert defaults["Docker"] == "X"
+        assert defaults["Jenkins"] == "t"
+
+
+class TestTable4:
+    def test_top_country_is_us_then_china(self, calibrated_scan_study):
+        table = calibrated_scan_study.table4()
+        countries = [row["Country"] for row in table.as_dicts()[:2]]
+        assert countries == ["United States", "China"]
+
+    def test_top_as_includes_cloud_giants(self, calibrated_scan_study):
+        table = calibrated_scan_study.table4()
+        providers = {row["Provider"] for row in table.as_dicts()[:5]}
+        assert "Amazon EC2" in providers
+        assert "Alibaba" in providers
+
+    def test_hosting_share_row(self, calibrated_scan_study):
+        table = calibrated_scan_study.table4()
+        last = table.as_dicts()[-1]
+        share = float(str(last["Hosts"]).rstrip("%"))
+        assert 55 <= share <= 75  # paper: ~64%
+
+
+class TestScannedPortsSanity:
+    def test_prevalence_slugs_have_ports(self):
+        ports = set(scanned_ports())
+        from repro.apps.catalog import app_by_slug
+
+        for prevalence in PAPER_PREVALENCE:
+            spec = app_by_slug(prevalence.slug)
+            assert set(spec.default_ports) <= ports

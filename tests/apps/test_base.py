@@ -1,0 +1,129 @@
+"""Tests for the WebApplication framework itself."""
+
+import pytest
+
+from repro.apps.base import (
+    AppCategory,
+    CommandExecution,
+    WebApplication,
+    html_page,
+    parse_version,
+    route,
+    versioned_asset,
+)
+from repro.net.http import HttpRequest, HttpResponse
+from repro.util.errors import ConfigError
+
+
+class _Demo(WebApplication):
+    name = "Demo"
+    slug = "demo"
+    category = AppCategory.CP
+
+    def is_vulnerable(self) -> bool:
+        return True
+
+    def secure(self) -> None:
+        pass
+
+    @route("GET", "/exact")
+    def exact(self, request):
+        return HttpResponse.ok("exact")
+
+    @route("GET", "/api/*")
+    def api_prefix(self, request):
+        return HttpResponse.ok(f"prefix:{request.path_only}")
+
+    @route("GET", "/api/deep/*")
+    def api_deep(self, request):
+        return HttpResponse.ok("deep")
+
+    @route("POST", "/exact")
+    def exact_post(self, request):
+        return HttpResponse.ok("posted")
+
+
+class _Derived(_Demo):
+    @route("GET", "/exact")
+    def exact(self, request):  # override the parent's handler
+        return HttpResponse.ok("derived")
+
+
+class TestRouting:
+    def test_exact_match(self):
+        assert _Demo("1.0").handle(HttpRequest.get("/exact")).body == "exact"
+
+    def test_method_dispatch(self):
+        app = _Demo("1.0")
+        assert app.handle(HttpRequest.post("/exact")).body == "posted"
+
+    def test_query_string_ignored_for_matching(self):
+        assert _Demo("1.0").handle(HttpRequest.get("/exact?x=1")).body == "exact"
+
+    def test_prefix_match(self):
+        assert _Demo("1.0").handle(HttpRequest.get("/api/foo")).body == "prefix:/api/foo"
+
+    def test_longest_prefix_wins(self):
+        assert _Demo("1.0").handle(HttpRequest.get("/api/deep/x")).body == "deep"
+
+    def test_unrouted_is_404(self):
+        assert _Demo("1.0").handle(HttpRequest.get("/nope")).status == 404
+
+    def test_subclass_overrides_route(self):
+        assert _Derived("1.0").handle(HttpRequest.get("/exact")).body == "derived"
+
+    def test_wrong_method_falls_through(self):
+        response = _Demo("1.0").handle(HttpRequest("PUT", "/exact"))
+        assert response.status == 404
+
+
+class TestExecutions:
+    def test_record_and_drain(self):
+        app = _Demo("1.0")
+        execution = app.record_execution("id", via="/x", mechanism="test")
+        assert isinstance(execution, CommandExecution)
+        assert app.drain_executions() == [execution]
+        assert app.drain_executions() == []
+
+    def test_fingerprint_depends_on_command_only(self):
+        a = CommandExecution("cmd", "/a", "m1")
+        b = CommandExecution("cmd", "/b", "m2")
+        assert a.payload_fingerprint == b.payload_fingerprint
+
+
+class TestVersionHelpers:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("2.289.1", (2, 289, 1)), ("4.6.3-rc1", (4, 6, 3)),
+         ("17.03", (17, 3)), ("1", (1,))],
+    )
+    def test_parse_version(self, text, expected):
+        assert parse_version(text) == expected
+
+    def test_parse_version_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            parse_version("not-a-version")
+
+    def test_version_before(self):
+        app = _Demo("1.9")
+        assert app.version_before("2.0")
+        assert not _Demo("2.0").version_before("2.0")
+
+    def test_numeric_not_lexicographic(self):
+        # 1.10 must be newer than 1.9.
+        assert not _Demo("1.10").version_before("1.9")
+
+
+class TestAssets:
+    def test_versioned_asset_deterministic(self):
+        assert versioned_asset("x", "a.js", "1.0") == versioned_asset("x", "a.js", "1.0")
+
+    def test_versioned_asset_varies(self):
+        assert versioned_asset("x", "a.js", "1.0") != versioned_asset("x", "a.js", "1.1")
+        assert versioned_asset("x", "a.js", "1.0") != versioned_asset("y", "a.js", "1.0")
+
+    def test_html_page_links_assets(self):
+        page = html_page("T", "<p>b</p>", assets=["/a.js", "/b.css"])
+        assert '<script src="/a.js">' in page
+        assert '<link rel="stylesheet" href="/b.css">' in page
+        assert "<title>T</title>" in page

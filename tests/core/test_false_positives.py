@@ -1,0 +1,202 @@
+"""Adversarial false-positive resistance (paper §6.2).
+
+"The MAV detection plugins in our pipeline make very specific requests
+to the application, which makes it highly unlikely that a false positive
+occurs."  These tests build hosts that *spoof* the cheap stage-II
+signatures — landing pages full of marker strings — and verify that the
+stage-III plugins still refuse to report them, because the specific
+endpoints and structures they verify are absent.
+"""
+
+import json
+
+import pytest
+
+from repro.core.prefilter import match_signatures
+from repro.core.tsunami.plugin import PluginContext
+from repro.core.tsunami.plugins import ALL_PLUGINS, plugin_for
+from repro.net.host import Host, Service
+from repro.net.http import HttpResponse, Scheme
+from repro.net.ipv4 import IPv4Address
+from repro.net.network import SimulatedInternet
+from repro.net.transport import InMemoryTransport
+
+#: a page stuffed with every prefilter bait we can think of
+_BAIT_PAGE = """
+<html><head><title>Honeytrap: Jenkins WordPress Grav Nomad Polynote</title></head>
+<body>
+Dashboard [Jenkins] hudson-behavior.js j_spring_security_check
+wp-json wp-includes/ wp-admin/install.php
+The Admin plugin has been installed ... Create User
+certificates.k8s.io healthz/ping {"message":"page not found"}
+Consul by HashiCorp CONSUL_VERSION: 1.9.5
+/static/yarn.css ResourceManager logged in as: dr.who
+<title>Nomad</title> <title>Polynote</title> JupyterLab Jupyter Notebook
+{"status":"OK", Server connection collation phpMyAdmin documentation
+through PHP extension Logged as: ajentiPlatformUnmapped
+customization.plugins.core.title || 'Ajenti'
+Joomla! Web Installer Set up database
+Create a pipeline - Go pipelines-page
+</body></html>
+"""
+
+
+def _context_for(responder):
+    internet = SimulatedInternet()
+    ip = IPv4Address.parse("93.184.216.200")
+    host = Host(ip)
+    host.add_service(Service(80, responder=responder))
+    internet.add_host(host)
+    return PluginContext(InMemoryTransport(internet), ip, 80, Scheme.HTTP)
+
+
+class TestSignatureSpoofing:
+    def test_bait_page_matches_many_signatures(self):
+        # Stage II is *meant* to be cheap and over-trigger...
+        assert len(match_signatures(_BAIT_PAGE)) >= 10
+
+    def test_no_plugin_fires_on_bait_landing_page(self):
+        """...but stage III verifies specific endpoints, not the body."""
+        context = _context_for(lambda request: HttpResponse.html(_BAIT_PAGE))
+        for plugin in ALL_PLUGINS:
+            report = plugin.detect(context)
+            # The catch-all responder serves the bait on EVERY path, so a
+            # handful of naive string checks could fire; the structural
+            # plugins (HTML forms, JSON bodies) must not.
+            if report is not None:
+                assert plugin.slug in {
+                    # plugins whose markers genuinely appear verbatim in
+                    # the bait *and* have no structural second factor:
+                    "polynote", "gocd", "joomla", "phpmyadmin", "adminer",
+                    "ajenti", "grav",
+                }, plugin.slug
+
+    @pytest.mark.parametrize(
+        "slug",
+        ["jenkins", "wordpress", "kubernetes", "docker", "consul",
+         "hadoop", "nomad", "jupyterlab", "jupyter-notebook", "zeppelin",
+         "drupal"],
+    )
+    def test_structural_plugins_resist_bait(self, slug):
+        context = _context_for(lambda request: HttpResponse.html(_BAIT_PAGE))
+        assert plugin_for(slug).detect(context) is None
+
+
+class TestStructuralChecks:
+    def test_jenkins_needs_the_actual_form(self):
+        body = "<html><body>Jenkins Jenkins Jenkins</body></html>"
+        context = _context_for(lambda request: HttpResponse.html(body))
+        assert plugin_for("jenkins").detect(context) is None
+
+    def test_jenkins_rejects_invalid_html(self):
+        body = '</form><form id="createItem"> Jenkins'
+        context = _context_for(lambda request: HttpResponse.html(body))
+        assert plugin_for("jenkins").detect(context) is None
+
+    def test_wordpress_needs_password_field_inside_form(self):
+        body = (
+            "<html><body>WordPress"
+            '<form id="setup"></form><input id="pass1"></body></html>'
+        )
+        context = _context_for(lambda request: HttpResponse.html(body))
+        assert plugin_for("wordpress").detect(context) is None
+
+    def test_kubernetes_needs_running_pods_json(self):
+        def responder(request):
+            if request.path_only == "/":
+                return HttpResponse.html("certificates.k8s.io healthz/ping")
+            return HttpResponse.json('{"items": []}')  # no running pods
+
+        context = _context_for(responder)
+        assert plugin_for("kubernetes").detect(context) is None
+
+    def test_kubernetes_rejects_phase_string_without_items(self):
+        def responder(request):
+            if request.path_only == "/":
+                return HttpResponse.html("certificates.k8s.io healthz/ping")
+            return HttpResponse.json('{"note": "\\"phase\\":\\"Running\\""}')
+
+        context = _context_for(responder)
+        assert plugin_for("kubernetes").detect(context) is None
+
+    def test_docker_needs_version_fields(self):
+        def responder(request):
+            return HttpResponse.json('{"message":"page not found"}', status=404)
+
+        context = _context_for(responder)
+        assert plugin_for("docker").detect(context) is None
+
+    def test_consul_needs_enabled_flag_not_just_key(self):
+        payload = {"DebugConfig": {"EnableScriptChecks": False,
+                                   "EnableRemoteScriptChecks": False}}
+        context = _context_for(
+            lambda request: HttpResponse.json(json.dumps(payload))
+        )
+        assert plugin_for("consul").detect(context) is None
+
+    def test_consul_rejects_truthy_nonbool(self):
+        payload = {"DebugConfig": {"EnableScriptChecks": "yes"}}
+        context = _context_for(
+            lambda request: HttpResponse.json(json.dumps(payload))
+        )
+        assert plugin_for("consul").detect(context) is None
+
+    def test_hadoop_needs_json_application_id(self):
+        def responder(request):
+            if "new-application" in request.path:
+                return HttpResponse.html("not json at all")
+            return HttpResponse.html(
+                "hadoop resourcemanager logged in as: dr.who"
+            )
+
+        context = _context_for(responder)
+        assert plugin_for("hadoop").detect(context) is None
+
+    def test_nomad_needs_json_array(self):
+        def responder(request):
+            if request.path_only == "/v1/jobs":
+                return HttpResponse.json('{"error": "denied"}')
+            return HttpResponse.html("<title>Nomad</title>")
+
+        context = _context_for(responder)
+        assert plugin_for("nomad").detect(context) is None
+
+    def test_jupyter_needs_200_not_just_marker(self):
+        def responder(request):
+            return HttpResponse.json('{"message": "JupyterLab Forbidden"}',
+                                     status=403)
+
+        context = _context_for(responder)
+        assert plugin_for("jupyterlab").detect(context) is None
+
+    def test_zeppelin_needs_ok_status_prefix(self):
+        context = _context_for(
+            lambda request: HttpResponse.json('{"status":"FORBIDDEN","x":1}')
+        )
+        assert plugin_for("zeppelin").detect(context) is None
+
+    def test_drupal_marker_must_survive_squeeze(self):
+        # Marker words present but in the wrong structure.
+        body = "<li>is-active</li> Set up database"
+        context = _context_for(lambda request: HttpResponse.html(body))
+        assert plugin_for("drupal").detect(context) is None
+
+
+class TestErrorResponses:
+    @pytest.mark.parametrize("status", [301, 401, 403, 500, 503])
+    def test_no_plugin_fires_on_error_wrappers(self, status):
+        """Gateways that echo request info in error pages are common."""
+        def responder(request):
+            if status in (301,):
+                return HttpResponse.redirect("/")
+            return HttpResponse(status, {"content-type": "text/html"}, _BAIT_PAGE)
+
+        context = _context_for(responder)
+        for plugin in ALL_PLUGINS:
+            if status == 301:
+                # Redirect loop: transport gives up, body is a redirect.
+                assert plugin.detect(context) is None, plugin.slug
+            elif plugin.slug in ("grav", "phpmyadmin", "adminer", "ajenti",
+                                 "polynote", "gocd", "joomla", "docker"):
+                # These check status==200 or specific markers... verify:
+                assert plugin.detect(context) is None, plugin.slug

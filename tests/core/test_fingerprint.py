@@ -1,0 +1,206 @@
+"""Tests for the version fingerprinter (knowledge base, crawler, both
+disclosure channels)."""
+
+import pytest
+
+from repro.apps.base import AppInstance
+from repro.apps.catalog import create_instance, in_scope_apps
+from repro.apps.versions import RELEASE_DB
+from repro.core.fingerprint.crawler import StaticFileCrawler, extract_resource_paths
+from repro.core.fingerprint.disclosure import (
+    DISCLOSURE_EXTRACTORS,
+    extract_disclosed_version,
+)
+from repro.core.fingerprint.fingerprinter import (
+    FingerprintMethod,
+    VersionFingerprinter,
+)
+from repro.core.fingerprint.knowledge_base import (
+    KnowledgeBase,
+    build_default_knowledge_base,
+    file_hash,
+)
+from repro.core.tsunami.plugin import PluginContext
+from repro.net.host import Host, Service
+from repro.net.http import Scheme
+from repro.net.ipv4 import IPv4Address
+from repro.net.network import SimulatedInternet
+from repro.net.transport import InMemoryTransport
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return build_default_knowledge_base()
+
+
+def host_with(slug, version=None, vulnerable=False, port=80):
+    internet = SimulatedInternet()
+    ip = IPv4Address.parse("100.64.0.0").value  # placeholder, replaced below
+    ip = IPv4Address.parse("93.184.216.100")
+    host = Host(ip)
+    app = create_instance(slug, version=version, vulnerable=vulnerable)
+    host.add_service(Service(port, app=AppInstance(app, port)))
+    internet.add_host(host)
+    return internet, ip, app
+
+
+class TestKnowledgeBase:
+    def test_covers_every_app_with_static_files(self, kb):
+        for spec in in_scope_apps():
+            instance = create_instance(spec.slug)
+            if instance.static_files():
+                assert kb.paths_for(spec.slug), spec.slug
+
+    def test_identify_exact_version(self, kb):
+        app = create_instance("wordpress", version="5.6")
+        observations = {
+            path: file_hash(content)
+            for path, content in app.static_files().items()
+        }
+        assert kb.identify(observations) == ("wordpress", "5.6")
+
+    def test_identify_empty_observations(self, kb):
+        assert kb.identify({}) is None
+
+    def test_identify_unknown_hashes(self, kb):
+        assert kb.identify({"/x.js": file_hash("unknown content")}) is None
+
+    def test_lookup_returns_entries(self, kb):
+        app = create_instance("grav", version="1.6")
+        path, content = next(iter(app.static_files().items()))
+        entries = kb.lookup(file_hash(content))
+        assert any(e.slug == "grav" and e.version == "1.6" for e in entries)
+
+    def test_len_counts_entries(self, kb):
+        assert len(kb) > 100
+
+    def test_tie_breaks_to_newest(self):
+        custom = KnowledgeBase()
+        custom.add("wordpress", "5.6", "/a.js", "same")
+        custom.add("wordpress", "5.7", "/a.js", "same")
+        assert custom.identify({"/a.js": file_hash("same")}) == ("wordpress", "5.7")
+
+
+class TestCrawler:
+    def test_extract_resource_paths(self):
+        body = (
+            '<script src="/a/b.js"></script>'
+            '<link href="style.css">'
+            '<img src="https://cdn.example/x.png">'
+            '<a href="/page.html">x</a>'
+        )
+        assert extract_resource_paths(body) == ["/a/b.js", "/style.css"]
+
+    def test_crawl_collects_hashes(self, kb):
+        internet, ip, app = host_with("wordpress", version="5.4")
+        crawler = StaticFileCrawler(InMemoryTransport(internet))
+        observations = crawler.crawl(ip, 80, Scheme.HTTP, ("wordpress",), kb)
+        assert observations
+        assert kb.identify(observations) == ("wordpress", "5.4")
+
+    def test_crawl_respects_fetch_budget(self, kb):
+        internet, ip, app = host_with("wordpress")
+        transport = InMemoryTransport(internet)
+        crawler = StaticFileCrawler(transport, max_fetches=2)
+        crawler.crawl(ip, 80, Scheme.HTTP, ("wordpress",), kb)
+        assert transport.stats.http_requests <= 3  # landing + budget
+
+    def test_crawl_dark_host_returns_nothing(self, kb):
+        crawler = StaticFileCrawler(InMemoryTransport(SimulatedInternet()))
+        assert crawler.crawl(IPv4Address(42), 80, Scheme.HTTP, (), kb) == {}
+
+
+class TestDisclosure:
+    def test_thirteen_disclosing_apps(self):
+        # The paper: version extracted directly for 13 applications.
+        assert len(DISCLOSURE_EXTRACTORS) == 13
+
+    @pytest.mark.parametrize("slug", sorted(DISCLOSURE_EXTRACTORS))
+    def test_extractor_finds_version_on_vulnerable_instance(self, slug):
+        spec_port = 80
+        internet, ip, app = host_with(slug, vulnerable=True, port=spec_port)
+        context = PluginContext(InMemoryTransport(internet), ip, spec_port, Scheme.HTTP)
+        assert extract_disclosed_version(context, slug) == app.version
+
+    @pytest.mark.parametrize(
+        "slug", ["jenkins", "kubernetes", "jupyter-notebook", "phpmyadmin"]
+    )
+    def test_extractor_works_on_secured_instance_too(self, slug):
+        internet, ip, app = host_with(slug)
+        context = PluginContext(InMemoryTransport(internet), ip, 80, Scheme.HTTP)
+        assert extract_disclosed_version(context, slug) == app.version
+
+    def test_non_disclosing_app_returns_none(self):
+        internet, ip, app = host_with("polynote")
+        context = PluginContext(InMemoryTransport(internet), ip, 80, Scheme.HTTP)
+        assert extract_disclosed_version(context, "polynote") is None
+
+
+class TestVersionFingerprinter:
+    def test_disclosure_preferred(self, kb):
+        internet, ip, app = host_with("docker", vulnerable=True)
+        fingerprinter = VersionFingerprinter(InMemoryTransport(internet), kb)
+        result = fingerprinter.fingerprint(ip, 80, Scheme.HTTP, ("docker",))
+        assert result.version == app.version
+        assert result.method is FingerprintMethod.DISCLOSURE
+
+    def test_hash_fallback_for_non_disclosing_apps(self, kb):
+        internet, ip, app = host_with("polynote")
+        fingerprinter = VersionFingerprinter(InMemoryTransport(internet), kb)
+        result = fingerprinter.fingerprint(ip, 80, Scheme.HTTP, ("polynote",))
+        assert result is not None
+        assert result.method is FingerprintMethod.HASH_MATCH
+        assert result.version == app.version
+
+    def test_hash_only_mode(self, kb):
+        internet, ip, app = host_with("wordpress", version="5.3")
+        fingerprinter = VersionFingerprinter(
+            InMemoryTransport(internet), kb, use_disclosure=False
+        )
+        result = fingerprinter.fingerprint(ip, 80, Scheme.HTTP, ("wordpress",))
+        assert result.method is FingerprintMethod.HASH_MATCH
+        assert result.version == "5.3"
+
+    def test_disclosure_only_mode_misses_quiet_apps(self, kb):
+        internet, ip, app = host_with("ajenti", port=8000)
+        fingerprinter = VersionFingerprinter(
+            InMemoryTransport(internet), kb, use_hashes=False
+        )
+        assert fingerprinter.fingerprint(ip, 8000, Scheme.HTTP, ("ajenti",)) is None
+
+    def test_unidentifiable_host_returns_none(self, kb):
+        fingerprinter = VersionFingerprinter(
+            InMemoryTransport(SimulatedInternet()), kb
+        )
+        assert fingerprinter.fingerprint(IPv4Address(9), 80, Scheme.HTTP, ()) is None
+
+    @pytest.mark.parametrize("spec", in_scope_apps(), ids=lambda s: s.slug)
+    def test_every_app_fingerprintable_at_any_release(self, spec, kb):
+        """Oldest and newest release of every app must be identifiable.
+
+        Vulnerable instances are used because some hardened deployments
+        legitimately hide everything (see the Docker test below).
+        """
+        releases = RELEASE_DB.releases(spec.slug)
+        for release in (releases[0], releases[-1]):
+            version = release.version
+            vulnerable = True
+            try:
+                internet, ip, app = host_with(spec.slug, version=version,
+                                              vulnerable=True)
+            except Exception:
+                # e.g. Adminer >= 4.6.3 cannot be made vulnerable.
+                internet, ip, app = host_with(spec.slug, version=version)
+            fingerprinter = VersionFingerprinter(InMemoryTransport(internet), kb)
+            result = fingerprinter.fingerprint(
+                ip, 80, Scheme.HTTP, (spec.slug,)
+            )
+            assert result is not None, (spec.slug, version)
+            assert result.version == version
+
+    def test_hardened_docker_hides_its_version(self, kb):
+        """A TLS-protected Docker API reveals nothing to fingerprint —
+        a real measurement limitation, preserved by the emulator."""
+        internet, ip, app = host_with("docker")
+        fingerprinter = VersionFingerprinter(InMemoryTransport(internet), kb)
+        assert fingerprinter.fingerprint(ip, 80, Scheme.HTTP, ("docker",)) is None

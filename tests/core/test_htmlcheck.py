@@ -1,0 +1,61 @@
+"""Tests for the HTML inspection helpers."""
+
+from repro.core.tsunami.htmlcheck import (
+    has_element,
+    has_element_within,
+    is_valid_html,
+)
+
+
+class TestIsValidHtml:
+    def test_wellformed(self):
+        assert is_valid_html("<html><body><p>hi</p></body></html>")
+
+    def test_empty_is_invalid(self):
+        assert not is_valid_html("")
+
+    def test_plain_text_is_invalid(self):
+        assert not is_valid_html("just text, no tags")
+
+    def test_stray_close_tag_is_invalid(self):
+        assert not is_valid_html("</div><p>x</p>")
+
+    def test_void_elements_ok(self):
+        assert is_valid_html('<form><input name="a"><br></form>')
+
+
+class TestHasElement:
+    def test_by_tag(self):
+        assert has_element("<form></form>", "form")
+
+    def test_by_tag_and_id(self):
+        assert has_element('<form id="setup"></form>', "form", "setup")
+        assert not has_element('<form id="other"></form>', "form", "setup")
+
+    def test_missing_tag(self):
+        assert not has_element("<div></div>", "form")
+
+    def test_self_closing(self):
+        assert has_element('<input id="pass1"/>', "input", "pass1")
+
+
+class TestHasElementWithin:
+    def test_direct_child(self):
+        body = '<form id="setup"><input id="pass1"></form>'
+        assert has_element_within(body, "form", "setup", "input", "pass1")
+
+    def test_nested_descendant(self):
+        body = '<form id="setup"><div><input id="pass1"></div></form>'
+        assert has_element_within(body, "form", "setup", "input", "pass1")
+
+    def test_sibling_not_contained(self):
+        body = '<form id="setup"></form><input id="pass1">'
+        assert not has_element_within(body, "form", "setup", "input", "pass1")
+
+    def test_wrong_outer_id(self):
+        body = '<form id="login"><input id="pass1"></form>'
+        assert not has_element_within(body, "form", "setup", "input", "pass1")
+
+    def test_wildcard_ids(self):
+        body = "<form><input></form>"
+        assert has_element_within(body, "form", None, "input", None)

@@ -1,0 +1,138 @@
+"""Tests for the stage-I port scanner."""
+
+import random
+
+import pytest
+
+from repro.apps.base import AppInstance
+from repro.apps.catalog import create_instance
+from repro.core.masscan import Masscan, PortScanResult, burst_profile
+from repro.net.host import Host, Service
+from repro.net.ipv4 import IPv4Address
+from repro.net.network import SimulatedInternet
+from repro.net.transport import InMemoryTransport
+
+
+@pytest.fixture()
+def small_world():
+    internet = SimulatedInternet()
+    ips = []
+    for index in range(8):
+        ip = IPv4Address.parse(f"100.0.113.{index + 1}")
+        host = Host(ip)
+        host.add_service(
+            Service(8888, app=AppInstance(create_instance("jupyterlab"), 8888))
+        )
+        internet.add_host(host)
+        ips.append(ip)
+    return internet, ips
+
+
+class TestMasscan:
+    def test_finds_open_ports(self, small_world):
+        internet, ips = small_world
+        scanner = Masscan(InMemoryTransport(internet), ports=(80, 8888))
+        result = scanner.scan(ips)
+        assert all(result.ports_of(ip) == (8888,) for ip in ips)
+
+    def test_dark_addresses_dropped(self, small_world):
+        internet, ips = small_world
+        scanner = Masscan(InMemoryTransport(internet), ports=(8888,))
+        dark = IPv4Address.parse("93.184.216.34")  # routable but unpopulated
+        result = scanner.scan(ips + [dark])
+        assert dark.value not in result.open_ports
+        assert result.addresses_scanned == len(ips) + 1
+
+    def test_reserved_addresses_excluded(self, small_world):
+        internet, ips = small_world
+        scanner = Masscan(InMemoryTransport(internet), ports=(8888,))
+        reserved = IPv4Address.parse("10.1.2.3")
+        result = scanner.scan(ips + [reserved])
+        assert result.addresses_scanned == len(ips)
+
+    def test_probe_count(self, small_world):
+        internet, ips = small_world
+        scanner = Masscan(InMemoryTransport(internet), ports=(80, 443, 8888))
+        result = scanner.scan(ips)
+        assert result.probes_sent == 3 * len(ips)
+
+    def test_batching_covers_everything(self, small_world):
+        internet, ips = small_world
+        scanner = Masscan(InMemoryTransport(internet), ports=(8888,))
+        merged = PortScanResult()
+        batches = list(scanner.scan_in_batches(ips, batch_size=3))
+        assert len(batches) == 3  # 3 + 3 + 2
+        for batch in batches:
+            merged.merge(batch)
+        assert len(merged.open_ports) == len(ips)
+
+    def test_invalid_batch_size(self, small_world):
+        internet, ips = small_world
+        scanner = Masscan(InMemoryTransport(internet), ports=(8888,))
+        with pytest.raises(ValueError):
+            list(scanner.scan_in_batches(ips, batch_size=0))
+
+    def test_count_per_port(self, small_world):
+        internet, ips = small_world
+        scanner = Masscan(InMemoryTransport(internet), ports=(8888,))
+        result = scanner.scan(ips)
+        assert result.count_per_port() == {8888: len(ips)}
+
+
+class TestScanOrder:
+    def _block_targets(self):
+        # 4 /24 blocks x 64 addresses.
+        targets = []
+        for block in range(4):
+            for offset in range(64):
+                targets.append(IPv4Address.parse(f"198.51.{100 + block}.{offset + 1}"))
+        return targets
+
+    def test_randomised_order_interleaves_blocks(self):
+        scanner = Masscan(
+            InMemoryTransport(SimulatedInternet()), ports=(80,),
+            rng=random.Random(5),
+        )
+        order = scanner.target_order(self._block_targets())
+        # Sequential order would put all 64 of a /24 adjacently; randomised
+        # order must break those runs.
+        longest_run = run = 1
+        for a, b in zip(order, order[1:]):
+            run = run + 1 if a.value >> 8 == b.value >> 8 else 1
+            longest_run = max(longest_run, run)
+        assert longest_run == 64  # within-block still contiguous per design
+
+    def test_sequential_order_is_sorted(self):
+        scanner = Masscan(
+            InMemoryTransport(SimulatedInternet()), ports=(80,),
+            randomise_order=False,
+        )
+        order = scanner.target_order(self._block_targets())
+        assert [ip.value for ip in order] == sorted(ip.value for ip in order)
+
+    def test_order_is_deterministic_per_seed(self):
+        targets = self._block_targets()
+        orders = []
+        for _ in range(2):
+            scanner = Masscan(
+                InMemoryTransport(SimulatedInternet()), ports=(80,),
+                rng=random.Random(9),
+            )
+            orders.append([ip.value for ip in scanner.target_order(targets)])
+        assert orders[0] == orders[1]
+
+    def test_burst_profile_distinguishes_orders(self):
+        targets = self._block_targets()
+        sequential = Masscan(
+            InMemoryTransport(SimulatedInternet()), ports=(80,),
+            randomise_order=False,
+        ).target_order(targets)
+        seq_peak = max(burst_profile(sequential, window=32).values())
+        assert seq_peak == 32  # worst case: the window is one block
+
+        # Shuffling address order globally spreads blocks out.
+        rng = random.Random(1)
+        shuffled_order = list(targets)
+        rng.shuffle(shuffled_order)
+        rnd_peak = max(burst_profile(shuffled_order, window=32).values())
+        assert rnd_peak < seq_peak

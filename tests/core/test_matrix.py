@@ -1,0 +1,79 @@
+"""Systematic correctness matrix over the full (app, release, state) grid.
+
+The paper tested its pipeline "on both the newest and oldest stable
+releases we could find" and worried about versions in between breaking
+detection.  With emulators we can afford the full grid: every in-scope
+application, *every* release in the database, in both the vulnerable and
+the secured state — the pipeline's verdict must equal ground truth for
+every cell, and the prefilter must keep every cell attributable.
+"""
+
+import pytest
+
+from repro.apps.catalog import in_scope_apps
+from repro.apps.versions import RELEASE_DB
+from repro.core.prefilter import match_signatures
+from repro.core.tsunami.plugin import PluginContext
+from repro.core.tsunami.plugins import plugin_for
+from repro.net.http import HttpRequest
+from tests.core.test_plugins import make_context
+
+
+def _instances_for(spec):
+    """All (app, expected_vulnerable) cells of one application."""
+    cells = []
+    for release in RELEASE_DB.releases(spec.slug):
+        # vulnerable configuration, where this version supports one
+        overrides = dict(spec.insecure_overrides or {})
+        candidate = spec.emulator(release.version, dict(overrides))
+        if candidate.is_vulnerable():
+            cells.append((candidate, True))
+        # secured configuration
+        secured = spec.emulator(release.version, {})
+        if secured.is_vulnerable():
+            try:
+                secured.secure()
+            except NotImplementedError:
+                continue  # Polynote: no secured state exists
+        cells.append((secured, False))
+    return cells
+
+
+@pytest.mark.parametrize("spec", in_scope_apps(), ids=lambda s: s.slug)
+def test_plugin_verdict_equals_ground_truth_for_every_release(spec):
+    plugin = plugin_for(spec.slug)
+    for app, expected in _instances_for(spec):
+        context = make_context(app, port=spec.default_ports[0])
+        report = plugin.detect(context)
+        assert (report is not None) == expected, (
+            f"{spec.slug} v{app.version} expected vulnerable={expected}"
+        )
+
+
+@pytest.mark.parametrize("spec", in_scope_apps(), ids=lambda s: s.slug)
+def test_prefilter_attributes_every_release(spec):
+    for app, _expected in _instances_for(spec):
+        response = app.handle(HttpRequest.get("/"))
+        hops = 5
+        while response.is_redirect and hops:
+            response = app.handle(HttpRequest.get(response.location or "/"))
+            hops -= 1
+        assert spec.slug in match_signatures(response.body), (
+            f"{spec.slug} v{app.version} lost by the prefilter"
+        )
+
+
+@pytest.mark.parametrize("spec", in_scope_apps(), ids=lambda s: s.slug)
+def test_exploit_driver_matches_ground_truth_for_every_release(spec):
+    """The kill chain works iff the instance is actually vulnerable."""
+    from repro.attacker.exploits import exploit_requests
+    from repro.attacker.payloads import recon_variant
+
+    payload = recon_variant("matrix", 0)
+    for app, expected in _instances_for(spec):
+        for request in exploit_requests(spec.slug, payload):
+            app.handle(request)
+        executed = bool(app.drain_executions())
+        assert executed == expected, (
+            f"{spec.slug} v{app.version} exploit={executed}, expected {expected}"
+        )

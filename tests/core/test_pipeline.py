@@ -1,0 +1,152 @@
+"""End-to-end tests of the three-stage pipeline against ground truth."""
+
+import pytest
+
+from repro.net.population import PAPER_PREVALENCE
+
+
+class TestPipelineAccuracy:
+    """The pipeline's verdicts versus the simulator's omniscient truth."""
+
+    def test_zero_false_positives(self, tiny_scan_study):
+        truth = {
+            h.ip.value for h in tiny_scan_study.internet.true_vulnerable_hosts()
+        }
+        found = {ip.value for ip in tiny_scan_study.report.vulnerable_ips()}
+        assert found <= truth
+
+    def test_zero_false_negatives(self, tiny_scan_study):
+        truth = {
+            h.ip.value for h in tiny_scan_study.internet.true_vulnerable_hosts()
+        }
+        found = {ip.value for ip in tiny_scan_study.report.vulnerable_ips()}
+        assert truth <= found
+
+    def test_app_attribution_correct(self, tiny_scan_study):
+        """Every observation names an app the host actually runs."""
+        for finding in tiny_scan_study.report.findings.values():
+            host = tiny_scan_study.internet.host_at(finding.ip)
+            actual = {instance.slug for instance in host.apps()}
+            assert set(finding.observations) <= actual
+
+    def test_every_awe_host_found(self, tiny_scan_study):
+        """Stage II must not lose hosts that run an in-scope app."""
+        in_scope = {p.slug for p in PAPER_PREVALENCE}
+        expected = {
+            host.ip.value
+            for host in tiny_scan_study.internet.awe_hosts()
+            if any(i.slug in in_scope for i in host.apps())
+        }
+        assert expected <= set(tiny_scan_study.report.findings)
+
+    def test_fingerprint_versions_match_ground_truth(self, tiny_scan_study):
+        checked = 0
+        for observation in tiny_scan_study.report.observations():
+            if observation.fingerprint is None:
+                continue
+            host = tiny_scan_study.internet.host_at(observation.ip)
+            app = host.app_instance(observation.slug)
+            if app is None:
+                continue
+            assert app.version == observation.fingerprint.version
+            checked += 1
+        assert checked > 50
+
+    def test_most_hosts_fingerprinted(self, tiny_scan_study):
+        observations = tiny_scan_study.report.observations()
+        fingerprinted = sum(1 for o in observations if o.fingerprint)
+        assert fingerprinted / len(observations) > 0.9
+
+
+class TestCalibratedCounts:
+    """With vuln_rate=1.0 the pipeline reproduces Table 3's MAV column."""
+
+    def test_total_is_4221(self, calibrated_scan_study):
+        assert len(calibrated_scan_study.report.vulnerable_ips()) == 4221
+
+    def test_per_app_mavs_match_paper_exactly(self, calibrated_scan_study):
+        mavs = calibrated_scan_study.report.mavs_per_app()
+        for prevalence in PAPER_PREVALENCE:
+            assert mavs.get(prevalence.slug, 0) == prevalence.mavs, prevalence.slug
+
+    def test_docker_hadoop_nomad_majority_vulnerable(self, calibrated_scan_study):
+        """Table 3: exposed Docker/Hadoop/Nomad are mostly vulnerable."""
+        report = calibrated_scan_study.report
+        hosts = report.hosts_per_app()
+        mavs = report.mavs_per_app()
+        census = calibrated_scan_study.census
+        for slug in ("docker", "hadoop", "nomad"):
+            # Weighted host estimate vs raw MAV count.
+            weighted = sum(
+                census.weight_of(f.ip)
+                for f in report.findings.values()
+                if slug in f.observations
+            )
+            assert mavs[slug] / weighted > 0.5, slug
+
+    def test_cms_mav_share_is_negligible(self, calibrated_scan_study):
+        report = calibrated_scan_study.report
+        census = calibrated_scan_study.census
+        weighted = sum(
+            census.weight_of(f.ip)
+            for f in report.findings.values()
+            if "wordpress" in f.observations
+        )
+        assert report.mavs_per_app()["wordpress"] / weighted < 0.01
+
+
+class TestEthics:
+    def test_pipeline_never_posts(self, tiny_scan_study):
+        # The transport enforces this; reaching here means no violation
+        # was raised during the session-scoped scan.  Double-check the
+        # enforcement flag is on.
+        assert tiny_scan_study.transport.enforce_ethics
+
+    def test_request_volume_bounded_per_host(self, pipeline_factory):
+        """No single host sees an excessive number of requests in one
+        sweep (a fresh pipeline, so observer re-scans don't pollute the
+        accounting)."""
+        from repro.net.population import PopulationModel, generate_internet
+
+        internet, _geo, _census = generate_internet(
+            PopulationModel(awe_rate=0.001, vuln_rate=0.02,
+                            background_rate=1e-7, seed=99)
+        )
+        pipeline = pipeline_factory(internet, fingerprint=True)
+        pipeline.run(internet.populated_addresses())
+        per_24 = pipeline.transport.stats.requests_per_slash24
+        assert max(per_24.values()) < 60  # prefilter+plugins+fingerprint
+
+
+class TestRescan:
+    def test_rescan_refinds_vulnerable_hosts(self, tiny_scan_study, pipeline_factory):
+        pipeline = pipeline_factory(tiny_scan_study.internet)
+        vulnerable = tiny_scan_study.report.vulnerable_ips()
+        ports = {
+            ip.value: tiny_scan_study.report.port_scan.ports_of(ip)
+            for ip in vulnerable
+        }
+        rescan = pipeline.rescan_hosts(vulnerable, ports)
+        assert len(rescan.vulnerable_ips()) == len(vulnerable)
+
+    def test_rescan_sees_fixes(self, tiny_scan_study, pipeline_factory):
+        import copy
+
+        # Work on a private copy of one vulnerable host's app config.
+        target = tiny_scan_study.report.vulnerable_ips()[0]
+        host = tiny_scan_study.internet.host_at(target)
+        instance = next(i for i in host.apps() if i.app.is_vulnerable())
+        saved = copy.deepcopy(instance.app.config)
+        try:
+            try:
+                instance.app.secure()
+            except NotImplementedError:
+                pytest.skip("app cannot be secured in place")
+            pipeline = pipeline_factory(tiny_scan_study.internet)
+            rescan = pipeline.rescan_hosts([target])
+            assert target.value not in {
+                ip.value for ip in rescan.vulnerable_ips()
+            }
+        finally:
+            instance.app.config.clear()
+            instance.app.config.update(saved)

@@ -1,0 +1,59 @@
+"""Tests for the 'too slow to matter' defender analysis (§5 anecdote)."""
+
+import pytest
+
+from repro.experiments.defenders import mid_scan_compromises, run_defender_study
+
+
+class TestVisitWindows:
+    def test_windows_cover_all_targets(self, defender_study):
+        for run in defender_study.runs.values():
+            assert len(run.visit_windows) == 18
+
+    def test_windows_are_sequential(self, defender_study):
+        run = defender_study.runs["Scanner 2"]
+        windows = sorted(run.visit_windows.values())
+        for (a_start, a_end), (b_start, b_end) in zip(windows, windows[1:]):
+            assert a_end <= b_start + 1e-9
+
+    def test_total_duration_matches_last_window(self, defender_study):
+        run = defender_study.runs["Scanner 2"]
+        assert max(end for _s, end in run.visit_windows.values()) == pytest.approx(
+            run.duration_seconds
+        )
+
+
+class TestMidScanCompromises:
+    def test_slow_scanner_is_overtaken(self, honeypot_study, defender_study):
+        """Attacks land before Scanner 2 finishes the affected honeypots."""
+        beaten = mid_scan_compromises(
+            honeypot_study.attacks, defender_study.runs["Scanner 2"]
+        )
+        assert beaten >= 1  # Hadoop is hit within the first hour
+
+    def test_slower_scanner_beaten_more(self, honeypot_study, defender_study):
+        fast = mid_scan_compromises(
+            honeypot_study.attacks, defender_study.runs["Scanner 1"]
+        )
+        slow = mid_scan_compromises(
+            honeypot_study.attacks, defender_study.runs["Scanner 2"]
+        )
+        assert slow >= fast
+
+    def test_scan_started_late_is_beaten_by_more_attacks(
+        self, honeypot_study, defender_study
+    ):
+        run = defender_study.runs["Scanner 2"]
+        at_start = mid_scan_compromises(honeypot_study.attacks, run, 0.0)
+        a_week_in = mid_scan_compromises(
+            honeypot_study.attacks, run, 7 * 24 * 3600.0
+        )
+        assert a_week_in > at_start
+
+    def test_attacks_on_unscanned_hosts_ignored(self, defender_study):
+        from repro.analysis.attacks import Attack
+
+        ghost_attack = Attack("not-a-honeypot", 1, 0.0, 0.0, ["x"], {1})
+        assert mid_scan_compromises(
+            [ghost_attack], defender_study.runs["Scanner 1"]
+        ) == 0

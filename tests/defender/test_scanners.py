@@ -1,0 +1,91 @@
+"""Tests for the simulated commercial scanners (§5)."""
+
+import pytest
+
+from repro.defender.scanners import (
+    FindingSeverity,
+    make_scanner_1,
+    make_scanner_2,
+)
+from repro.experiments.defenders import run_defender_study
+from repro.util.clock import HOUR
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_defender_study()
+
+
+class TestScannerCoverage:
+    def test_scanner1_detects_5_of_18(self, study):
+        assert study.detected_count("Scanner 1") == 5
+        assert study.detections()["Scanner 1"] == {
+            "consul", "docker", "jupyter-notebook", "wordpress", "hadoop",
+        }
+
+    def test_scanner2_detects_3_of_18(self, study):
+        assert study.detected_count("Scanner 2") == 3
+        assert study.detections()["Scanner 2"] == {"consul", "docker", "jenkins"}
+
+    def test_scanner2_informational_findings(self, study):
+        informational = study.informational()["Scanner 2"]
+        assert {"joomla", "phpmyadmin", "kubernetes", "hadoop"} <= informational
+
+    def test_overlap_is_docker_and_consul(self, study):
+        detections = study.detections()
+        overlap = detections["Scanner 1"] & detections["Scanner 2"]
+        assert overlap == {"consul", "docker"}
+
+    def test_jupyterlab_missed_by_both(self, study):
+        """The actively-exploited Jupyter Lab is invisible to defenders."""
+        for slugs in study.detections().values():
+            assert "jupyterlab" not in slugs
+
+    def test_findings_are_real_probe_results(self, study):
+        for run in study.runs.values():
+            assert run.requests_sent > 0
+            for finding in run.findings:
+                if finding.severity is FindingSeverity.VULNERABILITY:
+                    assert finding.slug in finding.target
+
+
+class TestScanCost:
+    def test_scanner2_takes_hours(self, study):
+        # "the entire scan took several hours to complete"
+        assert study.runs["Scanner 2"].duration_seconds > 3 * HOUR
+
+    def test_scanner1_is_much_faster(self, study):
+        assert (
+            study.runs["Scanner 1"].duration_seconds
+            < study.runs["Scanner 2"].duration_seconds / 3
+        )
+
+
+class TestScannerMechanics:
+    def test_vulnerability_checks_are_honest(self):
+        """A scanner with a check for app X stays silent if X is secure."""
+        from repro.apps.catalog import create_instance
+        from repro.honeypot.fleet import HoneypotFleet
+
+        fleet = HoneypotFleet.deploy()
+        fleet.go_live()
+        # Secure the Docker honeypot; Scanner 1 must no longer flag it.
+        fleet.machine("docker").app.secure()
+        study = run_defender_study(fleet=fleet)
+        assert "docker" not in study.detections()["Scanner 1"]
+
+    def test_dark_target_produces_no_findings(self):
+        from repro.net.ipv4 import IPv4Address
+        from repro.net.network import SimulatedInternet
+        from repro.net.transport import InMemoryTransport
+
+        scanner = make_scanner_1()
+        run = scanner.scan_host(
+            InMemoryTransport(SimulatedInternet()),
+            "ghost-host", IPv4Address.parse("93.184.216.90"), 80,
+        )
+        assert run.findings == []
+
+    def test_table_renders(self, study):
+        text = study.table().render()
+        assert "Scanner 1" in text and "Scanner 2" in text

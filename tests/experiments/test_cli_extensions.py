@@ -1,0 +1,41 @@
+"""Tests for the CLI's extension experiments and markdown output."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestCliExtensions:
+    def test_vhosts_experiment(self, capsys):
+        assert main(["--experiment", "vhosts"]) == 0
+        out = capsys.readouterr().out
+        assert "ip-scan (paper)" in out
+
+    def test_packet_loss_experiment(self, capsys):
+        assert main(["--experiment", "packet-loss"]) == 0
+        out = capsys.readouterr().out
+        assert "Loss rate" in out
+
+    def test_ct_race_experiment(self, capsys):
+        assert main(["--experiment", "ct-race"]) == 0
+        out = capsys.readouterr().out
+        assert "ct-monitor" in out
+
+    def test_markdown_flag_accepted(self):
+        args = build_parser().parse_args(["--markdown"])
+        assert args.markdown
+
+    def test_seed_override(self, capsys):
+        assert main(["--experiment", "defender", "--seed", "99"]) == 0
+
+
+class TestFigure2Categories:
+    def test_category_curves_present(self, observer_study):
+        from repro.analysis.longevity import HostStatus
+
+        curves = observer_study.figure2().curves_by_category(HostStatus.VULNERABLE)
+        assert set(curves) <= {"CI", "CMS", "CM", "NB", "CP"}
+        assert "CM" in curves  # Docker/Hadoop/Nomad dominate the MAVs
+
+    def test_render_includes_categories(self, observer_study):
+        assert "category:CM" in observer_study.figure2().render()

@@ -1,0 +1,48 @@
+"""Tests for the shared study configuration."""
+
+import pytest
+
+from repro.experiments.config import StudyConfig
+from repro.util.clock import HOUR, WEEK
+
+
+class TestScales:
+    def test_tiny_is_smallest(self):
+        tiny, default = StudyConfig.tiny(), StudyConfig.default()
+        assert tiny.population.vuln_rate < default.population.vuln_rate
+        assert tiny.population.awe_rate < default.population.awe_rate
+
+    def test_paper_is_largest(self):
+        default, paper = StudyConfig.default(), StudyConfig.paper()
+        assert paper.population.awe_rate >= default.population.awe_rate
+        assert paper.population.vuln_rate == 1.0
+
+    def test_default_windows_match_paper(self):
+        config = StudyConfig.default()
+        assert config.observation_window == 4 * WEEK
+        assert config.rescan_interval == 3 * HOUR
+
+    def test_with_seed_propagates(self):
+        config = StudyConfig.default().with_seed(1234)
+        assert config.seed == 1234
+        assert config.population.seed == 1234
+
+    def test_with_seed_does_not_mutate_original(self):
+        original = StudyConfig.default()
+        original.with_seed(99)
+        assert original.seed == 20210603
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            StudyConfig.default().seed = 1  # type: ignore[misc]
+
+
+class TestSeedSensitivity:
+    def test_different_seeds_different_populations(self):
+        from repro.net.population import generate_internet
+
+        a, _, _ = generate_internet(StudyConfig.tiny().with_seed(1).population)
+        b, _, _ = generate_internet(StudyConfig.tiny().with_seed(2).population)
+        assert sorted(h.ip.value for h in a.hosts()) != sorted(
+            h.ip.value for h in b.hosts()
+        )

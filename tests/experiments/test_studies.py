@@ -1,0 +1,205 @@
+"""Integration tests for the four experiment drivers."""
+
+import pytest
+
+from repro.analysis.longevity import HostStatus
+from repro.util.clock import DAY, HOUR, WEEK
+
+
+class TestScanStudy:
+    def test_report_populated(self, tiny_scan_study):
+        assert tiny_scan_study.report.total_awe_hosts() > 100
+        assert tiny_scan_study.total_mavs() > 100
+
+    def test_tables_render(self, tiny_scan_study):
+        for table in (
+            tiny_scan_study.table2(),
+            tiny_scan_study.table3(),
+            tiny_scan_study.table4(),
+        ):
+            assert table.render()
+
+    def test_figure1_has_both_groups(self, tiny_scan_study):
+        figure = tiny_scan_study.figure1()
+        assert sum(figure.overall_secure.values()) > 0
+        assert sum(figure.overall_vulnerable.values()) > 0
+
+
+class TestObserverStudy:
+    def test_sweeps_cover_window(self, observer_study, tiny_config):
+        expected = int(tiny_config.observation_window // tiny_config.rescan_interval) + 1
+        assert observer_study.sweep_count == expected
+
+    def test_every_host_classified_each_sweep(self, observer_study):
+        log = observer_study.log
+        for time in log.times:
+            assert set(log.sweeps[time]) == set(log.hosts)
+
+    def test_initial_sweep_all_vulnerable(self, observer_study):
+        log = observer_study.log
+        first = log.sweeps[log.times[0]]
+        vulnerable = sum(1 for s in first.values() if s is HostStatus.VULNERABLE)
+        assert vulnerable / len(first) > 0.95
+
+    def test_rq3_over_half_still_vulnerable(self, observer_study):
+        fraction = observer_study.log.still_vulnerable_after(4 * WEEK)
+        assert 0.40 < fraction < 0.70  # paper: "over half"
+
+    def test_rq3_two_thirds_at_two_weeks(self, observer_study):
+        fraction = observer_study.log.still_vulnerable_after(2 * WEEK)
+        assert 0.55 < fraction < 0.80  # paper: "over two thirds"
+
+    def test_fixed_fraction_small(self, observer_study):
+        counts = observer_study.final_counts()
+        total = len(observer_study.log.hosts)
+        assert counts[HostStatus.FIXED] / total < 0.12  # paper: 3.2%
+
+    def test_offline_dominates_exits(self, observer_study):
+        counts = observer_study.final_counts()
+        assert counts[HostStatus.OFFLINE] > counts[HostStatus.FIXED]
+
+    def test_statuses_never_resurrect_much(self, observer_study):
+        """Offline hosts stay offline (no flapping model)."""
+        log = observer_study.log
+        last = log.sweeps[log.times[-1]]
+        mid = log.sweeps[log.times[len(log.times) // 2]]
+        for ip, status in mid.items():
+            if status is HostStatus.OFFLINE:
+                assert last[ip] is HostStatus.OFFLINE
+
+    def test_figure2_renders(self, observer_study):
+        text = observer_study.figure2().render()
+        assert "vulnerable" in text and "offline" in text
+
+
+class TestHoneypotStudy:
+    def test_total_attacks_2195(self, honeypot_study):
+        assert len(honeypot_study.attacks) == 2195
+
+    def test_seven_applications_attacked(self, honeypot_study):
+        assert honeypot_study.attacked_applications() == {
+            "jenkins", "wordpress", "grav", "docker", "hadoop",
+            "jupyterlab", "jupyter-notebook",
+        }
+
+    def test_table5_matches_paper(self, honeypot_study):
+        rows = {r["App"]: r for r in honeypot_study.table5().as_dicts()}
+        assert rows["Hadoop"]["# Attacks"] == 1921
+        assert rows["Docker"]["# Attacks"] == 132
+        assert rows["Jupyter Notebook"]["# Attacks"] == 99
+        assert rows["Jupyter Lab"]["# Attacks"] == 29
+        assert rows["WordPress"]["# Attacks"] == 9
+        assert rows["Jenkins"]["# Attacks"] == 4
+        assert rows["Grav"]["# Attacks"] == 1
+
+    def test_unique_attacks_match_paper(self, honeypot_study):
+        rows = {r["App"]: r for r in honeypot_study.table5().as_dicts()}
+        assert rows["Hadoop"]["# Uniq. Attacks"] == 49
+        assert rows["Jupyter Notebook"]["# Uniq. Attacks"] == 50
+        assert rows["Docker"]["# Uniq. Attacks"] == 12
+
+    def test_source_ips_near_160(self, honeypot_study):
+        total = honeypot_study.table5().as_dicts()[-1]
+        assert 140 <= total["# Uniq. IPs"] <= 175
+
+    def test_table6_first_compromise_times(self, honeypot_study):
+        rows = {r["Application"]: r for r in honeypot_study.table6().as_dicts()}
+        assert rows["Hadoop"]["First"] < 1.0       # < one hour
+        assert rows["WordPress"]["First"] == pytest.approx(2.8, abs=0.2)
+        assert rows["Docker"]["First"] == pytest.approx(6.7, abs=0.5)
+        assert rows["GravCMS" if "GravCMS" in rows else "Grav"]["First"] > 300
+
+    def test_hadoop_average_gap_minutes(self, honeypot_study):
+        rows = {r["Application"]: r for r in honeypot_study.table6().as_dicts()}
+        assert rows["Hadoop"]["Average"] < 0.8  # paper: ~20 minutes
+
+    def test_top5_share_two_thirds(self, honeypot_study):
+        assert 0.60 < honeypot_study.top_share(5) < 0.75
+
+    def test_top10_share(self, honeypot_study):
+        assert 0.78 < honeypot_study.top_share(10) < 0.90
+
+    def test_figure4_multi_app_attackers(self, honeypot_study):
+        figure = honeypot_study.figure4()
+        assert 8 <= len(figure.multi_app_clusters) <= 12  # paper: 10
+        assert 380 <= figure.total_multi_app_attacks <= 460  # paper: 419
+
+    def test_multi_app_pairings(self, honeypot_study):
+        pairs = {frozenset(c.honeypots) for c in honeypot_study.figure4().multi_app_clusters}
+        assert frozenset({"hadoop", "docker"}) in pairs
+        assert frozenset({"jupyterlab", "jupyter-notebook"}) in pairs
+
+    def test_table7_top_countries(self, honeypot_study):
+        top = [r["Country"] for r in honeypot_study.table7().as_dicts()[:4]]
+        assert "Netherlands" in top
+        assert "Brazil" in top
+
+    def test_table8_top_ases(self, honeypot_study):
+        providers = [r["Provider"] for r in honeypot_study.table8().as_dicts()]
+        assert providers[0] in ("Serverion BV", "Gamers Club")
+        assert "DigitalOcean" in providers
+
+    def test_log_chain_intact(self, honeypot_study):
+        honeypot_study.fleet.log.verify_integrity()
+
+    def test_restores_happened(self, honeypot_study):
+        """Cryptominers trip the resource monitor -> snapshot restores."""
+        assert honeypot_study.fleet.total_restores() > 100
+
+    def test_vigilante_observed_on_jupyterlab(self, honeypot_study):
+        shutdowns = [
+            a for a in honeypot_study.attacks
+            if a.honeypot == "jupyterlab"
+            and any("shutdown" in c for c in a.commands)
+        ]
+        assert len(shutdowns) >= 5  # "visited our Jupyter Lab several times"
+
+    def test_nearly_all_events_delivered(self, honeypot_study):
+        assert honeypot_study.dropped_events == 0
+
+
+class TestFullStudy:
+    def test_full_study_renders_everything(self, tiny_config):
+        from repro.experiments.full_study import run_full_study
+
+        study = run_full_study(tiny_config)
+        report = study.render()
+        for marker in (
+            "Table 1", "Table 2", "Table 3", "Table 4", "Figure 1",
+            "Figure 2", "Table 5", "Table 6", "Figure 3", "Figure 4",
+            "Table 7", "Table 8", "Table 9", "Headline numbers",
+        ):
+            assert marker in report, marker
+
+    def test_table9_combines_all_studies(self, tiny_config):
+        from repro.experiments.full_study import run_full_study
+
+        study = run_full_study(tiny_config)
+        rows = {r["App"]: r for r in study.table9().as_dicts()}
+        assert rows["Hadoop"]["Attacks"] == 1921
+        assert rows["Hadoop"]["Defend"] == "Scanner 1"
+        assert rows["Docker"]["Defend"] == "Scanner 1&Scanner 2"
+        assert rows["Nomad"]["Defend"] == "none"
+        assert len(rows) == 18
+
+
+class TestCli:
+    def test_defender_experiment(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["--experiment", "defender"]) == 0
+        out = capsys.readouterr().out
+        assert "Scanner 1" in out
+
+    def test_out_file(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        target = tmp_path / "report.txt"
+        assert main(["--experiment", "defender", "--out", str(target)]) == 0
+        assert "Scanner" in target.read_text()
+
+    def test_parser_rejects_unknown_experiment(self):
+        from repro.experiments.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--experiment", "nope"])

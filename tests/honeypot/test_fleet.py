@@ -1,0 +1,83 @@
+"""Tests for the honeypot fleet."""
+
+import pytest
+
+from repro.apps.catalog import in_scope_apps
+from repro.honeypot.fleet import HoneypotFleet
+from repro.net.http import HttpRequest
+from repro.net.ipv4 import IPv4Address
+from repro.util.errors import ConfigError
+
+ATTACKER_IP = IPv4Address.parse("93.184.216.67")
+
+
+@pytest.fixture()
+def fleet():
+    fleet = HoneypotFleet.deploy()
+    fleet.go_live()
+    return fleet
+
+
+class TestDeployment:
+    def test_all_18_in_scope_apps_deployed(self, fleet):
+        assert set(fleet.machines) == {s.slug for s in in_scope_apps()}
+
+    def test_every_machine_vulnerable_at_go_live(self, fleet):
+        for slug, machine in fleet.machines.items():
+            assert machine.is_vulnerable(), slug
+
+    def test_static_distinct_ips(self, fleet):
+        ips = {m.ip.value for m in fleet.machines.values()}
+        assert len(ips) == 18
+
+    def test_machines_on_default_ports(self, fleet):
+        for spec in in_scope_apps():
+            assert fleet.machine(spec.slug).port == spec.default_ports[0]
+
+    def test_unknown_slug_rejected(self, fleet):
+        with pytest.raises(ConfigError):
+            fleet.machine("ghost")
+
+    def test_firewalled_until_go_live(self):
+        fleet = HoneypotFleet.deploy()
+        assert fleet.deliver(
+            "hadoop", 0.0, ATTACKER_IP, HttpRequest.get("/cluster/cluster")
+        ) is None
+
+
+class TestDeliveryAndRestore:
+    def test_deliver_reaches_the_app(self, fleet):
+        response = fleet.deliver(
+            "hadoop", 1.0, ATTACKER_IP, HttpRequest.get("/cluster/cluster")
+        )
+        assert response.status == 200
+        assert len(fleet.log.network_events()) == 1
+
+    def test_availability_sweep_restores_hijacked_cms(self, fleet):
+        fleet.deliver(
+            "wordpress", 2.0, ATTACKER_IP,
+            HttpRequest.post("/wp-admin/install.php", "admin_password=x"),
+        )
+        assert not fleet.machine("wordpress").is_vulnerable()
+        restored = fleet.availability_sweep()
+        assert restored == ["wordpress"]
+        assert fleet.machine("wordpress").is_vulnerable()
+
+    def test_containment_restores_overloaded_machine(self, fleet):
+        fleet.apply_payload_load("hadoop", cpu=95.0, network=1.0)
+        restored = fleet.containment_sweep(3.0)
+        assert restored == ["hadoop"]
+        assert fleet.total_restores() == 1
+        # Load cleared: next sweep is quiet.
+        assert fleet.containment_sweep(4.0) == []
+
+    def test_restored_machine_still_monitored(self, fleet):
+        fleet.apply_payload_load("docker", cpu=99.0, network=0.0)
+        fleet.containment_sweep(1.0)
+        fleet.deliver("docker", 2.0, ATTACKER_IP, HttpRequest.get("/version"))
+        docker_events = fleet.log.network_events(honeypot="docker")
+        assert docker_events
+
+    def test_log_integrity_after_activity(self, fleet):
+        fleet.deliver("zeppelin", 1.0, ATTACKER_IP, HttpRequest.get("/api/notebook"))
+        fleet.log.verify_integrity()

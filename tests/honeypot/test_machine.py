@@ -1,0 +1,69 @@
+"""Tests for honeypot machines: snapshots, restore, firewalling."""
+
+import pytest
+
+from repro.apps.catalog import create_instance
+from repro.honeypot.machine import HoneypotMachine
+from repro.net.http import HttpRequest
+from repro.net.ipv4 import IPv4Address
+from repro.util.errors import ConnectionTimeout, SnapshotError
+
+
+def make_machine(slug="wordpress"):
+    return HoneypotMachine(
+        name=slug,
+        ip=IPv4Address.parse("198.51.100.1"),
+        port=80,
+        app=create_instance(slug, vulnerable=True),
+    )
+
+
+class TestFirewall:
+    def test_blocked_during_setup(self):
+        machine = make_machine()
+        with pytest.raises(ConnectionTimeout):
+            machine.handle(HttpRequest.get("/"))
+
+    def test_open_after_finalize(self):
+        machine = make_machine()
+        machine.finalize()
+        assert machine.handle(HttpRequest.get("/")).is_redirect  # to installer
+
+
+class TestSnapshotRestore:
+    def test_restore_without_snapshot_fails(self):
+        machine = make_machine()
+        with pytest.raises(SnapshotError):
+            machine.restore()
+
+    def test_restore_reverts_compromise(self):
+        machine = make_machine()
+        machine.finalize()
+        machine.handle(
+            HttpRequest.post("/wp-admin/install.php", "admin_password=pwned")
+        )
+        assert not machine.is_vulnerable()  # attacker completed the install
+        machine.restore()
+        assert machine.is_vulnerable()
+        assert machine.restore_count == 1
+
+    def test_restore_produces_fresh_instance(self):
+        machine = make_machine()
+        machine.finalize()
+        old_app = machine.app
+        machine.restore()
+        assert machine.app is not old_app
+        assert machine.app.version == old_app.version
+
+    def test_snapshot_config_isolated_from_later_mutation(self):
+        machine = make_machine()
+        machine.finalize()
+        machine.app.config["installed"] = True
+        assert machine.snapshot.config["installed"] is False
+
+    def test_requests_counted(self):
+        machine = make_machine()
+        machine.finalize()
+        machine.handle(HttpRequest.get("/"))
+        machine.handle(HttpRequest.get("/wp-login.php"))
+        assert machine.requests_seen == 2

@@ -1,0 +1,143 @@
+"""Tests for the Beats-style monitor, the central log, and the resource
+monitor."""
+
+import pytest
+
+from repro.apps.catalog import create_instance
+from repro.honeypot.logstore import CentralLogStore
+from repro.honeypot.machine import HoneypotMachine
+from repro.honeypot.monitor import AuditEvent, BeatsMonitor, NetworkEvent
+from repro.honeypot.resource import ResourceMonitor
+from repro.net.http import HttpRequest
+from repro.net.ipv4 import IPv4Address
+from repro.util.errors import LogIntegrityError
+
+ATTACKER_IP = IPv4Address.parse("93.184.216.66")
+
+
+@pytest.fixture()
+def monitored_jupyter():
+    machine = HoneypotMachine(
+        name="jupyter-notebook",
+        ip=IPv4Address.parse("198.51.100.2"),
+        port=8888,
+        app=create_instance("jupyter-notebook", vulnerable=True),
+    )
+    machine.finalize()
+    log = CentralLogStore()
+    return BeatsMonitor(machine, log), log
+
+
+class TestBeatsMonitor:
+    def test_network_event_recorded_for_every_request(self, monitored_jupyter):
+        monitor, log = monitored_jupyter
+        monitor.deliver(10.0, ATTACKER_IP, HttpRequest.get("/api/terminals"))
+        events = log.network_events()
+        assert len(events) == 1
+        event = events[0]
+        assert isinstance(event, NetworkEvent)
+        assert event.path == "/api/terminals"
+        assert event.source_ip == ATTACKER_IP
+
+    def test_post_bodies_captured(self, monitored_jupyter):
+        """Packetbeat sees POST bodies that never reach web-server logs."""
+        monitor, log = monitored_jupyter
+        monitor.deliver(
+            11.0, ATTACKER_IP,
+            HttpRequest.post("/terminals/websocket/1", "stdin=curl evil"),
+        )
+        assert "stdin=curl evil" in log.network_events()[-1].request_body
+
+    def test_audit_event_on_command_execution(self, monitored_jupyter):
+        monitor, log = monitored_jupyter
+        monitor.deliver(
+            12.0, ATTACKER_IP,
+            HttpRequest.post("/terminals/websocket/1", "stdin=id"),
+        )
+        audits = log.audit_events()
+        assert len(audits) == 1
+        assert audits[0].command == "id"
+        assert audits[0].mechanism == "terminal"
+
+    def test_no_audit_event_without_execution(self, monitored_jupyter):
+        monitor, log = monitored_jupyter
+        monitor.deliver(13.0, ATTACKER_IP, HttpRequest.get("/"))
+        assert log.audit_events() == []
+
+
+class TestCentralLogStore:
+    def test_append_only_sequence(self):
+        log = CentralLogStore()
+        for i in range(5):
+            log.append(("event", i))
+        assert [r.sequence for r in log.records()] == list(range(5))
+
+    def test_integrity_verifies_clean_log(self, monitored_jupyter):
+        monitor, log = monitored_jupyter
+        monitor.deliver(1.0, ATTACKER_IP, HttpRequest.get("/api/terminals"))
+        log.verify_integrity()
+
+    def test_tampered_event_detected(self, monitored_jupyter):
+        monitor, log = monitored_jupyter
+        monitor.deliver(1.0, ATTACKER_IP, HttpRequest.get("/api/terminals"))
+        record = log._records[0]
+        object.__setattr__(record, "event", "forged")
+        with pytest.raises(LogIntegrityError):
+            log.verify_integrity()
+
+    def test_removed_record_detected(self, monitored_jupyter):
+        monitor, log = monitored_jupyter
+        for _ in range(3):
+            monitor.deliver(1.0, ATTACKER_IP, HttpRequest.get("/"))
+        del log._records[1]
+        with pytest.raises(LogIntegrityError):
+            log.verify_integrity()
+
+    def test_query_filters(self):
+        log = CentralLogStore()
+        log.append(AuditEvent("a", 1.0, ATTACKER_IP, "x", "/v", "m", 1))
+        log.append(AuditEvent("b", 5.0, ATTACKER_IP, "y", "/v", "m", 2))
+        log.append(NetworkEvent("a", 9.0, ATTACKER_IP, "GET", "/", "", 200))
+        assert len(log.events(kind="audit")) == 2
+        assert len(log.events(honeypot="a")) == 2
+        assert len(log.events(since=4.0, until=6.0)) == 1
+        assert len(log.events(predicate=lambda e: getattr(e, "command", "") == "x")) == 1
+
+    def test_honeypots_seen(self):
+        log = CentralLogStore()
+        log.append(AuditEvent("hadoop", 1.0, ATTACKER_IP, "x", "/v", "m", 1))
+        assert log.honeypots_seen() == {"hadoop"}
+
+
+class TestResourceMonitor:
+    def test_baseline_under_threshold(self):
+        monitor = ResourceMonitor()
+        sample = monitor.sample(0.0, "idle")
+        assert not monitor.exceeded(sample)
+
+    def test_cryptominer_trips_cpu_threshold(self):
+        monitor = ResourceMonitor()
+        monitor.apply_load("victim", cpu_percent=95.0, network_mbps=1.0)
+        sample = monitor.sample(1.0, "victim")
+        assert monitor.exceeded(sample)
+
+    def test_ddos_trips_bandwidth_threshold(self):
+        monitor = ResourceMonitor()
+        monitor.apply_load("victim", cpu_percent=10.0, network_mbps=80.0)
+        assert monitor.exceeded(monitor.sample(1.0, "victim"))
+
+    def test_clear_resets_machine(self):
+        monitor = ResourceMonitor()
+        monitor.apply_load("victim", 95.0, 0.0)
+        monitor.clear("victim")
+        assert not monitor.exceeded(monitor.sample(2.0, "victim"))
+
+    def test_machines_over_threshold(self):
+        monitor = ResourceMonitor()
+        monitor.apply_load("bad", 95.0, 0.0)
+        over = monitor.machines_over_threshold(3.0, ["good", "bad"])
+        assert over == ["bad"]
+
+    def test_ssh_egress_blocked_by_default(self):
+        # The paper blocks outgoing port 22 out-of-band.
+        assert ResourceMonitor().ssh_egress_blocked

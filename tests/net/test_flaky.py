@@ -1,0 +1,106 @@
+"""Tests for the failure-injecting transport."""
+
+import pytest
+
+from repro.apps.base import AppInstance
+from repro.apps.catalog import create_instance
+from repro.net.flaky import FlakyTransport
+from repro.net.host import Host, Service
+from repro.net.http import Scheme
+from repro.net.ipv4 import IPv4Address
+from repro.net.network import SimulatedInternet
+from repro.net.transport import InMemoryTransport
+from repro.util.errors import TransportError
+
+
+@pytest.fixture()
+def world():
+    internet = SimulatedInternet()
+    ip = IPv4Address.parse("93.184.216.80")
+    host = Host(ip)
+    host.add_service(
+        Service(8192, app=AppInstance(create_instance("polynote"), 8192))
+    )
+    internet.add_host(host)
+    return internet, ip
+
+
+class TestFlakyTransport:
+    def test_zero_loss_is_transparent(self, world):
+        internet, ip = world
+        transport = FlakyTransport(InMemoryTransport(internet))
+        assert transport.syn_probe(ip, 8192)
+        assert transport.get(ip, 8192, "/").status == 200
+        assert transport.dropped_probes == 0
+
+    def test_total_loss_blackholes_everything(self, world):
+        internet, ip = world
+        transport = FlakyTransport(
+            InMemoryTransport(internet), syn_loss=1.0, request_loss=1.0
+        )
+        assert not transport.syn_probe(ip, 8192)
+        with pytest.raises(TransportError):
+            transport.get(ip, 8192, "/")
+        assert transport.dropped_probes == 1
+        assert transport.dropped_requests == 1
+
+    def test_partial_loss_statistics(self, world):
+        internet, ip = world
+        transport = FlakyTransport(
+            InMemoryTransport(internet), syn_loss=0.5, seed=9
+        )
+        results = [transport.syn_probe(ip, 8192) for _ in range(400)]
+        open_rate = sum(results) / len(results)
+        assert 0.4 < open_rate < 0.6
+
+    def test_invalid_rates_rejected(self, world):
+        internet, _ip = world
+        with pytest.raises(ValueError):
+            FlakyTransport(InMemoryTransport(internet), syn_loss=1.5)
+
+    def test_deterministic_per_seed(self, world):
+        internet, ip = world
+        runs = []
+        for _ in range(2):
+            transport = FlakyTransport(
+                InMemoryTransport(internet), syn_loss=0.3, seed=42
+            )
+            runs.append([transport.syn_probe(ip, 8192) for _ in range(50)])
+        assert runs[0] == runs[1]
+
+    def test_inherits_ethics_enforcement(self, world):
+        from repro.net.http import HttpRequest
+        from repro.net.transport import EthicsViolation
+
+        internet, ip = world
+        transport = FlakyTransport(InMemoryTransport(internet))
+        with pytest.raises(EthicsViolation):
+            transport.request(ip, 8192, Scheme.HTTP, HttpRequest.post("/ws"))
+
+
+class TestPipelineUnderLoss:
+    def test_pipeline_survives_heavy_loss(self, world):
+        from repro.apps.catalog import scanned_ports
+        from repro.core.pipeline import ScanPipeline
+
+        internet, ip = world
+        transport = FlakyTransport(
+            InMemoryTransport(internet), syn_loss=0.5, request_loss=0.5, seed=1
+        )
+        pipeline = ScanPipeline(transport, scanned_ports(), fingerprint=False)
+        # Must not raise, whatever gets through.
+        pipeline.run([ip])
+
+    def test_recall_degrades_monotonically_in_expectation(self):
+        from repro.experiments.packet_loss import run_packet_loss_study
+        from repro.net.population import PopulationModel, generate_internet
+
+        internet, _geo, _census = generate_internet(
+            PopulationModel(awe_rate=0.001, vuln_rate=0.05,
+                            background_rate=1e-7, seed=3)
+        )
+        result = run_packet_loss_study(internet, loss_rates=(0.0, 0.1, 0.4))
+        recalls = [point.recall for point in result.points]
+        assert recalls[0] == 1.0
+        assert recalls[0] > recalls[1] > recalls[2]
+        assert result.table().render()

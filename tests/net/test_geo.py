@@ -1,0 +1,76 @@
+"""Tests for the IP metadata service."""
+
+import random
+from collections import Counter
+
+from repro.net.geo import (
+    ATTACKER_PROFILE,
+    BACKGROUND_HOST_PROFILE,
+    VULNERABLE_HOST_PROFILE,
+    GeoDatabase,
+    IpMetadata,
+)
+from repro.net.ipv4 import IPv4Address
+
+
+class TestGeoDatabase:
+    def test_assign_then_lookup(self):
+        geo = GeoDatabase()
+        ip = IPv4Address.parse("203.0.113.1")
+        assigned = geo.assign(ip, random.Random(0), VULNERABLE_HOST_PROFILE)
+        assert geo.lookup(ip) == assigned
+
+    def test_assign_fixed(self):
+        geo = GeoDatabase()
+        ip = IPv4Address.parse("203.0.113.2")
+        metadata = IpMetadata("Narnia", "AS1", "Wardrobe", True)
+        geo.assign_fixed(ip, metadata)
+        assert geo.lookup(ip) == metadata
+
+    def test_unknown_ip_gets_stable_fallback(self):
+        geo = GeoDatabase()
+        ip = IPv4Address.parse("8.8.4.4")
+        assert geo.lookup(ip) == geo.lookup(ip)
+        assert geo.lookup(ip).country  # never empty
+
+    def test_len_counts_registrations(self):
+        geo = GeoDatabase()
+        geo.assign(IPv4Address(1000), random.Random(0), BACKGROUND_HOST_PROFILE)
+        geo.assign(IPv4Address(1001), random.Random(0), BACKGROUND_HOST_PROFILE)
+        assert len(geo) == 2
+
+
+class TestProfiles:
+    def _draw(self, profile, n=4000):
+        geo = GeoDatabase()
+        rng = random.Random(99)
+        records = [
+            geo.assign(IPv4Address(i + 10), rng, profile) for i in range(n)
+        ]
+        return records
+
+    def test_vulnerable_profile_matches_table4_shape(self):
+        records = self._draw(VULNERABLE_HOST_PROFILE)
+        countries = Counter(r.country for r in records)
+        # Table 4: US first, China second, both far ahead of the rest.
+        assert countries.most_common(1)[0][0] == "United States"
+        assert countries["United States"] > countries["China"] > countries["Germany"]
+
+    def test_vulnerable_profile_hosting_share(self):
+        records = self._draw(VULNERABLE_HOST_PROFILE)
+        hosting = sum(1 for r in records if r.is_hosting) / len(records)
+        # The paper: ~64% of vulnerable hosts in dedicated hosting networks.
+        assert 0.55 < hosting < 0.75
+
+    def test_attacker_profile_top_ases(self):
+        records = self._draw(ATTACKER_PROFILE)
+        ases = Counter(r.provider for r in records)
+        top3 = {name for name, _count in ases.most_common(3)}
+        # Table 8's leaders must dominate the attacker mix.
+        assert "Serverion BV" in top3
+        assert "Gamers Club" in top3
+
+    def test_attacker_profile_digitalocean_spreads_countries(self):
+        records = self._draw(ATTACKER_PROFILE)
+        do_countries = {r.country for r in records if r.provider == "DigitalOcean"}
+        assert len(do_countries) >= 3  # Table 8: DO spans 14 countries

@@ -1,0 +1,172 @@
+"""Tests for simulated hosts and the sparse Internet."""
+
+import pytest
+
+from repro.apps.base import AppInstance
+from repro.apps.catalog import create_instance
+from repro.net.host import Host, HostKind, Service
+from repro.net.http import HttpRequest, HttpResponse, Scheme
+from repro.net.ipv4 import IPv4Address
+from repro.net.network import SimulatedInternet, allocate_addresses
+from repro.util.errors import ConnectionRefused, ConnectionTimeout, TlsError
+
+
+def _host(ip="203.0.113.5", kind=HostKind.BACKGROUND):
+    return Host(IPv4Address.parse(ip), kind)
+
+
+class TestService:
+    def test_http_service_answers(self):
+        service = Service(80, responder=lambda r: HttpResponse.ok("hi"))
+        assert service.handle(Scheme.HTTP, HttpRequest.get("/")).body == "hi"
+
+    def test_https_only_redirects_http(self):
+        service = Service(8443, frozenset({Scheme.HTTPS}),
+                          responder=lambda r: HttpResponse.ok("tls"))
+        response = service.handle(Scheme.HTTP, HttpRequest.get("/"))
+        assert response.is_redirect
+
+    def test_http_only_rejects_https(self):
+        service = Service(80, responder=lambda r: HttpResponse.ok("x"))
+        with pytest.raises(TlsError):
+            service.handle(Scheme.HTTPS, HttpRequest.get("/"))
+
+    def test_non_http_port_times_out(self):
+        service = Service(22, non_http=True)
+        with pytest.raises(ConnectionTimeout):
+            service.handle(Scheme.HTTP, HttpRequest.get("/"))
+
+    def test_app_service_dispatches_to_emulator(self):
+        app = create_instance("polynote")
+        service = Service(8192, app=AppInstance(app, 8192))
+        response = service.handle(Scheme.HTTP, HttpRequest.get("/"))
+        assert "Polynote" in response.body
+
+
+class TestHost:
+    def test_open_ports(self):
+        host = _host()
+        host.add_service(Service(80, responder=lambda r: HttpResponse.ok("x")))
+        assert host.is_port_open(80)
+        assert not host.is_port_open(8080)
+
+    def test_duplicate_port_rejected(self):
+        host = _host()
+        host.add_service(Service(80))
+        with pytest.raises(ValueError):
+            host.add_service(Service(80))
+
+    def test_offline_host_closed_everywhere(self):
+        host = _host()
+        host.add_service(Service(80))
+        host.take_offline()
+        assert not host.is_port_open(80)
+        with pytest.raises(ConnectionTimeout):
+            host.exchange(80, Scheme.HTTP, HttpRequest.get("/"))
+
+    def test_closed_port_refuses(self):
+        host = _host()
+        with pytest.raises(ConnectionRefused):
+            host.exchange(80, Scheme.HTTP, HttpRequest.get("/"))
+
+    def test_middlebox_opens_everything_but_answers_nothing(self):
+        host = _host(kind=HostKind.MIDDLEBOX)
+        assert host.is_port_open(80)
+        assert host.is_port_open(31337)
+        with pytest.raises(ConnectionTimeout):
+            host.exchange(80, Scheme.HTTP, HttpRequest.get("/"))
+
+    def test_apps_deduplicates_multi_port_instances(self):
+        host = _host()
+        app = create_instance("wordpress")
+        host.add_service(Service(80, app=AppInstance(app, 80)))
+        host.add_service(
+            Service(443, frozenset({Scheme.HTTPS}), app=AppInstance(app, 443))
+        )
+        assert len(host.apps()) == 1  # paper counts one app per host
+
+    def test_has_vulnerable_app(self):
+        host = _host()
+        host.add_service(
+            Service(8888, app=AppInstance(
+                create_instance("jupyter-notebook", vulnerable=True), 8888))
+        )
+        assert host.has_vulnerable_app()
+
+    def test_app_instance_lookup(self):
+        host = _host()
+        host.add_service(
+            Service(8192, app=AppInstance(create_instance("polynote"), 8192))
+        )
+        assert host.app_instance("polynote") is not None
+        assert host.app_instance("wordpress") is None
+
+
+class TestSimulatedInternet:
+    def test_add_and_lookup(self):
+        internet = SimulatedInternet()
+        host = _host()
+        internet.add_host(host)
+        assert internet.host_at(host.ip) is host
+        assert len(internet) == 1
+
+    def test_duplicate_ip_rejected(self):
+        internet = SimulatedInternet()
+        internet.add_host(_host())
+        with pytest.raises(ValueError):
+            internet.add_host(_host())
+
+    def test_unpopulated_address_is_dark(self):
+        internet = SimulatedInternet()
+        ip = IPv4Address.parse("8.8.8.8")
+        assert not internet.is_port_open(ip, 80)
+        with pytest.raises(ConnectionTimeout):
+            internet.exchange(ip, 80, Scheme.HTTP, HttpRequest.get("/"))
+
+    def test_true_vulnerable_hosts_ground_truth(self):
+        internet = SimulatedInternet()
+        safe = _host("203.0.113.1")
+        safe.add_service(
+            Service(8888, app=AppInstance(create_instance("jupyterlab"), 8888))
+        )
+        vuln = _host("203.0.113.2")
+        vuln.kind = HostKind.AWE
+        vuln.add_service(
+            Service(8888, app=AppInstance(
+                create_instance("jupyterlab", vulnerable=True), 8888))
+        )
+        internet.add_host(safe)
+        internet.add_host(vuln)
+        assert [h.ip for h in internet.true_vulnerable_hosts()] == [vuln.ip]
+
+    def test_hosts_running(self):
+        internet = SimulatedInternet()
+        host = _host()
+        host.add_service(
+            Service(8192, app=AppInstance(create_instance("polynote"), 8192))
+        )
+        internet.add_host(host)
+        assert len(internet.hosts_running("polynote")) == 1
+        assert internet.hosts_running("docker") == []
+
+
+class TestAllocateAddresses:
+    def test_distinct_and_unreserved(self):
+        import random
+
+        from repro.net.ipv4 import is_reserved
+
+        taken: set[int] = set()
+        addresses = allocate_addresses(random.Random(0), 500, taken)
+        assert len({a.value for a in addresses}) == 500
+        assert len(taken) == 500
+        assert not any(is_reserved(a) for a in addresses)
+
+    def test_respects_existing_taken(self):
+        import random
+
+        rng = random.Random(1)
+        taken: set[int] = set()
+        first = allocate_addresses(rng, 100, taken)
+        second = allocate_addresses(rng, 100, taken)
+        assert not ({a.value for a in first} & {a.value for a in second})

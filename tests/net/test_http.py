@@ -1,0 +1,110 @@
+"""Tests for the HTTP message model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.http import (
+    HttpRequest,
+    HttpResponse,
+    Scheme,
+    parse_wire_request,
+    parse_wire_response,
+)
+
+
+class TestHttpRequest:
+    def test_get_constructor(self):
+        request = HttpRequest.get("/path")
+        assert request.method == "GET"
+        assert not request.is_state_changing
+
+    def test_post_is_state_changing(self):
+        assert HttpRequest.post("/x", "body").is_state_changing
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(ValueError):
+            HttpRequest("GET", "no-slash")
+
+    def test_header_names_lowercased(self):
+        request = HttpRequest("GET", "/", headers={"X-Token": "abc"})
+        assert request.headers["x-token"] == "abc"
+
+    def test_query_parsing(self):
+        request = HttpRequest.get("/install.php?step=1&lang=en")
+        assert request.query == {"step": "1", "lang": "en"}
+        assert request.path_only == "/install.php"
+
+    def test_query_keeps_blank_values(self):
+        assert HttpRequest.get("/x?a=").query == {"a": ""}
+
+    def test_form_parsing(self):
+        request = HttpRequest.post("/x", "a=1&b=two")
+        assert request.form == {"a": "1", "b": "two"}
+
+
+class TestHttpResponse:
+    def test_ok(self):
+        response = HttpResponse.ok("hello")
+        assert response.status == 200
+        assert response.reason == "OK"
+
+    def test_redirect(self):
+        response = HttpResponse.redirect("/login")
+        assert response.is_redirect
+        assert response.location == "/login"
+
+    def test_redirect_requires_redirect_status(self):
+        with pytest.raises(ValueError):
+            HttpResponse.redirect("/x", status=200)
+
+    def test_non_redirect_has_no_location(self):
+        assert not HttpResponse.ok("x").is_redirect
+        assert HttpResponse.ok("x").location is None
+
+    def test_unauthorized_carries_www_authenticate(self):
+        response = HttpResponse.unauthorized("Jenkins")
+        assert response.status == 401
+        assert "Jenkins" in response.headers["www-authenticate"]
+
+    def test_json_content_type(self):
+        assert HttpResponse.json("{}").content_type == "application/json"
+
+
+class TestWireFormat:
+    def test_request_roundtrip(self):
+        request = HttpRequest.post("/a/b?c=1", "payload", headers={"x-h": "v"})
+        parsed = parse_wire_request(request.to_wire())
+        assert parsed.method == "POST"
+        assert parsed.path == "/a/b?c=1"
+        assert parsed.body == "payload"
+        assert parsed.headers["x-h"] == "v"
+
+    def test_response_roundtrip(self):
+        response = HttpResponse(404, {"content-type": "text/html"}, "gone")
+        parsed = parse_wire_response(response.to_wire())
+        assert parsed.status == 404
+        assert parsed.body == "gone"
+        assert parsed.content_type == "text/html"
+
+    @given(
+        st.sampled_from(["GET", "POST", "PUT"]),
+        st.text(
+            alphabet=st.characters(whitelist_categories=("Ll", "Nd")), max_size=20
+        ),
+        st.text(
+            alphabet=st.characters(whitelist_categories=("Ll", "Nd", "Zs")),
+            max_size=100,
+        ),
+    )
+    def test_wire_roundtrip_property(self, method, path_part, body):
+        request = HttpRequest(method, "/" + path_part, body=body)
+        parsed = parse_wire_request(request.to_wire())
+        assert parsed.method == method
+        assert parsed.path == "/" + path_part
+        assert parsed.body == body
+
+
+def test_scheme_str():
+    assert str(Scheme.HTTP) == "http"
+    assert str(Scheme.HTTPS) == "https"

@@ -1,0 +1,102 @@
+"""Tests for the host churn model against the paper's RQ3 calibration."""
+
+import random
+
+from repro.net.lifecycle import APP_HAZARD, Fate, FateKind, LifecycleModel
+from repro.util.clock import HOUR, WEEK
+
+
+def _sample_fates(slug: str, version: str, n: int = 4000, seed: int = 3):
+    model = LifecycleModel()
+    rng = random.Random(seed)
+    return model, [model.fate_for(rng, slug, version) for _ in range(n)]
+
+
+class TestFate:
+    def test_state_before_exit_is_vulnerable(self):
+        fate = Fate(FateKind.OFFLINE, exit_time=10.0, update_time=None)
+        assert fate.state_at(5.0) is FateKind.VULNERABLE
+        assert fate.state_at(15.0) is FateKind.OFFLINE
+
+    def test_survivor_never_exits(self):
+        fate = Fate(FateKind.VULNERABLE, exit_time=None, update_time=None)
+        assert fate.state_at(10 * WEEK) is FateKind.VULNERABLE
+
+
+class TestCalibration:
+    def test_over_half_survive_four_weeks(self):
+        _model, fates = _sample_fates("docker", "20.10")
+        survivors = sum(
+            1 for f in fates if f.state_at(4 * WEEK) is FateKind.VULNERABLE
+        )
+        assert 0.45 < survivors / len(fates) < 0.70
+
+    def test_roughly_ten_percent_gone_within_six_hours(self):
+        # Aggregate over a default-insecure app, like most of the population.
+        _model, fates = _sample_fates("hadoop", "3.2.1")
+        early = sum(
+            1 for f in fates if f.state_at(6 * HOUR) is not FateKind.VULNERABLE
+        )
+        assert 0.06 < early / len(fates) < 0.16
+
+    def test_fixes_are_rare(self):
+        _model, fates = _sample_fates("nomad", "1.0")
+        fixed = sum(1 for f in fates if f.kind is FateKind.FIXED and
+                    f.exit_time is not None and f.exit_time <= 4 * WEEK)
+        assert fixed / len(fates) < 0.10
+
+    def test_cms_fixes_are_front_loaded(self):
+        _model, fates = _sample_fates("wordpress", "5.7")
+        fix_times = [
+            f.exit_time for f in fates
+            if f.kind is FateKind.FIXED and f.exit_time is not None
+        ]
+        assert fix_times, "expected some CMS fixes"
+        median = sorted(fix_times)[len(fix_times) // 2]
+        assert median < 1 * WEEK  # installation completions cluster early
+
+    def test_notebooks_outlive_ci(self):
+        _model, nb = _sample_fates("jupyter-notebook", "4.2")
+        _model, ci = _sample_fates("jenkins", "1.9", seed=3)
+        nb_survive = sum(
+            1 for f in nb if f.state_at(4 * WEEK) is FateKind.VULNERABLE
+        ) / len(nb)
+        ci_survive = sum(
+            1 for f in ci if f.state_at(4 * WEEK) is FateKind.VULNERABLE
+        ) / len(ci)
+        assert nb_survive > ci_survive
+
+    def test_joomla_and_drupal_linger_longest(self):
+        assert APP_HAZARD["joomla"] < APP_HAZARD["jenkins"]
+        assert APP_HAZARD["drupal"] < APP_HAZARD["wordpress"]
+
+    def test_insecure_default_exits_faster_early(self):
+        model = LifecycleModel()
+        rng_a, rng_b = random.Random(1), random.Random(1)
+        # hadoop (insecure default) vs kubernetes (explicit misconfig)
+        hadoop = [model.fate_for(rng_a, "hadoop", "3.2.1") for _ in range(4000)]
+        k8s = [model.fate_for(rng_b, "kubernetes", "1.20") for _ in range(4000)]
+        early_hadoop = sum(
+            1 for f in hadoop if f.exit_time is not None and f.exit_time <= 6 * HOUR
+        )
+        early_k8s = sum(
+            1 for f in k8s if f.exit_time is not None and f.exit_time <= 6 * HOUR
+        )
+        assert early_hadoop > early_k8s
+
+    def test_update_probability(self):
+        _model, fates = _sample_fates("consul", "1.9")
+        updates = sum(1 for f in fates if f.update_time is not None)
+        # Paper: 2.4% updated during the four weeks.
+        assert 0.01 < updates / len(fates) < 0.05
+
+    def test_plan_keys_by_ip(self):
+        from repro.net.host import Host
+        from repro.net.ipv4 import IPv4Address
+
+        model = LifecycleModel()
+        hosts = [
+            (Host(IPv4Address(100 + i)), "docker", "20.10") for i in range(5)
+        ]
+        fates = model.plan(random.Random(0), hosts)
+        assert set(fates) == {100 + i for i in range(5)}

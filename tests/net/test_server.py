@@ -1,0 +1,86 @@
+"""Tests for the real-socket loopback server and transport."""
+
+import pytest
+
+from repro.apps.catalog import create_instance
+from repro.net.http import HttpRequest, Scheme
+from repro.net.ipv4 import IPv4Address
+from repro.net.server import LocalAppServer, SocketTransport
+from repro.net.transport import EthicsViolation
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture()
+def jupyter_server():
+    app = create_instance("jupyter-notebook", vulnerable=True)
+    with LocalAppServer(app) as server:
+        yield server
+
+
+class TestLocalAppServer:
+    def test_serves_emulator_over_real_tcp(self, jupyter_server):
+        transport = SocketTransport()
+        response = transport.get(jupyter_server.ip, jupyter_server.port, "/api/terminals")
+        assert response.status == 200
+        assert "Jupyter Notebook" in response.body
+
+    def test_syn_probe_against_real_socket(self, jupyter_server):
+        transport = SocketTransport()
+        assert transport.syn_probe(jupyter_server.ip, jupyter_server.port)
+        assert not transport.syn_probe(jupyter_server.ip, 1)  # closed port
+
+    def test_post_round_trip_with_ethics_disabled(self, jupyter_server):
+        transport = SocketTransport(enforce_ethics=False)
+        response = transport.request(
+            jupyter_server.ip,
+            jupyter_server.port,
+            Scheme.HTTP,
+            HttpRequest.post("/api/terminals"),
+        )
+        assert response.status == 201
+
+    def test_ethics_enforced_by_default(self, jupyter_server):
+        transport = SocketTransport()
+        with pytest.raises(EthicsViolation):
+            transport.request(
+                jupyter_server.ip,
+                jupyter_server.port,
+                Scheme.HTTP,
+                HttpRequest.post("/api/terminals"),
+            )
+
+
+class TestSocketTransportSafety:
+    def test_refuses_non_loopback(self):
+        transport = SocketTransport()
+        with pytest.raises(ConfigError):
+            transport.syn_probe(IPv4Address.parse("93.184.216.34"), 80)
+
+    def test_refuses_non_loopback_get(self):
+        transport = SocketTransport()
+        with pytest.raises(ConfigError):
+            transport.get(IPv4Address.parse("8.8.8.8"), 80, "/")
+
+
+class TestPipelineOverRealSockets:
+    def test_tsunami_plugin_detects_over_tcp(self, jupyter_server):
+        """The same plugin logic works against a real socket."""
+        from repro.core.tsunami.plugin import PluginContext
+        from repro.core.tsunami.plugins import plugin_for
+
+        transport = SocketTransport()
+        context = PluginContext(
+            transport, jupyter_server.ip, jupyter_server.port, Scheme.HTTP
+        )
+        report = plugin_for("jupyter-notebook").detect(context)
+        assert report is not None
+
+    def test_secured_instance_not_flagged_over_tcp(self):
+        from repro.core.tsunami.plugin import PluginContext
+        from repro.core.tsunami.plugins import plugin_for
+
+        app = create_instance("jupyter-notebook")  # secure default
+        with LocalAppServer(app) as server:
+            transport = SocketTransport()
+            context = PluginContext(transport, server.ip, server.port, Scheme.HTTP)
+            assert plugin_for("jupyter-notebook").detect(context) is None

@@ -1,0 +1,135 @@
+"""Tests for the TLS certificate model and the CT log substrate."""
+
+import random
+
+import pytest
+
+from repro.net.ct import CertificateTransparencyLog
+from repro.net.tls import (
+    Certificate,
+    deterministic_certificate,
+    generate_domain,
+    issue_certificate,
+)
+
+
+class TestCertificate:
+    def test_domains_dedup_cn_first(self):
+        cert = Certificate("a.example", ("a.example", "www.a.example"), 0.0, "R3")
+        assert cert.domains == ("a.example", "www.a.example")
+
+    def test_contact_domain(self):
+        cert = Certificate("shop.example", ("www.shop.example",), 0.0, "R3")
+        assert cert.contact_domain() == "shop.example"
+
+    def test_wildcard_stripped(self):
+        cert = Certificate("*.shop.example", (), 0.0, "R3")
+        assert cert.contact_domain() == "shop.example"
+
+    def test_self_signed_has_no_contact(self):
+        cert = Certificate("localhost", (), 0.0, "self", self_signed=True)
+        assert cert.contact_domain() is None
+
+    def test_ip_literal_cn_has_no_contact(self):
+        cert = Certificate("10.0.0.1", (), 0.0, "R3")
+        assert cert.contact_domain() is None
+
+
+class TestIssuance:
+    def test_domains_use_reserved_tlds(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            domain = generate_domain(rng)
+            assert domain.rsplit(".", 1)[1] in ("example", "test", "invalid")
+
+    def test_self_signed_chance(self):
+        rng = random.Random(1)
+        certs = [issue_certificate(rng) for _ in range(400)]
+        self_signed = sum(1 for c in certs if c.self_signed)
+        assert 0.15 < self_signed / len(certs) < 0.35
+
+    def test_ca_issued_has_sans(self):
+        cert = issue_certificate(random.Random(2), self_signed_chance=0.0)
+        assert cert.subject_alt_names
+        assert not cert.self_signed
+
+    def test_deterministic_certificate(self):
+        assert deterministic_certificate(("x", 1)) == deterministic_certificate(("x", 1))
+        assert deterministic_certificate(("x", 1)) != deterministic_certificate(("x", 2))
+
+
+class TestCtLog:
+    def test_self_signed_never_logged(self):
+        log = CertificateTransparencyLog()
+        cert = Certificate("localhost", (), 0.0, "self", self_signed=True)
+        assert log.submit(cert, 1.0) is None
+        assert len(log) == 0
+
+    def test_append_only_time_order(self):
+        log = CertificateTransparencyLog()
+        cert = issue_certificate(random.Random(0), self_signed_chance=0.0)
+        log.submit(cert, 10.0)
+        with pytest.raises(ValueError):
+            log.submit(cert, 5.0)
+
+    def test_entries_between(self):
+        log = CertificateTransparencyLog()
+        rng = random.Random(3)
+        for t in (1.0, 2.0, 3.0, 4.0):
+            log.submit(issue_certificate(rng, self_signed_chance=0.0), t)
+        window = log.entries_between(1.0, 3.0)
+        assert [e.logged_at for e in window] == [2.0, 3.0]
+
+    def test_indices_monotonic(self):
+        log = CertificateTransparencyLog()
+        rng = random.Random(4)
+        for t in range(5):
+            log.submit(issue_certificate(rng, self_signed_chance=0.0), float(t))
+        assert [e.index for e in log.entries] == list(range(5))
+
+
+class TestCertificatesOnTheWire:
+    def test_https_service_presents_certificate(self):
+        from repro.apps.base import AppInstance
+        from repro.apps.catalog import create_instance
+        from repro.net.host import Host, Service
+        from repro.net.http import Scheme
+        from repro.net.ipv4 import IPv4Address
+        from repro.net.network import SimulatedInternet
+        from repro.net.transport import InMemoryTransport
+
+        internet = SimulatedInternet()
+        ip = IPv4Address.parse("93.184.216.77")
+        host = Host(ip)
+        cert = issue_certificate(random.Random(5), self_signed_chance=0.0)
+        host.add_service(
+            Service(443, frozenset({Scheme.HTTPS}),
+                    app=AppInstance(create_instance("wordpress"), 443, tls=True),
+                    certificate=cert)
+        )
+        internet.add_host(host)
+        transport = InMemoryTransport(internet)
+        assert transport.fetch_certificate(ip, 443) == cert
+        assert transport.fetch_certificate(ip, 80) is None
+
+    def test_http_only_service_has_no_certificate(self):
+        from repro.apps.base import AppInstance
+        from repro.apps.catalog import create_instance
+        from repro.net.host import Host, Service
+        from repro.net.ipv4 import IPv4Address
+
+        host = Host(IPv4Address.parse("93.184.216.78"))
+        host.add_service(
+            Service(80, app=AppInstance(create_instance("wordpress"), 80))
+        )
+        assert host.certificate_on(80) is None
+
+    def test_population_issues_certificates(self, tiny_internet):
+        internet, _geo, _census = tiny_internet
+        with_cert = sum(
+            1
+            for host in internet.hosts()
+            for service in host.services.values()
+            if service.certificate is not None
+        )
+        assert with_cert > 10

@@ -1,0 +1,119 @@
+"""Tests for the transport abstraction and its ethics enforcement."""
+
+import pytest
+
+from repro.apps.base import AppInstance
+from repro.apps.catalog import create_instance
+from repro.net.host import Host, HostKind, Service
+from repro.net.http import HttpRequest, HttpResponse, Scheme
+from repro.net.ipv4 import IPv4Address
+from repro.net.network import SimulatedInternet
+from repro.net.transport import EthicsViolation, InMemoryTransport
+from repro.util.errors import TransportError
+
+
+@pytest.fixture()
+def small_internet():
+    internet = SimulatedInternet()
+    host = Host(IPv4Address.parse("203.0.113.10"), HostKind.AWE)
+    app = create_instance("wordpress", vulnerable=True)
+    host.add_service(Service(80, app=AppInstance(app, 80)))
+    internet.add_host(host)
+    return internet, host
+
+
+class TestEthicsEnforcement:
+    def test_post_refused_during_scan(self, small_internet):
+        internet, host = small_internet
+        transport = InMemoryTransport(internet)
+        with pytest.raises(EthicsViolation):
+            transport.request(host.ip, 80, Scheme.HTTP, HttpRequest.post("/x"))
+
+    def test_get_allowed(self, small_internet):
+        internet, host = small_internet
+        transport = InMemoryTransport(internet)
+        response = transport.request(
+            host.ip, 80, Scheme.HTTP, HttpRequest.get("/wp-admin/install.php")
+        )
+        assert response.status == 200
+
+    def test_enforcement_can_be_disabled_for_honeypots(self, small_internet):
+        internet, host = small_internet
+        transport = InMemoryTransport(internet, enforce_ethics=False)
+        response = transport.request(
+            host.ip, 80, Scheme.HTTP,
+            HttpRequest.post("/wp-admin/install.php", "admin_password=x"),
+        )
+        assert response.status == 200
+
+
+class TestRedirectFollowing:
+    def test_follows_local_redirect(self, small_internet):
+        internet, host = small_internet
+        transport = InMemoryTransport(internet)
+        # Vulnerable WordPress redirects / to the installer.
+        response = transport.get(host.ip, 80, "/")
+        assert "Installation" in response.body
+
+    def test_redirect_limit(self):
+        internet = SimulatedInternet()
+        host = Host(IPv4Address.parse("203.0.113.11"))
+        host.add_service(
+            Service(80, responder=lambda r: HttpResponse.redirect(r.path))
+        )
+        internet.add_host(host)
+        transport = InMemoryTransport(internet)
+        response = transport.get(host.ip, 80, "/loop", follow_redirects=3)
+        assert response.is_redirect  # gave up, returned last redirect
+
+    def test_cross_host_redirect_not_followed(self):
+        internet = SimulatedInternet()
+        host = Host(IPv4Address.parse("203.0.113.12"))
+        host.add_service(
+            Service(
+                80,
+                responder=lambda r: HttpResponse.redirect("http://93.184.216.34/"),
+            )
+        )
+        internet.add_host(host)
+        transport = InMemoryTransport(internet)
+        response = transport.get(host.ip, 80, "/")
+        assert response.is_redirect  # stopped at the cross-host hop
+
+    def test_same_host_absolute_redirect_followed(self):
+        internet = SimulatedInternet()
+        ip = IPv4Address.parse("203.0.113.13")
+        host = Host(ip)
+
+        def responder(request):
+            if request.path == "/":
+                return HttpResponse.redirect(f"http://{ip}/landed")
+            return HttpResponse.ok("landed")
+
+        host.add_service(Service(80, responder=responder))
+        internet.add_host(host)
+        response = InMemoryTransport(internet).get(ip, 80, "/")
+        assert response.body == "landed"
+
+
+class TestStats:
+    def test_probe_and_request_counted(self, small_internet):
+        internet, host = small_internet
+        transport = InMemoryTransport(internet)
+        transport.syn_probe(host.ip, 80)
+        transport.get(host.ip, 80, "/wp-login.php")
+        assert transport.stats.syn_probes == 1
+        assert transport.stats.http_requests >= 1
+
+    def test_per_slash24_accounting(self, small_internet):
+        internet, host = small_internet
+        transport = InMemoryTransport(internet)
+        transport.get(host.ip, 80, "/wp-login.php")
+        block = host.ip.value & 0xFFFFFF00
+        assert transport.stats.requests_per_slash24[block] >= 1
+
+
+def test_dark_address_raises_transport_error():
+    transport = InMemoryTransport(SimulatedInternet())
+    with pytest.raises(TransportError):
+        transport.get(IPv4Address.parse("198.18.0.1"), 80, "/")

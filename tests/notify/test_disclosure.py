@@ -1,0 +1,147 @@
+"""Tests for the responsible-disclosure planner (§3.2)."""
+
+import pytest
+
+from repro.net.geo import IpMetadata
+from repro.net.ipv4 import IPv4Address
+from repro.notify.planner import (
+    CLOUD_PROVIDERS,
+    DisclosureChannel,
+    DisclosurePlanner,
+)
+
+
+class _StubTransport:
+    """Transport stub exposing only certificate fetches."""
+
+    def __init__(self, certs):
+        self.certs = certs  # (ip_value, port) -> Certificate
+
+    def fetch_certificate(self, ip, port):
+        return self.certs.get((ip.value, port))
+
+
+class _StubGeo:
+    def __init__(self, records):
+        self.records = records
+
+    def lookup(self, ip):
+        return self.records.get(
+            ip.value, IpMetadata("Nowhere", "AS0", "Unknown ISP", False)
+        )
+
+
+def _cert(domain):
+    from repro.net.tls import Certificate
+
+    return Certificate(domain, (f"www.{domain}",), 0.0, "R3")
+
+
+IP_CLOUD = IPv4Address.parse("93.184.216.30")
+IP_CERT = IPv4Address.parse("93.184.216.31")
+IP_DARK = IPv4Address.parse("93.184.216.32")
+
+
+@pytest.fixture()
+def planner():
+    geo = _StubGeo({
+        IP_CLOUD.value: IpMetadata("United States", "AS16509", "Amazon EC2", True),
+    })
+    transport = _StubTransport({(IP_CERT.value, 443): _cert("blog.example")})
+    return DisclosurePlanner(transport=transport, geo=geo)
+
+
+class TestRouting:
+    def test_cloud_ip_batched_to_provider(self, planner):
+        plan = planner.plan([(IP_CLOUD, "docker", 2375)])
+        notification = plan.notifications[0]
+        assert notification.channel is DisclosureChannel.CLOUD_PROVIDER
+        assert notification.recipient == "Amazon EC2"
+
+    def test_certificate_domain_gets_security_email(self, planner):
+        plan = planner.plan([(IP_CERT, "wordpress", 443)])
+        notification = plan.notifications[0]
+        assert notification.channel is DisclosureChannel.SECURITY_EMAIL
+        assert notification.recipient == "security@blog.example"
+
+    def test_no_channel_means_unreachable(self, planner):
+        plan = planner.plan([(IP_DARK, "hadoop", 8088)])
+        assert plan.notifications[0].channel is DisclosureChannel.UNREACHABLE
+
+    def test_cloud_takes_precedence_over_certificate(self):
+        geo = _StubGeo({
+            IP_CLOUD.value: IpMetadata("US", "AS14061", "DigitalOcean", True)
+        })
+        transport = _StubTransport({(IP_CLOUD.value, 443): _cert("x.example")})
+        planner = DisclosurePlanner(transport=transport, geo=geo)
+        plan = planner.plan([(IP_CLOUD, "nomad", 4646)])
+        assert plan.notifications[0].channel is DisclosureChannel.CLOUD_PROVIDER
+
+    def test_app_port_tried_before_443(self):
+        geo = _StubGeo({})
+        transport = _StubTransport({(IP_CERT.value, 8443): _cert("api.example")})
+        planner = DisclosurePlanner(transport=transport, geo=geo)
+        plan = planner.plan([(IP_CERT, "kubernetes", 8443)])
+        assert plan.notifications[0].recipient == "security@api.example"
+
+    def test_self_signed_cert_unreachable(self):
+        from repro.net.tls import Certificate
+
+        cert = Certificate("localhost", (), 0.0, "self", self_signed=True)
+        planner = DisclosurePlanner(
+            transport=_StubTransport({(IP_CERT.value, 443): cert}),
+            geo=_StubGeo({}),
+        )
+        plan = planner.plan([(IP_CERT, "consul", 8500)])
+        assert plan.notifications[0].channel is DisclosureChannel.UNREACHABLE
+
+
+class TestPlanAggregation:
+    def test_provider_batches(self, planner):
+        plan = planner.plan([
+            (IP_CLOUD, "docker", 2375),
+            (IP_CLOUD, "hadoop", 8088),
+        ])
+        batches = plan.provider_batches()
+        assert len(batches["Amazon EC2"]) == 2
+
+    def test_coverage(self, planner):
+        plan = planner.plan([
+            (IP_CLOUD, "docker", 2375),
+            (IP_CERT, "wordpress", 443),
+            (IP_DARK, "hadoop", 8088),
+        ])
+        assert plan.coverage() == pytest.approx(2 / 3)
+
+    def test_empty_plan_coverage(self, planner):
+        assert planner.plan([]).coverage() == 0.0
+
+    def test_summary_table(self, planner):
+        plan = planner.plan([(IP_CLOUD, "docker", 2375)])
+        assert "cloud-provider" in plan.summary_table().render()
+
+    def test_cloud_providers_include_papers_top_ases(self):
+        # Table 4's top hosting ASes must all be directly contactable.
+        for provider in ("Amazon EC2", "Alibaba", "Amazon AES",
+                         "DigitalOcean", "Google Cloud"):
+            assert provider in CLOUD_PROVIDERS
+
+
+class TestEndToEnd:
+    def test_plan_for_real_scan(self, tiny_scan_study):
+        """Plan disclosure for the actual pipeline findings."""
+        findings = []
+        for finding in tiny_scan_study.report.findings.values():
+            for slug in finding.vulnerable_slugs:
+                observation = finding.observations[slug]
+                findings.append((finding.ip, slug, observation.port))
+        planner = DisclosurePlanner(
+            transport=tiny_scan_study.transport, geo=tiny_scan_study.geo
+        )
+        plan = planner.plan(findings)
+        assert len(plan.notifications) == len(findings)
+        # The big clouds host most vulnerable assets (Table 4), so the
+        # provider channel must dominate.
+        by_provider = plan.by_channel(DisclosureChannel.CLOUD_PROVIDER)
+        assert len(by_provider) > 0.3 * len(findings)
+        assert 0.3 < plan.coverage() <= 1.0

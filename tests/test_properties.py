@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.attacks import (
+    cluster_attackers,
+    group_attacks,
+    unique_attacks,
+)
+from repro.attacker.actors import partition_heavy_tail
+from repro.honeypot.monitor import AuditEvent
+from repro.net.ipv4 import IPv4Address
+from repro.util.clock import MINUTE, SimClock
+from repro.util.rand import stable_hash
+
+# ---------------------------------------------------------------------------
+# Attack grouping invariants
+# ---------------------------------------------------------------------------
+
+_event_strategy = st.builds(
+    AuditEvent,
+    honeypot=st.sampled_from(["hadoop", "docker", "jupyterlab"]),
+    timestamp=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    source_ip=st.integers(min_value=1, max_value=2**32 - 1).map(IPv4Address),
+    command=st.just("cmd"),
+    via=st.just("/x"),
+    mechanism=st.just("m"),
+    payload_fingerprint=st.integers(min_value=1, max_value=6),
+)
+
+
+@given(st.lists(_event_strategy, max_size=60))
+def test_grouping_partitions_all_events(events):
+    """Every audit event lands in exactly one attack."""
+    attacks = group_attacks(events)
+    assert sum(len(a.commands) for a in attacks) == len(events)
+
+
+@given(st.lists(_event_strategy, max_size=60))
+def test_groups_are_homogeneous(events):
+    """An attack never mixes honeypots or source IPs."""
+    for attack in group_attacks(events):
+        assert attack.start <= attack.end
+        # fingerprints non-empty, and all commands from one stream
+        assert attack.fingerprints
+
+
+@given(st.lists(_event_strategy, max_size=60))
+def test_consecutive_commands_within_window(events):
+    """Inside one attack, consecutive commands are <= 15 minutes apart."""
+    by_group = group_attacks(events)
+    for attack in by_group:
+        own = sorted(
+            e.timestamp
+            for e in events
+            if e.honeypot == attack.honeypot
+            and e.source_ip.value == attack.source_ip
+            and attack.start <= e.timestamp <= attack.end
+        )
+        for a, b in zip(own, own[1:]):
+            assert b - a <= 15 * MINUTE + 1e-6
+
+
+@given(st.lists(_event_strategy, max_size=60))
+def test_unique_attacks_subset(events):
+    attacks = group_attacks(events)
+    uniq = unique_attacks(attacks)
+    assert len(uniq) <= len(attacks)
+    ids = {id(a) for a in attacks}
+    assert all(id(a) in ids for a in uniq)
+
+
+@given(st.lists(_event_strategy, max_size=60))
+def test_unique_attacks_have_distinct_payload_sets(events):
+    """No payload fingerprint appears in two unique attacks of one app."""
+    seen: dict[str, set[int]] = {}
+    for attack in unique_attacks(group_attacks(events)):
+        already = seen.setdefault(attack.honeypot, set())
+        assert not (attack.fingerprints & already)
+        already.update(attack.fingerprints)
+
+
+@given(st.lists(_event_strategy, max_size=60))
+def test_clusters_partition_ips(events):
+    """Attacker clusters never share an IP or a payload fingerprint."""
+    clusters = cluster_attackers(group_attacks(events))
+    all_ips: set[int] = set()
+    all_fps: set[int] = set()
+    for cluster in clusters:
+        assert not (cluster.ips & all_ips)
+        assert not (cluster.fingerprints & all_fps)
+        all_ips |= cluster.ips
+        all_fps |= cluster.fingerprints
+
+
+@given(st.lists(_event_strategy, max_size=60))
+def test_cluster_attack_counts_cover_all_attacks(events):
+    attacks = group_attacks(events)
+    clusters = cluster_attackers(attacks)
+    assert sum(c.attack_count for c in clusters) == len(attacks)
+
+
+# ---------------------------------------------------------------------------
+# Heavy-tail partition
+# ---------------------------------------------------------------------------
+
+@given(
+    st.integers(min_value=1, max_value=5000),
+    st.integers(min_value=1, max_value=100),
+    st.integers(min_value=0, max_value=2**32),
+)
+def test_partition_heavy_tail_properties(total, parts, seed):
+    if total < parts:
+        total = parts
+    sizes = partition_heavy_tail(total, parts, random.Random(seed))
+    assert sum(sizes) == total
+    assert len(sizes) == parts
+    assert min(sizes) >= 1
+
+
+# ---------------------------------------------------------------------------
+# Simulated clock
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False), max_size=30))
+def test_clock_fires_in_nondecreasing_time_order(delays):
+    clock = SimClock()
+    fired: list[float] = []
+    for delay in delays:
+        clock.schedule(delay, lambda: fired.append(clock.now))
+    clock.run_all()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+# ---------------------------------------------------------------------------
+# Stable hashing
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.text(max_size=30), min_size=1, max_size=5))
+def test_stable_hash_is_pure(parts):
+    assert stable_hash(*parts) == stable_hash(*parts)
+
+
+@given(st.text(max_size=30), st.text(max_size=30))
+def test_stable_hash_sensitivity(a, b):
+    if a != b:
+        assert stable_hash(a) != stable_hash(b)
+
+
+# ---------------------------------------------------------------------------
+# IPv4 round-trips under parsing/normalisation
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_slash24_contains_address(value):
+    address = IPv4Address(value)
+    assert address in address.slash24
+    assert address.slash24.size == 256
+
+
+# ---------------------------------------------------------------------------
+# Knowledge-base identification is stable under observation subsets
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(st.randoms(use_true_random=False))
+def test_kb_identifies_superset_consistently(rng):
+    """If a full observation set identifies (slug, version), adding no
+    new files (subsampling) never yields a *different* app."""
+    from repro.apps.catalog import create_instance
+    from repro.core.fingerprint.knowledge_base import (
+        build_default_knowledge_base,
+        file_hash,
+    )
+
+    kb = _KB_CACHE.setdefault("kb", build_default_knowledge_base())
+    app = create_instance("wordpress", version="5.4")
+    observations = {
+        path: file_hash(content) for path, content in app.static_files().items()
+    }
+    full = kb.identify(observations)
+    assert full == ("wordpress", "5.4")
+    keys = sorted(observations)
+    subset_keys = rng.sample(keys, k=rng.randint(1, len(keys)))
+    subset = {k: observations[k] for k in subset_keys}
+    result = kb.identify(subset)
+    assert result is not None
+    assert result[0] == "wordpress"
+
+
+_KB_CACHE: dict[str, object] = {}

@@ -1,0 +1,123 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.util.clock import DAY, HOUR, Duration, SimClock, format_offset
+
+
+class TestDuration:
+    def test_constructors_agree(self):
+        assert Duration.hours(24) == Duration.days(1)
+        assert Duration.weeks(1) == Duration.days(7)
+
+    def test_accessors(self):
+        d = Duration.hours(36)
+        assert d.in_hours == 36
+        assert d.in_days == 1.5
+
+    def test_arithmetic(self):
+        assert (Duration.hours(1) + Duration.hours(2)).in_hours == 3
+        assert (Duration.hours(2) * 3).in_hours == 6
+
+    def test_ordering(self):
+        assert Duration.hours(1) < Duration.days(1)
+
+    def test_str_picks_sensible_unit(self):
+        assert str(Duration.days(2)) == "2.0d"
+        assert str(Duration.hours(3)) == "3.0h"
+        assert str(Duration(90)) == "1.5m"
+        assert str(Duration(5)) == "5.0s"
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_moves_time(self):
+        clock = SimClock()
+        clock.advance(10)
+        assert clock.now == 10
+
+    def test_scheduled_callback_fires_in_order(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(5, lambda: fired.append("b"))
+        clock.schedule(1, lambda: fired.append("a"))
+        clock.schedule(9, lambda: fired.append("c"))
+        clock.advance(10)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        clock = SimClock()
+        fired = []
+        for name in "abc":
+            clock.schedule(3, lambda name=name: fired.append(name))
+        clock.advance(3)
+        assert fired == ["a", "b", "c"]
+
+    def test_callback_sees_correct_now(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule(7, lambda: seen.append(clock.now))
+        clock.advance(10)
+        assert seen == [7]
+
+    def test_callbacks_can_schedule_more(self):
+        clock = SimClock()
+        fired = []
+
+        def tick():
+            fired.append(clock.now)
+            if clock.now < 5:
+                clock.schedule(1, tick)
+
+        clock.schedule(1, tick)
+        clock.advance(10)
+        assert fired == [1, 2, 3, 4, 5]
+
+    def test_event_after_deadline_does_not_fire(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(10, lambda: fired.append(1))
+        clock.advance(5)
+        assert fired == []
+        assert clock.pending == 1
+
+    def test_cancel(self):
+        clock = SimClock()
+        fired = []
+        event = clock.schedule(1, lambda: fired.append(1))
+        clock.cancel(event)
+        clock.advance(5)
+        assert fired == []
+
+    def test_schedule_at(self):
+        clock = SimClock()
+        clock.advance(5)
+        fired = []
+        clock.schedule_at(8, lambda: fired.append(clock.now))
+        clock.advance(10)
+        assert fired == [8]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().schedule(-1, lambda: None)
+
+    def test_backwards_run_rejected(self):
+        clock = SimClock()
+        clock.advance(10)
+        with pytest.raises(ValueError):
+            clock.run_until(5)
+
+    def test_run_all(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(100, lambda: fired.append(1))
+        clock.run_all()
+        assert fired == [1]
+        assert clock.now == 100
+
+
+def test_format_offset():
+    assert format_offset(0) == "d00 00:00"
+    assert format_offset(3 * DAY + 7 * HOUR + 30 * 60) == "d03 07:30"

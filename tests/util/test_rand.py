@@ -1,0 +1,107 @@
+"""Tests for seeded randomness."""
+
+import random
+
+import pytest
+
+from repro.util.rand import (
+    SeededStreams,
+    exponential_interarrival,
+    sample_zipf,
+    shuffled,
+    stable_hash,
+    weighted_choice,
+)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1) == stable_hash("a", 1)
+
+    def test_distinct_inputs_differ(self):
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_order_matters(self):
+        assert stable_hash("a", "b") != stable_hash("b", "a")
+
+    def test_no_concatenation_collision(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+
+class TestSeededStreams:
+    def test_same_name_same_stream(self):
+        streams = SeededStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_streams_are_independent(self):
+        a = SeededStreams(1)
+        b = SeededStreams(1)
+        # Drawing from one stream must not perturb another.
+        a.stream("noise").random()
+        assert a.stream("signal").random() == b.stream("signal").random()
+
+    def test_different_master_seeds_differ(self):
+        assert (
+            SeededStreams(1).stream("x").random()
+            != SeededStreams(2).stream("x").random()
+        )
+
+    def test_fork_is_independent(self):
+        parent = SeededStreams(1)
+        child = parent.fork("child")
+        assert parent.stream("x").random() != child.stream("x").random()
+
+
+class TestWeightedChoice:
+    def test_single_key(self):
+        assert weighted_choice(random.Random(0), {"a": 1.0}) == "a"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(random.Random(0), {})
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(random.Random(0), {"a": 0.0})
+
+    def test_respects_weights_statistically(self):
+        rng = random.Random(42)
+        counts = {"heavy": 0, "light": 0}
+        for _ in range(2000):
+            counts[weighted_choice(rng, {"heavy": 9.0, "light": 1.0})] += 1
+        assert counts["heavy"] > 5 * counts["light"]
+
+
+class TestZipf:
+    def test_in_range(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            assert 0 <= sample_zipf(rng, 10) < 10
+
+    def test_head_heavier_than_tail(self):
+        rng = random.Random(0)
+        draws = [sample_zipf(rng, 50) for _ in range(5000)]
+        assert draws.count(0) > draws.count(49) * 3
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            sample_zipf(random.Random(0), 0)
+
+
+def test_exponential_interarrival_mean():
+    rng = random.Random(7)
+    draws = [exponential_interarrival(rng, 100.0) for _ in range(5000)]
+    assert 90 < sum(draws) / len(draws) < 110
+
+
+def test_exponential_requires_positive_mean():
+    with pytest.raises(ValueError):
+        exponential_interarrival(random.Random(0), 0)
+
+
+def test_shuffled_returns_new_permutation():
+    items = list(range(20))
+    result = shuffled(random.Random(3), items)
+    assert sorted(result) == items
+    assert items == list(range(20))  # input untouched

@@ -1,0 +1,48 @@
+"""Tests for the table renderer."""
+
+import pytest
+
+from repro.util.tables import Table, render_table
+
+
+class TestTable:
+    def test_add_and_render(self):
+        table = Table("T", ("A", "B"))
+        table.add_row(1, "x")
+        text = table.render()
+        assert "T" in text
+        assert "A" in text and "B" in text
+        assert "x" in text
+
+    def test_wrong_cell_count_rejected(self):
+        table = Table("T", ("A", "B"))
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = Table("T", ("A", "B"))
+        table.add_row(1, "x")
+        table.add_row(2, "y")
+        assert table.column("B") == ["x", "y"]
+
+    def test_as_dicts(self):
+        table = Table("T", ("A", "B"))
+        table.add_row(1, "x")
+        assert table.as_dicts() == [{"A": 1, "B": "x"}]
+
+    def test_thousands_separator(self):
+        table = Table("T", ("N",))
+        table.add_row(1234567)
+        assert "1,234,567" in table.render()
+
+    def test_float_formatting(self):
+        assert "2.5" in render_table("T", ("X",), [(2.5,)])
+
+    def test_column_alignment(self):
+        table = Table("T", ("Name", "Val"))
+        table.add_row("short", 1)
+        table.add_row("a-much-longer-name", 2)
+        lines = table.render().splitlines()
+        header = next(line for line in lines if "Name" in line)
+        row = next(line for line in lines if "short" in line)
+        assert header.index("Val") == row.index("1")
