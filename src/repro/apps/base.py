@@ -18,7 +18,7 @@ Two consumers drive emulators:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, ClassVar, Iterable, Mapping
 
 from repro.net.http import HttpRequest, HttpResponse

@@ -14,7 +14,8 @@ import re
 from dataclasses import dataclass
 
 from repro.core.fingerprint.knowledge_base import KnowledgeBase, file_hash
-from repro.net.http import Scheme
+from repro.core.retry import RetryExecutor
+from repro.net.http import HttpResponse, Scheme
 from repro.net.ipv4 import IPv4Address
 from repro.net.transport import Transport
 from repro.util.errors import TransportError
@@ -44,6 +45,19 @@ class StaticFileCrawler:
 
     transport: Transport
     max_fetches: int = 16
+    #: when set, transient fetch failures are retried with backoff
+    retry: RetryExecutor | None = None
+
+    def _get(
+        self, ip: IPv4Address, port: int, path: str, scheme: Scheme,
+        follow_redirects: int = 5,
+    ) -> HttpResponse:
+        def attempt() -> HttpResponse:
+            return self.transport.get(ip, port, path, scheme, follow_redirects)
+
+        if self.retry is not None:
+            return self.retry.call(ip, attempt)
+        return attempt()
 
     def crawl(
         self,
@@ -58,7 +72,7 @@ class StaticFileCrawler:
         fetches = 0
 
         try:
-            landing = self.transport.get(ip, port, "/", scheme)
+            landing = self._get(ip, port, "/", scheme)
         except TransportError:
             return observations
         fetches += 1
@@ -76,7 +90,7 @@ class StaticFileCrawler:
             if path in observations:
                 continue
             try:
-                response = self.transport.get(ip, port, path, scheme, follow_redirects=0)
+                response = self._get(ip, port, path, scheme, follow_redirects=0)
             except TransportError:
                 continue
             fetches += 1

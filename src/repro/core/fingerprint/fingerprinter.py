@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.core.fingerprint.crawler import StaticFileCrawler
 from repro.core.fingerprint.disclosure import extract_disclosed_version
 from repro.core.fingerprint.knowledge_base import KnowledgeBase
+from repro.core.retry import RetryExecutor
 from repro.core.tsunami.plugin import PluginContext
 from repro.net.http import Scheme
 from repro.net.ipv4 import IPv4Address
@@ -48,10 +49,14 @@ class VersionFingerprinter:
         max_crawl_fetches: int = 16,
         use_disclosure: bool = True,
         use_hashes: bool = True,
+        retry: "RetryExecutor | None" = None,
     ) -> None:
         self.transport = transport
         self.kb = knowledge_base
-        self.crawler = StaticFileCrawler(transport, max_fetches=max_crawl_fetches)
+        self.retry = retry
+        self.crawler = StaticFileCrawler(
+            transport, max_fetches=max_crawl_fetches, retry=retry
+        )
         self.use_disclosure = use_disclosure
         self.use_hashes = use_hashes
 
@@ -63,7 +68,7 @@ class VersionFingerprinter:
         candidates: tuple[str, ...],
     ) -> Fingerprint | None:
         """Identify the application and version running on a target."""
-        context = PluginContext(self.transport, ip, port, scheme)
+        context = PluginContext(self.transport, ip, port, scheme, retry=self.retry)
         if self.use_disclosure:
             for slug in candidates:
                 version = extract_disclosed_version(context, slug)

@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
+from repro.core.retry import RetryExecutor
 from repro.net.ipv4 import IPv4Address, is_reserved
 from repro.net.transport import Transport
 from repro.util.rand import shuffled
@@ -70,6 +71,9 @@ class Masscan:
     rng: random.Random = field(default_factory=lambda: random.Random(0))
     exclude_reserved: bool = True
     randomise_order: bool = True
+    #: when set, apparently-closed ports are re-probed (a lost SYN/ACK is
+    #: indistinguishable from a filtered port — real masscan re-probes too)
+    retry: RetryExecutor | None = None
 
     def target_order(self, candidates: Iterable[IPv4Address]) -> list[IPv4Address]:
         """Filter reserved ranges and order targets for the sweep.
@@ -100,17 +104,22 @@ class Masscan:
         return result
 
     def scan_in_batches(
-        self, candidates: Iterable[IPv4Address], batch_size: int
+        self, candidates: Iterable[IPv4Address], batch_size: int, skip: int = 0
     ) -> Iterator[PortScanResult]:
         """Yield partial results every ``batch_size`` addresses.
 
         The pipeline consumes each batch with stages II/III before this
         generator resumes, mirroring the paper's interleaved execution.
+        ``skip`` resumes a checkpointed sweep: the deterministic target
+        order is recomputed and the first ``skip`` addresses — already
+        scanned before the interruption — are not probed again.
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if skip < 0:
+            raise ValueError("skip must be non-negative")
         result = PortScanResult()
-        for ip in self.target_order(candidates):
+        for ip in self.target_order(candidates)[skip:]:
             self._probe_host(ip, result)
             if result.addresses_scanned >= batch_size:
                 yield result
@@ -118,11 +127,19 @@ class Masscan:
         if result.addresses_scanned:
             yield result
 
+    def probe_port(self, ip: IPv4Address, port: int) -> bool:
+        """One logical SYN probe, re-probed under the retry policy if set."""
+        if self.retry is not None:
+            return self.retry.probe(
+                ip, lambda: self.transport.syn_probe(ip, port)
+            )
+        return self.transport.syn_probe(ip, port)
+
     def _probe_host(self, ip: IPv4Address, result: PortScanResult) -> None:
         open_ports = []
         for port in self.ports:
             result.probes_sent += 1
-            if self.transport.syn_probe(ip, port):
+            if self.probe_port(ip, port):
                 open_ports.append(port)
         result.addresses_scanned += 1
         result.record(ip, open_ports)

@@ -8,6 +8,13 @@ hosts that went offline in the meantime".
 
 The pipeline only sees a :class:`~repro.net.transport.Transport`; it runs
 unchanged against the simulator or a real loopback socket.
+
+Resilience (§6.2's "lower bound" gap): an optional
+:class:`~repro.core.retry.RetryPolicy` threads one shared
+:class:`~repro.core.retry.RetryExecutor` — with a per-host/per-/24
+circuit breaker — through every stage, and an optional
+:class:`~repro.core.checkpoint.Checkpointer` persists progress at batch
+boundaries so a killed sweep resumes without re-scanning.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.core.checkpoint import Checkpointer, check_config_matches
 from repro.core.fingerprint.fingerprinter import Fingerprint, VersionFingerprinter
 from repro.core.fingerprint.knowledge_base import (
     KnowledgeBase,
@@ -23,10 +31,13 @@ from repro.core.fingerprint.knowledge_base import (
 )
 from repro.core.masscan import Masscan, PortScanResult
 from repro.core.prefilter import Prefilter, PrefilterFinding
+from repro.core.retry import CircuitBreaker, RetryExecutor, RetryPolicy, RetryStats
 from repro.core.tsunami.engine import TsunamiEngine
 from repro.core.tsunami.plugin import DetectionReport
 from repro.net.http import Scheme
 from repro.net.ipv4 import IPv4Address
+from repro.util.clock import SimClock
+from repro.util.rand import stable_hash
 
 
 @dataclass
@@ -73,6 +84,8 @@ class ScanReport:
     https_responses: dict[int, int] = field(default_factory=dict)
     findings: dict[int, HostFinding] = field(default_factory=dict)
     detections: list[DetectionReport] = field(default_factory=list)
+    #: what the resilience layer did (zeros when no RetryPolicy is set)
+    retry_stats: RetryStats = field(default_factory=RetryStats)
 
     def finding_for(self, ip: IPv4Address) -> HostFinding:
         finding = self.findings.get(ip.value)
@@ -123,6 +136,7 @@ class ScanReport:
             self.https_responses[port] = self.https_responses.get(port, 0) + count
         self.findings.update(other.findings)
         self.detections.extend(other.detections)
+        self.retry_stats.merge(other.retry_stats)
 
 
 @dataclass
@@ -136,16 +150,36 @@ class ScanPipeline:
     fingerprint: bool = True
     use_prefilter: bool = True
     knowledge_base: KnowledgeBase | None = None
+    #: retry failed transport operations with backoff (None = fail fast)
+    retry_policy: RetryPolicy | None = None
+    #: time source for backoff charging and breaker cooldowns
+    clock: SimClock | None = None
+    #: stops hammering dead targets; auto-created when a policy is set
+    circuit_breaker: CircuitBreaker | None = None
 
     def __post_init__(self) -> None:
+        if self.retry_policy is not None:
+            if self.circuit_breaker is None:
+                self.circuit_breaker = CircuitBreaker(clock=self.clock)
+            self._retry = RetryExecutor(
+                self.retry_policy,
+                rng=random.Random(stable_hash(self.seed, "retry")),
+                clock=self.clock,
+                breaker=self.circuit_breaker,
+            )
+        else:
+            self._retry = None
         self._masscan = Masscan(
-            self.transport, self.ports, rng=random.Random(self.seed)
+            self.transport, self.ports, rng=random.Random(self.seed),
+            retry=self._retry,
         )
-        self._prefilter = Prefilter(self.transport)
-        self._engine = TsunamiEngine(self.transport)
+        self._prefilter = Prefilter(self.transport, retry=self._retry)
+        self._engine = TsunamiEngine(self.transport, retry=self._retry)
         if self.fingerprint:
             kb = self.knowledge_base or build_default_knowledge_base()
-            self._fingerprinter = VersionFingerprinter(self.transport, kb)
+            self._fingerprinter = VersionFingerprinter(
+                self.transport, kb, retry=self._retry
+            )
         else:
             self._fingerprinter = None
 
@@ -157,13 +191,45 @@ class ScanPipeline:
     def prefilter(self) -> Prefilter:
         return self._prefilter
 
-    def run(self, candidates: Iterable[IPv4Address]) -> ScanReport:
-        """Sweep ``candidates`` through all three stages."""
+    @property
+    def retry(self) -> RetryExecutor | None:
+        return self._retry
+
+    def run(
+        self,
+        candidates: Iterable[IPv4Address],
+        checkpoint: Checkpointer | None = None,
+    ) -> ScanReport:
+        """Sweep ``candidates`` through all three stages.
+
+        With a :class:`~repro.core.checkpoint.Checkpointer`, progress is
+        persisted at batch boundaries, and an existing checkpoint file is
+        resumed: already-scanned addresses are skipped and every seeded
+        component continues its random sequence where it stopped, so the
+        final report equals an uninterrupted run's bit-for-bit.
+        """
         report = ScanReport()
-        for batch in self._masscan.scan_in_batches(candidates, self.batch_size):
+        completed = 0
+        batches_done = 0
+        if checkpoint is not None:
+            payload = checkpoint.load()
+            if payload is not None:
+                completed, batches_done, report = self._restore_checkpoint(payload)
+        for batch in self._masscan.scan_in_batches(
+            candidates, self.batch_size, skip=completed
+        ):
             report.port_scan.merge(batch)
             self._run_later_stages(batch, report)
-        self._fold_prefilter_stats(report)
+            completed += batch.addresses_scanned
+            batches_done += 1
+            if checkpoint is not None and checkpoint.due(batches_done):
+                self._fold_stats(report)
+                checkpoint.save(
+                    self._checkpoint_payload(completed, batches_done, report)
+                )
+        self._fold_stats(report)
+        if checkpoint is not None:
+            checkpoint.clear()  # a completed sweep must not be "resumed"
         return report
 
     def rescan_hosts(
@@ -182,13 +248,13 @@ class ScanPipeline:
                 if ports_by_host
                 else self.ports
             )
-            open_ports = [p for p in ports if self.transport.syn_probe(ip, p)]
+            open_ports = [p for p in ports if self._masscan.probe_port(ip, p)]
             scan.addresses_scanned += 1
             scan.probes_sent += len(ports)
             scan.record(ip, open_ports)
         report.port_scan.merge(scan)
         self._run_later_stages(scan, report)
-        self._fold_prefilter_stats(report)
+        self._fold_stats(report)
         return report
 
     # -- internals -----------------------------------------------------------
@@ -216,7 +282,7 @@ class ScanPipeline:
             for port in batch.ports_of(ip):
                 for scheme in self._prefilter.schemes_for_port(port):
                     try:
-                        response = self.transport.get(ip, port, "/", scheme)
+                        response = self._prefilter.fetch_landing(ip, port, scheme)
                     except TransportError:
                         continue
                     self._prefilter.stats.note(ip, port, scheme)
@@ -279,8 +345,82 @@ class ScanPipeline:
                 )
                 host_finding.observations[detection.slug] = observation
 
+    def _fold_stats(self, report: ScanReport) -> None:
+        self._fold_prefilter_stats(report)
+        if self._retry is not None:
+            # Overwrite, not merge: executor stats are cumulative and this
+            # fold runs once per batch when checkpointing is on.
+            report.retry_stats = self._retry.stats.copy()
+
     def _fold_prefilter_stats(self, report: ScanReport) -> None:
         for port, count in self._prefilter.stats.http_responses.items():
             report.http_responses[port] = count
         for port, count in self._prefilter.stats.https_responses.items():
             report.https_responses[port] = count
+
+    # -- checkpoint/resume ----------------------------------------------------
+
+    def _checkpoint_payload(
+        self, completed: int, batches_done: int, report: ScanReport
+    ) -> dict:
+        """Everything a fresh pipeline needs to continue this sweep."""
+        from repro.core.serialize import report_to_dict
+
+        transport_state = None
+        snapshot = getattr(self.transport, "snapshot_state", None)
+        if callable(snapshot):
+            transport_state = snapshot()
+        return {
+            "seed": self.seed,
+            "ports": list(self.ports),
+            "batch_size": self.batch_size,
+            "completed_addresses": completed,
+            "batches_done": batches_done,
+            "report": report_to_dict(report),
+            "prefilter": {
+                "http_responses": dict(self._prefilter.stats.http_responses),
+                "https_responses": dict(self._prefilter.stats.https_responses),
+                "responsive_hosts": sorted(self._prefilter.stats.responsive_hosts),
+            },
+            "clock_now": self.clock.now if self.clock is not None else None,
+            "retry": (
+                self._retry.snapshot_state() if self._retry is not None else None
+            ),
+            "breaker": (
+                self.circuit_breaker.snapshot_state()
+                if self.circuit_breaker is not None
+                else None
+            ),
+            "transport": transport_state,
+        }
+
+    def _restore_checkpoint(self, payload: dict) -> tuple[int, int, ScanReport]:
+        """Rebuild pipeline state from a checkpoint payload."""
+        from repro.core.serialize import report_from_dict
+
+        check_config_matches(
+            payload,
+            seed=self.seed,
+            ports=list(self.ports),
+            batch_size=self.batch_size,
+        )
+        report = report_from_dict(payload["report"])
+        stats = self._prefilter.stats
+        stats.http_responses = {
+            int(k): v for k, v in payload["prefilter"]["http_responses"].items()
+        }
+        stats.https_responses = {
+            int(k): v for k, v in payload["prefilter"]["https_responses"].items()
+        }
+        stats.responsive_hosts = set(payload["prefilter"]["responsive_hosts"])
+        if self.clock is not None and payload["clock_now"] is not None:
+            if payload["clock_now"] > self.clock.now:
+                self.clock.run_until(payload["clock_now"])
+        if self._retry is not None and payload["retry"] is not None:
+            self._retry.restore_state(payload["retry"])
+        if self.circuit_breaker is not None and payload["breaker"] is not None:
+            self.circuit_breaker.restore_state(payload["breaker"])
+        restore = getattr(self.transport, "restore_state", None)
+        if callable(restore) and payload["transport"] is not None:
+            restore(payload["transport"])
+        return payload["completed_addresses"], payload["batches_done"], report

@@ -23,6 +23,7 @@ import re
 from dataclasses import dataclass, field
 
 from repro.core.masscan import PortScanResult
+from repro.core.retry import RetryExecutor
 from repro.net.http import HttpResponse, Scheme
 from repro.net.ipv4 import IPv4Address
 from repro.net.transport import Transport
@@ -208,9 +209,15 @@ class PrefilterStats:
 class Prefilter:
     """Stage-II prober."""
 
-    def __init__(self, transport: Transport, max_redirects: int = 5) -> None:
+    def __init__(
+        self,
+        transport: Transport,
+        max_redirects: int = 5,
+        retry: RetryExecutor | None = None,
+    ) -> None:
         self.transport = transport
         self.max_redirects = max_redirects
+        self.retry = retry
         self.stats = PrefilterStats()
 
     def schemes_for_port(self, port: int) -> tuple[Scheme, ...]:
@@ -225,9 +232,7 @@ class Prefilter:
         findings = []
         for scheme in self.schemes_for_port(port):
             try:
-                response = self.transport.get(
-                    ip, port, "/", scheme, follow_redirects=self.max_redirects
-                )
+                response = self.fetch_landing(ip, port, scheme)
             except TransportError:
                 continue
             self.stats.note(ip, port, scheme)
@@ -235,6 +240,17 @@ class Prefilter:
             if finding is not None:
                 findings.append(finding)
         return findings
+
+    def fetch_landing(self, ip: IPv4Address, port: int, scheme: Scheme) -> HttpResponse:
+        """The stage-II landing-page GET, retried when a policy is set."""
+        def attempt() -> HttpResponse:
+            return self.transport.get(
+                ip, port, "/", scheme, follow_redirects=self.max_redirects
+            )
+
+        if self.retry is not None:
+            return self.retry.call(ip, attempt)
+        return attempt()
 
     def evaluate(
         self, ip: IPv4Address, port: int, scheme: Scheme, response: HttpResponse

@@ -12,6 +12,7 @@ from __future__ import annotations
 import logging
 from dataclasses import dataclass, field
 
+from repro.core.retry import RetryExecutor
 from repro.core.tsunami.plugin import DetectionReport, MavDetectionPlugin, PluginContext
 from repro.core.tsunami.plugins import ALL_PLUGINS
 from repro.net.http import Scheme
@@ -36,9 +37,11 @@ class TsunamiEngine:
         self,
         transport: Transport,
         plugins: tuple[MavDetectionPlugin, ...] = ALL_PLUGINS,
+        retry: "RetryExecutor | None" = None,
     ) -> None:
         self.transport = transport
         self._by_slug = {plugin.slug: plugin for plugin in plugins}
+        self.retry = retry
         self.stats = EngineStats()
 
     @property
@@ -60,7 +63,7 @@ class TsunamiEngine:
         candidates: tuple[str, ...],
     ) -> list[DetectionReport]:
         """Run every candidate's plugin against one (ip, port, scheme)."""
-        context = PluginContext(self.transport, ip, port, scheme)
+        context = PluginContext(self.transport, ip, port, scheme, retry=self.retry)
         reports = []
         for plugin in self.plugins_for_candidates(candidates):
             self.stats.plugins_run += 1

@@ -13,6 +13,7 @@ import json
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+from repro.core.retry import RetryExecutor
 from repro.net.http import HttpResponse, Scheme
 from repro.net.ipv4 import IPv4Address
 from repro.net.transport import Transport
@@ -42,13 +43,20 @@ class PluginContext:
     ip: IPv4Address
     port: int
     scheme: Scheme
+    #: when set, transient transport failures are retried with backoff
+    retry: RetryExecutor | None = None
 
     def fetch(self, path: str, follow_redirects: int = 5) -> HttpResponse | None:
         """GET ``path``; ``None`` on any transport failure."""
-        try:
+        def attempt() -> HttpResponse:
             return self.transport.get(
                 self.ip, self.port, path, self.scheme, follow_redirects
             )
+
+        try:
+            if self.retry is not None:
+                return self.retry.call(self.ip, attempt)
+            return attempt()
         except TransportError:
             return None
 

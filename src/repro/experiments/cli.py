@@ -33,7 +33,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--experiment",
         choices=("full", "scan", "observe", "honeypot", "defender",
-                 "ct-race", "vhosts", "packet-loss"),
+                 "ct-race", "vhosts", "packet-loss", "recall-recovery"),
         default="full",
     )
     parser.add_argument("--scale", choices=sorted(_SCALES), default="default")
@@ -80,6 +80,10 @@ def _run(experiment: str, config: StudyConfig, markdown: bool = False) -> str:
         from repro.experiments.packet_loss import run_packet_loss_study
 
         return run_packet_loss_study().table().render()
+    if experiment == "recall-recovery":
+        from repro.experiments.packet_loss import run_recall_recovery_study
+
+        return run_recall_recovery_study().table().render()
     raise ValueError(f"unknown experiment {experiment!r}")
 
 

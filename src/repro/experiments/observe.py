@@ -11,7 +11,7 @@ plugin stays silent → fixed; no answer → offline.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.figures import Figure2
 from repro.analysis.longevity import HostStatus, ObservationLog, ObservedHost

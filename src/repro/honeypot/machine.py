@@ -13,7 +13,7 @@ honeypot.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.apps.base import WebApplication
 from repro.net.http import HttpRequest, HttpResponse

@@ -16,6 +16,7 @@ from repro.net.http import HttpRequest, HttpResponse, Scheme
 from repro.net.ipv4 import IPv4Address
 from repro.net.transport import Transport
 from repro.util.errors import ConnectionTimeout
+from repro.util.rand import rng_state_from_json, rng_state_to_json
 
 
 class FlakyTransport(Transport):
@@ -32,6 +33,9 @@ class FlakyTransport(Transport):
         if not 0.0 <= syn_loss <= 1.0 or not 0.0 <= request_loss <= 1.0:
             raise ValueError("loss rates must be in [0, 1]")
         self.inner = inner
+        # Share the innermost transport's stats: wrapping must not split
+        # syn_probes/http_requests/per-/24 counters across decorators.
+        self.stats = inner.stats
         self.syn_loss = syn_loss
         self.request_loss = request_loss
         self._rng = random.Random(seed)
@@ -54,6 +58,25 @@ class FlakyTransport(Transport):
 
     def fetch_certificate(self, ip: IPv4Address, port: int):
         if self._rng.random() < self.request_loss:
+            # Consistent with the request path: a drop is a timeout, not a
+            # silent "no certificate" — callers must treat it as transient.
             self.dropped_requests += 1
-            return None
+            raise ConnectionTimeout(
+                f"TLS handshake with {ip}:{port} timed out (injected)"
+            )
         return self.inner.fetch_certificate(ip, port)
+
+    # -- checkpoint support ------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture the injected-fault stream for checkpoint/resume."""
+        return {
+            "rng": rng_state_to_json(self._rng.getstate()),
+            "dropped_probes": self.dropped_probes,
+            "dropped_requests": self.dropped_requests,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._rng.setstate(rng_state_from_json(state["rng"]))
+        self.dropped_probes = state["dropped_probes"]
+        self.dropped_requests = state["dropped_requests"]

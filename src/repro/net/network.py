@@ -9,7 +9,7 @@ addresses, but only populated ones cost memory.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from repro.net.host import Host, HostKind
 from repro.net.http import HttpRequest, HttpResponse, Scheme

@@ -19,16 +19,15 @@ import random
 from dataclasses import dataclass, field
 
 from repro.apps.base import AppInstance, WebApplication
-from repro.apps.catalog import AppSpec, all_apps, app_by_slug, in_scope_apps
+from repro.apps.catalog import AppSpec, app_by_slug
 from repro.apps.versions import RELEASE_DB, SCAN_DATE, Release
 from repro.net.geo import (
-    ATTACKER_PROFILE,
     BACKGROUND_HOST_PROFILE,
     VULNERABLE_HOST_PROFILE,
     GeoDatabase,
 )
 from repro.net.host import Host, HostKind, Service
-from repro.net.http import HttpRequest, HttpResponse, Scheme
+from repro.net.http import HttpResponse, Scheme
 from repro.net.ipv4 import IPv4Address
 from repro.net.network import SimulatedInternet, allocate_addresses
 from repro.net.tls import issue_certificate

@@ -17,7 +17,7 @@ contact domain).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util.rand import stable_hash
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from repro.net.geo import GeoDatabase
 from repro.net.ipv4 import IPv4Address
 from repro.net.transport import Transport
+from repro.util.errors import TransportError
 from repro.util.tables import Table
 
 #: providers the paper contacted directly with "a list of all their
@@ -115,7 +116,10 @@ class DisclosurePlanner:
                 recipient=metadata.provider,
             )
         for candidate_port in (port, *self.https_ports):
-            certificate = self.transport.fetch_certificate(ip, candidate_port)
+            try:
+                certificate = self.transport.fetch_certificate(ip, candidate_port)
+            except TransportError:
+                continue  # transient failure: no channel via this port
             if certificate is None:
                 continue
             domain = certificate.contact_domain()

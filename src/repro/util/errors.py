@@ -32,6 +32,19 @@ class ConnectionTimeout(TransportError):
     """The target did not answer within the deadline (filtered port)."""
 
 
+class ConnectionReset(TransportError):
+    """The peer tore the connection down mid-exchange (TCP RST)."""
+
+
+class CircuitOpen(TransportError):
+    """A circuit breaker refused the operation without touching the wire.
+
+    Raised instead of probing a target whose per-host or per-/24 circuit
+    is open; callers treat it like any transport failure (a miss), which
+    is the point — stop hammering dead targets.
+    """
+
+
 class TlsError(TransportError):
     """The target port is open but does not speak TLS."""
 

@@ -88,3 +88,20 @@ def shuffled(rng: random.Random, items: Iterable[T]) -> list[T]:
     out = list(items)
     rng.shuffle(out)
     return out
+
+
+def rng_state_to_json(state: tuple) -> list:
+    """Make ``random.Random.getstate()`` output JSON-serialisable.
+
+    Used by checkpoint/resume: a resumed scan must continue the *same*
+    random sequence, or the resumed half of a sweep would diverge from an
+    uninterrupted run.
+    """
+    version, internal, gauss = state
+    return [version, list(internal), gauss]
+
+
+def rng_state_from_json(data: list) -> tuple:
+    """Inverse of :func:`rng_state_to_json`, for ``Random.setstate``."""
+    version, internal, gauss = data
+    return (version, tuple(internal), gauss)

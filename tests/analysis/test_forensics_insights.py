@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.attacks import Attack, cluster_attackers, group_attacks
+from repro.analysis.attacks import Attack
 from repro.analysis.forensics import (
     AttackPurpose,
     classify_attack,

@@ -1,6 +1,5 @@
 """Tests for the table builders against calibrated studies."""
 
-import pytest
 
 from repro.analysis.tables import table1
 from repro.apps.catalog import scanned_ports

@@ -15,8 +15,6 @@ import pytest
 from repro.apps.catalog import create_instance, in_scope_apps
 from repro.core.prefilter import match_signatures
 from repro.net.http import HttpRequest
-from repro.net.transport import InMemoryTransport
-from repro.util.errors import ConfigError
 
 
 def _get(app, path):

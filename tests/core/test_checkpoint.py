@@ -1,0 +1,234 @@
+"""Tests for checkpoint/resume: a killed sweep continues losslessly."""
+
+import pytest
+
+from repro.apps.base import AppInstance
+from repro.apps.catalog import create_instance, scanned_ports
+from repro.core.checkpoint import Checkpointer, check_config_matches
+from repro.core.pipeline import ScanPipeline
+from repro.core.retry import RetryPolicy
+from repro.core.serialize import report_to_dict
+from repro.net.chaos import ChaosTransport, FaultPlan
+from repro.net.host import Host, Service
+from repro.net.ipv4 import IPv4Address
+from repro.net.network import SimulatedInternet
+from repro.net.transport import InMemoryTransport, Transport
+from repro.util.clock import SimClock
+from repro.util.errors import ConfigError
+
+
+class TestCheckpointer:
+    def test_load_returns_none_before_first_save(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "scan.ckpt")
+        assert not ckpt.exists()
+        assert ckpt.load() is None
+
+    def test_save_load_round_trip(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "scan.ckpt")
+        ckpt.save({"completed_addresses": 7, "seed": 3})
+        payload = ckpt.load()
+        assert payload["completed_addresses"] == 7
+        assert payload["format_version"] == 1
+
+    def test_save_replaces_atomically(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "scan.ckpt")
+        ckpt.save({"completed_addresses": 3})
+        ckpt.save({"completed_addresses": 6})
+        assert ckpt.load()["completed_addresses"] == 6
+        assert not (tmp_path / "scan.ckpt.tmp").exists()
+
+    def test_clear(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "scan.ckpt")
+        ckpt.save({})
+        ckpt.clear()
+        assert not ckpt.exists()
+        ckpt.clear()  # idempotent
+
+    def test_unknown_format_version_refused(self, tmp_path):
+        path = tmp_path / "scan.ckpt"
+        path.write_text('{"format_version": 999}')
+        with pytest.raises(ConfigError):
+            Checkpointer(path).load()
+
+    def test_cadence(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "scan.ckpt", every_batches=3)
+        assert [ckpt.due(n) for n in (1, 2, 3, 4, 5, 6)] == [
+            False, False, True, False, False, True,
+        ]
+        with pytest.raises(ValueError):
+            Checkpointer(tmp_path / "x", every_batches=0)
+
+    def test_config_mismatch_detection(self):
+        payload = {"seed": 3, "ports": [80, 443]}
+        check_config_matches(payload, seed=3, ports=[80, 443])
+        with pytest.raises(ConfigError):
+            check_config_matches(payload, seed=4)
+        with pytest.raises(ConfigError):
+            check_config_matches(payload, ports=[80])
+
+
+class SimulatedCrash(BaseException):
+    """A kill signal: deliberately not an Exception, so no layer of the
+    pipeline (plugin isolation included) can swallow it."""
+
+
+class KillSwitch(Transport):
+    """Decorator that dies after a fixed number of wire operations."""
+
+    def __init__(self, inner: Transport, die_after: int) -> None:
+        super().__init__(enforce_ethics=inner.enforce_ethics)
+        self.inner = inner
+        self.stats = inner.stats
+        self.die_after = die_after
+        self.operations = 0
+
+    def _tick(self) -> None:
+        self.operations += 1
+        if self.operations > self.die_after:
+            raise SimulatedCrash(f"killed after {self.die_after} operations")
+
+    def _port_open(self, ip, port):
+        self._tick()
+        return self.inner._port_open(ip, port)
+
+    def _exchange(self, ip, port, scheme, request):
+        self._tick()
+        return self.inner._exchange(ip, port, scheme, request)
+
+    def fetch_certificate(self, ip, port):
+        self._tick()
+        return self.inner.fetch_certificate(ip, port)
+
+    # resume state lives in the wrapped (chaos) transport
+    def snapshot_state(self):
+        return self.inner.snapshot_state()
+
+    def restore_state(self, state):
+        self.inner.restore_state(state)
+
+
+PLAN = FaultPlan(
+    syn_loss=0.05, request_loss=0.05, reset_rate=0.02,
+    flap_rate=0.2, flap_down=120.0, flap_period=600.0,
+)
+
+APPS = (
+    ("polynote", 8192), ("docker", 2375), ("hadoop", 8088), ("grav", 80),
+    ("consul", 8500), ("zeppelin", 8080), ("nomad", 4646), ("ajenti", 8000),
+    ("jenkins", 8080), ("adminer", 80),
+)
+
+
+def build_world():
+    """Ten AWE hosts spread over two /24 blocks; fresh instance per arm."""
+    internet = SimulatedInternet()
+    ips = []
+    for index, (slug, port) in enumerate(APPS):
+        # two routable /24s (TEST-NET blocks would be excluded by stage I)
+        octet3 = 100 + index % 2
+        ip = IPv4Address.parse(f"93.184.{octet3}.{10 + index}")
+        host = Host(ip)
+        host.add_service(Service(port, app=AppInstance(create_instance(slug), port)))
+        internet.add_host(host)
+        ips.append(ip)
+    return internet, ips
+
+
+def run_arm(die_after=None, checkpoint=None, seed=3):
+    """One pipeline sweep over a freshly built world."""
+    internet, ips = build_world()
+    clock = SimClock()
+    transport = ChaosTransport(
+        InMemoryTransport(internet), PLAN, seed=21, clock=clock
+    )
+    if die_after is not None:
+        transport = KillSwitch(transport, die_after)
+    pipeline = ScanPipeline(
+        transport, scanned_ports(), seed=seed, batch_size=3, fingerprint=False,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.5, max_delay=4.0),
+        clock=clock,
+    )
+    return pipeline.run(ips, checkpoint=checkpoint)
+
+
+class TestResume:
+    def test_checkpointing_does_not_change_the_report(self, tmp_path):
+        plain = report_to_dict(run_arm())
+        checkpointed = report_to_dict(
+            run_arm(checkpoint=Checkpointer(tmp_path / "scan.ckpt"))
+        )
+        assert checkpointed == plain
+
+    @pytest.mark.parametrize("die_after", [50, 120, 200])
+    def test_crash_mid_sweep_then_resume_equals_uninterrupted(
+        self, tmp_path, die_after
+    ):
+        """Acceptance: kill the sweep, resume it, get the identical report."""
+        expected = report_to_dict(run_arm())
+        ckpt = Checkpointer(tmp_path / "scan.ckpt")
+        with pytest.raises(SimulatedCrash):
+            run_arm(die_after=die_after, checkpoint=ckpt)
+        resumed = run_arm(checkpoint=ckpt)
+        assert report_to_dict(resumed) == expected
+
+    def test_resume_skips_completed_addresses(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "scan.ckpt")
+        with pytest.raises(SimulatedCrash):
+            run_arm(die_after=200, checkpoint=ckpt)
+        completed = ckpt.load()["completed_addresses"]
+        assert completed > 0  # at least one batch landed before the kill
+
+        internet, ips = build_world()
+        clock = SimClock()
+        transport = ChaosTransport(
+            InMemoryTransport(internet), PLAN, seed=21, clock=clock
+        )
+        pipeline = ScanPipeline(
+            transport, scanned_ports(), seed=3, batch_size=3, fingerprint=False,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.5, max_delay=4.0),
+            clock=clock,
+        )
+        pipeline.run(ips, checkpoint=ckpt)
+        # only the remaining addresses were probed on the wire after resume:
+        # at most max_attempts probes per port, and zero for completed hosts
+        ceiling = (len(ips) - completed) * len(scanned_ports()) * 3
+        assert 0 < transport.stats.syn_probes <= ceiling
+
+    def test_resume_refuses_mismatched_config(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "scan.ckpt")
+        with pytest.raises(SimulatedCrash):
+            run_arm(die_after=200, checkpoint=ckpt)
+        with pytest.raises(ConfigError):
+            run_arm(checkpoint=ckpt, seed=4)
+
+    def test_successful_completion_clears_the_checkpoint(self, tmp_path):
+        """A stale file after success would hijack the next sweep: a run
+        over a *different* candidate list (same config) would load it and
+        silently skip everything."""
+        ckpt = Checkpointer(tmp_path / "scan.ckpt")
+        run_arm(checkpoint=ckpt)
+        assert not ckpt.exists()
+
+    def test_checkpointer_without_file_is_a_fresh_run(self, tmp_path):
+        expected = report_to_dict(run_arm())
+        fresh = run_arm(checkpoint=Checkpointer(tmp_path / "never-saved.ckpt"))
+        assert report_to_dict(fresh) == expected
+
+    def test_works_without_retry_policy_too(self, tmp_path):
+        """Checkpointing is independent of the retry layer."""
+        def arm(die_after=None, checkpoint=None):
+            internet, ips = build_world()
+            transport = ChaosTransport(InMemoryTransport(internet), PLAN, seed=21)
+            if die_after is not None:
+                transport = KillSwitch(transport, die_after)
+            pipeline = ScanPipeline(
+                transport, scanned_ports(), seed=3, batch_size=3,
+                fingerprint=False,
+            )
+            return pipeline.run(ips, checkpoint=checkpoint)
+
+        expected = report_to_dict(arm())
+        ckpt = Checkpointer(tmp_path / "scan.ckpt")
+        with pytest.raises(SimulatedCrash):
+            arm(die_after=90, checkpoint=ckpt)
+        assert report_to_dict(arm(checkpoint=ckpt)) == expected

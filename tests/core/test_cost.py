@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.cost import MachineSpec, ScanCostModel, ScanWorkload
-from repro.util.clock import HOUR, DAY
+from repro.util.clock import DAY
 
 
 class TestWorkload:

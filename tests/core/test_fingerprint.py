@@ -184,7 +184,6 @@ class TestVersionFingerprinter:
         releases = RELEASE_DB.releases(spec.slug)
         for release in (releases[0], releases[-1]):
             version = release.version
-            vulnerable = True
             try:
                 internet, ip, app = host_with(spec.slug, version=version,
                                               vulnerable=True)

@@ -13,7 +13,6 @@ import pytest
 from repro.apps.catalog import in_scope_apps
 from repro.apps.versions import RELEASE_DB
 from repro.core.prefilter import match_signatures
-from repro.core.tsunami.plugin import PluginContext
 from repro.core.tsunami.plugins import plugin_for
 from repro.net.http import HttpRequest
 from tests.core.test_plugins import make_context

@@ -72,7 +72,6 @@ class TestCalibratedCounts:
     def test_docker_hadoop_nomad_majority_vulnerable(self, calibrated_scan_study):
         """Table 3: exposed Docker/Hadoop/Nomad are mostly vulnerable."""
         report = calibrated_scan_study.report
-        hosts = report.hosts_per_app()
         mavs = report.mavs_per_app()
         census = calibrated_scan_study.census
         for slug in ("docker", "hadoop", "nomad"):

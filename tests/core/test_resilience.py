@@ -1,0 +1,82 @@
+"""Acceptance tests: retries win back recall lost to injected faults.
+
+The paper concedes its measurements are a lower bound because hosts that
+were "temporarily unavailable" during the sweep are lost (§6.2).  These
+tests pin the resilience layer's headline numbers: under 10% injected
+request loss a three-attempt retry policy recovers ≥99% of the loss-free
+MAV recall, deterministically, while the retry-free pipeline visibly
+degrades.
+"""
+
+import pytest
+
+from repro.apps.catalog import scanned_ports
+from repro.core.pipeline import ScanPipeline
+from repro.core.retry import RetryPolicy
+from repro.core.serialize import report_to_dict
+from repro.net.chaos import ChaosTransport, FaultPlan
+from repro.net.population import PopulationModel, generate_internet
+from repro.net.transport import InMemoryTransport
+from repro.util.clock import SimClock
+
+SEED = 13
+POLICY = RetryPolicy(max_attempts=3, base_delay=0.5, max_delay=8.0, jitter=True)
+
+
+@pytest.fixture(scope="module")
+def population():
+    internet, _geo, _census = generate_internet(
+        PopulationModel(awe_rate=0.002, vuln_rate=0.1, background_rate=1e-7)
+    )
+    return internet, internet.populated_addresses()
+
+
+@pytest.fixture(scope="module")
+def baseline(population):
+    internet, addresses = population
+    pipeline = ScanPipeline(
+        InMemoryTransport(internet), scanned_ports(), fingerprint=False
+    )
+    report = pipeline.run(addresses)
+    return {ip.value for ip in report.vulnerable_ips()}
+
+
+def run_lossy(population, retry=False):
+    internet, addresses = population
+    plan = FaultPlan.packet_loss(0.10)
+    clock = SimClock()
+    transport = ChaosTransport(
+        InMemoryTransport(internet), plan, seed=SEED, clock=clock
+    )
+    pipeline = ScanPipeline(
+        transport, scanned_ports(), fingerprint=False,
+        retry_policy=POLICY if retry else None, clock=clock,
+    )
+    return pipeline.run(addresses)
+
+
+class TestRecallRecovery:
+    def test_baseline_is_substantial(self, baseline):
+        assert len(baseline) > 100  # the bar below must mean something
+
+    def test_without_retries_recall_degrades(self, population, baseline):
+        report = run_lossy(population, retry=False)
+        recall = len(report.vulnerable_ips()) / len(baseline)
+        assert recall < 0.9
+        assert report.retry_stats.operations == 0  # layer genuinely off
+
+    def test_with_retries_recall_exceeds_99_percent(self, population, baseline):
+        """Acceptance: 3 attempts under 10% request loss → ≥0.99 recall."""
+        report = run_lossy(population, retry=True)
+        found = {ip.value for ip in report.vulnerable_ips()}
+        assert not (found - baseline)  # retries add no false positives
+        recall = len(found) / len(baseline)
+        assert recall >= 0.99
+        assert report.retry_stats.recovered > 0
+        assert report.retry_stats.backoff_seconds > 0
+
+    def test_retry_run_is_deterministic(self, population):
+        """Same seed → bit-identical report, retries and jitter included."""
+        first = report_to_dict(run_lossy(population, retry=True))
+        second = report_to_dict(run_lossy(population, retry=True))
+        assert first == second

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.defenders import mid_scan_compromises, run_defender_study
+from repro.experiments.defenders import mid_scan_compromises
 
 
 class TestVisitWindows:

@@ -5,7 +5,6 @@ import pytest
 from repro.defender.scanners import (
     FindingSeverity,
     make_scanner_1,
-    make_scanner_2,
 )
 from repro.experiments.defenders import run_defender_study
 from repro.util.clock import HOUR
@@ -64,7 +63,6 @@ class TestScanCost:
 class TestScannerMechanics:
     def test_vulnerability_checks_are_honest(self):
         """A scanner with a check for app X stays silent if X is secure."""
-        from repro.apps.catalog import create_instance
         from repro.honeypot.fleet import HoneypotFleet
 
         fleet = HoneypotFleet.deploy()

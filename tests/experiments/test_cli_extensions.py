@@ -1,6 +1,5 @@
 """Tests for the CLI's extension experiments and markdown output."""
 
-import pytest
 
 from repro.experiments.cli import build_parser, main
 
@@ -15,6 +14,11 @@ class TestCliExtensions:
         assert main(["--experiment", "packet-loss"]) == 0
         out = capsys.readouterr().out
         assert "Loss rate" in out
+
+    def test_recall_recovery_experiment(self, capsys):
+        assert main(["--experiment", "recall-recovery"]) == 0
+        out = capsys.readouterr().out
+        assert "Recall (retry)" in out
 
     def test_ct_race_experiment(self, capsys):
         assert main(["--experiment", "ct-race"]) == 0

@@ -141,3 +141,35 @@ class TestVhostRouting:
         ))
         assert {i.slug for i in host.apps()} == {"wordpress", "grav"}
         assert host.has_vulnerable_app()
+
+
+class TestRecallRecovery:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.packet_loss import run_recall_recovery_study
+        from repro.net.population import PopulationModel, generate_internet
+
+        internet, _geo, _census = generate_internet(
+            PopulationModel(
+                awe_rate=0.001, vuln_rate=0.1, background_rate=1e-7, seed=5
+            )
+        )
+        return run_recall_recovery_study(internet, fault_rates=(0.05, 0.15))
+
+    def test_retries_win_back_recall(self, result):
+        for point in result.points:
+            assert point.recall_with_retry > point.recall_without_retry
+
+    def test_bare_recall_decays_with_fault_rate(self, result):
+        bare = [point.recall_without_retry for point in result.points]
+        assert bare[0] > bare[1]
+
+    def test_retry_work_is_reported(self, result):
+        for point in result.points:
+            assert point.retries > 0
+            assert point.recovered > 0
+
+    def test_table_renders(self, result):
+        rendered = result.table().render()
+        assert "Fault rate" in rendered
+        assert "Recall (retry)" in rendered

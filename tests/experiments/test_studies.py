@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.longevity import HostStatus
-from repro.util.clock import DAY, HOUR, WEEK
+from repro.util.clock import WEEK
 
 
 class TestScanStudy:

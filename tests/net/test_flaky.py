@@ -68,6 +68,30 @@ class TestFlakyTransport:
             runs.append([transport.syn_probe(ip, 8192) for _ in range(50)])
         assert runs[0] == runs[1]
 
+    def test_certificate_drop_raises_and_is_counted(self, world):
+        from repro.util.errors import ConnectionTimeout
+
+        internet, ip = world
+        transport = FlakyTransport(
+            InMemoryTransport(internet), request_loss=1.0
+        )
+        # A dropped TLS handshake is a timeout, not a silent "no
+        # certificate": callers must be able to tell transient from absent.
+        with pytest.raises(ConnectionTimeout):
+            transport.fetch_certificate(ip, 8192)
+        assert transport.dropped_requests == 1
+
+    def test_stats_are_shared_with_the_inner_transport(self, world):
+        """Regression: wrapping must not split the load counters."""
+        internet, ip = world
+        inner = InMemoryTransport(internet)
+        transport = FlakyTransport(inner, syn_loss=1.0)
+        assert transport.stats is inner.stats
+        transport.syn_probe(ip, 8192)  # dropped, but load was placed
+        transport.get(ip, 8192, "/")
+        assert inner.stats.syn_probes == 1
+        assert inner.stats.http_requests == 1
+
     def test_inherits_ethics_enforcement(self, world):
         from repro.net.http import HttpRequest
         from repro.net.transport import EthicsViolation

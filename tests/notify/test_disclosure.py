@@ -127,6 +127,41 @@ class TestPlanAggregation:
             assert provider in CLOUD_PROVIDERS
 
 
+class _TimingOutTransport(_StubTransport):
+    """Cert fetches on listed ports time out instead of answering."""
+
+    def __init__(self, certs, dead_ports):
+        super().__init__(certs)
+        self.dead_ports = dead_ports
+
+    def fetch_certificate(self, ip, port):
+        from repro.util.errors import ConnectionTimeout
+
+        if port in self.dead_ports:
+            raise ConnectionTimeout(f"injected timeout on {port}")
+        return super().fetch_certificate(ip, port)
+
+
+class TestTransientCertFailures:
+    """Regression: a timed-out handshake must not crash the planner."""
+
+    def test_timeout_on_app_port_falls_back_to_443(self):
+        transport = _TimingOutTransport(
+            {(IP_CERT.value, 443): _cert("blog.example")}, dead_ports={8088}
+        )
+        planner = DisclosurePlanner(transport=transport, geo=_StubGeo({}))
+        plan = planner.plan([(IP_CERT, "hadoop", 8088)])
+        notification = plan.notifications[0]
+        assert notification.channel is DisclosureChannel.SECURITY_EMAIL
+        assert notification.recipient == "security@blog.example"
+
+    def test_timeouts_everywhere_mean_unreachable(self):
+        transport = _TimingOutTransport({}, dead_ports={443, 8088})
+        planner = DisclosurePlanner(transport=transport, geo=_StubGeo({}))
+        plan = planner.plan([(IP_CERT, "hadoop", 8088)])
+        assert plan.notifications[0].channel is DisclosureChannel.UNREACHABLE
+
+
 class TestEndToEnd:
     def test_plan_for_real_scan(self, tiny_scan_study):
         """Plan disclosure for the actual pipeline findings."""
