@@ -46,6 +46,8 @@ def _sections(study: "FullStudy") -> list[tuple[str, str]]:
         ("Section 5 — defender awareness", study.defenders.table().render()),
         ("Table 9 — summary", study.table9().render()),
         ("Section 6.1 — insights", render_insights(study)),
+        ("Scan telemetry — stage funnel",
+         study.scan.telemetry.funnel_table().render()),
     ]
 
 

@@ -18,6 +18,7 @@ from repro.core.retry import RetryExecutor
 from repro.net.http import HttpResponse, Scheme
 from repro.net.ipv4 import IPv4Address
 from repro.net.transport import Transport
+from repro.obs.telemetry import Telemetry
 from repro.util.errors import TransportError
 
 _RESOURCE_RE = re.compile(r"""(?:src|href)=["']([^"']+)["']""")
@@ -47,6 +48,14 @@ class StaticFileCrawler:
     max_fetches: int = 16
     #: when set, transient fetch failures are retried with backoff
     retry: RetryExecutor | None = None
+    #: when set, fetch outcomes are counted as ``crawler_fetches_total``
+    telemetry: Telemetry | None = None
+
+    def _count_fetch(self, outcome: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "crawler_fetches_total", outcome=outcome
+            ).inc()
 
     def _get(
         self, ip: IPv4Address, port: int, path: str, scheme: Scheme,
@@ -74,7 +83,9 @@ class StaticFileCrawler:
         try:
             landing = self._get(ip, port, "/", scheme)
         except TransportError:
+            self._count_fetch("error")
             return observations
+        self._count_fetch("ok")
         fetches += 1
 
         to_fetch: list[str] = extract_resource_paths(landing.body)
@@ -92,7 +103,9 @@ class StaticFileCrawler:
             try:
                 response = self._get(ip, port, path, scheme, follow_redirects=0)
             except TransportError:
+                self._count_fetch("error")
                 continue
+            self._count_fetch("ok")
             fetches += 1
             if response.status != 200 or not response.body:
                 continue

@@ -23,6 +23,7 @@ from repro.core.tsunami.plugin import PluginContext
 from repro.net.http import Scheme
 from repro.net.ipv4 import IPv4Address
 from repro.net.transport import Transport
+from repro.obs.telemetry import Telemetry
 
 
 class FingerprintMethod(enum.Enum):
@@ -50,12 +51,15 @@ class VersionFingerprinter:
         use_disclosure: bool = True,
         use_hashes: bool = True,
         retry: "RetryExecutor | None" = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.transport = transport
         self.kb = knowledge_base
         self.retry = retry
+        self.telemetry = telemetry
         self.crawler = StaticFileCrawler(
-            transport, max_fetches=max_crawl_fetches, retry=retry
+            transport, max_fetches=max_crawl_fetches, retry=retry,
+            telemetry=telemetry,
         )
         self.use_disclosure = use_disclosure
         self.use_hashes = use_hashes
@@ -68,6 +72,21 @@ class VersionFingerprinter:
         candidates: tuple[str, ...],
     ) -> Fingerprint | None:
         """Identify the application and version running on a target."""
+        result = self._fingerprint(ip, port, scheme, candidates)
+        if self.telemetry is not None:
+            method = result.method.value if result is not None else "none"
+            self.telemetry.metrics.counter(
+                "fingerprint_results_total", method=method
+            ).inc()
+        return result
+
+    def _fingerprint(
+        self,
+        ip: IPv4Address,
+        port: int,
+        scheme: Scheme,
+        candidates: tuple[str, ...],
+    ) -> Fingerprint | None:
         context = PluginContext(self.transport, ip, port, scheme, retry=self.retry)
         if self.use_disclosure:
             for slug in candidates:

@@ -27,6 +27,7 @@ from typing import Iterable, Iterator, Sequence
 from repro.core.retry import RetryExecutor
 from repro.net.ipv4 import IPv4Address, is_reserved
 from repro.net.transport import Transport
+from repro.obs.telemetry import Telemetry
 from repro.util.rand import shuffled
 
 
@@ -74,6 +75,8 @@ class Masscan:
     #: when set, apparently-closed ports are re-probed (a lost SYN/ACK is
     #: indistinguishable from a filtered port — real masscan re-probes too)
     retry: RetryExecutor | None = None
+    #: when set, stage-I work is traced and counted
+    telemetry: Telemetry | None = None
 
     def target_order(self, candidates: Iterable[IPv4Address]) -> list[IPv4Address]:
         """Filter reserved ranges and order targets for the sweep.
@@ -119,13 +122,28 @@ class Masscan:
         if skip < 0:
             raise ValueError("skip must be non-negative")
         result = PortScanResult()
+        span = None
         for ip in self.target_order(candidates)[skip:]:
+            if span is None and self.telemetry is not None:
+                # Lazy: only a batch that probes at least one address
+                # opens a span, so resumed sweeps trace identically.
+                span = self.telemetry.tracer.start("stage:masscan")
             self._probe_host(ip, result)
             if result.addresses_scanned >= batch_size:
+                self._close_span(span, result)
+                span = None
                 yield result
                 result = PortScanResult()
         if result.addresses_scanned:
+            self._close_span(span, result)
             yield result
+
+    def _close_span(self, span, result: PortScanResult) -> None:
+        if span is None:
+            return
+        span.attrs["addresses"] = result.addresses_scanned
+        span.attrs["open_hosts"] = len(result.open_ports)
+        self.telemetry.tracer.end(span)
 
     def probe_port(self, ip: IPv4Address, port: int) -> bool:
         """One logical SYN probe, re-probed under the retry policy if set."""
@@ -143,6 +161,12 @@ class Masscan:
                 open_ports.append(port)
         result.addresses_scanned += 1
         result.record(ip, open_ports)
+        if self.telemetry is not None:
+            metric = self.telemetry.metrics.counter
+            metric("masscan_probes_total").inc(len(self.ports))
+            metric("masscan_addresses_total").inc()
+            if open_ports:
+                metric("masscan_open_ports_total").inc(len(open_ports))
 
 
 def burst_profile(order: Sequence[IPv4Address], window: int = 256) -> dict[int, int]:

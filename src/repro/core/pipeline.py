@@ -36,6 +36,7 @@ from repro.core.tsunami.engine import TsunamiEngine
 from repro.core.tsunami.plugin import DetectionReport
 from repro.net.http import Scheme
 from repro.net.ipv4 import IPv4Address
+from repro.obs.telemetry import Telemetry, TelemetrySummary
 from repro.util.clock import SimClock
 from repro.util.rand import stable_hash
 
@@ -86,6 +87,8 @@ class ScanReport:
     detections: list[DetectionReport] = field(default_factory=list)
     #: what the resilience layer did (zeros when no RetryPolicy is set)
     retry_stats: RetryStats = field(default_factory=RetryStats)
+    #: flattened telemetry counters + event/span totals for the run
+    telemetry: TelemetrySummary = field(default_factory=TelemetrySummary)
 
     def finding_for(self, ip: IPv4Address) -> HostFinding:
         finding = self.findings.get(ip.value)
@@ -137,6 +140,7 @@ class ScanReport:
         self.findings.update(other.findings)
         self.detections.extend(other.detections)
         self.retry_stats.merge(other.retry_stats)
+        self.telemetry.merge(other.telemetry)
 
 
 @dataclass
@@ -156,29 +160,50 @@ class ScanPipeline:
     clock: SimClock | None = None
     #: stops hammering dead targets; auto-created when a policy is set
     circuit_breaker: CircuitBreaker | None = None
+    #: shared observability handle; auto-created on the pipeline clock
+    telemetry: Telemetry | None = None
 
     def __post_init__(self) -> None:
+        if self.telemetry is None:
+            self.telemetry = Telemetry(clock=self.clock)
+        # Telemetry-aware transports (ChaosTransport) join the shared
+        # handle unless the caller wired their own.  Decorator transports
+        # are unwrapped through their ``inner`` attribute.
+        target = self.transport
+        while target is not None:
+            if hasattr(target, "telemetry"):
+                if target.telemetry is None:
+                    target.telemetry = self.telemetry
+                break
+            target = getattr(target, "inner", None)
         if self.retry_policy is not None:
             if self.circuit_breaker is None:
-                self.circuit_breaker = CircuitBreaker(clock=self.clock)
+                self.circuit_breaker = CircuitBreaker(
+                    clock=self.clock, telemetry=self.telemetry
+                )
             self._retry = RetryExecutor(
                 self.retry_policy,
                 rng=random.Random(stable_hash(self.seed, "retry")),
                 clock=self.clock,
                 breaker=self.circuit_breaker,
+                telemetry=self.telemetry,
             )
         else:
             self._retry = None
         self._masscan = Masscan(
             self.transport, self.ports, rng=random.Random(self.seed),
-            retry=self._retry,
+            retry=self._retry, telemetry=self.telemetry,
         )
-        self._prefilter = Prefilter(self.transport, retry=self._retry)
-        self._engine = TsunamiEngine(self.transport, retry=self._retry)
+        self._prefilter = Prefilter(
+            self.transport, retry=self._retry, telemetry=self.telemetry
+        )
+        self._engine = TsunamiEngine(
+            self.transport, retry=self._retry, telemetry=self.telemetry
+        )
         if self.fingerprint:
             kb = self.knowledge_base or build_default_knowledge_base()
             self._fingerprinter = VersionFingerprinter(
-                self.transport, kb, retry=self._retry
+                self.transport, kb, retry=self._retry, telemetry=self.telemetry
             )
         else:
             self._fingerprinter = None
@@ -208,25 +233,56 @@ class ScanPipeline:
         component continues its random sequence where it stopped, so the
         final report equals an uninterrupted run's bit-for-bit.
         """
+        tel = self.telemetry
         report = ScanReport()
         completed = 0
         batches_done = 0
+        resumed = False
         if checkpoint is not None:
             payload = checkpoint.load()
             if payload is not None:
                 completed, batches_done, report = self._restore_checkpoint(payload)
+                resumed = True
+        if not resumed:
+            tel.events.info(
+                "pipeline", "sweep-start",
+                ports=len(self.ports), batch_size=self.batch_size,
+            )
+            tel.tracer.start("sweep")
+        elif tel.tracer.active is None:
+            # Checkpoint written before telemetry existed: no open-span
+            # stack was restored, so open the sweep span here.
+            tel.tracer.start("sweep")
         for batch in self._masscan.scan_in_batches(
             candidates, self.batch_size, skip=completed
         ):
+            batch_span = tel.tracer.start("batch", index=batches_done)
             report.port_scan.merge(batch)
             self._run_later_stages(batch, report)
             completed += batch.addresses_scanned
             batches_done += 1
+            batch_span.attrs["addresses"] = batch.addresses_scanned
+            tel.tracer.end(batch_span)
+            tel.events.info(
+                "pipeline", "batch-complete",
+                index=batches_done - 1,
+                addresses=batch.addresses_scanned,
+                open_hosts=len(batch.open_ports),
+            )
             if checkpoint is not None and checkpoint.due(batches_done):
                 self._fold_stats(report)
                 checkpoint.save(
                     self._checkpoint_payload(completed, batches_done, report)
                 )
+        sweep_span = tel.tracer.end()
+        sweep_span.attrs["addresses"] = report.port_scan.addresses_scanned
+        sweep_span.attrs["batches"] = batches_done
+        tel.events.info(
+            "pipeline", "sweep-complete",
+            addresses=report.port_scan.addresses_scanned,
+            awe_hosts=report.total_awe_hosts(),
+            mav_hosts=len(report.vulnerable_ips()),
+        )
         self._fold_stats(report)
         if checkpoint is not None:
             checkpoint.clear()  # a completed sweep must not be "resumed"
@@ -240,32 +296,52 @@ class ScanPipeline:
         Skips stage I's full port matrix when the interesting ports are
         already known from a previous scan.
         """
+        tel = self.telemetry
         report = ScanReport()
         scan = PortScanResult()
-        for ip in addresses:
-            ports = (
-                ports_by_host.get(ip.value, self.ports)
-                if ports_by_host
-                else self.ports
-            )
-            open_ports = [p for p in ports if self._masscan.probe_port(ip, p)]
-            scan.addresses_scanned += 1
-            scan.probes_sent += len(ports)
-            scan.record(ip, open_ports)
-        report.port_scan.merge(scan)
-        self._run_later_stages(scan, report)
+        with tel.tracer.span("rescan", hosts=len(addresses)):
+            for ip in addresses:
+                ports = (
+                    ports_by_host.get(ip.value, self.ports)
+                    if ports_by_host
+                    else self.ports
+                )
+                open_ports = [p for p in ports if self._masscan.probe_port(ip, p)]
+                scan.addresses_scanned += 1
+                scan.probes_sent += len(ports)
+                scan.record(ip, open_ports)
+            report.port_scan.merge(scan)
+            self._run_later_stages(scan, report)
+        tel.events.info(
+            "pipeline", "rescan-complete",
+            hosts=len(addresses), open_hosts=len(scan.open_ports),
+        )
         self._fold_stats(report)
         return report
 
     # -- internals -----------------------------------------------------------
 
     def _run_later_stages(self, batch: PortScanResult, report: ScanReport) -> None:
-        if self.use_prefilter:
-            findings = self._prefilter.run(batch)
-        else:
-            findings = self._probe_without_prefilter(batch)
-        for finding in findings:
-            self._verify_and_fingerprint(finding, report)
+        tel = self.telemetry
+        open_hosts = len(batch.open_ports)
+        # Batches partition the address space, so per-batch funnel charges
+        # sum to exactly the ScanReport totals.
+        tel.funnel("masscan", batch.addresses_scanned, open_hosts)
+        with tel.tracer.span("stage:prefilter", hosts=open_hosts):
+            if self.use_prefilter:
+                findings = self._prefilter.run(batch)
+            else:
+                findings = self._probe_without_prefilter(batch)
+        candidate_ips = {finding.ip.value for finding in findings}
+        tel.funnel("prefilter", open_hosts, len(candidate_ips))
+        with tel.tracer.span("stage:tsunami", hosts=len(candidate_ips)):
+            for finding in findings:
+                self._verify_and_fingerprint(finding, report)
+        vulnerable_hosts = sum(
+            1 for value in candidate_ips
+            if report.findings[value].vulnerable_slugs
+        )
+        tel.funnel("tsunami", len(candidate_ips), vulnerable_hosts)
 
     def _probe_without_prefilter(self, batch: PortScanResult) -> list[PrefilterFinding]:
         """Ablation mode: skip signature matching, try *every* plugin.
@@ -309,9 +385,12 @@ class ScanPipeline:
 
         fingerprint = None
         if self._fingerprinter is not None:
-            fingerprint = self._fingerprinter.fingerprint(
-                finding.ip, finding.port, finding.scheme, finding.candidates
-            )
+            with self.telemetry.tracer.span(
+                "stage:fingerprint", host=str(finding.ip), port=finding.port
+            ):
+                fingerprint = self._fingerprinter.fingerprint(
+                    finding.ip, finding.port, finding.scheme, finding.candidates
+                )
 
         # Attribute the host to application(s): a fingerprint pins the
         # slug; otherwise every stage-II candidate remains attributed
@@ -351,6 +430,8 @@ class ScanPipeline:
             # Overwrite, not merge: executor stats are cumulative and this
             # fold runs once per batch when checkpointing is on.
             report.retry_stats = self._retry.stats.copy()
+        # Same contract: the telemetry summary is cumulative.
+        report.telemetry = self.telemetry.summary()
 
     def _fold_prefilter_stats(self, report: ScanReport) -> None:
         for port, count in self._prefilter.stats.http_responses.items():
@@ -392,6 +473,7 @@ class ScanPipeline:
                 else None
             ),
             "transport": transport_state,
+            "telemetry": self.telemetry.snapshot_state(),
         }
 
     def _restore_checkpoint(self, payload: dict) -> tuple[int, int, ScanReport]:
@@ -423,4 +505,6 @@ class ScanPipeline:
         restore = getattr(self.transport, "restore_state", None)
         if callable(restore) and payload["transport"] is not None:
             restore(payload["transport"])
+        if payload.get("telemetry") is not None:
+            self.telemetry.restore_state(payload["telemetry"])
         return payload["completed_addresses"], payload["batches_done"], report

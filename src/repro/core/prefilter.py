@@ -27,6 +27,7 @@ from repro.core.retry import RetryExecutor
 from repro.net.http import HttpResponse, Scheme
 from repro.net.ipv4 import IPv4Address
 from repro.net.transport import Transport
+from repro.obs.telemetry import Telemetry
 from repro.util.errors import TransportError
 
 #: signature corpus: slug -> five regular expressions.
@@ -214,10 +215,12 @@ class Prefilter:
         transport: Transport,
         max_redirects: int = 5,
         retry: RetryExecutor | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.transport = transport
         self.max_redirects = max_redirects
         self.retry = retry
+        self.telemetry = telemetry
         self.stats = PrefilterStats()
 
     def schemes_for_port(self, port: int) -> tuple[Scheme, ...]:
@@ -248,14 +251,39 @@ class Prefilter:
                 ip, port, "/", scheme, follow_redirects=self.max_redirects
             )
 
-        if self.retry is not None:
-            return self.retry.call(ip, attempt)
-        return attempt()
+        counter = (
+            self.telemetry.metrics.counter if self.telemetry is not None else None
+        )
+        if counter is not None:
+            counter("prefilter_fetches_total", scheme=scheme.value).inc()
+        try:
+            if self.retry is not None:
+                response = self.retry.call(ip, attempt)
+            else:
+                response = attempt()
+        except TransportError:
+            if counter is not None:
+                counter("prefilter_fetch_failures_total", scheme=scheme.value).inc()
+            raise
+        if counter is not None:
+            counter("prefilter_responses_total", scheme=scheme.value).inc()
+        return response
 
     def evaluate(
         self, ip: IPv4Address, port: int, scheme: Scheme, response: HttpResponse
     ) -> PrefilterFinding | None:
         candidates = match_signatures(response.body)
+        if self.telemetry is not None:
+            if candidates:
+                self.telemetry.metrics.counter(
+                    "prefilter_signature_matches_total"
+                ).inc()
+                self.telemetry.events.debug(
+                    "prefilter", "signature-match", host=ip,
+                    port=port, candidates=list(candidates),
+                )
+            else:
+                self.telemetry.metrics.counter("prefilter_no_match_total").inc()
         if not candidates:
             return None
         return PrefilterFinding(ip, port, scheme, candidates, response.body)

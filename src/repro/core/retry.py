@@ -29,6 +29,7 @@ from dataclasses import dataclass, fields
 from typing import Callable, TypeVar
 
 from repro.net.ipv4 import IPv4Address
+from repro.obs.telemetry import Telemetry
 from repro.util.clock import SimClock
 from repro.util.errors import CircuitOpen, TransportError
 from repro.util.rand import rng_state_from_json, rng_state_to_json
@@ -137,6 +138,7 @@ class CircuitBreaker:
         slash24_threshold: int = 64,
         cooldown: float = 300.0,
         clock: SimClock | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if failure_threshold < 1 or slash24_threshold < 1:
             raise ValueError("thresholds must be at least 1")
@@ -146,6 +148,7 @@ class CircuitBreaker:
         self.slash24_threshold = slash24_threshold
         self.cooldown = cooldown
         self.clock = clock
+        self.telemetry = telemetry
         self._ticks = 0
         self._host_failures: dict[int, int] = {}
         self._host_open_until: dict[int, float] = {}
@@ -197,11 +200,22 @@ class CircuitBreaker:
             self._host_open_until[host] = self._now() + self.cooldown
             self._host_failures.pop(host, None)
             self.opened += 1
+            self._note_opened("host", ip)
         self._block_failures[block] = self._block_failures.get(block, 0) + 1
         if self._block_failures[block] >= self.slash24_threshold:
             self._block_open_until[block] = self._now() + self.cooldown
             self._block_failures.pop(block, None)
             self.opened += 1
+            self._note_opened("slash24", IPv4Address(block))
+
+    def _note_opened(self, scope: str, target: IPv4Address) -> None:
+        if self.telemetry is None:
+            return
+        self.telemetry.metrics.counter("circuit_opened_total", scope=scope).inc()
+        self.telemetry.events.warn(
+            "retry", "circuit-open", host=target,
+            scope=scope, cooldown=self.cooldown,
+        )
 
     def open_circuits(self) -> int:
         """Circuits currently open (hosts + /24 blocks)."""
@@ -262,19 +276,26 @@ class RetryExecutor:
         clock: SimClock | None = None,
         breaker: CircuitBreaker | None = None,
         stats: RetryStats | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.policy = policy
         self._rng = rng if rng is not None else random.Random(0)
         self.clock = clock
         self.breaker = breaker
         self.stats = stats if stats is not None else RetryStats()
+        self.telemetry = telemetry
         self._host_retries: dict[int, int] = {}
 
     # -- internals ---------------------------------------------------------
 
+    def _count(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(name, **labels).inc(amount)
+
     def _check_breaker(self, ip: IPv4Address) -> bool:
         if self.breaker is not None and not self.breaker.allow(ip):
             self.stats.breaker_skips += 1
+            self._count("retry_breaker_skips_total")
             return False
         return True
 
@@ -291,19 +312,24 @@ class RetryExecutor:
             and self._host_retries.get(ip.value, 0) >= budget
         ):
             self.stats.budget_denials += 1
+            self._count("retry_denials_total", reason="budget")
             return None
         if self.breaker is not None and not self.breaker.allow(ip):
             self.stats.breaker_skips += 1
+            self._count("retry_breaker_skips_total")
             return None
         delay = self.policy.backoff_delay(attempt, self._rng)
         if self.policy.deadline is not None and elapsed + delay > self.policy.deadline:
             self.stats.deadline_denials += 1
+            self._count("retry_denials_total", reason="deadline")
             return None
         return delay
 
     def _charge(self, ip: IPv4Address, delay: float, use_budget: bool = True) -> None:
         self.stats.retries += 1
         self.stats.backoff_seconds += delay
+        self._count("retry_retries_total")
+        self._count("retry_backoff_seconds_total", amount=delay)
         if use_budget:
             self._host_retries[ip.value] = self._host_retries.get(ip.value, 0) + 1
         if self.clock is not None:
@@ -316,11 +342,13 @@ class RetryExecutor:
         if not self._check_breaker(ip):
             raise CircuitOpen(f"circuit open for {ip}")
         self.stats.operations += 1
+        self._count("retry_operations_total", kind="call")
         elapsed = 0.0
         failed_before = False
         last: TransportError | None = None
         for attempt in range(self.policy.max_attempts):
             self.stats.attempts += 1
+            self._count("retry_attempts_total")
             try:
                 result = operation()
             except TransportError as exc:
@@ -333,6 +361,7 @@ class RetryExecutor:
                     self.breaker.record_success(ip)
                 if failed_before:
                     self.stats.recovered += 1
+                    self._count("retry_recovered_total")
                 return result
             delay = self._may_retry(ip, attempt, elapsed)
             if delay is None:
@@ -340,6 +369,12 @@ class RetryExecutor:
             elapsed += delay
             self._charge(ip, delay)
         self.stats.exhausted += 1
+        self._count("retry_exhausted_total")
+        if self.telemetry is not None:
+            self.telemetry.events.debug(
+                "retry", "exhausted", host=ip,
+                attempts=self.policy.max_attempts, error=type(last).__name__,
+            )
         assert last is not None
         raise last
 
@@ -354,13 +389,16 @@ class RetryExecutor:
         if not self._check_breaker(ip):
             return False
         self.stats.operations += 1
+        self._count("retry_operations_total", kind="probe")
         elapsed = 0.0
         failed_before = False
         for attempt in range(self.policy.max_attempts):
             self.stats.attempts += 1
+            self._count("retry_attempts_total")
             if operation():
                 if failed_before:
                     self.stats.recovered += 1
+                    self._count("retry_recovered_total")
                 return True
             failed_before = True
             delay = self._may_retry(ip, attempt, elapsed, use_budget=False)

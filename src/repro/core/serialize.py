@@ -16,6 +16,7 @@ from repro.core.fingerprint.fingerprinter import Fingerprint, FingerprintMethod
 from repro.core.pipeline import AppObservation, HostFinding, ScanReport
 from repro.core.retry import RetryStats
 from repro.core.tsunami.plugin import DetectionReport
+from repro.obs.telemetry import TelemetrySummary
 from repro.net.http import Scheme
 from repro.net.ipv4 import IPv4Address
 
@@ -58,6 +59,7 @@ def report_to_dict(report: ScanReport) -> dict:
         "http_responses": dict(report.http_responses),
         "https_responses": dict(report.https_responses),
         "retry_stats": report.retry_stats.to_dict(),
+        "telemetry": report.telemetry.to_dict(),
         "findings": findings,
     }
 
@@ -74,8 +76,10 @@ def report_from_dict(payload: dict) -> ScanReport:
     report.port_scan.addresses_scanned = payload["addresses_scanned"]
     report.http_responses = {int(k): v for k, v in payload["http_responses"].items()}
     report.https_responses = {int(k): v for k, v in payload["https_responses"].items()}
-    # Reports written before the resilience layer carry no retry block.
+    # Reports written before the resilience layer carry no retry block,
+    # and reports from before the telemetry layer no telemetry block.
     report.retry_stats = RetryStats.from_dict(payload.get("retry_stats", {}))
+    report.telemetry = TelemetrySummary.from_dict(payload.get("telemetry", {}))
 
     for entry in payload["findings"]:
         ip = IPv4Address.parse(entry["ip"])

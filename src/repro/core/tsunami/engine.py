@@ -18,6 +18,7 @@ from repro.core.tsunami.plugins import ALL_PLUGINS
 from repro.net.http import Scheme
 from repro.net.ipv4 import IPv4Address
 from repro.net.transport import Transport
+from repro.obs.telemetry import Telemetry
 
 logger = logging.getLogger(__name__)
 
@@ -38,10 +39,12 @@ class TsunamiEngine:
         transport: Transport,
         plugins: tuple[MavDetectionPlugin, ...] = ALL_PLUGINS,
         retry: "RetryExecutor | None" = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.transport = transport
         self._by_slug = {plugin.slug: plugin for plugin in plugins}
         self.retry = retry
+        self.telemetry = telemetry
         self.stats = EngineStats()
 
     @property
@@ -70,14 +73,40 @@ class TsunamiEngine:
             self.stats.runs_per_plugin[plugin.slug] = (
                 self.stats.runs_per_plugin.get(plugin.slug, 0) + 1
             )
+            span = None
+            if self.telemetry is not None:
+                span = self.telemetry.tracer.start(
+                    f"probe:{plugin.slug}", host=str(ip), port=port
+                )
             try:
                 report = plugin.detect(context)
             except Exception:
                 # A plugin crash is a plugin bug, not a scan failure.
                 self.stats.plugin_errors += 1
                 logger.exception("plugin %s crashed on %s:%s", plugin.slug, ip, port)
+                self._finish_probe(span, plugin.slug, ip, "error")
                 continue
+            verdict = "detected" if report is not None else "clean"
+            self._finish_probe(span, plugin.slug, ip, verdict)
             if report is not None:
                 self.stats.detections += 1
                 reports.append(report)
         return reports
+
+    def _finish_probe(
+        self, span, slug: str, ip: IPv4Address, verdict: str
+    ) -> None:
+        if self.telemetry is None:
+            return
+        span.attrs["verdict"] = verdict
+        self.telemetry.tracer.end(span)
+        self.telemetry.metrics.counter(
+            "plugin_verdicts_total", plugin=slug, verdict=verdict
+        ).inc()
+        self.telemetry.metrics.histogram(
+            "plugin_latency_seconds", plugin=slug
+        ).observe(span.duration)
+        if verdict == "detected":
+            self.telemetry.events.info("tsunami", "mav-detected", host=ip, plugin=slug)
+        elif verdict == "error":
+            self.telemetry.events.warn("tsunami", "plugin-error", host=ip, plugin=slug)

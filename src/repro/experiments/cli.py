@@ -42,48 +42,58 @@ def build_parser() -> argparse.ArgumentParser:
                         help="render the full report as markdown")
     parser.add_argument("--out", type=str, default=None,
                         help="write the report to this file instead of stdout")
+    parser.add_argument("--telemetry", choices=("jsonl", "prometheus", "funnel"),
+                        default=None,
+                        help="append the run's telemetry in this format "
+                             "(scan / observe / honeypot experiments)")
+    parser.add_argument("--telemetry-out", type=str, default=None,
+                        help="write the telemetry dump to this file instead "
+                             "of appending it to the report")
     return parser
 
 
-def _run(experiment: str, config: StudyConfig, markdown: bool = False) -> str:
+def _run(experiment: str, config: StudyConfig, markdown: bool = False):
+    """Run one experiment; returns (report text, Telemetry or None)."""
     if experiment == "full":
         study = run_full_study(config)
-        return study.render_markdown() if markdown else study.render()
+        return study.render_markdown() if markdown else study.render(), None
     if experiment == "scan":
         study = run_scan_study(config)
         return "\n\n".join(
             [study.table2().render(), study.table3().render(),
              study.table4().render(), study.figure1().render()]
-        )
+        ), study.telemetry
     if experiment == "observe":
         study = run_scan_study(config)
-        observer = run_observer_study(study)
-        return observer.figure2().render()
+        # The observer charges its sweep counters to the scan pipeline's
+        # handle, so one dump covers both phases.
+        observer = run_observer_study(study, telemetry=study.telemetry)
+        return observer.figure2().render(), observer.telemetry
     if experiment == "honeypot":
         study = run_honeypot_study(config)
         return "\n\n".join(
             [study.table5().render(), study.table6().render(),
              study.figure3().render(), study.figure4().render(),
              study.table7().render(), study.table8().render()]
-        )
+        ), study.telemetry
     if experiment == "defender":
-        return run_defender_study().table().render()
+        return run_defender_study().table().render(), None
     if experiment == "ct-race":
         from repro.experiments.ct_race import run_ct_race
 
-        return run_ct_race().table().render()
+        return run_ct_race().table().render(), None
     if experiment == "vhosts":
         from repro.experiments.vhosts import run_vhost_study
 
-        return run_vhost_study().table().render()
+        return run_vhost_study().table().render(), None
     if experiment == "packet-loss":
         from repro.experiments.packet_loss import run_packet_loss_study
 
-        return run_packet_loss_study().table().render()
+        return run_packet_loss_study().table().render(), None
     if experiment == "recall-recovery":
         from repro.experiments.packet_loss import run_recall_recovery_study
 
-        return run_recall_recovery_study().table().render()
+        return run_recall_recovery_study().table().render(), None
     raise ValueError(f"unknown experiment {experiment!r}")
 
 
@@ -92,7 +102,21 @@ def main(argv: list[str] | None = None) -> int:
     config = _SCALES[args.scale]()
     if args.seed is not None:
         config = config.with_seed(args.seed)
-    report = _run(args.experiment, config, markdown=args.markdown)
+    report, telemetry = _run(args.experiment, config, markdown=args.markdown)
+    if args.telemetry is not None:
+        if telemetry is None:
+            print(
+                f"experiment {args.experiment!r} records no telemetry",
+                file=sys.stderr,
+            )
+            return 2
+        dump = telemetry.export(args.telemetry)
+        if args.telemetry_out:
+            with open(args.telemetry_out, "w") as handle:
+                handle.write(dump)
+            print(f"telemetry written to {args.telemetry_out}")
+        else:
+            report = report + "\n\n" + dump.rstrip("\n")
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(report + "\n")

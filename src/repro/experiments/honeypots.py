@@ -23,6 +23,7 @@ from repro.attacker.engine import AttackSchedule, build_schedule, execute_event
 from repro.experiments.config import StudyConfig
 from repro.honeypot.fleet import HoneypotFleet
 from repro.net.geo import GeoDatabase
+from repro.obs.telemetry import Telemetry
 from repro.util.clock import MINUTE, SimClock
 from repro.util.tables import Table
 
@@ -38,6 +39,7 @@ class HoneypotStudy:
     clusters: list[AttackerCluster]
     delivered_events: int
     dropped_events: int
+    telemetry: Telemetry | None = None
 
     def table5(self) -> Table:
         return table5(self.attacks)
@@ -73,7 +75,9 @@ def run_honeypot_study(
     config = config or StudyConfig.default()
     geo = geo if geo is not None else GeoDatabase()
 
-    fleet = HoneypotFleet.deploy()
+    clock = SimClock()
+    telemetry = Telemetry(clock=clock)
+    fleet = HoneypotFleet.deploy(telemetry=telemetry)
     fleet.go_live()
 
     schedule = build_schedule(
@@ -83,7 +87,6 @@ def run_honeypot_study(
         taken_ips=taken_ips,
     )
 
-    clock = SimClock()
     delivered = 0
     dropped = 0
 
@@ -96,8 +99,14 @@ def run_honeypot_study(
         nonlocal delivered, dropped
         if execute_event(fleet, event):
             delivered += 1
+            telemetry.metrics.counter(
+                "attack_events_total", outcome="delivered"
+            ).inc()
         else:
             dropped += 1
+            telemetry.metrics.counter(
+                "attack_events_total", outcome="dropped"
+            ).inc()
         # Availability monitoring notices one-shot traps immediately and
         # restores them so the next attacker finds a fresh installation.
         fleet.availability_sweep()
@@ -120,4 +129,5 @@ def run_honeypot_study(
         clusters=clusters,
         delivered_events=delivered,
         dropped_events=dropped,
+        telemetry=telemetry,
     )

@@ -22,6 +22,7 @@ from repro.core.tsunami.plugins import plugin_for
 from repro.experiments.scan import ScanStudy
 from repro.net.http import Scheme
 from repro.net.lifecycle import Fate, FateKind, LifecycleModel
+from repro.obs.telemetry import Telemetry
 from repro.util.errors import TransportError
 
 
@@ -47,6 +48,8 @@ class ObserverStudy:
     #: updates the observer *measured* by re-fingerprinting (vs the
     #: generator-side count above); the paper found 101 hosts (2.4%)
     observed_version_updates: int = 0
+    #: sweep/status counters for the observation window
+    telemetry: Telemetry | None = None
 
     def figure2(self) -> Figure2:
         return Figure2(self.log)
@@ -118,10 +121,12 @@ def _apply_fate_transitions(
 def run_observer_study(
     study: ScanStudy,
     lifecycle: LifecycleModel | None = None,
+    telemetry: Telemetry | None = None,
 ) -> ObserverStudy:
     """Observe every detected-vulnerable host for the configured window."""
     config = study.config
     lifecycle = lifecycle or LifecycleModel(window=config.observation_window)
+    telemetry = telemetry or Telemetry()
     rng = random.Random(config.seed ^ 0xA11CE)
 
     # Register the watched population from the *pipeline's* findings.
@@ -160,10 +165,16 @@ def run_observer_study(
         now = 0.0
         while now <= config.observation_window:
             statuses: dict[int, HostStatus] = {}
-            for host in tracked:
-                updates += _apply_fate_transitions(study, host, now)
-                statuses[host.ip_value] = _classify(study.transport, host)
+            with telemetry.tracer.span("observer-sweep", at=now):
+                for host in tracked:
+                    updates += _apply_fate_transitions(study, host, now)
+                    statuses[host.ip_value] = _classify(study.transport, host)
             log.record_sweep(now, statuses)
+            telemetry.metrics.counter("observer_sweeps_total").inc()
+            for status in statuses.values():
+                telemetry.metrics.counter(
+                    "observer_status_total", status=status.value
+                ).inc()
             sweeps += 1
             now += config.rescan_interval
 
@@ -179,6 +190,7 @@ def run_observer_study(
         sweep_count=sweeps,
         version_updates=updates,
         observed_version_updates=observed_updates,
+        telemetry=telemetry,
     )
 
 

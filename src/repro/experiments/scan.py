@@ -19,6 +19,7 @@ from repro.net.geo import GeoDatabase
 from repro.net.network import SimulatedInternet
 from repro.net.population import Census, generate_internet
 from repro.net.transport import InMemoryTransport
+from repro.obs.telemetry import Telemetry
 from repro.util.tables import Table
 
 
@@ -33,6 +34,11 @@ class ScanStudy:
     transport: InMemoryTransport
     pipeline: ScanPipeline
     report: ScanReport
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The pipeline's shared observability handle."""
+        return self.pipeline.telemetry
 
     # -- analysis products ---------------------------------------------------
 

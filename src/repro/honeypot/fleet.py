@@ -19,6 +19,7 @@ from repro.honeypot.monitor import BeatsMonitor
 from repro.honeypot.resource import ResourceMonitor
 from repro.net.http import HttpRequest, HttpResponse
 from repro.net.ipv4 import IPv4Address
+from repro.obs.telemetry import Telemetry
 from repro.util.errors import ConfigError, TransportError
 
 
@@ -30,15 +31,18 @@ class HoneypotFleet:
     resources: ResourceMonitor = field(default_factory=ResourceMonitor)
     machines: dict[str, HoneypotMachine] = field(default_factory=dict)
     monitors: dict[str, BeatsMonitor] = field(default_factory=dict)
+    telemetry: Telemetry | None = None
 
     @classmethod
-    def deploy(cls, base_ip: str = "198.51.100.0") -> "HoneypotFleet":
+    def deploy(
+        cls, base_ip: str = "198.51.100.0", telemetry: Telemetry | None = None
+    ) -> "HoneypotFleet":
         """Install the 18 in-scope applications in a vulnerable state.
 
         Each gets a dedicated machine and static IP.  Machines come up
         firewalled; call :meth:`go_live` once setup is complete.
         """
-        fleet = cls()
+        fleet = cls(telemetry=telemetry)
         base = IPv4Address.parse(base_ip).value
         for offset, spec in enumerate(in_scope_apps(), start=1):
             app = create_instance(spec.slug, vulnerable=True)
@@ -49,8 +53,14 @@ class HoneypotFleet:
                 app=app,
             )
             fleet.machines[spec.slug] = machine
-            fleet.monitors[spec.slug] = BeatsMonitor(machine, fleet.log)
+            fleet.monitors[spec.slug] = BeatsMonitor(
+                machine, fleet.log, telemetry=telemetry
+            )
         return fleet
+
+    def _count(self, name: str, **labels: object) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(name, **labels).inc()
 
     def go_live(self) -> None:
         """Snapshot every machine and drop the setup firewall."""
@@ -71,9 +81,12 @@ class HoneypotFleet:
         if monitor is None:
             raise ConfigError(f"no honeypot for {slug!r}")
         try:
-            return monitor.deliver(timestamp, source_ip, request)
+            response = monitor.deliver(timestamp, source_ip, request)
         except TransportError:
+            self._count("honeypot_requests_total", honeypot=slug, outcome="dropped")
             return None
+        self._count("honeypot_requests_total", honeypot=slug, outcome="delivered")
+        return response
 
     # -- availability & containment ----------------------------------------
 
@@ -89,7 +102,7 @@ class HoneypotFleet:
             timestamp, list(self.machines)
         )
         for slug in over:
-            self.restore(slug)
+            self.restore(slug, reason="containment")
         return over
 
     def availability_sweep(self) -> list[str]:
@@ -102,16 +115,23 @@ class HoneypotFleet:
         restored = []
         for slug, machine in self.machines.items():
             if not machine.firewalled and not machine.is_vulnerable():
-                self.restore(slug)
+                self.restore(slug, reason="availability")
                 restored.append(slug)
         return restored
 
-    def restore(self, slug: str) -> None:
+    def restore(self, slug: str, reason: str = "manual") -> None:
         machine = self.machine(slug)
         machine.restore()
         self.resources.clear(slug)
         # The restored machine is re-instrumented.
-        self.monitors[slug] = BeatsMonitor(machine, self.log)
+        self.monitors[slug] = BeatsMonitor(
+            machine, self.log, telemetry=self.telemetry
+        )
+        self._count("honeypot_restores_total", honeypot=slug, reason=reason)
+        if self.telemetry is not None:
+            self.telemetry.events.info(
+                "honeypot", "restore", host=machine.ip, slug=slug, reason=reason
+            )
 
     def total_restores(self) -> int:
         return sum(machine.restore_count for machine in self.machines.values())

@@ -21,6 +21,7 @@ from repro.honeypot.logstore import CentralLogStore
 from repro.honeypot.machine import HoneypotMachine
 from repro.net.http import HttpRequest, HttpResponse
 from repro.net.ipv4 import IPv4Address
+from repro.obs.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -60,9 +61,19 @@ class AuditEvent:
 class BeatsMonitor:
     """Wraps a honeypot machine and ships events to the central log."""
 
-    def __init__(self, machine: HoneypotMachine, log: CentralLogStore) -> None:
+    def __init__(
+        self,
+        machine: HoneypotMachine,
+        log: CentralLogStore,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         self.machine = machine
         self.log = log
+        self.telemetry = telemetry
+
+    def _count(self, name: str, **labels: object) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(name, **labels).inc()
 
     def deliver(
         self, timestamp: float, source_ip: IPv4Address, request: HttpRequest
@@ -80,8 +91,16 @@ class BeatsMonitor:
                 status=response.status,
             )
         )
+        self._count(
+            "honeypot_network_events_total", honeypot=self.machine.name
+        )
         for execution in self.machine.app.drain_executions():
             self.log.append(self._audit_event(timestamp, source_ip, execution))
+            self._count(
+                "honeypot_audit_events_total",
+                honeypot=self.machine.name,
+                mechanism=execution.mechanism,
+            )
         return response
 
     def _audit_event(

@@ -33,6 +33,7 @@ from dataclasses import dataclass, fields
 from repro.net.http import HttpRequest, HttpResponse, Scheme
 from repro.net.ipv4 import IPv4Address
 from repro.net.transport import Transport
+from repro.obs.telemetry import Telemetry
 from repro.util.clock import SimClock
 from repro.util.errors import ConnectionReset, ConnectionTimeout
 from repro.util.rand import rng_state_from_json, rng_state_to_json, stable_hash
@@ -133,6 +134,7 @@ class ChaosTransport(Transport):
         plan: FaultPlan | None = None,
         seed: int = 0,
         clock: SimClock | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         super().__init__(enforce_ethics=inner.enforce_ethics)
         self.inner = inner
@@ -140,6 +142,7 @@ class ChaosTransport(Transport):
         self.plan = plan if plan is not None else FaultPlan()
         self.clock = clock
         self.seed = seed
+        self.telemetry = telemetry
         self._rng = random.Random(seed)
         #: injected fault events by kind ("syn-drop", "reset", "flap", ...)
         self.faults: dict[str, int] = {}
@@ -148,8 +151,11 @@ class ChaosTransport(Transport):
 
     # -- fault plumbing ----------------------------------------------------
 
-    def _note(self, kind: str) -> None:
+    def _note(self, kind: str, ip: IPv4Address | None = None) -> None:
         self.faults[kind] = self.faults.get(kind, 0) + 1
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("chaos_faults_total", kind=kind).inc()
+            self.telemetry.events.debug("chaos", "fault", host=ip, kind=kind)
 
     def _now(self) -> float:
         return self.clock.now if self.clock is not None else 0.0
@@ -181,10 +187,10 @@ class ChaosTransport(Transport):
     def _port_open(self, ip: IPv4Address, port: int) -> bool:
         down = self._down_now(ip)
         if down is not None:
-            self._note(down)
+            self._note(down, ip)
             return False
         if self.plan.syn_loss and self._rng.random() < self.plan.syn_loss:
-            self._note("syn-drop")
+            self._note("syn-drop", ip)
             return False
         return self.inner._port_open(ip, port)
 
@@ -193,27 +199,27 @@ class ChaosTransport(Transport):
     ) -> HttpResponse:
         down = self._down_now(ip)
         if down is not None:
-            self._note(down)
+            self._note(down, ip)
             raise ConnectionTimeout(f"{ip}:{port} unreachable (injected {down})")
         plan = self.plan
         if plan.request_loss and self._rng.random() < plan.request_loss:
-            self._note("request-drop")
+            self._note("request-drop", ip)
             raise ConnectionTimeout(f"request to {ip}:{port} timed out (injected)")
         if plan.reset_rate and self._rng.random() < plan.reset_rate:
-            self._note("reset")
+            self._note("reset", ip)
             raise ConnectionReset(f"connection to {ip}:{port} reset (injected)")
         response = self.inner._exchange(ip, port, scheme, request)
         if plan.slow_rate and self._rng.random() < plan.slow_rate:
-            self._note("slow")
+            self._note("slow", ip)
             self.slow_seconds += plan.slow_latency
             if self.clock is not None:
                 self.clock.advance(plan.slow_latency)
         if plan.truncate_rate and self._rng.random() < plan.truncate_rate:
-            self._note("truncate")
+            self._note("truncate", ip)
             cut = self._rng.randrange(len(response.body) // 2 + 1)
             return HttpResponse(response.status, response.headers, response.body[:cut])
         if plan.garble_rate and self._rng.random() < plan.garble_rate:
-            self._note("garble")
+            self._note("garble", ip)
             noise = bytes(self._rng.getrandbits(8) for _ in range(64))
             return HttpResponse(
                 response.status, response.headers, noise.decode("latin1")
@@ -223,10 +229,10 @@ class ChaosTransport(Transport):
     def fetch_certificate(self, ip: IPv4Address, port: int):
         down = self._down_now(ip)
         if down is not None:
-            self._note(down)
+            self._note(down, ip)
             raise ConnectionTimeout(f"{ip}:{port} unreachable (injected {down})")
         if self.plan.request_loss and self._rng.random() < self.plan.request_loss:
-            self._note("request-drop")
+            self._note("request-drop", ip)
             raise ConnectionTimeout(
                 f"TLS handshake with {ip}:{port} timed out (injected)"
             )

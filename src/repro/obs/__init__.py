@@ -1,0 +1,37 @@
+"""repro.obs — deterministic observability for the scan and honeypot runtimes.
+
+Three pillars, all stamped from the :class:`~repro.util.clock.SimClock`
+so two runs with the same seed produce *identical* telemetry:
+
+* :mod:`repro.obs.events` — an append-only structured event log
+  (JSONL-serialisable records with level/stage/host fields);
+* :mod:`repro.obs.trace` — nested tracing spans
+  (sweep → batch → stage → per-host plugin probe);
+* :mod:`repro.obs.metrics` — a metrics registry of counters, gauges, and
+  fixed-bucket histograms (stage funnel, per-plugin latency/verdicts,
+  retry/circuit-breaker and chaos-fault counters, honeypot activity).
+
+:class:`~repro.obs.telemetry.Telemetry` bundles the three behind one
+handle that every instrumented layer shares, snapshots through
+:mod:`repro.core.checkpoint`, and exports as JSONL, Prometheus text
+exposition, or a human-readable funnel table.
+"""
+
+from repro.obs.events import Event, EventLog
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.telemetry import FUNNEL_STAGES, Telemetry, TelemetrySummary
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "Event",
+    "EventLog",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "Telemetry",
+    "TelemetrySummary",
+    "FUNNEL_STAGES",
+]

@@ -1,0 +1,245 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+Everything numeric the runtime wants to expose lives here, keyed by
+``(name, sorted labels)``.  Buckets are fixed at creation (no dynamic
+rebinning), values come only from instrumented code charged to the
+SimClock, and every accessor iterates in sorted key order — so snapshots
+and the Prometheus exposition are deterministic across identical runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: default latency buckets, simulated seconds (retry backoff and chaos
+#: slow-responses are the only things that advance the clock mid-probe)
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.05, 0.25, 1.0, 5.0, 15.0, 60.0, 300.0, 1800.0,
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def flat_name(name: str, labels: _LabelKey) -> str:
+    """Canonical flattened series name: ``name{k=v,k2=v2}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-at-export, like Prometheus)."""
+
+    __slots__ = ("bounds", "counts", "total", "count")
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(sorted(float(b) for b in bounds))
+        if not self.bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        #: per-bucket counts; the extra slot is the +Inf overflow bucket
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """(upper bound, cumulative count) pairs, ending with +Inf."""
+        out = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+
+class MetricsRegistry:
+    """Lazily-created, labelled metric families."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, _LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, _LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, _LabelKey], Histogram] = {}
+
+    # -- creation / lookup ---------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _label_key(labels))
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _label_key(labels))
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] | None = None,
+        **labels: object,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(
+                buckets if buckets is not None else DEFAULT_BUCKETS
+            )
+        return metric
+
+    # -- read accessors (0 for series never touched) -------------------------
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        metric = self._counters.get((name, _label_key(labels)))
+        return metric.value if metric is not None else 0.0
+
+    def gauge_value(self, name: str, **labels: object) -> float:
+        metric = self._gauges.get((name, _label_key(labels)))
+        return metric.value if metric is not None else 0.0
+
+    def histogram_count(self, name: str, **labels: object) -> int:
+        metric = self._histograms.get((name, _label_key(labels)))
+        return metric.count if metric is not None else 0
+
+    def counters_flat(self) -> dict[str, float]:
+        """Every counter series under its canonical flattened name."""
+        return {
+            flat_name(name, labels): metric.value
+            for (name, labels), metric in sorted(self._counters.items())
+        }
+
+    # -- exposition ----------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (types annotated, sorted series)."""
+        lines: list[str] = []
+        seen_types: set[str] = set()
+
+        def type_line(name: str, kind: str) -> None:
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} {kind}")
+                seen_types.add(name)
+
+        def label_text(labels: _LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+            pairs = labels + extra
+            if not pairs:
+                return ""
+            return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
+
+        for (name, labels), counter in sorted(self._counters.items()):
+            type_line(name, "counter")
+            lines.append(f"{name}{label_text(labels)} {_num(counter.value)}")
+        for (name, labels), gauge in sorted(self._gauges.items()):
+            type_line(name, "gauge")
+            lines.append(f"{name}{label_text(labels)} {_num(gauge.value)}")
+        for (name, labels), histogram in sorted(self._histograms.items()):
+            type_line(name, "histogram")
+            for bound, cumulative in histogram.cumulative():
+                le = "+Inf" if bound == float("inf") else _num(bound)
+                lines.append(
+                    f"{name}_bucket{label_text(labels, (('le', le),))} {cumulative}"
+                )
+            lines.append(f"{name}_sum{label_text(labels)} {_num(histogram.total)}")
+            lines.append(f"{name}_count{label_text(labels)} {histogram.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # -- checkpoint support --------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "counters": [
+                [name, [list(p) for p in labels], metric.value]
+                for (name, labels), metric in sorted(self._counters.items())
+            ],
+            "gauges": [
+                [name, [list(p) for p in labels], metric.value]
+                for (name, labels), metric in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                [
+                    name,
+                    [list(p) for p in labels],
+                    list(metric.bounds),
+                    list(metric.counts),
+                    metric.total,
+                    metric.count,
+                ]
+                for (name, labels), metric in sorted(self._histograms.items())
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        for name, labels, value in state["counters"]:
+            key = (name, tuple((k, v) for k, v in labels))
+            counter = self._counters[key] = Counter()
+            counter.value = value
+        for name, labels, value in state["gauges"]:
+            key = (name, tuple((k, v) for k, v in labels))
+            self._gauges[key] = gauge = Gauge()
+            gauge.value = value
+        for name, labels, bounds, counts, total, count in state["histograms"]:
+            key = (name, tuple((k, v) for k, v in labels))
+            histogram = self._histograms[key] = Histogram(bounds)
+            histogram.counts = list(counts)
+            histogram.total = total
+            histogram.count = count
+
+
+def _num(value: float) -> str:
+    """Render ``3.0`` as ``3`` but keep real fractions exact."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

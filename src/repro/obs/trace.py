@@ -1,0 +1,160 @@
+"""Nested tracing spans charged to the SimClock.
+
+The span hierarchy mirrors the pipeline's control flow::
+
+    sweep
+    ├── stage:masscan (one per batch accumulation)
+    └── batch
+        ├── stage:prefilter
+        └── stage:tsunami
+            ├── probe:<slug> (one per plugin run, tagged with the host)
+            └── stage:fingerprint (one per stage-II finding)
+
+Durations come from the simulated clock only — they grow when retry
+backoff or injected chaos latency advances it — so span timings are as
+reproducible as the rest of the run.  Open spans snapshot and restore
+through :mod:`repro.core.checkpoint`, which is what lets a killed sweep
+resume *inside* its still-open ``sweep`` span.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.util.clock import SimClock
+
+
+@dataclass
+class Span:
+    """One timed region of the run."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    end: float | None = None
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": {k: self.attrs[k] for k in sorted(self.attrs)},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        return cls(
+            span_id=payload["span_id"],
+            parent_id=payload["parent_id"],
+            name=payload["name"],
+            start=payload["start"],
+            end=payload["end"],
+            attrs=dict(payload["attrs"]),
+        )
+
+
+class Tracer:
+    """Maintains the active span stack and the finished-span record."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock
+        self._stack: list[Span] = []
+        self._finished: list[Span] = []
+        self._next_id = 0
+
+    def _now(self) -> float:
+        return self.clock.now if self.clock is not None else 0.0
+
+    @property
+    def active(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    @property
+    def finished(self) -> tuple[Span, ...]:
+        """Completed spans, in completion order."""
+        return tuple(self._finished)
+
+    def start(self, name: str, **attrs: object) -> Span:
+        """Open a span as a child of the currently active one."""
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self.active.span_id if self.active else None,
+            name=name,
+            start=self._now(),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span | None = None) -> Span:
+        """Close the innermost open span (which must be ``span`` if given)."""
+        if not self._stack:
+            raise ValueError("no span is open")
+        top = self._stack.pop()
+        if span is not None and span is not top:
+            self._stack.append(top)
+            raise ValueError(
+                f"span nesting violated: closing {span.name!r} "
+                f"but {top.name!r} is innermost"
+            )
+        top.end = self._now()
+        self._finished.append(top)
+        return top
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        opened = self.start(name, **attrs)
+        try:
+            yield opened
+        except BaseException:
+            # An escaping exception (including a simulated kill) may leave
+            # abandoned child spans open; unwind them rather than masking
+            # the original error with a nesting violation.
+            while self._stack and self._stack[-1] is not opened:
+                self.end()
+            if self._stack and self._stack[-1] is opened:
+                self.end(opened)
+            raise
+        else:
+            self.end(opened)
+
+    # -- queries -------------------------------------------------------------
+
+    def spans_named(self, name: str) -> list[Span]:
+        return [s for s in self._finished if s.name == name]
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self._finished if s.parent_id == span.span_id]
+
+    # -- checkpoint support --------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Finished spans plus the still-open stack (a checkpoint may land
+        while the sweep-level span is open)."""
+        return {
+            "next_id": self._next_id,
+            "finished": [s.to_dict() for s in self._finished],
+            "open": [s.to_dict() for s in self._stack],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._next_id = state["next_id"]
+        self._finished = [Span.from_dict(p) for p in state["finished"]]
+        self._stack = [Span.from_dict(p) for p in state["open"]]

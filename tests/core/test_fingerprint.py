@@ -109,6 +109,32 @@ class TestCrawler:
         crawler = StaticFileCrawler(InMemoryTransport(SimulatedInternet()))
         assert crawler.crawl(IPv4Address(42), 80, Scheme.HTTP, (), kb) == {}
 
+    def test_crawl_counts_fetch_outcomes(self, kb):
+        from repro.obs.telemetry import Telemetry
+
+        internet, ip, app = host_with("wordpress", version="5.4")
+        telemetry = Telemetry()
+        crawler = StaticFileCrawler(
+            InMemoryTransport(internet), telemetry=telemetry
+        )
+        crawler.crawl(ip, 80, Scheme.HTTP, ("wordpress",), kb)
+        ok = telemetry.metrics.counter_value(
+            "crawler_fetches_total", outcome="ok"
+        )
+        assert ok >= 1
+
+    def test_crawl_counts_dark_host_as_error(self, kb):
+        from repro.obs.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        crawler = StaticFileCrawler(
+            InMemoryTransport(SimulatedInternet()), telemetry=telemetry
+        )
+        crawler.crawl(IPv4Address(42), 80, Scheme.HTTP, (), kb)
+        assert telemetry.metrics.counter_value(
+            "crawler_fetches_total", outcome="error"
+        ) == 1
+
 
 class TestDisclosure:
     def test_thirteen_disclosing_apps(self):

@@ -1,0 +1,116 @@
+"""Tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    flat_name,
+    _label_key,
+)
+
+
+class TestPrimitives:
+    def test_counter_only_goes_up(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_histogram_buckets(self):
+        histogram = Histogram(bounds=(1.0, 5.0))
+        for value in (0.5, 0.9, 3.0, 100.0):
+            histogram.observe(value)
+        assert histogram.cumulative() == [
+            (1.0, 2), (5.0, 3), (float("inf"), 4),
+        ]
+        assert histogram.count == 4
+        assert histogram.total == pytest.approx(104.4)
+
+    def test_histogram_needs_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+    def test_flat_name(self):
+        assert flat_name("x_total", _label_key({})) == "x_total"
+        assert (
+            flat_name("x_total", _label_key({"b": 2, "a": "one"}))
+            == "x_total{a=one,b=2}"
+        )
+
+
+class TestRegistry:
+    def test_same_labels_same_instance(self):
+        registry = MetricsRegistry()
+        a = registry.counter("ops_total", kind="call")
+        b = registry.counter("ops_total", kind="call")
+        assert a is b
+        registry.counter("ops_total", kind="probe").inc()
+        a.inc(2)
+        assert registry.counter_value("ops_total", kind="call") == 2
+        assert registry.counter_value("ops_total", kind="probe") == 1
+
+    def test_untouched_series_read_as_zero(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("nope") == 0.0
+        assert registry.gauge_value("nope") == 0.0
+        assert registry.histogram_count("nope") == 0
+
+    def test_counters_flat_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total").inc()
+        registry.counter("a_total", x=1).inc(3)
+        assert list(registry.counters_flat()) == ["a_total{x=1}", "b_total"]
+        assert registry.counters_flat()["a_total{x=1}"] == 3.0
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", code=200).inc(3)
+        registry.gauge("depth").set(2)
+        registry.histogram("latency_seconds", buckets=(1.0,)).observe(0.5)
+        text = registry.to_prometheus()
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{code="200"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 2" in text
+        assert 'latency_seconds_bucket{le="1"} 1' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "latency_seconds_sum 0.5" in text
+        assert "latency_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_exposition(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_snapshot_restore_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", kind="call").inc(7)
+        registry.gauge("open").set(-2.5)
+        registry.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        # the snapshot must survive JSON (it rides in the checkpoint file)
+        state = json.loads(json.dumps(registry.snapshot_state()))
+        restored = MetricsRegistry()
+        restored.restore_state(state)
+        assert restored.to_prometheus() == registry.to_prometheus()
+
+    def test_restore_replaces_existing_series(self):
+        registry = MetricsRegistry()
+        registry.counter("stale_total").inc(99)
+        fresh = MetricsRegistry()
+        fresh.counter("ops_total").inc()
+        registry.restore_state(fresh.snapshot_state())
+        assert registry.counter_value("stale_total") == 0.0
+        assert registry.counter_value("ops_total") == 1.0

@@ -1,0 +1,199 @@
+"""Acceptance tests for the pipeline's telemetry layer.
+
+Pins the two ISSUE-level guarantees:
+
+* the stage funnel reconciles *exactly* with the ScanReport totals
+  (hosts in = hosts out + dropped at every stage);
+* a sweep killed mid-flight and resumed from its checkpoint emits a
+  byte-identical JSONL telemetry export versus an uninterrupted run.
+"""
+
+import pytest
+
+from repro.apps.base import AppInstance
+from repro.apps.catalog import create_instance, scanned_ports
+from repro.core.checkpoint import Checkpointer
+from repro.core.pipeline import ScanPipeline
+from repro.core.retry import RetryPolicy
+from repro.net.chaos import ChaosTransport, FaultPlan
+from repro.net.host import Host, Service
+from repro.net.ipv4 import IPv4Address
+from repro.net.network import SimulatedInternet
+from repro.net.transport import InMemoryTransport, Transport
+from repro.obs.telemetry import FUNNEL_STAGES
+from repro.util.clock import SimClock
+
+APPS = (
+    ("polynote", 8192, True), ("docker", 2375, True), ("hadoop", 8088, True),
+    ("grav", 80, False), ("consul", 8500, True), ("zeppelin", 8080, False),
+    ("nomad", 4646, True), ("ajenti", 8000, False), ("jenkins", 8080, False),
+    ("adminer", 80, False),
+)
+
+
+def build_world(decoys: int = 5):
+    """Ten AWE hosts (some vulnerable) plus empty decoy addresses."""
+    internet = SimulatedInternet()
+    ips = []
+    for index, (slug, port, vulnerable) in enumerate(APPS):
+        ip = IPv4Address.parse(f"93.184.{100 + index % 2}.{10 + index}")
+        host = Host(ip)
+        host.add_service(
+            Service(
+                port,
+                app=AppInstance(create_instance(slug, vulnerable=vulnerable), port),
+            )
+        )
+        internet.add_host(host)
+        ips.append(ip)
+    for offset in range(decoys):
+        ips.append(IPv4Address.parse(f"93.184.102.{50 + offset}"))
+    return internet, ips
+
+
+class TestFunnelReconciliation:
+    def test_funnel_reconciles_with_report_totals(self):
+        internet, ips = build_world()
+        pipeline = ScanPipeline(
+            InMemoryTransport(internet), scanned_ports(), seed=7,
+            batch_size=4, fingerprint=False,
+        )
+        report = pipeline.run(ips)
+        funnel = report.telemetry.funnel
+
+        # stage I: every candidate address in, hosts with open ports out
+        assert funnel("masscan", "in") == report.port_scan.addresses_scanned
+        assert funnel("masscan", "out") == len(report.port_scan.open_ports)
+        # stage II: open hosts in, signature-matched hosts out
+        assert funnel("prefilter", "in") == funnel("masscan", "out")
+        assert funnel("prefilter", "out") == report.total_awe_hosts()
+        # stage III: candidates in, verified-vulnerable hosts out
+        assert funnel("tsunami", "in") == funnel("prefilter", "out")
+        assert funnel("tsunami", "out") == len(report.vulnerable_ips())
+        # conservation at every stage
+        for stage in FUNNEL_STAGES:
+            assert funnel(stage, "in") == (
+                funnel(stage, "out") + funnel(stage, "dropped")
+            )
+        # this world actually exercises every drop edge
+        assert funnel("masscan", "dropped") > 0
+        assert funnel("tsunami", "dropped") > 0
+
+    def test_summary_travels_on_the_report(self):
+        internet, ips = build_world(decoys=0)
+        pipeline = ScanPipeline(
+            InMemoryTransport(internet), scanned_ports(), seed=7,
+            fingerprint=False,
+        )
+        report = pipeline.run(ips)
+        assert report.telemetry.events > 0
+        assert report.telemetry.spans > 0
+        assert report.telemetry.counter("masscan_addresses_total") == len(ips)
+
+
+class SimulatedCrash(BaseException):
+    """A kill signal no pipeline layer may swallow."""
+
+
+class KillSwitch(Transport):
+    """Decorator that dies after a fixed number of wire operations."""
+
+    def __init__(self, inner: Transport, die_after: int) -> None:
+        super().__init__(enforce_ethics=inner.enforce_ethics)
+        self.inner = inner
+        self.stats = inner.stats
+        self.die_after = die_after
+        self.operations = 0
+
+    def _tick(self) -> None:
+        self.operations += 1
+        if self.operations > self.die_after:
+            raise SimulatedCrash(f"killed after {self.die_after} operations")
+
+    def _port_open(self, ip, port):
+        self._tick()
+        return self.inner._port_open(ip, port)
+
+    def _exchange(self, ip, port, scheme, request):
+        self._tick()
+        return self.inner._exchange(ip, port, scheme, request)
+
+    def fetch_certificate(self, ip, port):
+        self._tick()
+        return self.inner.fetch_certificate(ip, port)
+
+    def snapshot_state(self):
+        return self.inner.snapshot_state()
+
+    def restore_state(self, state):
+        self.inner.restore_state(state)
+
+
+PLAN = FaultPlan(
+    syn_loss=0.05, request_loss=0.05, reset_rate=0.02,
+    flap_rate=0.2, flap_down=120.0, flap_period=600.0,
+)
+
+
+def run_arm(die_after=None, checkpoint=None, seed=3):
+    """One pipeline sweep over a freshly built chaotic world."""
+    internet, ips = build_world(decoys=0)
+    clock = SimClock()
+    transport = ChaosTransport(
+        InMemoryTransport(internet), PLAN, seed=21, clock=clock
+    )
+    if die_after is not None:
+        transport = KillSwitch(transport, die_after)
+    pipeline = ScanPipeline(
+        transport, scanned_ports(), seed=seed, batch_size=3, fingerprint=False,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.5, max_delay=4.0),
+        clock=clock,
+    )
+    report = pipeline.run(ips, checkpoint=checkpoint)
+    return pipeline, report
+
+
+class TestResumeTelemetry:
+    @pytest.mark.parametrize("die_after", [50, 120, 200])
+    def test_killed_and_resumed_sweep_emits_identical_jsonl(
+        self, tmp_path, die_after
+    ):
+        """Acceptance: resume telemetry is byte-identical to one clean run."""
+        clean_pipeline, clean_report = run_arm()
+        expected = clean_pipeline.telemetry.export_jsonl()
+        assert expected  # the dump is non-trivial
+
+        ckpt = Checkpointer(tmp_path / "scan.ckpt")
+        with pytest.raises(SimulatedCrash):
+            run_arm(die_after=die_after, checkpoint=ckpt)
+        resumed_pipeline, resumed_report = run_arm(checkpoint=ckpt)
+
+        assert resumed_pipeline.telemetry.export_jsonl() == expected
+        assert (
+            resumed_pipeline.telemetry.export_prometheus()
+            == clean_pipeline.telemetry.export_prometheus()
+        )
+        assert resumed_report.telemetry.to_dict() == clean_report.telemetry.to_dict()
+
+
+class TestRescanTelemetry:
+    def test_rescan_under_chaos_reports_nonzero_retry_counters(self):
+        """rescan_hosts folds retry/telemetry stats exactly like run()."""
+        internet, ips = build_world(decoys=0)
+        clock = SimClock()
+        transport = ChaosTransport(
+            InMemoryTransport(internet),
+            FaultPlan(syn_loss=0.3, request_loss=0.3),
+            seed=5,
+            clock=clock,
+        )
+        pipeline = ScanPipeline(
+            transport, scanned_ports(), seed=3, fingerprint=False,
+            retry_policy=RetryPolicy(max_attempts=4, base_delay=0.5, max_delay=4.0),
+            clock=clock,
+        )
+        report = pipeline.rescan_hosts(ips)
+        assert report.retry_stats.retries > 0
+        assert report.telemetry.counter("retry_retries_total") > 0
+        assert report.telemetry.counter("chaos_faults_total", kind="syn-drop") > 0
+        assert report.telemetry.funnel("masscan", "in") == len(ips)

@@ -1,0 +1,124 @@
+"""Tests for the Telemetry handle and TelemetrySummary."""
+
+import json
+
+import pytest
+
+from repro.obs.telemetry import FUNNEL_STAGES, Telemetry, TelemetrySummary
+from repro.util.clock import SimClock
+
+
+class TestFunnel:
+    def test_invariant_in_equals_out_plus_dropped(self):
+        telemetry = Telemetry()
+        telemetry.funnel("masscan", 100, 40)
+        telemetry.funnel("masscan", 50, 10)
+        value = telemetry.metrics.counter_value
+        hosts_in = value("funnel_hosts_total", stage="masscan", flow="in")
+        out = value("funnel_hosts_total", stage="masscan", flow="out")
+        dropped = value("funnel_hosts_total", stage="masscan", flow="dropped")
+        assert (hosts_in, out, dropped) == (150, 50, 100)
+        assert hosts_in == out + dropped
+
+    def test_stage_cannot_emit_more_than_it_received(self):
+        with pytest.raises(ValueError):
+            Telemetry().funnel("prefilter", 3, 4)
+
+    def test_funnel_table_lists_all_stages(self):
+        telemetry = Telemetry()
+        telemetry.funnel("masscan", 10, 4)
+        rendered = telemetry.funnel_table().render()
+        for stage in FUNNEL_STAGES:
+            assert stage in rendered
+        assert "10" in rendered and "4" in rendered and "6" in rendered
+
+
+class TestSummary:
+    def test_summary_reflects_all_three_pillars(self):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("x_total", k="v").inc(2)
+        telemetry.events.info("s", "n")
+        with telemetry.tracer.span("stage"):
+            pass
+        summary = telemetry.summary()
+        assert summary.counter("x_total", k="v") == 2
+        assert summary.events == 1
+        assert summary.spans == 1
+
+    def test_merge_and_copy(self):
+        a = TelemetrySummary({"x": 1.0}, events=2, spans=1)
+        b = TelemetrySummary({"x": 2.0, "y": 5.0}, events=1, spans=3)
+        c = a.copy()
+        c.merge(b)
+        assert c.counters == {"x": 3.0, "y": 5.0}
+        assert (c.events, c.spans) == (3, 4)
+        assert a.counters == {"x": 1.0}  # copy detached
+
+    def test_dict_round_trip(self):
+        summary = TelemetrySummary({"b": 2.0, "a": 1.0}, events=4, spans=2)
+        payload = json.loads(json.dumps(summary.to_dict()))
+        assert list(payload["counters"]) == ["a", "b"]  # sorted
+        restored = TelemetrySummary.from_dict(payload)
+        assert restored.to_dict() == summary.to_dict()
+
+    def test_from_empty_dict(self):
+        summary = TelemetrySummary.from_dict({})
+        assert summary.counters == {}
+        assert (summary.events, summary.spans) == (0, 0)
+
+    def test_funnel_accessor(self):
+        telemetry = Telemetry()
+        telemetry.funnel("tsunami", 8, 3)
+        summary = telemetry.summary()
+        assert summary.funnel("tsunami", "in") == 8
+        assert summary.funnel("tsunami", "out") == 3
+        assert summary.funnel("tsunami", "dropped") == 5
+
+
+class TestExports:
+    def test_jsonl_lists_events_then_spans(self):
+        telemetry = Telemetry()
+        telemetry.events.info("pipeline", "sweep-start")
+        with telemetry.tracer.span("sweep"):
+            pass
+        lines = telemetry.export_jsonl().strip().split("\n")
+        kinds = [json.loads(line)["kind"] for line in lines]
+        assert kinds == ["event", "span"]
+
+    def test_jsonl_is_deterministic(self):
+        def build():
+            clock = SimClock()
+            telemetry = Telemetry(clock=clock)
+            telemetry.events.info("s", "n", host="1.2.3.4", b=2, a=1)
+            clock.advance(3)
+            with telemetry.tracer.span("stage", z=1):
+                clock.advance(1)
+            return telemetry.export_jsonl()
+
+        assert build() == build()
+
+    def test_export_dispatch(self):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("x_total").inc()
+        assert telemetry.export("prometheus") == telemetry.export_prometheus()
+        assert telemetry.export("jsonl") == telemetry.export_jsonl()
+        assert telemetry.export("funnel").startswith("Stage funnel")
+        with pytest.raises(ValueError):
+            telemetry.export("xml")
+
+    def test_snapshot_restore_round_trips_everything(self):
+        clock = SimClock()
+        telemetry = Telemetry(clock=clock)
+        telemetry.events.info("s", "n")
+        telemetry.metrics.counter("x_total").inc()
+        telemetry.metrics.histogram("lat").observe(0.3)
+        open_span = telemetry.tracer.start("sweep")
+        state = json.loads(json.dumps(telemetry.snapshot_state()))
+
+        restored = Telemetry(clock=clock)
+        restored.restore_state(state)
+        assert restored.tracer.active.name == "sweep"
+        restored.tracer.end(restored.tracer.active)
+        telemetry.tracer.end(open_span)
+        assert restored.export_jsonl() == telemetry.export_jsonl()
+        assert restored.export_prometheus() == telemetry.export_prometheus()

@@ -117,7 +117,69 @@ class TestSimClock:
         assert fired == [1]
         assert clock.now == 100
 
+    # -- edge cases ----------------------------------------------------------
+
+    def test_cancel_already_fired_event_is_harmless(self):
+        clock = SimClock()
+        fired = []
+        event = clock.schedule(1, lambda: fired.append(1))
+        clock.advance(5)
+        assert fired == [1]
+        clock.cancel(event)  # no error, no retroactive effect
+        clock.advance(5)
+        assert fired == [1]
+
+    def test_cancelled_event_does_not_count_as_pending(self):
+        clock = SimClock()
+        event = clock.schedule(1, lambda: None)
+        clock.schedule(2, lambda: None)
+        assert clock.pending == 2
+        clock.cancel(event)
+        assert clock.pending == 1
+
+    def test_schedule_at_in_the_past_rejected(self):
+        clock = SimClock()
+        clock.advance(10)
+        with pytest.raises(ValueError):
+            clock.schedule_at(5, lambda: None)
+
+    def test_schedule_at_now_fires(self):
+        clock = SimClock()
+        clock.advance(10)
+        fired = []
+        clock.schedule_at(10, lambda: fired.append(clock.now))
+        clock.advance(0)
+        assert fired == [10]
+
+    def test_interleaved_run_until_preserves_global_order(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(2, lambda: fired.append("a"))
+        clock.schedule(6, lambda: fired.append("c"))
+        clock.run_until(4)
+        assert clock.now == 4
+        # scheduled after the first run, but due before "c"
+        clock.schedule(1, lambda: fired.append("b"))
+        clock.run_until(10)
+        assert fired == ["a", "b", "c"]
+
+    def test_run_until_deadline_is_inclusive(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(5, lambda: fired.append(1))
+        clock.run_until(5)
+        assert fired == [1]
+
 
 def test_format_offset():
     assert format_offset(0) == "d00 00:00"
     assert format_offset(3 * DAY + 7 * HOUR + 30 * 60) == "d03 07:30"
+
+
+def test_format_offset_boundaries():
+    # one second short of the next minute/hour/day never rounds up
+    assert format_offset(59.999) == "d00 00:00"
+    assert format_offset(HOUR - 1) == "d00 00:59"
+    assert format_offset(DAY - 1) == "d00 23:59"
+    assert format_offset(DAY) == "d01 00:00"
+    assert format_offset(10 * DAY + 23 * HOUR + 59 * 60) == "d10 23:59"
