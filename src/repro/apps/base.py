@@ -176,6 +176,22 @@ class WebApplication:
         """Response for unrouted paths; subclasses may override."""
         return HttpResponse.not_found()
 
+    def canned_paths(self) -> tuple[str, ...]:
+        """GET paths whose responses characterise this application.
+
+        This is the ground-truth page corpus the signature auditor and the
+        precision-matrix tests probe.  The default is every exact-match GET
+        route; subclasses append query-carrying probe paths (Table 10)
+        whose bodies differ from the bare route.
+        """
+        return tuple(
+            sorted(
+                path
+                for (method, path) in self._routes
+                if method == "GET" and not path.endswith("*")
+            )
+        )
+
     @classmethod
     def _collect_routes(cls) -> dict[tuple[str, str], RouteHandler]:
         routes: dict[tuple[str, str], RouteHandler] = {}

@@ -297,6 +297,7 @@ class Hadoop(WebApplication):
     def landing_page(self) -> str:
         return html_page(
             "All Applications",
+            '<img src="/static/hadoop-st.png" alt="Hadoop">'
             '<div id="apps">Apache Hadoop ResourceManager</div>'
             "<div>Logged in as: dr.who</div>",
             assets=["/static/yarn.css"],
@@ -325,6 +326,7 @@ class Hadoop(WebApplication):
             )
         body = html_page(
             "About the Cluster",
+            '<img src="/static/hadoop-st.png" alt="Hadoop">'
             "<h2>Apache Hadoop</h2><table><tr><td>ResourceManager state</td>"
             f"<td>STARTED</td></tr><tr><td>Hadoop version</td><td>{self.version}"
             "</td></tr></table><div>Logged in as: dr.who</div>",
@@ -417,7 +419,16 @@ class Nomad(WebApplication):
         if not self.is_vulnerable():
             return HttpResponse.json('{"error":"Permission denied"}', status=403)
         return HttpResponse.json(
-            json.dumps([{"ID": "example", "Status": "running", "Type": "service"}])
+            json.dumps(
+                [
+                    {
+                        "ID": "example",
+                        "Status": "running",
+                        "Type": "service",
+                        "JobSummary": {"JobID": "example", "Summary": {}},
+                    }
+                ]
+            )
         )
 
     @route("GET", "/v1/agent/self")

@@ -104,7 +104,7 @@ class WordPress(_InstallableCms):
             "WordPress &rsaquo; Installation",
             f'<meta name="generator" content="WordPress {self.version}">'
             '<h1>Welcome to WordPress</h1>'
-            '<form id="setup" method="post" action="install.php?step=2">'
+            '<form id="setup" method="post" action="/wp-admin/install.php?step=2">'
             '<input name="admin_password" id="pass1" type="password">'
             "</form>",
         )
@@ -175,9 +175,16 @@ class Grav(_InstallableCms):
                     "Grav Admin",
                     "<p>No user accounts found, please <b>create one</b></p>"
                     '<form id="admin-user-form"></form>',
+                    assets=["/user/plugins/admin/themes/grav/css/admin.css"],
                 )
             )
-        return HttpResponse.html(html_page("Grav Admin Login", '<form id="login-form"></form>'))
+        return HttpResponse.html(
+            html_page(
+                "Grav Admin Login",
+                '<form id="login-form"></form>',
+                assets=["/user/plugins/admin/themes/grav/css/admin.css"],
+            )
+        )
 
     @route("POST", "/admin")
     def create_user(self, request: HttpRequest) -> HttpResponse:
@@ -236,6 +243,7 @@ class Joomla(_InstallableCms):
                 "Joomla! Web Installer",
                 "<h3>Enter the name of your Joomla! site</h3>"
                 '<form id="adminForm"><input name="admin_password"></form>',
+                assets=["/media/jui/js/bootstrap.min.js"],
             )
         )
 

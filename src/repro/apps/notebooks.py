@@ -225,7 +225,7 @@ class Polynote(WebApplication):
         return html_page(
             "Polynote",
             '<div id="Main" class="polynote">Polynote</div>',
-            assets=["/static/dist/main.js"],
+            assets=["/static/dist/main.js", "/static/style/polynote.css"],
         )
 
     def static_files(self) -> dict[str, str]:

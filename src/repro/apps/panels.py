@@ -61,14 +61,23 @@ class Ajenti(WebApplication):
     @route("GET", "/view/")
     def view(self, request: HttpRequest) -> HttpResponse:
         if not self.is_vulnerable():
+            # The real login form sits inside the same Angular shell as
+            # the dashboard: app markers are visible pre-authentication.
             return HttpResponse.html(
-                html_page("Login - Ajenti", '<form id="login"><input name="password"></form>')
+                html_page(
+                    "Login - Ajenti",
+                    '<div ng-app="ajenti.core">Ajenti server admin panel</div>'
+                    '<form id="login"><input name="password"></form>',
+                    assets=["/resources/all.css"],
+                )
             )
         body = html_page(
             "Ajenti",
+            '<div ng-app="ajenti.core">Ajenti server admin panel</div>'
             "<script>document.title = customization.plugins.core.title || 'Ajenti';"
             "var ajentiPlatformUnmapped = 'debian';</script>"
             '<div class="dashboard">Terminal | File Manager | Services</div>',
+            assets=["/resources/all.css"],
         )
         return HttpResponse.html(body)
 
@@ -204,6 +213,10 @@ class Adminer(WebApplication):
     @route("GET", "/adminer/adminer.php")
     def aliased_adminer_php(self, request: HttpRequest) -> HttpResponse:
         return self.adminer_php(request)
+
+    def canned_paths(self) -> tuple[str, ...]:
+        # The logged-in server page only appears behind the username probe.
+        return super().canned_paths() + ("/adminer.php?username=root",)
 
     @route("POST", "/adminer.php")
     def run_sql(self, request: HttpRequest) -> HttpResponse:

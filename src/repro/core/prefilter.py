@@ -106,7 +106,7 @@ SIGNATURES: dict[str, tuple[str, ...]] = {
         r"<title>Nomad</title>",
         r"Nomad by HashiCorp",
         r"nomad-ui\.js",
-        r'"EvalID"',
+        r'"JobSummary"',
         r"#nomad-ui|id=\"nomad-ui\"",
     ),
     "jupyterlab": (

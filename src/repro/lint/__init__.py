@@ -1,0 +1,39 @@
+"""reprolint: static analysis for the reproduction's own invariants.
+
+The scan pipeline rests on three hand-maintained artifact families that
+nothing used to check mechanically:
+
+* the 90-regex **signature corpus** in :mod:`repro.core.prefilter`
+  (stage II lives or dies on its precision and recall);
+* the 18 **Tsunami plugins** in :mod:`repro.core.tsunami.plugins`
+  (stage III's correctness rests on their API contract);
+* the **determinism invariant** — byte-identical replay and resume —
+  which a single stray ``time.time()`` or unordered ``set`` walk would
+  silently break.
+
+Three analyzers turn those into machine-checked properties, each
+emitting structured :class:`~repro.lint.findings.Finding` records:
+
+* :class:`~repro.lint.signatures.SignatureAuditor` (``SIG*`` rules)
+* :class:`~repro.lint.plugins.PluginContractAuditor` (``PLG*`` rules)
+* :class:`~repro.lint.determinism.DeterminismAuditor` (``DET*`` rules)
+
+``python -m repro.lint`` runs all three; a committed baseline file lets
+CI fail only on *new* findings.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.determinism import DeterminismAuditor
+from repro.lint.findings import RULES, Finding, Severity
+from repro.lint.plugins import PluginContractAuditor
+from repro.lint.signatures import SignatureAuditor
+
+__all__ = [
+    "Baseline",
+    "DeterminismAuditor",
+    "Finding",
+    "PluginContractAuditor",
+    "RULES",
+    "Severity",
+    "SignatureAuditor",
+]

@@ -1,0 +1,60 @@
+"""Baseline / suppression file: CI fails only on *new* findings.
+
+The baseline records finding *fingerprints* (rule + path + message,
+deliberately excluding line numbers so unrelated edits above a finding
+do not churn it).  ``python -m repro.lint --update-baseline`` rewrites
+the committed file; a finding disappears from the baseline the moment
+it is fixed, so the debt can only shrink silently, never grow.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+#: bumped if the fingerprint scheme ever changes incompatibly
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """An accepted set of finding fingerprints."""
+
+    fingerprints: frozenset[str] = field(default_factory=frozenset)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except FileNotFoundError:
+            return cls()
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version in {path}: "
+                f"{payload.get('version')!r}"
+            )
+        return cls(frozenset(payload.get("fingerprints", ())))
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(frozenset(f.fingerprint() for f in findings))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "fingerprints": sorted(self.fingerprints),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def new_findings(self, findings: list[Finding]) -> list[Finding]:
+        """Findings not excused by this baseline, in report order."""
+        return [f for f in findings if f.fingerprint() not in self.fingerprints]
+
+    def stale_fingerprints(self, findings: list[Finding]) -> list[str]:
+        """Baseline entries whose finding no longer exists (fixed debt)."""
+        current = {f.fingerprint() for f in findings}
+        return sorted(self.fingerprints - current)

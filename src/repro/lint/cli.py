@@ -1,0 +1,152 @@
+"""``python -m repro.lint`` — run every analyzer, report, gate on the baseline.
+
+Exit codes: 0 = no findings outside the baseline, 1 = new findings,
+2 = usage / configuration error.  Lint health is also charged to the
+shared :mod:`repro.obs` telemetry (one counter series per rule id), so
+``--telemetry`` surfaces it in the same formats as the scan funnel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import Baseline
+from repro.lint.determinism import DeterminismAuditor
+from repro.lint.findings import Finding, sort_findings
+from repro.lint.plugins import PluginContractAuditor
+from repro.lint.report import render_json, render_text, rule_catalog
+from repro.lint.signatures import SignatureAuditor
+
+#: the committed suppression file, looked up relative to the CWD
+DEFAULT_BASELINE = "reprolint-baseline.json"
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (``src/repro``)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Audit the signature corpus, plugin contracts, and "
+                    "determinism invariants.",
+    )
+    parser.add_argument("--root", type=Path, default=None,
+                        help="repro package directory to audit "
+                             "(default: the installed package)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the report to this file instead of stdout")
+    parser.add_argument("--baseline", type=Path, default=Path(DEFAULT_BASELINE),
+                        help=f"baseline file (default: ./{DEFAULT_BASELINE}; "
+                             "missing file = empty baseline)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="accept the current findings into the baseline "
+                             "and exit 0")
+    parser.add_argument("--no-corpus", action="store_true",
+                        help="skip the canned-page recall/precision checks "
+                             "(shape-only signature audit)")
+    parser.add_argument("--rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("--telemetry", choices=("jsonl", "prometheus"),
+                        default=None,
+                        help="append the lint run's telemetry in this format")
+    parser.add_argument("--telemetry-out", type=Path, default=None,
+                        help="write the telemetry dump to this file")
+    return parser
+
+
+def run_analyzers(root: Path, with_corpus: bool = True) -> list[Finding]:
+    """All findings for one tree, in canonical order."""
+    corpus = None
+    if with_corpus:
+        from repro.lint.corpus import build_corpus
+
+        corpus = build_corpus()
+    from repro.apps.catalog import in_scope_apps
+
+    known_slugs = frozenset(spec.slug for spec in in_scope_apps())
+    findings: list[Finding] = []
+    findings.extend(
+        SignatureAuditor(root, corpus=corpus, known_slugs=known_slugs).run()
+    )
+    findings.extend(PluginContractAuditor(root, known_slugs=known_slugs).run())
+    findings.extend(DeterminismAuditor(root).run())
+    return sort_findings(findings)
+
+
+def _record_telemetry(telemetry, findings: list[Finding], new: list[Finding]) -> None:
+    telemetry.metrics.counter("lint_runs_total").inc()
+    for finding in findings:
+        telemetry.metrics.counter("lint_findings_total", rule=finding.rule).inc()
+    telemetry.metrics.counter("lint_new_findings_total").inc(len(new))
+    telemetry.events.info(
+        "lint", "run-complete", findings=len(findings), new=len(new),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.rules:
+        sys.stdout.write(rule_catalog())
+        return 0
+
+    root = (args.root or default_root()).resolve()
+    if not root.is_dir():
+        print(f"error: not a directory: {root}", file=sys.stderr)
+        return 2
+
+    findings = run_analyzers(root, with_corpus=not args.no_corpus)
+
+    try:
+        baseline = Baseline.load(args.baseline)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        Baseline.from_findings(findings).save(args.baseline)
+        print(f"baseline written to {args.baseline} "
+              f"({len(findings)} fingerprint(s))")
+        return 0
+
+    new = baseline.new_findings(findings)
+
+    from repro.obs.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    _record_telemetry(telemetry, findings, new)
+
+    report = (
+        render_json(findings, new)
+        if args.format == "json"
+        else render_text(findings, new)
+    )
+    if args.out is not None:
+        args.out.write_text(report)
+        print(f"report written to {args.out}")
+    else:
+        sys.stdout.write(report)
+
+    if args.telemetry is not None:
+        dump = telemetry.export(args.telemetry)
+        if args.telemetry_out is not None:
+            args.telemetry_out.write_text(dump)
+            print(f"telemetry written to {args.telemetry_out}")
+        else:
+            sys.stdout.write(dump)
+
+    stale = baseline.stale_fingerprints(findings)
+    if stale and args.format == "text" and args.out is None:
+        print(f"note: {len(stale)} baseline entr(y/ies) no longer fire; "
+              "run --update-baseline to shrink the baseline.")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

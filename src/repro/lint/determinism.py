@@ -1,0 +1,213 @@
+"""Determinism auditor (``DET*`` rules).
+
+The checkpoint layer promises byte-identical resume and the telemetry
+layer byte-identical export; both hold only while every value in the
+system derives from the seeded :class:`~repro.util.rand` /
+:class:`~repro.util.clock.SimClock` machinery.  A single wall-clock
+read, entropy draw, or unordered ``set`` walk feeding output would
+break replay silently — long after the commit that introduced it.
+
+This pass walks every module under the scanned root and flags:
+
+* ``DET001`` wall-clock reads (``time.time``, ``time.monotonic``,
+  ``time.perf_counter`` and friends, ``datetime.now``/``utcnow``/
+  ``today``);
+* ``DET002`` entropy sources (``os.urandom``, ``uuid.uuid1``/``uuid4``,
+  anything from ``secrets``);
+* ``DET003`` unseeded randomness (module-level ``random.*`` calls,
+  ``random.Random()`` with no seed argument);
+* ``DET004`` iteration directly over a set display, ``set(...)`` call,
+  or set comprehension (wrap in ``sorted(...)`` to fix).
+
+Import aliases are tracked per module, so ``from time import time as
+now`` does not escape the net; methods on *instances* that merely share
+a name (``self.clock.now()``, ``rng.random()``) are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+#: (module, attribute) -> rule for forbidden function calls
+_FORBIDDEN_CALLS: dict[tuple[str, str], str] = {
+    ("time", "time"): "DET001",
+    ("time", "time_ns"): "DET001",
+    ("time", "monotonic"): "DET001",
+    ("time", "monotonic_ns"): "DET001",
+    ("time", "perf_counter"): "DET001",
+    ("time", "perf_counter_ns"): "DET001",
+    ("time", "process_time"): "DET001",
+    ("datetime", "now"): "DET001",
+    ("datetime", "utcnow"): "DET001",
+    ("datetime", "today"): "DET001",
+    ("date", "today"): "DET001",
+    ("os", "urandom"): "DET002",
+    ("os", "getrandom"): "DET002",
+    ("uuid", "uuid1"): "DET002",
+    ("uuid", "uuid4"): "DET002",
+}
+
+#: every call into these modules is forbidden outright
+_FORBIDDEN_MODULES: dict[str, str] = {"secrets": "DET002"}
+
+_SET_CONSUMERS_OK = frozenset({
+    "sorted", "len", "sum", "min", "max", "any", "all", "frozenset", "set",
+})
+
+
+class _ModuleAuditor(ast.NodeVisitor):
+    def __init__(self, rel: str) -> None:
+        self.rel = rel
+        self.findings: list[Finding] = []
+        #: local alias -> module name ("import time as t" -> {"t": "time"})
+        self.module_aliases: dict[str, str] = {}
+        #: local name -> (module, function) for "from x import y [as z]"
+        self.function_aliases: dict[str, tuple[str, str]] = {}
+
+    # -- import tracking -----------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is not None:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                self.function_aliases[local] = (node.module, alias.name)
+                # "from datetime import datetime" imports a class whose
+                # methods we police; track it like a module alias.
+                if alias.name in ("datetime", "date"):
+                    self.module_aliases[local] = alias.name
+        self.generic_visit(node)
+
+    # -- call sites ----------------------------------------------------------
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(Finding(self.rel, node.lineno, rule, message))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in self.module_aliases
+        ):
+            # Two-level chains like datetime.datetime.now() / datetime.date.today().
+            rule = _FORBIDDEN_CALLS.get((func.value.attr, func.attr))
+            if rule is not None:
+                self._flag(node, rule,
+                           f"call to {func.value.attr}.{func.attr}()")
+        elif isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            owner = self.module_aliases.get(func.value.id)
+            if owner is not None:
+                base = owner.split(".")[-1]
+                rule = _FORBIDDEN_CALLS.get((base, func.attr))
+                if rule is not None:
+                    self._flag(node, rule, f"call to {owner}.{func.attr}()")
+                module_rule = _FORBIDDEN_MODULES.get(owner)
+                if module_rule is not None:
+                    self._flag(node, module_rule, f"call to {owner}.{func.attr}()")
+                if owner == "random":
+                    self._audit_random(node, func.attr)
+        elif isinstance(func, ast.Name):
+            target = self.function_aliases.get(func.id)
+            if target is not None:
+                module, original = target
+                base = module.split(".")[-1]
+                rule = _FORBIDDEN_CALLS.get((base, original))
+                if rule is not None:
+                    self._flag(node, rule, f"call to {module}.{original}()")
+                module_rule = _FORBIDDEN_MODULES.get(module)
+                if module_rule is not None:
+                    self._flag(node, module_rule, f"call to {module}.{original}()")
+                if module == "random" and original != "Random":
+                    self._flag(node, "DET003",
+                               f"call to random.{original}() uses the shared "
+                               "unseeded generator")
+                if module == "random" and original == "Random" and not node.args:
+                    self._flag(node, "DET003", "random.Random() without a seed")
+        self.generic_visit(node)
+
+    def _audit_random(self, node: ast.Call, attr: str) -> None:
+        if attr == "SystemRandom":
+            self._flag(node, "DET002", "random.SystemRandom() reads OS entropy")
+        elif attr == "Random":
+            if not node.args:
+                self._flag(node, "DET003", "random.Random() without a seed")
+        else:
+            self._flag(node, "DET003",
+                       f"call to random.{attr}() uses the shared unseeded "
+                       "generator")
+
+    # -- set iteration -------------------------------------------------------
+
+    def _is_set_expression(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+            return self._is_set_expression(node.left) or self._is_set_expression(
+                node.right
+            )
+        return False
+
+    def _audit_iteration(self, iterable: ast.expr) -> None:
+        if self._is_set_expression(iterable):
+            self._flag(iterable, "DET004",
+                       "iterating an unordered set; wrap in sorted(...) to "
+                       "fix the order")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._audit_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehensions(self, node) -> None:
+        for generator in node.generators:
+            self._audit_iteration(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehensions
+    visit_GeneratorExp = _visit_comprehensions
+    visit_DictComp = _visit_comprehensions
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Building a set from a set is order-free; only its *iteration*
+        # elsewhere is ordering-sensitive.
+        self.generic_visit(node)
+
+
+class DeterminismAuditor:
+    """Audit every module under ``root`` for replay-breaking constructs."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    def _rel(self, path: Path) -> str:
+        return (Path(self.root.name) / path.relative_to(self.root)).as_posix()
+
+    def run(self) -> list[Finding]:
+        findings: list[Finding] = []
+        for path in sorted(self.root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            findings.extend(self.audit_file(path))
+        return findings
+
+    def audit_file(self, path: Path) -> list[Finding]:
+        rel = self._rel(path)
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except (OSError, SyntaxError) as error:
+            return [Finding(rel, 0, "LNT001", f"cannot parse: {error}")]
+        auditor = _ModuleAuditor(rel)
+        auditor.visit(tree)
+        return auditor.findings

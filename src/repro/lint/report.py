@@ -1,0 +1,59 @@
+"""Reporters: human-readable text and machine-readable JSON.
+
+Both renderings are pure functions of the (sorted) findings list — no
+timestamps, no host names, no absolute paths — so two consecutive runs
+over the same tree produce byte-identical output.  That property is
+itself asserted by the acceptance tests: a lint tool that polices
+determinism had better be deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.findings import RULES, Finding
+
+
+def render_json(findings: list[Finding], new: list[Finding]) -> str:
+    """The ``--format json`` report (also the CI artifact)."""
+    new_fingerprints = {f.fingerprint() for f in new}
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    payload = {
+        "version": 1,
+        "findings": [
+            {**f.to_dict(), "new": f.fingerprint() in new_fingerprints}
+            for f in findings
+        ],
+        "counts_by_rule": {rule: counts[rule] for rule in sorted(counts)},
+        "total": len(findings),
+        "new": len(new),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_text(findings: list[Finding], new: list[Finding]) -> str:
+    """The ``--format text`` report."""
+    if not findings:
+        return "reprolint: no findings.\n"
+    new_fingerprints = {f.fingerprint() for f in new}
+    lines = []
+    for finding in findings:
+        marker = "" if finding.fingerprint() in new_fingerprints else " (baseline)"
+        lines.append(finding.render() + marker)
+    lines.append("")
+    lines.append(
+        f"reprolint: {len(findings)} finding(s), {len(new)} new, "
+        f"{len(findings) - len(new)} baselined."
+    )
+    return "\n".join(lines) + "\n"
+
+
+def rule_catalog() -> str:
+    """The rule table (``--rules``), one ``id  severity  description`` row."""
+    lines = ["rule     severity  description"]
+    for rule in sorted(RULES):
+        severity, description = RULES[rule]
+        lines.append(f"{rule:<8} {severity.value:<9} {description}")
+    return "\n".join(lines) + "\n"

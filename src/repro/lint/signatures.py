@@ -1,0 +1,314 @@
+"""Signature-corpus auditor (``SIG*`` rules).
+
+The stage-II prefilter is 90 hand-written regexes; this analyzer makes
+their quality a machine-checked property.  It reads the ``SIGNATURES``
+dict *statically* from ``core/prefilter.py`` (findings point at the
+exact pattern line, and fixture trees lint without being imported) and
+checks each pattern on three axes:
+
+* **shape** — must compile, must not have catastrophic-backtracking
+  structure (nested unbounded quantifiers, ambiguous alternation under a
+  repeat), and must carry a literal run long enough to anchor on;
+* **recall** — must match at least one canned page of its own
+  application (a dead signature is a silent recall hole);
+* **precision** — must match no canned page of any *other* application
+  (an overlap sends wrong candidates to stage III and, at Internet
+  scale, multiplies stage-III traffic).
+
+The recall/precision checks are exactly the static precision matrix the
+regression test in ``tests/core/test_signature_matrix.py`` locks in.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+try:  # Python 3.11+ moved the sre internals under re.
+    from re import _constants as sre_constants
+    from re import _parser as sre_parse
+except ImportError:  # pragma: no cover - older interpreters
+    import sre_constants
+    import sre_parse
+
+from repro.lint.findings import Finding
+
+#: minimum guaranteed literal run for a signature to count as anchored
+MIN_LITERAL_RUN = 4
+
+
+def extract_signatures(
+    path: Path,
+) -> list[tuple[str, str, int]]:
+    """``(slug, pattern, line)`` triples from a prefilter module's AST.
+
+    Raises :class:`SyntaxError` if the module does not parse and
+    :class:`ValueError` if no ``SIGNATURES`` dict literal is present —
+    the auditor maps both onto findings.
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        names = {t.id for t in targets if isinstance(t, ast.Name)}
+        if "SIGNATURES" not in names or not isinstance(value, ast.Dict):
+            continue
+        triples: list[tuple[str, str, int]] = []
+        for key, patterns in zip(value.keys, value.values):
+            if not isinstance(key, ast.Constant) or not isinstance(key.value, str):
+                continue
+            if not isinstance(patterns, (ast.Tuple, ast.List)):
+                continue
+            for element in patterns.elts:
+                if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                    triples.append((key.value, element.value, element.lineno))
+        return triples
+    raise ValueError(f"no SIGNATURES dict literal in {path}")
+
+
+# -- regex shape analysis ----------------------------------------------------
+
+_REPEAT_OPS = (sre_constants.MAX_REPEAT, sre_constants.MIN_REPEAT)
+
+
+def _is_variable_repeat(op, av) -> bool:
+    return op in _REPEAT_OPS and av[0] != av[1]
+
+
+def _contains_variable_repeat(parsed) -> bool:
+    for op, av in parsed:
+        if _is_variable_repeat(op, av):
+            return True
+        if op in _REPEAT_OPS and _contains_variable_repeat(av[2]):
+            return True
+        if op is sre_constants.SUBPATTERN and _contains_variable_repeat(av[3]):
+            return True
+        if op is sre_constants.BRANCH and any(
+            _contains_variable_repeat(branch) for branch in av[1]
+        ):
+            return True
+    return False
+
+
+def _first_literals(parsed) -> set[object]:
+    """Approximate first-character set of a parse tree (for overlap tests).
+
+    Literal ints stand for themselves; the string ``"any"`` marks
+    wildcards and character classes, which overlap with everything.
+    """
+    for op, av in parsed:
+        if op is sre_constants.LITERAL:
+            return {av}
+        if op in (sre_constants.ANY, sre_constants.IN, sre_constants.NOT_LITERAL):
+            return {"any"}
+        if op in _REPEAT_OPS:
+            first = _first_literals(av[2])
+            if av[0] > 0:
+                return first
+            continue  # optional: next item can also start the match
+        if op is sre_constants.SUBPATTERN:
+            return _first_literals(av[3])
+        if op is sre_constants.BRANCH:
+            union: set[object] = set()
+            for branch in av[1]:
+                union |= _first_literals(branch)
+            return union
+        if op is sre_constants.AT:
+            continue
+        return {"any"}
+    return set()
+
+
+def _sets_overlap(one: set[object], two: set[object]) -> bool:
+    if not one or not two:
+        return False
+    if "any" in one or "any" in two:
+        return True
+    return bool(one & two)
+
+
+def backtracking_hazards(pattern: str) -> list[str]:
+    """Human-readable descriptions of ReDoS-shaped constructs."""
+    hazards: list[str] = []
+
+    def walk(parsed, under_repeat: bool) -> None:
+        for op, av in parsed:
+            if op in _REPEAT_OPS:
+                variable = _is_variable_repeat(op, av)
+                if variable and under_repeat:
+                    hazards.append("nested unbounded quantifiers")
+                if variable and _contains_variable_repeat(av[2]):
+                    hazards.append("quantifier over a variable-length group")
+                walk(av[2], under_repeat or av[1] > 1)
+            elif op is sre_constants.SUBPATTERN:
+                walk(av[3], under_repeat)
+            elif op is sre_constants.BRANCH:
+                if under_repeat:
+                    firsts = [_first_literals(branch) for branch in av[1]]
+                    for i, left in enumerate(firsts):
+                        if any(_sets_overlap(left, right) for right in firsts[i + 1:]):
+                            hazards.append("ambiguous alternation under a repeat")
+                            break
+                for branch in av[1]:
+                    walk(branch, under_repeat)
+
+    walk(sre_parse.parse(pattern), under_repeat=False)
+    # Deduplicate preserving first-seen order.
+    return list(dict.fromkeys(hazards))
+
+
+def longest_guaranteed_literal_run(pattern: str) -> int:
+    """Length of the longest literal run every match must contain."""
+
+    def run_of(parsed) -> int:
+        best = 0
+        current = 0
+        for op, av in parsed:
+            if op is sre_constants.LITERAL:
+                current += 1
+            elif op in _REPEAT_OPS and av[0] == av[1]:
+                # Fixed repeat: contributes its subpattern's run min times;
+                # a purely literal subpattern extends the current run.
+                inner = av[2]
+                if all(o is sre_constants.LITERAL for o, _ in inner):
+                    current += av[0] * len(inner)
+                else:
+                    best = max(best, current, run_of(inner))
+                    current = 0
+            elif op is sre_constants.SUBPATTERN:
+                best = max(best, current, run_of(av[3]))
+                current = 0
+            elif op is sre_constants.BRANCH:
+                # Either branch may match: only its own guaranteed run counts.
+                best = max(best, current, min(run_of(b) for b in av[1]))
+                current = 0
+            elif op is sre_constants.AT:
+                continue  # anchors neither extend nor break a run
+            else:
+                best = max(best, current)
+                current = 0
+        return max(best, current)
+
+    return run_of(sre_parse.parse(pattern))
+
+
+class SignatureAuditor:
+    """Audit the signature corpus of one source tree.
+
+    ``root`` is the ``repro`` package directory.  ``corpus`` maps
+    ``slug -> {page id -> body}``; pass ``None`` to audit shape only
+    (recall/precision checks need ground-truth pages).  ``known_slugs``
+    and ``expected_count`` validate the corpus shape itself; either may
+    be ``None`` to skip.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        corpus: dict[str, dict[str, str]] | None = None,
+        known_slugs: frozenset[str] | None = None,
+        expected_count: int | None = 5,
+    ) -> None:
+        self.root = Path(root)
+        self.corpus = corpus
+        self.known_slugs = known_slugs
+        self.expected_count = expected_count
+
+    @property
+    def prefilter_path(self) -> Path:
+        return self.root / "core" / "prefilter.py"
+
+    def _rel(self) -> str:
+        path = self.prefilter_path
+        return (Path(self.root.name) / path.relative_to(self.root)).as_posix()
+
+    def run(self) -> list[Finding]:
+        rel = self._rel()
+        try:
+            triples = extract_signatures(self.prefilter_path)
+        except (OSError, SyntaxError, ValueError) as error:
+            return [Finding(rel, 0, "LNT001", f"cannot audit signatures: {error}")]
+
+        findings: list[Finding] = []
+        per_slug: dict[str, list[tuple[str, int]]] = {}
+        for slug, pattern, line in triples:
+            per_slug.setdefault(slug, []).append((pattern, line))
+
+        for slug, patterns in per_slug.items():
+            first_line = patterns[0][1]
+            if self.known_slugs is not None and slug not in self.known_slugs:
+                findings.append(Finding(
+                    rel, first_line, "SIG006",
+                    f"signature slug {slug!r} is not an in-scope catalog app",
+                ))
+            if self.expected_count is not None and len(patterns) != self.expected_count:
+                findings.append(Finding(
+                    rel, first_line, "SIG006",
+                    f"{slug!r} has {len(patterns)} signatures, expected "
+                    f"{self.expected_count}",
+                ))
+
+        for slug, pattern, line in triples:
+            findings.extend(self._audit_pattern(rel, slug, pattern, line))
+        return findings
+
+    def _audit_pattern(
+        self, rel: str, slug: str, pattern: str, line: int
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        try:
+            compiled = re.compile(pattern)
+        except re.error as error:
+            return [Finding(rel, line, "SIG001",
+                            f"{slug}: {pattern!r} does not compile: {error}")]
+
+        for hazard in backtracking_hazards(pattern):
+            findings.append(Finding(
+                rel, line, "SIG002", f"{slug}: {pattern!r} has {hazard}"
+            ))
+
+        if compiled.search(""):
+            findings.append(Finding(
+                rel, line, "SIG003", f"{slug}: {pattern!r} matches the empty string"
+            ))
+        else:
+            run = longest_guaranteed_literal_run(pattern)
+            if run < MIN_LITERAL_RUN:
+                findings.append(Finding(
+                    rel, line, "SIG003",
+                    f"{slug}: {pattern!r} guarantees only a {run}-char literal "
+                    f"run (need {MIN_LITERAL_RUN})",
+                ))
+
+        if findings or self.corpus is None or slug not in self.corpus:
+            # Shape problems make corpus verdicts meaningless; unknown
+            # slugs (fixture trees) have no ground-truth pages to judge.
+            return findings
+
+        own_pages = self.corpus[slug]
+        if not any(compiled.search(body) for body in own_pages.values()):
+            findings.append(Finding(
+                rel, line, "SIG004",
+                f"{slug}: {pattern!r} matches none of its {len(own_pages)} "
+                f"canned pages",
+            ))
+        for other in sorted(self.corpus):
+            if other == slug:
+                continue
+            hits = sorted(
+                page for page, body in self.corpus[other].items()
+                if compiled.search(body)
+            )
+            if hits:
+                findings.append(Finding(
+                    rel, line, "SIG005",
+                    f"{slug}: {pattern!r} also matches {other} page(s): "
+                    f"{', '.join(hits[:3])}",
+                ))
+        return findings

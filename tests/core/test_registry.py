@@ -1,0 +1,74 @@
+"""Registry completeness: every in-scope app is wired end to end.
+
+Each catalog slug must have exactly five prefilter signatures, a
+registered Tsunami plugin, a release history, and some way to fingerprint
+the deployed version (either the app discloses it or the knowledge base
+hashes its static files).  Failure messages name the missing piece so the
+fix is obvious.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.catalog import in_scope_apps
+from repro.apps.versions import RELEASE_DB
+from repro.core.fingerprint.knowledge_base import build_default_knowledge_base
+from repro.core.prefilter import SIGNATURES
+from repro.core.tsunami.plugins import ALL_PLUGINS, plugin_for
+
+IN_SCOPE = in_scope_apps()
+SLUGS = [spec.slug for spec in IN_SCOPE]
+
+
+@pytest.fixture(scope="module")
+def knowledge_base():
+    return build_default_knowledge_base()
+
+
+def test_in_scope_catalog_has_18_apps():
+    assert len(SLUGS) == 18
+
+
+@pytest.mark.parametrize("slug", SLUGS)
+def test_exactly_five_signatures(slug):
+    patterns = SIGNATURES.get(slug, ())
+    assert len(patterns) == 5, (
+        f"{slug}: expected 5 prefilter signatures in "
+        f"repro.core.prefilter.SIGNATURES, found {len(patterns)}"
+    )
+
+
+@pytest.mark.parametrize("slug", SLUGS)
+def test_plugin_registered(slug):
+    assert plugin_for(slug) is not None, (
+        f"{slug}: no Tsunami plugin registered in "
+        "repro.core.tsunami.plugins.ALL_PLUGINS"
+    )
+
+
+def test_no_orphan_plugins():
+    orphans = {p.slug for p in ALL_PLUGINS} - set(SLUGS)
+    assert not orphans, (
+        f"plugins registered for slugs outside the in-scope catalog: "
+        f"{sorted(orphans)}"
+    )
+
+
+@pytest.mark.parametrize("slug", SLUGS)
+def test_release_history_present(slug):
+    assert RELEASE_DB.releases(slug), (
+        f"{slug}: no releases in repro.apps.versions.RELEASE_DB — "
+        "version sampling cannot assign this app a version"
+    )
+
+
+@pytest.mark.parametrize("spec", IN_SCOPE, ids=SLUGS)
+def test_version_fingerprintable(spec, knowledge_base):
+    disclosed = spec.emulator.discloses_version
+    hashed = knowledge_base.paths_for(spec.slug)
+    assert disclosed or hashed, (
+        f"{spec.slug}: version is neither disclosed on a page "
+        "(emulator.discloses_version) nor recoverable from hashed static "
+        "files (knowledge base has no paths for it)"
+    )

@@ -1,0 +1,13 @@
+"""Shared lint-test fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.corpus import build_corpus
+
+
+@pytest.fixture(scope="session")
+def signature_corpus():
+    """The canned-page ground-truth corpus (read-only, so shared)."""
+    return build_corpus()

@@ -1,0 +1,132 @@
+"""End-to-end CLI behaviour: exit codes, determinism, baseline, telemetry."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+
+BAD_PREFILTER = (
+    "SIGNATURES = {\n"
+    '    "app": (\n'
+    '        r"(a+)+b",\n'
+    "    ),\n"
+    "}\n"
+)
+
+BAD_PLUGIN = (
+    "class EvilPlugin:\n"
+    '    slug = "app"\n'
+    "    def detect(self, context):\n"
+    '        return context.post("/")\n'
+)
+
+CLOCK_USER = "import time\n\ndef stamp():\n    return time.time()\n"
+
+
+@pytest.fixture
+def broken_tree(tmp_path: Path) -> Path:
+    """A minimal repro tree with a ReDoS signature, a rogue plugin, and a
+    wall-clock read — one violation per analyzer."""
+    root = tmp_path / "repro"
+    (root / "core" / "tsunami" / "plugins").mkdir(parents=True)
+    (root / "core" / "prefilter.py").write_text(BAD_PREFILTER)
+    (root / "core" / "tsunami" / "plugins" / "evil.py").write_text(BAD_PLUGIN)
+    (root / "clockuser.py").write_text(CLOCK_USER)
+    return root
+
+
+def run(args: list[str], capsys) -> tuple[int, str]:
+    code = main(args)
+    return code, capsys.readouterr().out
+
+
+class TestRealTree:
+    def test_repaired_tree_exits_zero(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # no baseline file in CWD
+        code, out = run([], capsys)
+        assert code == 0
+        assert "no findings" in out
+
+
+class TestBrokenTree:
+    def test_exits_nonzero_and_names_the_defects(
+        self, broken_tree, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        code, out = run(
+            ["--root", str(broken_tree), "--no-corpus", "--format", "json"],
+            capsys,
+        )
+        assert code == 1
+        report = json.loads(out)
+        rules = {f["rule"] for f in report["findings"]}
+        assert {"SIG002", "PLG001", "PLG006", "DET001"} <= rules
+        det = next(f for f in report["findings"] if f["rule"] == "DET001")
+        assert det["path"] == "repro/clockuser.py"
+        assert det["line"] == 4
+
+    def test_consecutive_json_runs_are_byte_identical(
+        self, broken_tree, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        args = ["--root", str(broken_tree), "--no-corpus", "--format", "json"]
+        _, first = run(args, capsys)
+        _, second = run(args, capsys)
+        assert first == second
+
+    def test_update_baseline_then_rerun_exits_zero(
+        self, broken_tree, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        args = ["--root", str(broken_tree), "--no-corpus",
+                "--baseline", str(baseline)]
+        code, _ = run(args + ["--update-baseline"], capsys)
+        assert code == 0
+        saved = json.loads(baseline.read_text())
+        assert saved["version"] == 1 and saved["fingerprints"]
+        code, out = run(args, capsys)
+        assert code == 0
+        assert "baselined" in out
+
+    def test_out_file_receives_the_report(
+        self, broken_tree, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        out_file = tmp_path / "report.json"
+        code, _ = run(
+            ["--root", str(broken_tree), "--no-corpus", "--format", "json",
+             "--out", str(out_file)],
+            capsys,
+        )
+        assert code == 1
+        assert json.loads(out_file.read_text())["total"] >= 4
+
+
+class TestAuxiliaryModes:
+    def test_rules_catalog_lists_every_rule(self, capsys):
+        code, out = run(["--rules"], capsys)
+        assert code == 0
+        for rule in ("SIG001", "PLG001", "DET001", "LNT001"):
+            assert rule in out
+
+    def test_bad_root_is_a_usage_error(self, tmp_path, capsys):
+        code = main(["--root", str(tmp_path / "missing")])
+        assert code == 2
+
+    def test_telemetry_prometheus_counts_findings(
+        self, broken_tree, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        code, out = run(
+            ["--root", str(broken_tree), "--no-corpus",
+             "--telemetry", "prometheus"],
+            capsys,
+        )
+        assert code == 1
+        assert "lint_runs_total" in out
+        assert 'lint_findings_total{rule="DET001"}' in out

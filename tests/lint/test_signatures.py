@@ -1,0 +1,137 @@
+"""Signature auditor: shape analysis and the corpus precision checks."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.signatures import (
+    SignatureAuditor,
+    backtracking_hazards,
+    extract_signatures,
+    longest_guaranteed_literal_run,
+)
+
+REPRO_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def write_prefilter(tmp_path: Path, body: str) -> Path:
+    root = tmp_path / "repro"
+    (root / "core").mkdir(parents=True)
+    (root / "core" / "prefilter.py").write_text(body)
+    return root
+
+
+class TestExtraction:
+    def test_real_corpus_extracts_90_signatures(self):
+        triples = extract_signatures(REPRO_ROOT / "core" / "prefilter.py")
+        assert len(triples) == 90
+        slugs = {slug for slug, _, _ in triples}
+        assert len(slugs) == 18
+
+    def test_lines_point_at_the_pattern(self, tmp_path):
+        root = write_prefilter(
+            tmp_path,
+            'SIGNATURES = {\n    "app": (\n        r"alpha",\n        r"beta",\n    ),\n}\n',
+        )
+        triples = extract_signatures(root / "core" / "prefilter.py")
+        assert triples == [("app", "alpha", 3), ("app", "beta", 4)]
+
+    def test_missing_dict_raises(self, tmp_path):
+        root = write_prefilter(tmp_path, "OTHER = {}\n")
+        with pytest.raises(ValueError):
+            extract_signatures(root / "core" / "prefilter.py")
+
+
+class TestShapeRules:
+    @pytest.mark.parametrize("pattern", ["(a+)+b", "(x*)*y", "(?:\\d+)+z"])
+    def test_nested_quantifiers_flagged(self, pattern):
+        assert backtracking_hazards(pattern)
+
+    def test_ambiguous_alternation_under_repeat_flagged(self):
+        # NB: sre folds shared alternation prefixes ("abc|abd" -> "ab[cd]"),
+        # so the branches must stay distinct for BRANCH to survive parsing.
+        assert "ambiguous alternation under a repeat" in backtracking_hazards(
+            "(cat|car|cart)+"
+        )
+
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            r"Dashboard \[Jenkins\]",
+            r"jupyter-main-app.*JupyterLab",
+            r"EnableLocalScriptChecks|EnableRemoteScriptChecks",
+            r"[Ll]ogged in as: dr\.who",
+        ],
+    )
+    def test_real_corpus_shapes_are_benign(self, pattern):
+        assert backtracking_hazards(pattern) == []
+
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [
+            (r"wp-json", 7),
+            (r".*", 0),
+            (r"a.*b", 1),
+            (r"alpha|beta", 4),  # min over branches
+            (r"x{4}", 4),
+        ],
+    )
+    def test_literal_run(self, pattern, expected):
+        assert longest_guaranteed_literal_run(pattern) == expected
+
+
+class TestAuditor:
+    def test_repaired_tree_is_clean(self, signature_corpus):
+        findings = SignatureAuditor(REPRO_ROOT, corpus=signature_corpus).run()
+        assert findings == []
+
+    def test_redos_signature_flagged_with_location(self, tmp_path):
+        root = write_prefilter(
+            tmp_path, 'SIGNATURES = {\n    "app": (\n        r"(a+)+b",\n    ),\n}\n'
+        )
+        findings = SignatureAuditor(root, expected_count=None).run()
+        rules = {f.rule for f in findings}
+        assert "SIG002" in rules
+        sig002 = next(f for f in findings if f.rule == "SIG002")
+        assert sig002.path == "repro/core/prefilter.py"
+        assert sig002.line == 3
+
+    def test_non_compiling_signature_flagged(self, tmp_path):
+        root = write_prefilter(
+            tmp_path, 'SIGNATURES = {\n    "app": (\n        r"(unclosed",\n    ),\n}\n'
+        )
+        findings = SignatureAuditor(root, expected_count=None).run()
+        assert [f.rule for f in findings] == ["SIG001"]
+
+    def test_dead_and_cross_matching_signatures(self, tmp_path):
+        root = write_prefilter(
+            tmp_path,
+            "SIGNATURES = {\n"
+            '    "one": (\n        r"only-in-two",\n    ),\n'
+            '    "two": (\n        r"marker-of-two",\n    ),\n'
+            "}\n",
+        )
+        corpus = {
+            "one": {"secure:/": "<html>marker-of-one</html>"},
+            "two": {"secure:/": "<html>only-in-two marker-of-two</html>"},
+        }
+        findings = SignatureAuditor(root, corpus=corpus, expected_count=None).run()
+        rules = sorted(f.rule for f in findings)
+        # 'only-in-two' is dead for app one AND hits app two's pages.
+        assert rules == ["SIG004", "SIG005"]
+
+    def test_unknown_slug_and_wrong_count(self, tmp_path):
+        root = write_prefilter(
+            tmp_path, 'SIGNATURES = {\n    "ghost": (\n        r"spooky-marker",\n    ),\n}\n'
+        )
+        findings = SignatureAuditor(
+            root, known_slugs=frozenset({"real"}), expected_count=5
+        ).run()
+        assert sorted(f.rule for f in findings) == ["SIG006", "SIG006"]
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        root = write_prefilter(tmp_path, "def broken(:\n")
+        findings = SignatureAuditor(root).run()
+        assert [f.rule for f in findings] == ["LNT001"]
