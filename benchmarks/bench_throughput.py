@@ -1,0 +1,295 @@
+"""Throughput harness: stage-II bodies/sec and end-to-end addresses/sec.
+
+Times two things against a *seed-baseline emulation* (the hot paths as
+they were before the parallel-engine PR):
+
+* **matcher** — ``match_signatures`` (guaranteed-literal prescan + single
+  combined scan) versus ``match_signatures_naive`` (up to 90 regexes, one
+  at a time) over the canned-page corpus plus signature-free bodies;
+* **pipeline** — the sharded engine at 1/2/4/8 workers versus a
+  sequential baseline run with the naive matcher and the per-port probe
+  path (no batched ``probe_ports``), on a bench-scale census.
+
+Results land in ``BENCH_scan.json`` so future PRs have a perf
+trajectory.  ``--check`` gates CI on the committed file: because absolute
+addresses/sec depend on the runner's hardware, the gate compares the
+hardware-independent *speedup ratios* (current vs committed) and fails
+when sequential throughput regresses more than ``--tolerance`` relative
+to its baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py \
+        --out BENCH_scan.json                  # full-scale, rewrite file
+    PYTHONPATH=src python benchmarks/bench_throughput.py \
+        --addresses 3000 --check BENCH_scan.json   # CI smoke + gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.apps.catalog import scanned_ports
+from repro.core import masscan as masscan_mod
+from repro.core import prefilter as prefilter_mod
+from repro.core.pipeline import ScanPipeline
+from repro.core.prefilter import match_signatures, match_signatures_naive
+from repro.lint.corpus import build_corpus
+from repro.net.ipv4 import IPv4Address, iana_reserved_networks
+from repro.net.transport import InMemoryTransport, Transport
+
+SCHEMA = 1
+
+
+# -- matcher ------------------------------------------------------------------
+
+def matcher_bodies() -> list[str]:
+    """The canned-page corpus plus signature-free filler, 2:1.
+
+    Real stage-II traffic is a mix of application landing pages and
+    bodies that match nothing (decoys, error pages); the filler keeps the
+    bench honest about the all-miss case, which is the matcher's
+    worst-case scan.
+    """
+    corpus = [
+        body
+        for pages in build_corpus().values()
+        for body in pages.values()
+    ]
+    filler = ["<html><body>nothing to see here</body></html> " * 30] * (
+        len(corpus) // 2
+    )
+    return corpus + filler
+
+
+def bench_matcher(rounds: int = 30) -> dict:
+    bodies = matcher_bodies()
+
+    def rate(fn) -> float:
+        start = time.perf_counter()
+        for _ in range(rounds):
+            for body in bodies:
+                fn(body)
+        return rounds * len(bodies) / (time.perf_counter() - start)
+
+    naive = rate(match_signatures_naive)
+    single_pass = rate(match_signatures)
+    return {
+        "bodies": len(bodies),
+        "naive_bodies_per_sec": round(naive, 1),
+        "single_pass_bodies_per_sec": round(single_pass, 1),
+        "speedup": round(single_pass / naive, 3),
+    }
+
+
+# -- pipeline -----------------------------------------------------------------
+
+def legacy_is_reserved(address: IPv4Address) -> bool:
+    """The pre-PR reserved check: a linear scan over all 27 CIDR objects.
+
+    The PR replaced it with a bisect over precomputed integer ranges;
+    the baseline must still pay the old per-address cost.
+    """
+    return any(net.contains(address) for net in _LEGACY_RESERVED)
+
+
+_LEGACY_RESERVED = iana_reserved_networks()
+
+
+class PerPortTransport(Transport):
+    """Seed-baseline probe path: no batched ``probe_ports`` override.
+
+    Wrapping the in-memory transport in this shim restores the
+    one-host-lookup-per-port behaviour the scanner had before this PR,
+    which is what the end-to-end baseline must measure.
+    """
+
+    def __init__(self, inner: Transport) -> None:
+        super().__init__(enforce_ethics=inner.enforce_ethics)
+        self.inner = inner
+        self.stats = inner.stats
+
+    def _port_open(self, ip, port):
+        return self.inner._port_open(ip, port)
+
+    def _exchange(self, ip, port, scheme, request):
+        return self.inner._exchange(ip, port, scheme, request)
+
+    def fetch_certificate(self, ip, port):
+        return self.inner.fetch_certificate(ip, port)
+
+
+def bench_census(limit: int | None, dead_per_live: int = 50):
+    """The bench-scale frame: populated hosts diluted with dead neighbours.
+
+    The paper sweeps ~3.5B addresses of which a sliver responds, so a
+    realistic throughput frame is dominated by stage I silence.  Scanning
+    only ``populated_addresses()`` would invert that (and hide the
+    batched-probe win), so each populated host drags ``dead_per_live``
+    unpopulated addresses from its own /24 into the frame.
+    """
+    from repro.experiments.config import StudyConfig
+    from repro.net.population import generate_internet
+
+    internet, _geo, _census = generate_internet(
+        StudyConfig.default().population
+    )
+    populated: list[IPv4Address] = internet.populated_addresses()
+    if limit is not None:
+        populated = populated[:limit]
+    values = set()
+    for ip in populated:
+        values.add(ip.value)
+        base = ip.value & 0xFFFFFF00
+        added = 0
+        for offset in range(256):
+            if added == dead_per_live:
+                break
+            value = base + offset
+            if value not in values:
+                values.add(value)
+                added += 1
+    candidates = [IPv4Address(value) for value in sorted(values)]
+    return internet, candidates
+
+
+def run_baseline(internet, candidates) -> float:
+    """Sequential sweep with the pre-PR hot paths: addresses/sec."""
+    transport = PerPortTransport(InMemoryTransport(internet))
+    pipeline = ScanPipeline(transport, scanned_ports(), seed=3)
+    # The baseline must pay the old 90-regex matching and linear
+    # reserved-check costs; swapping the module hooks is bench-only
+    # surgery and is undone immediately.
+    original_match = prefilter_mod.match_signatures
+    original_reserved = masscan_mod.is_reserved
+    prefilter_mod.match_signatures = prefilter_mod.match_signatures_naive
+    masscan_mod.is_reserved = legacy_is_reserved
+    try:
+        start = time.perf_counter()
+        report = pipeline.run(candidates)
+        elapsed = time.perf_counter() - start
+    finally:
+        prefilter_mod.match_signatures = original_match
+        masscan_mod.is_reserved = original_reserved
+    assert report.port_scan.addresses_scanned == len(candidates)
+    return len(candidates) / elapsed
+
+
+def run_engine(internet, candidates, workers: int) -> float:
+    """Sharded engine at ``workers``: addresses/sec."""
+    transport = InMemoryTransport(internet)
+    pipeline = ScanPipeline(transport, scanned_ports(), seed=3, workers=workers)
+    start = time.perf_counter()
+    report = pipeline.run(candidates)
+    elapsed = time.perf_counter() - start
+    assert report.port_scan.addresses_scanned == len(candidates)
+    return len(candidates) / elapsed
+
+
+def bench_pipeline(
+    limit: int | None,
+    worker_counts: tuple[int, ...],
+    dead_per_live: int = 50,
+) -> dict:
+    internet, candidates = bench_census(limit, dead_per_live)
+    baseline = run_baseline(internet, candidates)
+    per_workers = {
+        str(workers): round(run_engine(internet, candidates, workers), 1)
+        for workers in worker_counts
+    }
+    reference = per_workers.get("4", next(iter(per_workers.values())))
+    return {
+        "addresses": len(candidates),
+        "dead_per_live": dead_per_live,
+        "baseline_addresses_per_sec": round(baseline, 1),
+        "workers": per_workers,
+        "speedup_workers4": round(reference / baseline, 3),
+    }
+
+
+# -- regression gate ----------------------------------------------------------
+
+def check_regression(current: dict, committed: dict, tolerance: float) -> list[str]:
+    """Ratio-based comparison against the committed BENCH_scan.json.
+
+    Absolute throughput is hardware-bound, so the gate compares the
+    *speedups over the in-run baseline*, which cancel the machine out.
+    """
+    failures: list[str] = []
+    pairs = (
+        ("matcher speedup",
+         current["matcher"]["speedup"], committed["matcher"]["speedup"]),
+        ("workers=4 end-to-end speedup",
+         current["pipeline"]["speedup_workers4"],
+         committed["pipeline"]["speedup_workers4"]),
+    )
+    for label, now, then in pairs:
+        floor = then * (1.0 - tolerance)
+        if now < floor:
+            failures.append(
+                f"{label} regressed: {now:.3f} < {floor:.3f} "
+                f"(committed {then:.3f}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+# -- entry point --------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write results to this JSON file")
+    parser.add_argument("--addresses", type=int, default=None,
+                        help="cap the census at this many candidates "
+                             "(default: the full bench-scale census)")
+    parser.add_argument("--matcher-rounds", type=int, default=30)
+    parser.add_argument("--dead-per-live", type=int, default=50,
+                        help="unresponsive neighbours pulled into the frame "
+                             "per populated host (models the mostly-silent "
+                             "internet-wide sweep)")
+    parser.add_argument("--workers", type=int, nargs="+",
+                        default=(1, 2, 4, 8))
+    parser.add_argument("--check", type=Path, default=None,
+                        help="compare speedup ratios against this committed "
+                             "BENCH_scan.json and exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.3,
+                        help="allowed relative regression for --check")
+    args = parser.parse_args(argv)
+
+    print("benching matcher ...", flush=True)
+    matcher = bench_matcher(rounds=args.matcher_rounds)
+    print(f"  naive       {matcher['naive_bodies_per_sec']:>10} bodies/s")
+    print(f"  single-pass {matcher['single_pass_bodies_per_sec']:>10} bodies/s"
+          f"  ({matcher['speedup']}x)")
+
+    print("benching pipeline ...", flush=True)
+    pipeline = bench_pipeline(
+        args.addresses, tuple(args.workers), args.dead_per_live
+    )
+    print(f"  baseline    {pipeline['baseline_addresses_per_sec']:>10} addrs/s")
+    for workers, value in pipeline["workers"].items():
+        print(f"  workers={workers}   {value:>10} addrs/s")
+    print(f"  workers=4 speedup over baseline: {pipeline['speedup_workers4']}x")
+
+    results = {"schema": SCHEMA, "matcher": matcher, "pipeline": pipeline}
+    if args.out is not None:
+        args.out.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    if args.check is not None:
+        committed = json.loads(args.check.read_text())
+        failures = check_regression(results, committed, args.tolerance)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,9 @@ sweep would be.
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.retry import RetryExecutor
@@ -77,32 +79,42 @@ class Masscan:
     retry: RetryExecutor | None = None
     #: when set, stage-I work is traced and counted
     telemetry: Telemetry | None = None
+    #: cache for :meth:`_bound_counters` (keyed by the telemetry object)
+    _counters: tuple | None = field(default=None, init=False, repr=False)
 
-    def target_order(self, candidates: Iterable[IPv4Address]) -> list[IPv4Address]:
-        """Filter reserved ranges and order targets for the sweep.
+    def iter_target_order(
+        self, candidates: Iterable[IPv4Address]
+    ) -> Iterator[IPv4Address]:
+        """Filter reserved ranges and order targets for the sweep, lazily.
 
         With randomisation on, /24 blocks are shuffled and addresses are
         shuffled within each block, so consecutive probes land in
-        unrelated networks (the paper's politeness measure).
+        unrelated networks (the paper's politeness measure).  Only one
+        block is materialised beyond the block index itself, so resuming
+        deep into a multi-million-address sweep does not copy the whole
+        order.
         """
         usable = [
             ip for ip in candidates
             if not (self.exclude_reserved and is_reserved(ip))
         ]
         if not self.randomise_order:
-            return sorted(usable, key=lambda ip: ip.value)
+            yield from sorted(usable, key=lambda ip: ip.value)
+            return
         blocks: dict[int, list[IPv4Address]] = {}
         for ip in usable:
             blocks.setdefault(ip.value & 0xFFFFFF00, []).append(ip)
-        ordered: list[IPv4Address] = []
         for block in shuffled(self.rng, sorted(blocks)):
-            ordered.extend(shuffled(self.rng, sorted(blocks[block])))
-        return ordered
+            yield from shuffled(self.rng, sorted(blocks[block]))
+
+    def target_order(self, candidates: Iterable[IPv4Address]) -> list[IPv4Address]:
+        """The full sweep order as a list (see :meth:`iter_target_order`)."""
+        return list(self.iter_target_order(candidates))
 
     def scan(self, candidates: Iterable[IPv4Address]) -> PortScanResult:
         """Probe every candidate on every configured port."""
         result = PortScanResult()
-        for ip in self.target_order(candidates):
+        for ip in self.iter_target_order(candidates):
             self._probe_host(ip, result)
         return result
 
@@ -123,7 +135,7 @@ class Masscan:
             raise ValueError("skip must be non-negative")
         result = PortScanResult()
         span = None
-        for ip in self.target_order(candidates)[skip:]:
+        for ip in islice(self.iter_target_order(candidates), skip, None):
             if span is None and self.telemetry is not None:
                 # Lazy: only a batch that probes at least one address
                 # opens a span, so resumed sweeps trace identically.
@@ -154,19 +166,40 @@ class Masscan:
         return self.transport.syn_probe(ip, port)
 
     def _probe_host(self, ip: IPv4Address, result: PortScanResult) -> None:
-        open_ports = []
-        for port in self.ports:
-            result.probes_sent += 1
-            if self.probe_port(ip, port):
-                open_ports.append(port)
+        ports = self.ports
+        if self.retry is None:
+            # Batched fast path: one transport call for all twelve ports.
+            open_ports = self.transport.probe_ports(ip, ports)
+        else:
+            open_ports = [
+                port for port in ports if self.probe_port(ip, port)
+            ]
+        result.probes_sent += len(ports)
         result.addresses_scanned += 1
         result.record(ip, open_ports)
         if self.telemetry is not None:
-            metric = self.telemetry.metrics.counter
-            metric("masscan_probes_total").inc(len(self.ports))
-            metric("masscan_addresses_total").inc()
+            probes, addresses, opened = self._bound_counters()
+            probes.inc(len(ports))
+            addresses.inc()
             if open_ports:
-                metric("masscan_open_ports_total").inc(len(open_ports))
+                opened.inc(len(open_ports))
+
+    def _bound_counters(self):
+        """The three stage-I counters, looked up once per telemetry sink.
+
+        Counter objects are stable for a given registry, so binding them
+        here removes three name/label lookups from every probed address.
+        """
+        bound = self._counters
+        if bound is None or bound[0] is not self.telemetry:
+            metric = self.telemetry.metrics.counter
+            bound = self._counters = (
+                self.telemetry,
+                metric("masscan_probes_total"),
+                metric("masscan_addresses_total"),
+                metric("masscan_open_ports_total"),
+            )
+        return bound[1:]
 
 
 def burst_profile(order: Sequence[IPv4Address], window: int = 256) -> dict[int, int]:
@@ -178,13 +211,13 @@ def burst_profile(order: Sequence[IPv4Address], window: int = 256) -> dict[int, 
     """
     peaks: dict[int, int] = {}
     window_counts: dict[int, int] = {}
-    queue: list[int] = []
+    queue: deque[int] = deque(maxlen=window)
     for ip in order:
         block = ip.value & 0xFFFFFF00
+        if len(queue) == window:
+            # queue[0] is about to be evicted by the bounded append.
+            window_counts[queue[0]] -= 1
         queue.append(block)
         window_counts[block] = window_counts.get(block, 0) + 1
-        if len(queue) > window:
-            old = queue.pop(0)
-            window_counts[old] -= 1
         peaks[block] = max(peaks.get(block, 0), window_counts[block])
     return peaks

@@ -1,0 +1,287 @@
+"""Sharded parallel scan engine with bit-identical output.
+
+The paper's sweep ran on 64 machines; this engine brings the same
+horizontal split to the pipeline without giving up the repo's core
+invariant — that a scan's report and telemetry export are a pure
+function of its seed.  The trick is to make parallelism *invisible to
+the data*:
+
+* **/24-aligned shards** — the candidate frame is partitioned into
+  shards of whole /24 blocks in canonical (sorted-block) order, so the
+  partition depends only on the frame, never on workers or timing;
+* **shard-local everything** — each shard runs a full
+  :class:`~repro.core.pipeline.ScanPipeline` of its own: a forked
+  transport (own stats + own fault RNG), its own
+  :class:`~repro.util.clock.SimClock` starting at zero, its own
+  :class:`~repro.obs.telemetry.Telemetry`, retry executor, and circuit
+  breakers, all seeded from ``stable_hash(seed, "shard", index)``.
+  Worker threads share *no* mutable state beyond a progress counter;
+* **deterministic fold** — shard results are serialised (the same
+  round-trip a checkpoint uses) and merged on the main thread in shard
+  index order: reports merge, telemetry is absorbed with span-id
+  rebasing, transport stats add.  The fold is the *only* sanctioned
+  write path out of a worker, which the ``DET005`` lint rule enforces.
+
+Because every shard computation is independent and the fold order is
+canonical, a run with ``workers=4`` emits a report and telemetry JSONL
+byte-identical to ``workers=1`` — the acceptance property the parallel
+equivalence tests pin.  Checkpoint/resume works at shard boundaries: the
+checkpoint stores completed shard payloads, and a resumed run re-executes
+only the missing shards.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Iterable
+
+from repro.core.checkpoint import Checkpointer, check_config_matches
+from repro.core.fingerprint.knowledge_base import build_default_knowledge_base
+from repro.core.serialize import report_from_dict, report_to_dict
+from repro.net.ipv4 import IPv4Address, is_reserved
+from repro.net.transport import TransportStats
+from repro.util.clock import SimClock
+from repro.util.rand import stable_hash
+
+#: /24 blocks per shard; small enough to balance load, large enough to
+#: keep the per-shard pipeline setup and fold costs amortised on sparse
+#: census frames (~1 populated address per block).  Must stay in sync
+#: with the ``ScanPipeline.shard_blocks`` field default.
+DEFAULT_SHARD_BLOCKS = 256
+
+
+class Shard:
+    """One /24-aligned slice of the candidate frame."""
+
+    __slots__ = ("index", "seed", "addresses")
+
+    def __init__(
+        self, index: int, seed: int, addresses: tuple[IPv4Address, ...]
+    ) -> None:
+        self.index = index
+        self.seed = seed
+        self.addresses = addresses
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Shard(index={self.index}, addresses={len(self.addresses)})"
+
+
+def plan_shards(
+    candidates: Iterable[IPv4Address],
+    seed: int,
+    shard_blocks: int = DEFAULT_SHARD_BLOCKS,
+    exclude_reserved: bool = True,
+) -> list[Shard]:
+    """Partition a candidate frame into deterministic /24-aligned shards.
+
+    Blocks are taken in sorted order and grouped ``shard_blocks`` at a
+    time, so the partition is a function of the frame alone.  Reserved
+    addresses are dropped here (mirroring stage I) so shard sizes reflect
+    real work.  Each shard's scan order is still randomised *within* the
+    shard by its own seeded masscan, preserving the paper's politeness
+    property shard-locally.
+    """
+    if shard_blocks < 1:
+        raise ValueError("shard_blocks must be at least 1")
+    blocks: dict[int, list[IPv4Address]] = {}
+    for ip in candidates:
+        if exclude_reserved and is_reserved(ip):
+            continue
+        blocks.setdefault(ip.value & 0xFFFFFF00, []).append(ip)
+    ordered = sorted(blocks)
+    shards: list[Shard] = []
+    for start in range(0, len(ordered), shard_blocks):
+        index = len(shards)
+        addresses = tuple(
+            ip
+            for block in ordered[start:start + shard_blocks]
+            for ip in sorted(blocks[block])
+        )
+        shards.append(Shard(index, stable_hash(seed, "shard", index), addresses))
+    return shards
+
+
+class ParallelScanEngine:
+    """Run one sweep as concurrent, independently deterministic shards.
+
+    The engine borrows its configuration — and its fold targets (the
+    telemetry handle and transport stats) — from the parent
+    :class:`~repro.core.pipeline.ScanPipeline` that dispatched to it.
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        workers: int,
+        shard_blocks: int = DEFAULT_SHARD_BLOCKS,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.pipeline = pipeline
+        self.workers = workers
+        self.shard_blocks = shard_blocks
+        self._lock = threading.Lock()
+        #: shards finished so far (progress accounting only — results
+        #: always travel through the main-thread fold)
+        self._shards_done = 0
+
+    # -- orchestration -------------------------------------------------------
+
+    def run(
+        self,
+        candidates: Iterable[IPv4Address],
+        checkpoint: Checkpointer | None = None,
+    ):
+        pipe = self.pipeline
+        shards = plan_shards(
+            candidates, pipe.seed, self.shard_blocks,
+            exclude_reserved=pipe._masscan.exclude_reserved,
+        )
+        completed: dict[int, dict] = {}
+        if checkpoint is not None:
+            payload = checkpoint.load()
+            if payload is not None:
+                check_config_matches(
+                    payload,
+                    seed=pipe.seed,
+                    ports=list(pipe.ports),
+                    batch_size=pipe.batch_size,
+                    shard_blocks=self.shard_blocks,
+                    shards_total=len(shards),
+                )
+                completed = {
+                    int(index): result
+                    for index, result in payload["shards"].items()
+                }
+        # Note: the event mentions neither the worker count nor how many
+        # shards were resumed from a checkpoint — telemetry output is
+        # defined to be identical for every worker count and for
+        # interrupted-and-resumed versus uninterrupted runs.
+        pipe.telemetry.events.info(
+            "parallel", "sweep-start", shards=len(shards),
+        )
+        todo = [shard for shard in shards if shard.index not in completed]
+        if todo:
+            # The shared knowledge base is read-only during a sweep, so
+            # building it once saves every shard the construction cost.
+            knowledge_base = None
+            if pipe.fingerprint:
+                knowledge_base = (
+                    pipe.knowledge_base or build_default_knowledge_base()
+                )
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                futures = {
+                    pool.submit(self._run_shard, shard, knowledge_base): shard
+                    for shard in todo
+                }
+                for future in as_completed(futures):
+                    shard = futures[future]
+                    completed[shard.index] = future.result()
+                    if checkpoint is not None and checkpoint.due(len(completed)):
+                        checkpoint.save(
+                            self._checkpoint_payload(shards, completed)
+                        )
+        report = self._fold(shards, completed)
+        if checkpoint is not None:
+            checkpoint.clear()
+        return report
+
+    # -- shard execution (worker threads) ------------------------------------
+
+    def _run_shard(self, shard: Shard, knowledge_base) -> dict:
+        result = self._execute_shard(shard, knowledge_base)
+        with self._lock:
+            self._shards_done += 1
+        return result
+
+    def _execute_shard(self, shard: Shard, knowledge_base) -> dict:
+        """One shard, in a fully private deterministic universe.
+
+        Everything mutable is created here and owned by this call: the
+        forked transport, the shard clock (starting at zero), and the
+        shard pipeline with its own telemetry, retry executor, and
+        breakers.  The return value is plain JSON-safe data — the same
+        serialised form a checkpoint stores — so live folds and resumed
+        folds are symmetric.
+        """
+        from repro.core.pipeline import ScanPipeline
+
+        pipe = self.pipeline
+        clock = SimClock()
+        transport = pipe.transport.fork(shard.seed, clock)
+        sub = ScanPipeline(
+            transport=transport,
+            ports=pipe.ports,
+            seed=shard.seed,
+            batch_size=pipe.batch_size,
+            fingerprint=pipe.fingerprint,
+            use_prefilter=pipe.use_prefilter,
+            knowledge_base=knowledge_base,
+            retry_policy=pipe.retry_policy,
+            clock=clock,
+        )
+        report = sub.run(shard.addresses)
+        return {
+            "report": report_to_dict(report),
+            "telemetry": sub.telemetry.snapshot_state(),
+            "transport_stats": transport.stats.to_dict(),
+            "addresses": report.port_scan.addresses_scanned,
+        }
+
+    # -- fold (main thread) ---------------------------------------------------
+
+    def _fold(self, shards: list[Shard], completed: dict[int, dict]):
+        """Merge shard results in canonical index order.
+
+        This is the sanctioned write path out of the worker pool: by the
+        time a payload reaches here it is immutable data, and everything
+        it touches (the merged report, the parent telemetry, the parent
+        transport stats) is only ever written by the main thread.
+        """
+        from repro.core.pipeline import ScanReport
+
+        pipe = self.pipeline
+        telemetry = pipe.telemetry
+        report = ScanReport()
+        for shard in shards:
+            payload = completed[shard.index]
+            shard_report = report_from_dict(payload["report"])
+            report.merge(shard_report)
+            telemetry.absorb_state(payload["telemetry"])
+            pipe.transport.stats.merge(
+                TransportStats.from_dict(payload["transport_stats"])
+            )
+            telemetry.events.info(
+                "parallel", "shard-complete",
+                index=shard.index, addresses=payload["addresses"],
+            )
+        telemetry.events.info(
+            "parallel", "sweep-complete",
+            shards=len(shards),
+            addresses=report.port_scan.addresses_scanned,
+            awe_hosts=report.total_awe_hosts(),
+        )
+        # Cumulative contract, like the sequential engine's _fold_stats:
+        # the report carries the parent handle's summary, which now holds
+        # every shard's counters plus the engine's own events.
+        report.telemetry = telemetry.summary()
+        return report
+
+    # -- checkpoint/resume ----------------------------------------------------
+
+    def _checkpoint_payload(
+        self, shards: list[Shard], completed: dict[int, dict]
+    ) -> dict:
+        pipe = self.pipeline
+        return {
+            "engine": "parallel-shards",
+            "seed": pipe.seed,
+            "ports": list(pipe.ports),
+            "batch_size": pipe.batch_size,
+            "shard_blocks": self.shard_blocks,
+            "shards_total": len(shards),
+            "shards": {
+                str(index): completed[index] for index in sorted(completed)
+            },
+        }

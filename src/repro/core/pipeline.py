@@ -162,6 +162,13 @@ class ScanPipeline:
     circuit_breaker: CircuitBreaker | None = None
     #: shared observability handle; auto-created on the pipeline clock
     telemetry: Telemetry | None = None
+    #: run the sweep as concurrent /24-aligned shards on this many worker
+    #: threads (None = the classic sequential engine).  Output is
+    #: byte-identical for every worker count; see repro.core.parallel.
+    workers: int | None = None
+    #: /24 blocks per shard when ``workers`` is set (kept in sync with
+    #: repro.core.parallel.DEFAULT_SHARD_BLOCKS)
+    shard_blocks: int = 256
 
     def __post_init__(self) -> None:
         if self.telemetry is None:
@@ -232,7 +239,19 @@ class ScanPipeline:
         resumed: already-scanned addresses are skipped and every seeded
         component continues its random sequence where it stopped, so the
         final report equals an uninterrupted run's bit-for-bit.
+
+        With ``workers`` set, the sweep is dispatched to the sharded
+        parallel engine instead: shard-local pipelines run concurrently
+        and are folded deterministically (checkpoints then live at shard
+        boundaries).
         """
+        if self.workers is not None:
+            from repro.core.parallel import ParallelScanEngine
+
+            engine = ParallelScanEngine(
+                self, workers=self.workers, shard_blocks=self.shard_blocks
+            )
+            return engine.run(candidates, checkpoint)
         tel = self.telemetry
         report = ScanReport()
         completed = 0

@@ -38,6 +38,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--scale", choices=sorted(_SCALES), default="default")
     parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="run the sweep as concurrent /24-aligned shards "
+                             "on this many worker threads (scan / observe "
+                             "experiments); the report and telemetry are "
+                             "byte-identical for every worker count")
     parser.add_argument("--markdown", action="store_true",
                         help="render the full report as markdown")
     parser.add_argument("--out", type=str, default=None,
@@ -52,19 +57,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run(experiment: str, config: StudyConfig, markdown: bool = False):
+def _run(
+    experiment: str,
+    config: StudyConfig,
+    markdown: bool = False,
+    workers: int | None = None,
+):
     """Run one experiment; returns (report text, Telemetry or None)."""
     if experiment == "full":
         study = run_full_study(config)
         return study.render_markdown() if markdown else study.render(), None
     if experiment == "scan":
-        study = run_scan_study(config)
+        study = run_scan_study(config, workers=workers)
         return "\n\n".join(
             [study.table2().render(), study.table3().render(),
              study.table4().render(), study.figure1().render()]
         ), study.telemetry
     if experiment == "observe":
-        study = run_scan_study(config)
+        study = run_scan_study(config, workers=workers)
         # The observer charges its sweep counters to the scan pipeline's
         # handle, so one dump covers both phases.
         observer = run_observer_study(study, telemetry=study.telemetry)
@@ -102,7 +112,9 @@ def main(argv: list[str] | None = None) -> int:
     config = _SCALES[args.scale]()
     if args.seed is not None:
         config = config.with_seed(args.seed)
-    report, telemetry = _run(args.experiment, config, markdown=args.markdown)
+    report, telemetry = _run(
+        args.experiment, config, markdown=args.markdown, workers=args.workers
+    )
     if args.telemetry is not None:
         if telemetry is None:
             print(

@@ -62,8 +62,15 @@ class ScanStudy:
         return len(self.report.vulnerable_ips())
 
 
-def run_scan_study(config: StudyConfig | None = None) -> ScanStudy:
-    """Generate the Internet and sweep it with the full pipeline."""
+def run_scan_study(
+    config: StudyConfig | None = None, workers: int | None = None
+) -> ScanStudy:
+    """Generate the Internet and sweep it with the full pipeline.
+
+    ``workers`` dispatches the sweep to the sharded parallel engine; the
+    report and telemetry are byte-identical for every worker count, so
+    the analysis products do not depend on it.
+    """
     config = config or StudyConfig.default()
     internet, geo, census = generate_internet(config.population)
     transport = InMemoryTransport(internet)
@@ -72,6 +79,7 @@ def run_scan_study(config: StudyConfig | None = None) -> ScanStudy:
         scanned_ports(),
         seed=config.seed,
         fingerprint=config.fingerprint,
+        workers=workers,
     )
     report = pipeline.run(internet.populated_addresses())
     return ScanStudy(

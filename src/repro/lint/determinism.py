@@ -17,7 +17,14 @@ This pass walks every module under the scanned root and flags:
 * ``DET003`` unseeded randomness (module-level ``random.*`` calls,
   ``random.Random()`` with no seed argument);
 * ``DET004`` iteration directly over a set display, ``set(...)`` call,
-  or set comprehension (wrap in ``sorted(...)`` to fix).
+  or set comprehension (wrap in ``sorted(...)`` to fix);
+* ``DET005`` worker-pool callables (functions handed to ``.submit(...)``
+  or ``.map(...)``) that write state they do not own — ``self``
+  attributes, free names, ``global``/``nonlocal`` — instead of returning
+  results for the main thread to fold in canonical order.  Concurrent
+  writes are scheduling-ordered, so any output derived from them varies
+  with the worker count; the parallel engine's shard-fold API is the
+  sanctioned alternative (and its progress counter is baselined).
 
 Import aliases are tracked per module, so ``from time import time as
 now`` does not escape the net; methods on *instances* that merely share
@@ -57,6 +64,9 @@ _SET_CONSUMERS_OK = frozenset({
     "sorted", "len", "sum", "min", "max", "any", "all", "frozenset", "set",
 })
 
+#: methods that hand a callable to a worker pool (DET005 entry points)
+_POOL_DISPATCH_METHODS = frozenset({"submit", "map"})
+
 
 class _ModuleAuditor(ast.NodeVisitor):
     def __init__(self, rel: str) -> None:
@@ -66,6 +76,10 @@ class _ModuleAuditor(ast.NodeVisitor):
         self.module_aliases: dict[str, str] = {}
         #: local name -> (module, function) for "from x import y [as z]"
         self.function_aliases: dict[str, tuple[str, str]] = {}
+        #: function name -> defs, for resolving worker-pool callables
+        self._function_defs: dict[str, list[ast.AST]] = {}
+        #: names handed to .submit()/.map() as the callable
+        self._worker_callables: list[str] = []
 
     # -- import tracking -----------------------------------------------------
 
@@ -92,8 +106,26 @@ class _ModuleAuditor(ast.NodeVisitor):
     def _flag(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append(Finding(self.rel, node.lineno, rule, message))
 
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_defs.setdefault(node.name, []).append(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function_defs.setdefault(node.name, []).append(node)
+        self.generic_visit(node)
+
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _POOL_DISPATCH_METHODS
+            and node.args
+        ):
+            target = node.args[0]
+            if isinstance(target, ast.Attribute):
+                self._worker_callables.append(target.attr)
+            elif isinstance(target, ast.Name):
+                self._worker_callables.append(target.id)
         if (
             isinstance(func, ast.Attribute)
             and isinstance(func.value, ast.Attribute)
@@ -184,6 +216,71 @@ class _ModuleAuditor(ast.NodeVisitor):
         # elsewhere is ordering-sensitive.
         self.generic_visit(node)
 
+    # -- worker-pool shared-state writes (DET005) ----------------------------
+
+    def finalize(self) -> None:
+        """Audit callables handed to worker pools, after the whole module
+        has been walked (the def may appear after the ``.submit`` site)."""
+        audited: set[int] = set()
+        for name in self._worker_callables:
+            for fn in self._function_defs.get(name, []):
+                if id(fn) not in audited:
+                    audited.add(id(fn))
+                    self._audit_worker_callable(fn)
+
+    def _audit_worker_callable(self, fn) -> None:
+        args = fn.args
+        params = {
+            a.arg
+            for a in (
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *([args.vararg] if args.vararg else []),
+                *([args.kwarg] if args.kwarg else []),
+            )
+        }
+        owned = set(params)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                owned.add(node.id)
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                self._flag(
+                    node, "DET005",
+                    f"worker callable {fn.name!r} declares "
+                    f"{'global' if isinstance(node, ast.Global) else 'nonlocal'}"
+                    f" {', '.join(node.names)}; worker results must be "
+                    "returned and folded on the main thread",
+                )
+                continue
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                self._audit_worker_write(fn, target, owned)
+
+    def _audit_worker_write(self, fn, target: ast.expr, owned: set[str]) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._audit_worker_write(fn, element, owned)
+            return
+        root = target
+        through_container = False
+        while isinstance(root, (ast.Attribute, ast.Subscript)):
+            through_container = True
+            root = root.value
+        if not through_container or not isinstance(root, ast.Name):
+            return  # a plain local rebind, or too dynamic to judge
+        if root.id == "self" or root.id not in owned:
+            self._flag(
+                target, "DET005",
+                f"worker callable {fn.name!r} writes shared state "
+                f"{ast.unparse(target)!r}; concurrent writes are "
+                "scheduling-ordered — return shard results and fold them "
+                "on the main thread in canonical order",
+            )
+
 
 class DeterminismAuditor:
     """Audit every module under ``root`` for replay-breaking constructs."""
@@ -210,4 +307,5 @@ class DeterminismAuditor:
             return [Finding(rel, 0, "LNT001", f"cannot parse: {error}")]
         auditor = _ModuleAuditor(rel)
         auditor.visit(tree)
+        auditor.finalize()
         return auditor.findings

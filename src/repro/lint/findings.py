@@ -81,6 +81,10 @@ RULES: dict[str, tuple[Severity, str]] = {
     "DET004": (Severity.WARNING,
                "iteration over an unordered set expression can leak "
                "nondeterministic ordering into output"),
+    "DET005": (Severity.ERROR,
+               "worker-pool callable writes shared mutable state "
+               "(self attributes, free names, global/nonlocal) outside "
+               "the sanctioned main-thread shard-fold path"),
 }
 
 

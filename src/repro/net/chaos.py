@@ -238,6 +238,27 @@ class ChaosTransport(Transport):
             )
         return self.inner.fetch_certificate(ip, port)
 
+    # -- sharding support --------------------------------------------------
+
+    def fork(self, shard_seed: int, clock: SimClock | None = None) -> "ChaosTransport":
+        """A shard-local chaos layer over a fork of the inner transport.
+
+        The *time-keyed* faults (flap/outage selection and phase) keep the
+        parent ``seed``: which hosts flap is a property of the network,
+        not of who scans it, so every shard — and every worker count —
+        sees the same unreliable Internet.  The *per-call* fault stream is
+        re-seeded from ``shard_seed`` so concurrent shards draw from
+        independent deterministic RNGs instead of racing on one.
+        """
+        clone = ChaosTransport(
+            self.inner.fork(shard_seed, clock),
+            plan=self.plan,
+            seed=self.seed,
+            clock=clock,
+        )
+        clone._rng = random.Random(stable_hash(self.seed, "chaos-shard", shard_seed))
+        return clone
+
     # -- checkpoint support ------------------------------------------------
 
     def snapshot_state(self) -> dict:

@@ -16,7 +16,7 @@ from repro.net.http import HttpRequest, HttpResponse, Scheme
 from repro.net.ipv4 import IPv4Address
 from repro.net.transport import Transport
 from repro.util.errors import ConnectionTimeout
-from repro.util.rand import rng_state_from_json, rng_state_to_json
+from repro.util.rand import rng_state_from_json, rng_state_to_json, stable_hash
 
 
 class FlakyTransport(Transport):
@@ -38,9 +38,19 @@ class FlakyTransport(Transport):
         self.stats = inner.stats
         self.syn_loss = syn_loss
         self.request_loss = request_loss
+        self.seed = seed
         self._rng = random.Random(seed)
         self.dropped_probes = 0
         self.dropped_requests = 0
+
+    def fork(self, shard_seed: int, clock=None) -> "FlakyTransport":
+        """A shard-local loss layer with its own deterministic RNG."""
+        return FlakyTransport(
+            self.inner.fork(shard_seed, clock),
+            syn_loss=self.syn_loss,
+            request_loss=self.request_loss,
+            seed=stable_hash(self.seed, "flaky-shard", shard_seed),
+        )
 
     def _port_open(self, ip: IPv4Address, port: int) -> bool:
         if self._rng.random() < self.syn_loss:

@@ -9,6 +9,7 @@ hashable value objects around an ``int`` with conversion helpers.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -162,11 +163,24 @@ def iana_reserved_networks() -> tuple[IPv4Network, ...]:
 
 
 def is_reserved(address: IPv4Address) -> bool:
-    """True if the address falls in an IANA reserved allocation."""
-    return any(net.contains(address) for net in _RESERVED_NETWORKS)
+    """True if the address falls in an IANA reserved allocation.
+
+    This sits on the stage-I hot path (every candidate address passes
+    through it), so instead of probing all 27 networks it bisects a
+    precomputed table of (non-overlapping) integer ranges.
+    """
+    value = address.value
+    index = bisect_right(_RESERVED_STARTS, value) - 1
+    return index >= 0 and value <= _RESERVED_ENDS[index]
 
 
 _RESERVED_NETWORKS = iana_reserved_networks()
+_RESERVED_STARTS, _RESERVED_ENDS = (
+    tuple(bounds)
+    for bounds in zip(*sorted(
+        (net.first.value, net.last.value) for net in _RESERVED_NETWORKS
+    ))
+)
 
 
 def scannable_address_count() -> int:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.net.http import HttpRequest, HttpResponse, Scheme
 from repro.net.ipv4 import IPv4Address
@@ -50,6 +51,36 @@ class TransportStats:
         block = ip.value & 0xFFFFFF00
         self.requests_per_slash24[block] = self.requests_per_slash24.get(block, 0) + 1
 
+    def merge(self, other: "TransportStats") -> None:
+        """Fold another transport's load accounting into this one."""
+        self.syn_probes += other.syn_probes
+        self.http_requests += other.http_requests
+        for block, count in other.requests_per_slash24.items():
+            self.requests_per_slash24[block] = (
+                self.requests_per_slash24.get(block, 0) + count
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "syn_probes": self.syn_probes,
+            "http_requests": self.http_requests,
+            "requests_per_slash24": {
+                str(block): count
+                for block, count in sorted(self.requests_per_slash24.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TransportStats":
+        return cls(
+            syn_probes=payload["syn_probes"],
+            http_requests=payload["http_requests"],
+            requests_per_slash24={
+                int(block): count
+                for block, count in payload["requests_per_slash24"].items()
+            },
+        )
+
 
 class Transport(ABC):
     """What the scanning pipeline knows about the network."""
@@ -72,6 +103,30 @@ class Transport(ABC):
         """Stage-I probe: is the TCP port open?"""
         self.stats.note_probe(ip)
         return self._port_open(ip, port)
+
+    def probe_ports(self, ip: IPv4Address, ports: Sequence[int]) -> list[int]:
+        """Stage-I batch probe: the sub-list of ``ports`` open on ``ip``.
+
+        Semantically one ``syn_probe`` per port, in order.  Backends may
+        override it with a cheaper equivalent (one host lookup instead of
+        one per port); fault-injecting transports keep the default so
+        every probe still passes through their per-call machinery.
+        """
+        return [port for port in ports if self.syn_probe(ip, port)]
+
+    def fork(self, shard_seed: int, clock=None) -> "Transport":
+        """An independent transport over the same network for one shard.
+
+        The fork shares the backend (the same simulated Internet) but
+        carries its own :class:`TransportStats` and — for fault-injecting
+        decorators — its own RNG stream derived from ``shard_seed``, so
+        concurrent shards never contend on shared mutable state and each
+        shard's traffic is deterministic in isolation.  The parallel
+        engine merges the forks' stats back in canonical shard order.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support sharded scanning"
+        )
 
     def request(
         self, ip: IPv4Address, port: int, scheme: Scheme, request: HttpRequest
@@ -135,6 +190,20 @@ class InMemoryTransport(Transport):
 
     def _port_open(self, ip: IPv4Address, port: int) -> bool:
         return self.internet.is_port_open(ip, port)
+
+    def probe_ports(self, ip: IPv4Address, ports: Sequence[int]) -> list[int]:
+        # One host lookup serves all twelve ports; the probes are counted
+        # exactly as the per-port path would count them.
+        self.stats.syn_probes += len(ports)
+        host = self.internet.host_at(ip)
+        if host is None:
+            return []
+        return [port for port in ports if host.is_port_open(port)]
+
+    def fork(self, shard_seed: int, clock=None) -> "InMemoryTransport":
+        # The simulated Internet is read-only during a sweep; only the
+        # stats block is mutable, and the fork gets its own.
+        return InMemoryTransport(self.internet, enforce_ethics=self.enforce_ethics)
 
     def _exchange(
         self, ip: IPv4Address, port: int, scheme: Scheme, request: HttpRequest

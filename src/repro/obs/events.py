@@ -146,6 +146,18 @@ class EventLog:
             return ""
         return "\n".join(e.to_json() for e in self._events) + "\n"
 
+    # -- shard folding -------------------------------------------------------
+
+    def absorb(self, other: "EventLog") -> None:
+        """Append another log's records (the shard-merge step).
+
+        Records keep their own shard-local timestamps; ordering within the
+        merged log is fold order, which the parallel engine keeps
+        canonical by absorbing shards in index order.
+        """
+        self._events.extend(other._events)
+        self.suppressed += other.suppressed
+
     # -- checkpoint support --------------------------------------------------
 
     def snapshot_state(self) -> dict:

@@ -158,6 +158,40 @@ class MetricsRegistry:
             for (name, labels), metric in sorted(self._counters.items())
         }
 
+    # -- shard folding -------------------------------------------------------
+
+    def absorb(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (the shard-merge step).
+
+        Counters and gauges add; histograms add bucket-wise and therefore
+        require identical bounds.  Iteration is in sorted key order so the
+        series created by the fold appear in a canonical order regardless
+        of how the absorbed registry was populated.
+        """
+        for key, counter in sorted(other._counters.items()):
+            mine = self._counters.get(key)
+            if mine is None:
+                mine = self._counters[key] = Counter()
+            mine.value += counter.value
+        for key, gauge in sorted(other._gauges.items()):
+            mine = self._gauges.get(key)
+            if mine is None:
+                mine = self._gauges[key] = Gauge()
+            mine.value += gauge.value
+        for key, histogram in sorted(other._histograms.items()):
+            mine = self._histograms.get(key)
+            if mine is None:
+                mine = self._histograms[key] = Histogram(histogram.bounds)
+            if mine.bounds != histogram.bounds:
+                raise ValueError(
+                    f"cannot absorb histogram {key[0]!r}: bucket bounds differ"
+                )
+            mine.counts = [
+                a + b for a, b in zip(mine.counts, histogram.counts)
+            ]
+            mine.total += histogram.total
+            mine.count += histogram.count
+
     # -- exposition ----------------------------------------------------------
 
     def to_prometheus(self) -> str:

@@ -152,6 +152,27 @@ class Telemetry:
             return self.funnel_table().render() + "\n"
         raise ValueError(f"unknown telemetry format {fmt!r}")
 
+    # -- shard folding -------------------------------------------------------
+
+    def absorb(self, other: "Telemetry") -> None:
+        """Fold another handle's record into this one, pillar by pillar.
+
+        This is the sanctioned merge step for shard-local telemetry: the
+        parallel engine gives every shard its own :class:`Telemetry` and
+        absorbs them on the main thread in canonical shard order, so the
+        merged events/spans/metrics are identical for any worker count.
+        """
+        self.events.absorb(other.events)
+        self.tracer.absorb(other.tracer)
+        self.metrics.absorb(other.metrics)
+
+    def absorb_state(self, state: dict) -> None:
+        """Absorb a telemetry snapshot (a shard result that round-tripped
+        through checkpoint serialisation)."""
+        shard = Telemetry()
+        shard.restore_state(state)
+        self.absorb(shard)
+
     # -- checkpoint support --------------------------------------------------
 
     def snapshot_state(self) -> dict:

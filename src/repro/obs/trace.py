@@ -143,6 +143,32 @@ class Tracer:
     def children_of(self, span: Span) -> list[Span]:
         return [s for s in self._finished if s.parent_id == span.span_id]
 
+    # -- shard folding -------------------------------------------------------
+
+    def absorb(self, other: "Tracer") -> None:
+        """Fold another tracer's finished spans into this record.
+
+        Shard tracers number spans from zero, so absorbed span ids (and
+        the parent links between them) are rebased past this tracer's id
+        space; absorbing shards in canonical order therefore yields the
+        same ids for any worker count.
+        """
+        if other._stack:
+            raise ValueError("cannot absorb a tracer with open spans")
+        offset = self._next_id
+        for span in other._finished:
+            self._finished.append(Span(
+                span_id=span.span_id + offset,
+                parent_id=(
+                    None if span.parent_id is None else span.parent_id + offset
+                ),
+                name=span.name,
+                start=span.start,
+                end=span.end,
+                attrs=dict(span.attrs),
+            ))
+        self._next_id += other._next_id
+
     # -- checkpoint support --------------------------------------------------
 
     def snapshot_state(self) -> dict:

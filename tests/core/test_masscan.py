@@ -136,3 +136,81 @@ class TestScanOrder:
         rng.shuffle(shuffled_order)
         rnd_peak = max(burst_profile(shuffled_order, window=32).values())
         assert rnd_peak < seq_peak
+
+
+class TestHotPaths:
+    """The perf-PR rewrites must be behaviour-preserving."""
+
+    def _mixed_order(self):
+        rng = random.Random(4)
+        targets = [
+            IPv4Address.parse(f"198.51.{100 + block}.{offset + 1}")
+            for block in range(4)
+            for offset in range(32)
+        ]
+        rng.shuffle(targets)
+        return targets
+
+    def test_burst_profile_matches_naive_reference(self):
+        order = self._mixed_order()
+        window = 8
+
+        def naive(order, window):
+            peaks = {}
+            for i, ip in enumerate(order):
+                block = ip.value & 0xFFFFFF00
+                recent = order[max(0, i - window + 1): i + 1]
+                count = sum(
+                    1 for other in recent
+                    if other.value & 0xFFFFFF00 == block
+                )
+                peaks[block] = max(peaks.get(block, 0), count)
+            return peaks
+
+        assert burst_profile(order, window=window) == naive(order, window)
+
+    def test_lazy_iteration_equals_materialised_order(self):
+        targets = self._mixed_order()
+        eager = Masscan(
+            InMemoryTransport(SimulatedInternet()), ports=(80,),
+            rng=random.Random(11),
+        ).target_order(targets)
+        lazy = list(
+            Masscan(
+                InMemoryTransport(SimulatedInternet()), ports=(80,),
+                rng=random.Random(11),
+            ).iter_target_order(targets)
+        )
+        assert lazy == eager
+
+    def test_batched_skip_equals_slicing_the_order(self, small_world):
+        internet, ips = small_world
+        order = Masscan(
+            InMemoryTransport(internet), ports=(8888,), rng=random.Random(2),
+        ).target_order(ips)
+        skip = 3
+        scanner = Masscan(
+            InMemoryTransport(internet), ports=(8888,), rng=random.Random(2),
+        )
+        merged = PortScanResult()
+        for batch in scanner.scan_in_batches(ips, batch_size=2, skip=skip):
+            merged.merge(batch)
+        assert merged.addresses_scanned == len(ips) - skip
+        # every target is an open host, so open_ports names the scanned set
+        assert sorted(merged.open_ports) == sorted(
+            ip.value for ip in order[skip:]
+        )
+
+    def test_fast_path_and_retry_path_agree(self, small_world):
+        from repro.core.retry import RetryExecutor, RetryPolicy
+
+        internet, ips = small_world
+        fast = Masscan(InMemoryTransport(internet), ports=(80, 8888))
+        slow = Masscan(
+            InMemoryTransport(internet), ports=(80, 8888),
+            retry=RetryExecutor(RetryPolicy(max_attempts=2)),
+        )
+        a, b = fast.scan(ips), slow.scan(ips)
+        assert a.open_ports == b.open_ports
+        assert a.probes_sent == b.probes_sent
+        assert a.addresses_scanned == b.addresses_scanned

@@ -1,0 +1,242 @@
+"""Tests for the sharded parallel scan engine.
+
+The acceptance property: for a fixed seed, the serialized ScanReport and
+the telemetry JSONL export are *byte-identical* for every worker count —
+with a plain transport, under chaos faults, and across a kill-and-resume
+through a shard-boundary checkpoint.
+"""
+
+import json
+
+import pytest
+
+from repro.apps.base import AppInstance
+from repro.apps.catalog import create_instance, scanned_ports
+from repro.core.checkpoint import Checkpointer
+from repro.core.parallel import ParallelScanEngine, plan_shards
+from repro.core.pipeline import ScanPipeline
+from repro.core.retry import RetryPolicy
+from repro.core.serialize import report_to_dict
+from repro.net.chaos import ChaosTransport, FaultPlan
+from repro.net.host import Host, Service
+from repro.net.ipv4 import IPv4Address
+from repro.net.network import SimulatedInternet
+from repro.net.transport import InMemoryTransport
+from repro.util.clock import SimClock
+from repro.util.errors import ConfigError
+
+PLAN = FaultPlan(
+    syn_loss=0.05, request_loss=0.05, reset_rate=0.02, truncate_rate=0.02,
+    flap_rate=0.1, flap_down=120.0, flap_period=600.0,
+)
+
+APPS = (
+    ("polynote", 8192), ("docker", 2375), ("hadoop", 8088), ("grav", 80),
+    ("consul", 8500), ("zeppelin", 8080), ("nomad", 4646), ("ajenti", 8000),
+    ("jenkins", 8080), ("adminer", 80), ("jupyterlab", 8888), ("phpmyadmin", 80),
+)
+
+
+def build_world(blocks: int = 6):
+    """AWE hosts plus dead neighbours spread over several /24 blocks."""
+    internet = SimulatedInternet()
+    ips = []
+    for index, (slug, port) in enumerate(APPS):
+        ip = IPv4Address.parse(f"93.184.{100 + index % blocks}.{10 + index}")
+        host = Host(ip)
+        host.add_service(
+            Service(port, app=AppInstance(create_instance(slug), port))
+        )
+        internet.add_host(host)
+        ips.append(ip)
+    # dead addresses exercise the silent-frame fast path in every shard
+    for block in range(blocks):
+        for offset in (1, 2, 3):
+            ips.append(IPv4Address.parse(f"93.184.{100 + block}.{200 + offset}"))
+    return internet, ips
+
+
+def run_arm(workers, chaos=False, checkpoint=None, seed=7, shard_blocks=2):
+    """One sweep over a freshly built world; returns (report, pipeline)."""
+    internet, ips = build_world()
+    clock = SimClock()
+    transport = InMemoryTransport(internet)
+    if chaos:
+        transport = ChaosTransport(transport, PLAN, seed=21, clock=clock)
+    pipeline = ScanPipeline(
+        transport, scanned_ports(), seed=seed, batch_size=3,
+        fingerprint=False, workers=workers, shard_blocks=shard_blocks,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.5, max_delay=4.0)
+        if chaos else None,
+        clock=clock,
+    )
+    report = pipeline.run(ips, checkpoint=checkpoint)
+    return report, pipeline
+
+
+def outputs(report, pipeline):
+    """The two byte-comparable artifacts of a run."""
+    return (
+        json.dumps(report_to_dict(report), sort_keys=True),
+        pipeline.telemetry.export_jsonl(),
+    )
+
+
+class TestPlanShards:
+    def test_shards_are_slash24_aligned_and_sorted(self):
+        _, ips = build_world()
+        shards = plan_shards(ips, seed=7, shard_blocks=2)
+        assert len(shards) >= 2
+        seen = []
+        for shard in shards:
+            blocks = {ip.value & 0xFFFFFF00 for ip in shard.addresses}
+            assert len(blocks) <= 2
+            assert list(shard.addresses) == sorted(shard.addresses)
+            seen.extend(sorted(blocks))
+        assert seen == sorted(seen)  # canonical block order across shards
+
+    def test_partition_is_exhaustive_and_disjoint(self):
+        _, ips = build_world()
+        shards = plan_shards(ips, seed=7, shard_blocks=2)
+        flat = [ip for shard in shards for ip in shard.addresses]
+        assert sorted(flat) == sorted(set(ips))
+
+    def test_partition_ignores_candidate_order(self):
+        _, ips = build_world()
+        forward = plan_shards(ips, seed=7, shard_blocks=2)
+        backward = plan_shards(list(reversed(ips)), seed=7, shard_blocks=2)
+        assert [s.addresses for s in forward] == [s.addresses for s in backward]
+        assert [s.seed for s in forward] == [s.seed for s in backward]
+
+    def test_shard_seeds_are_distinct_and_seed_dependent(self):
+        _, ips = build_world()
+        shards = plan_shards(ips, seed=7, shard_blocks=1)
+        seeds = [s.seed for s in shards]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds != [s.seed for s in plan_shards(ips, seed=8, shard_blocks=1)]
+
+    def test_reserved_addresses_are_dropped(self):
+        ips = [IPv4Address.parse("93.184.100.1"), IPv4Address.parse("10.0.0.1")]
+        shards = plan_shards(ips, seed=7)
+        assert [ip for s in shards for ip in s.addresses] == [ips[0]]
+        kept = plan_shards(ips, seed=7, exclude_reserved=False)
+        assert len([ip for s in kept for ip in s.addresses]) == 2
+
+    def test_shard_blocks_must_be_positive(self):
+        with pytest.raises(ValueError):
+            plan_shards([], seed=7, shard_blocks=0)
+
+
+class TestWorkerCountInvariance:
+    @pytest.mark.parametrize("chaos", [False, True], ids=["plain", "chaos"])
+    def test_workers_4_is_byte_identical_to_workers_1(self, chaos):
+        """The tentpole acceptance property."""
+        one = outputs(*run_arm(workers=1, chaos=chaos))
+        four = outputs(*run_arm(workers=4, chaos=chaos))
+        assert four[0] == one[0]  # serialized ScanReport
+        assert four[1] == one[1]  # telemetry JSONL
+
+    def test_engine_matches_sequential_semantics(self):
+        """Sharding may not change *what* is found, only how it is run."""
+        parallel, _ = run_arm(workers=4)
+        internet, ips = build_world()
+        sequential = ScanPipeline(
+            InMemoryTransport(internet), scanned_ports(), seed=7,
+            batch_size=3, fingerprint=False,
+        ).run(ips)
+        assert (
+            parallel.port_scan.addresses_scanned
+            == sequential.port_scan.addresses_scanned
+        )
+        assert parallel.hosts_per_app() == sequential.hosts_per_app()
+        assert parallel.mavs_per_app() == sequential.mavs_per_app()
+        assert parallel.vulnerable_ips() == sequential.vulnerable_ips()
+
+    def test_invalid_worker_count_rejected(self):
+        _, pipeline = run_arm(workers=1)
+        with pytest.raises(ValueError):
+            ParallelScanEngine(pipeline, workers=0)
+
+
+class SimulatedCrash(BaseException):
+    """A kill signal; not an Exception so nothing downstream swallows it."""
+
+
+class CrashingCheckpointer(Checkpointer):
+    """Dies mid-sweep after a fixed number of successful saves."""
+
+    def __init__(self, path, die_after_saves, **kwargs):
+        super().__init__(path, **kwargs)
+        self.die_after_saves = die_after_saves
+        self.saves = 0
+
+    def save(self, payload):
+        super().save(payload)
+        self.saves += 1
+        if self.saves >= self.die_after_saves:
+            raise SimulatedCrash(f"killed after {self.saves} saves")
+
+
+class TestShardCheckpointResume:
+    def test_kill_and_resume_is_byte_identical(self, tmp_path):
+        """Kill a chaotic workers=4 sweep at a shard boundary, resume it,
+        and get byte-identical report and telemetry."""
+        expected = outputs(*run_arm(workers=4, chaos=True))
+        crasher = CrashingCheckpointer(
+            tmp_path / "scan.ckpt", die_after_saves=2, every_batches=1
+        )
+        with pytest.raises(SimulatedCrash):
+            run_arm(workers=4, chaos=True, checkpoint=crasher)
+        ckpt = Checkpointer(tmp_path / "scan.ckpt", every_batches=1)
+        resumed = outputs(*run_arm(workers=4, chaos=True, checkpoint=ckpt))
+        assert resumed[0] == expected[0]
+        assert resumed[1] == expected[1]
+        assert not ckpt.exists()  # success clears the checkpoint
+
+    def test_resume_only_reexecutes_missing_shards(self, tmp_path):
+        crasher = CrashingCheckpointer(
+            tmp_path / "scan.ckpt", die_after_saves=2, every_batches=1
+        )
+        with pytest.raises(SimulatedCrash):
+            run_arm(workers=4, chaos=True, checkpoint=crasher)
+        payload = Checkpointer(tmp_path / "scan.ckpt").load()
+        done = len(payload["shards"])
+        assert done >= 2
+
+        internet, ips = build_world()
+        total = len(plan_shards(ips, seed=7, shard_blocks=2))
+        forks = []
+        clock = SimClock()
+
+        class CountingChaos(ChaosTransport):
+            def fork(self, shard_seed, clock=None):
+                forks.append(shard_seed)
+                return super().fork(shard_seed, clock)
+
+        transport = CountingChaos(
+            InMemoryTransport(internet), PLAN, seed=21, clock=clock
+        )
+        pipeline = ScanPipeline(
+            transport, scanned_ports(), seed=7, batch_size=3,
+            fingerprint=False, workers=4, shard_blocks=2,
+            retry_policy=RetryPolicy(
+                max_attempts=3, base_delay=0.5, max_delay=4.0
+            ),
+            clock=clock,
+        )
+        pipeline.run(ips, checkpoint=Checkpointer(tmp_path / "scan.ckpt"))
+        assert len(forks) == total - done
+
+    def test_resume_refuses_mismatched_config(self, tmp_path):
+        crasher = CrashingCheckpointer(
+            tmp_path / "scan.ckpt", die_after_saves=2, every_batches=1
+        )
+        with pytest.raises(SimulatedCrash):
+            run_arm(workers=4, chaos=True, checkpoint=crasher)
+        with pytest.raises(ConfigError):
+            run_arm(workers=4, chaos=True,
+                    checkpoint=Checkpointer(tmp_path / "scan.ckpt"), seed=8)
+        with pytest.raises(ConfigError):
+            run_arm(workers=4, chaos=True,
+                    checkpoint=Checkpointer(tmp_path / "scan.ckpt"),
+                    shard_blocks=3)

@@ -136,3 +136,54 @@ class TestSignatureSpecificity:
         matches = match_signatures(response.body)
         assert spec.slug in matches
         assert len(matches) <= 2  # near-exclusive attribution
+
+
+class TestSinglePassMatcherEquivalence:
+    """Regression gate for the single-pass matcher rewrite.
+
+    The prescan + combined-scan matcher must report *exactly* the
+    candidate set the reference one-regex-at-a-time matcher reports, for
+    every canned page in the corpus and for adversarial bodies designed
+    to stress the literal prescan.
+    """
+
+    def _corpus_bodies(self):
+        from repro.lint.corpus import build_corpus
+
+        return [
+            body
+            for pages in build_corpus().values()
+            for body in pages.values()
+        ]
+
+    def _adversarial_bodies(self):
+        from repro.core.prefilter import _MATCHER
+
+        literals = list(_MATCHER._literals)
+        return [
+            "",                                   # trivially empty
+            "no signatures anywhere " * 50,       # long all-miss body
+            " ".join(literals),                   # every prescan literal at once
+            literals[0] * 3,                      # repeated literal
+            # literals present but patterns possibly unconfirmed
+            " ".join(lit.upper() for lit in literals),
+            # one giant body concatenating whole corpus pages
+            "\n".join(self._corpus_bodies()[:20]),
+        ]
+
+    def test_identical_candidate_sets_on_corpus(self):
+        from repro.core.prefilter import match_signatures_naive
+
+        bodies = self._corpus_bodies() + self._adversarial_bodies()
+        assert len(bodies) > 90  # the corpus really loaded
+        for body in bodies:
+            assert match_signatures(body) == match_signatures_naive(body)
+
+    def test_matched_slugs_come_in_catalog_order(self):
+        body = "\n".join(self._corpus_bodies()[:20])
+        matched = match_signatures(body)
+        assert len(matched) >= 2
+        from repro.core.prefilter import _MATCHER
+
+        order = {slug: i for i, slug in enumerate(_MATCHER.signatures)}
+        assert list(matched) == sorted(matched, key=order.__getitem__)

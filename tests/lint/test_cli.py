@@ -44,12 +44,29 @@ def run(args: list[str], capsys) -> tuple[int, str]:
     return code, capsys.readouterr().out
 
 
+REPO_BASELINE = Path(__file__).resolve().parents[2] / "reprolint-baseline.json"
+
+
 class TestRealTree:
-    def test_repaired_tree_exits_zero(self, tmp_path, capsys, monkeypatch):
-        monkeypatch.chdir(tmp_path)  # no baseline file in CWD
-        code, out = run([], capsys)
+    def test_real_tree_with_repo_baseline_exits_zero(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        code, out = run(["--baseline", str(REPO_BASELINE)], capsys)
         assert code == 0
-        assert "no findings" in out
+        assert "baselined" in out
+
+    def test_without_baseline_only_the_sanctioned_finding_remains(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """The parallel engine's progress counter is a *deliberate*,
+        explicitly baselined DET005; nothing else may surface."""
+        monkeypatch.chdir(tmp_path)  # no baseline file in CWD
+        code, out = run(["--format", "json"], capsys)
+        assert code == 1
+        report = json.loads(out)
+        assert [f["rule"] for f in report["findings"]] == ["DET005"]
+        assert report["findings"][0]["path"] == "repro/core/parallel.py"
 
 
 class TestBrokenTree:

@@ -14,7 +14,7 @@ from repro.net.ipv4 import IPv4Address
 from repro.net.network import SimulatedInternet
 from repro.net.transport import EthicsViolation, InMemoryTransport
 from repro.util.clock import SimClock
-from repro.util.errors import ConnectionReset, ConnectionTimeout
+from repro.util.errors import ConnectionReset, ConnectionTimeout, TransportError
 
 
 @pytest.fixture()
@@ -324,3 +324,56 @@ class TestPipelineUnderChaos:
             )
             pipeline = ScanPipeline(transport, scanned_ports(), fingerprint=False)
             pipeline.run(ips)  # must not raise
+
+
+class TestChaosFork:
+    def test_fork_is_deterministic_per_shard_seed(self, world):
+        """Two forks with the same shard seed behave identically; the
+        parallel engine's byte-identity rests on this."""
+        internet, ip = world
+        plan = FaultPlan(syn_loss=0.3, request_loss=0.3, reset_rate=0.1)
+
+        def outcomes(shard_seed):
+            clock = SimClock()
+            parent = ChaosTransport(
+                InMemoryTransport(internet), plan, seed=21, clock=clock
+            )
+            child = parent.fork(shard_seed, SimClock())
+            results = []
+            for _ in range(40):
+                results.append(child.syn_probe(ip, 8192))
+                try:
+                    results.append(child.get(ip, 8192, "/").status)
+                except TransportError as exc:
+                    results.append(type(exc).__name__)
+            return results
+
+        assert outcomes(5) == outcomes(5)
+        assert outcomes(5) != outcomes(6)  # shards draw distinct fault streams
+
+    def test_fork_keeps_time_keyed_faults(self, world):
+        """Flap/outage membership is a property of the simulated network,
+        not of the shard: forks agree on which hosts are affected."""
+        internet, ip = world
+        plan = FaultPlan(flap_rate=1.0, flap_down=120.0, flap_period=600.0)
+        parent = ChaosTransport(
+            InMemoryTransport(internet), plan, seed=21, clock=SimClock()
+        )
+        # same wall of simulated time => same flap windows in every fork
+        for t in range(0, 1200, 60):
+            clock_a, clock_b = SimClock(), SimClock()
+            fork_a = parent.fork(3, clock_a)
+            fork_b = parent.fork(9, clock_b)
+            clock_a.advance(t)
+            clock_b.advance(t)
+            assert fork_a.syn_probe(ip, 8192) == fork_b.syn_probe(ip, 8192)
+
+    def test_fork_does_not_touch_parent_stats(self, world):
+        internet, ip = world
+        parent = ChaosTransport(
+            InMemoryTransport(internet), FaultPlan(), seed=21, clock=SimClock()
+        )
+        child = parent.fork(1, SimClock())
+        child.syn_probe(ip, 8192)
+        assert child.stats.syn_probes == 1
+        assert parent.stats.syn_probes == 0

@@ -128,3 +128,29 @@ class TestPipelineUnderLoss:
         assert recalls[0] == 1.0
         assert recalls[0] > recalls[1] > recalls[2]
         assert result.table().render()
+
+
+class TestFlakyFork:
+    def test_fork_is_deterministic_per_shard_seed(self, world):
+        internet, ip = world
+
+        def outcomes(shard_seed):
+            parent = FlakyTransport(
+                InMemoryTransport(internet), syn_loss=0.4, seed=9
+            )
+            child = parent.fork(shard_seed)
+            return [child.syn_probe(ip, 8192) for _ in range(60)]
+
+        assert outcomes(2) == outcomes(2)
+        assert outcomes(2) != outcomes(3)
+
+    def test_fork_has_private_stats_and_counters(self, world):
+        internet, ip = world
+        parent = FlakyTransport(
+            InMemoryTransport(internet), syn_loss=1.0, seed=9
+        )
+        child = parent.fork(1)
+        child.syn_probe(ip, 8192)
+        assert child.dropped_probes == 1
+        assert parent.dropped_probes == 0
+        assert parent.stats.syn_probes == 0

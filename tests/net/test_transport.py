@@ -117,3 +117,80 @@ def test_dark_address_raises_transport_error():
     transport = InMemoryTransport(SimulatedInternet())
     with pytest.raises(TransportError):
         transport.get(IPv4Address.parse("198.18.0.1"), 80, "/")
+
+
+class TestProbePorts:
+    def test_matches_per_port_probing(self, small_internet):
+        internet, host = small_internet
+        batched = InMemoryTransport(internet)
+        per_port = InMemoryTransport(internet)
+        ports = (22, 80, 443, 8080)
+        assert batched.probe_ports(host.ip, ports) == [
+            port for port in ports if per_port.syn_probe(host.ip, port)
+        ]
+
+    def test_counts_one_probe_per_port(self, small_internet):
+        internet, host = small_internet
+        transport = InMemoryTransport(internet)
+        transport.probe_ports(host.ip, (22, 80, 443))
+        assert transport.stats.syn_probes == 3
+
+    def test_dead_address_probes_in_one_lookup(self):
+        transport = InMemoryTransport(SimulatedInternet())
+        assert transport.probe_ports(IPv4Address.parse("52.1.2.3"), (80, 443)) == []
+        assert transport.stats.syn_probes == 2
+
+
+class TestFork:
+    def test_fork_gets_private_stats(self, small_internet):
+        internet, host = small_internet
+        parent = InMemoryTransport(internet)
+        child = parent.fork(shard_seed=12345)
+        child.syn_probe(host.ip, 80)
+        assert child.stats.syn_probes == 1
+        assert parent.stats.syn_probes == 0
+
+    def test_fork_preserves_ethics_setting(self, small_internet):
+        internet, _host = small_internet
+        parent = InMemoryTransport(internet, enforce_ethics=False)
+        assert parent.fork(shard_seed=1).enforce_ethics is False
+
+    def test_base_transport_fork_is_abstract(self):
+        from repro.net.transport import Transport
+
+        class Custom(Transport):
+            def _port_open(self, ip, port):
+                return False
+
+            def _exchange(self, ip, port, scheme, request):
+                raise NotImplementedError
+
+        with pytest.raises(NotImplementedError):
+            Custom().fork(shard_seed=1)
+
+
+class TestStatsMerge:
+    def test_merge_sums_counters_and_blocks(self, small_internet):
+        internet, host = small_internet
+        a = InMemoryTransport(internet)
+        b = InMemoryTransport(internet)
+        a.syn_probe(host.ip, 80)
+        a.get(host.ip, 80, "/wp-login.php")
+        b.syn_probe(host.ip, 80)
+        b.get(host.ip, 80, "/wp-login.php")
+        merged_probes = a.stats.syn_probes + b.stats.syn_probes
+        a.stats.merge(b.stats)
+        assert a.stats.syn_probes == merged_probes
+        block = host.ip.value & 0xFFFFFF00
+        assert a.stats.requests_per_slash24[block] == 2 * b.stats.requests_per_slash24[block]
+
+    def test_dict_round_trip(self, small_internet):
+        from repro.net.transport import TransportStats
+
+        internet, host = small_internet
+        transport = InMemoryTransport(internet)
+        transport.syn_probe(host.ip, 80)
+        transport.get(host.ip, 80, "/wp-login.php")
+        restored = TransportStats.from_dict(transport.stats.to_dict())
+        assert restored.to_dict() == transport.stats.to_dict()
+        assert restored.requests_per_slash24 == transport.stats.requests_per_slash24

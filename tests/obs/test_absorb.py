@@ -1,0 +1,122 @@
+"""Unit tests for the shard-fold absorb API across the three pillars.
+
+``absorb`` is the sanctioned merge path the parallel engine uses to fold
+shard-local telemetry into the parent handle; these tests pin the
+pillar-level contracts it relies on (span-id rebasing, bucket-wise
+histogram addition, event concatenation).
+"""
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import Tracer
+from repro.util.clock import SimClock
+
+
+class TestTracerAbsorb:
+    def test_rebases_span_and_parent_ids(self):
+        parent = Tracer()
+        with parent.span("sweep"):
+            pass
+        shard = Tracer()
+        with shard.span("outer"):
+            with shard.span("inner"):
+                pass
+        parent.absorb(shard)
+        names = [s.name for s in parent.finished]
+        assert names == ["sweep", "inner", "outer"]
+        ids = {s.name: s.span_id for s in parent.finished}
+        assert len(set(ids.values())) == 3  # no collisions after rebase
+        inner = next(s for s in parent.finished if s.name == "inner")
+        outer = next(s for s in parent.finished if s.name == "outer")
+        assert inner.parent_id == outer.span_id  # links rebased together
+
+    def test_absorb_order_determines_ids(self):
+        def shard(name):
+            tracer = Tracer()
+            with tracer.span(name):
+                pass
+            return tracer
+
+        a = Tracer()
+        a.absorb(shard("one"))
+        a.absorb(shard("two"))
+        b = Tracer()
+        b.absorb(shard("one"))
+        b.absorb(shard("two"))
+        assert [s.to_dict() for s in a.finished] == [
+            s.to_dict() for s in b.finished
+        ]
+
+    def test_refuses_open_spans(self):
+        parent, shard = Tracer(), Tracer()
+        shard.start("still-open")
+        with pytest.raises(ValueError):
+            parent.absorb(shard)
+
+
+class TestMetricsAbsorb:
+    def test_counters_and_gauges_fold(self):
+        parent, shard = MetricsRegistry(), MetricsRegistry()
+        parent.counter("probes", stage="masscan").inc(3)
+        shard.counter("probes", stage="masscan").inc(4)
+        shard.counter("probes", stage="tsunami").inc(1)
+        shard.gauge("depth").set(5)
+        parent.absorb(shard)
+        assert parent.counter_value("probes", stage="masscan") == 7
+        assert parent.counter_value("probes", stage="tsunami") == 1
+        assert parent.gauge("depth").value == 5
+
+    def test_histograms_fold_bucket_wise(self):
+        parent, shard = MetricsRegistry(), MetricsRegistry()
+        for value in (0.1, 0.5):
+            parent.histogram("latency").observe(value)
+        for value in (0.5, 2.0):
+            shard.histogram("latency").observe(value)
+        parent.absorb(shard)
+        merged = parent.histogram("latency")
+        assert merged.count == 4
+        assert merged.total == pytest.approx(3.1)
+
+    def test_histogram_bounds_mismatch_is_an_error(self):
+        parent, shard = MetricsRegistry(), MetricsRegistry()
+        parent.histogram("latency", buckets=(1.0, 2.0)).observe(0.5)
+        shard.histogram("latency", buckets=(1.0, 5.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            parent.absorb(shard)
+
+
+class TestEventLogAbsorb:
+    def test_events_concatenate_and_suppression_carries(self):
+        parent = EventLog(min_level="info")
+        shard = EventLog(min_level="info")
+        parent.info("parallel", "sweep-start")
+        shard.info("masscan", "batch")
+        shard.debug("masscan", "noise")  # suppressed below min_level
+        parent.absorb(shard)
+        assert [e.name for e in parent] == ["sweep-start", "batch"]
+        assert parent.suppressed == shard.suppressed
+
+
+class TestTelemetryAbsorb:
+    def test_absorb_state_round_trips_a_snapshot(self):
+        """The engine folds *serialized* shard telemetry (the checkpoint
+        form); absorbing a snapshot must equal absorbing the live handle."""
+        def shard():
+            clock = SimClock()
+            telemetry = Telemetry(clock=clock)
+            telemetry.events.info("masscan", "batch", index=0)
+            with telemetry.tracer.span("stage:masscan"):
+                clock.advance(1.5)
+            telemetry.funnel("masscan", 10, 4)
+            return telemetry
+
+        live, serialized = Telemetry(), Telemetry()
+        live.absorb(shard())
+        serialized.absorb_state(shard().snapshot_state())
+        assert serialized.export_jsonl() == live.export_jsonl()
+        assert (
+            serialized.summary().to_dict() == live.summary().to_dict()
+        )
