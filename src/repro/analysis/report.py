@@ -48,6 +48,8 @@ def _sections(study: "FullStudy") -> list[tuple[str, str]]:
         ("Section 6.1 — insights", render_insights(study)),
         ("Scan telemetry — stage funnel",
          study.scan.telemetry.funnel_table().render()),
+        ("Coverage confidence — degraded-operation accounting",
+         study.scan.report.coverage.render()),
     ]
 
 

@@ -79,6 +79,9 @@ class Masscan:
     retry: RetryExecutor | None = None
     #: when set, stage-I work is traced and counted
     telemetry: Telemetry | None = None
+    #: shard supervision hook: quarantine gate + sweep deadline (duck-typed
+    #: to keep this module free of supervisor imports)
+    supervision: object | None = None
     #: cache for :meth:`_bound_counters` (keyed by the telemetry object)
     _counters: tuple | None = field(default=None, init=False, repr=False)
 
@@ -135,7 +138,17 @@ class Masscan:
             raise ValueError("skip must be non-negative")
         result = PortScanResult()
         span = None
+        supervision = self.supervision
         for ip in islice(self.iter_target_order(candidates), skip, None):
+            if supervision is not None:
+                if supervision.should_stop():
+                    # Sweep deadline: stop probing, flush what we have.
+                    # The pipeline accounts the un-probed remainder as
+                    # deadline-skipped coverage.
+                    break
+                if supervision.is_quarantined(ip):
+                    supervision.note_gate_skip(ip)
+                    continue
             if span is None and self.telemetry is not None:
                 # Lazy: only a batch that probes at least one address
                 # opens a span, so resumed sweeps trace identically.

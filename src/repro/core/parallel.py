@@ -142,14 +142,7 @@ class ParallelScanEngine:
         if checkpoint is not None:
             payload = checkpoint.load()
             if payload is not None:
-                check_config_matches(
-                    payload,
-                    seed=pipe.seed,
-                    ports=list(pipe.ports),
-                    batch_size=pipe.batch_size,
-                    shard_blocks=self.shard_blocks,
-                    shards_total=len(shards),
-                )
+                check_config_matches(payload, **self._expected_config(shards))
                 completed = {
                     int(index): result
                     for index, result in payload["shards"].items()
@@ -205,12 +198,19 @@ class ParallelScanEngine:
         serialised form a checkpoint stores — so live folds and resumed
         folds are symmetric.
         """
+        sub = self._shard_pipeline(shard, knowledge_base)
+        report = sub.run(shard.addresses)
+        return self._shard_payload(shard, sub, report)
+
+    def _shard_pipeline(self, shard: Shard, knowledge_base):
+        """Build one shard's private pipeline (the supervisor overrides
+        this to arm watchdogs and attach a supervision handle)."""
         from repro.core.pipeline import ScanPipeline
 
         pipe = self.pipeline
         clock = SimClock()
         transport = pipe.transport.fork(shard.seed, clock)
-        sub = ScanPipeline(
+        return ScanPipeline(
             transport=transport,
             ports=pipe.ports,
             seed=shard.seed,
@@ -221,11 +221,12 @@ class ParallelScanEngine:
             retry_policy=pipe.retry_policy,
             clock=clock,
         )
-        report = sub.run(shard.addresses)
+
+    def _shard_payload(self, shard: Shard, sub, report) -> dict:
         return {
             "report": report_to_dict(report),
             "telemetry": sub.telemetry.snapshot_state(),
-            "transport_stats": transport.stats.to_dict(),
+            "transport_stats": sub.transport.stats.to_dict(),
             "addresses": report.port_scan.addresses_scanned,
         }
 
@@ -256,6 +257,7 @@ class ParallelScanEngine:
                 "parallel", "shard-complete",
                 index=shard.index, addresses=payload["addresses"],
             )
+            self._note_shard_folded(shard, payload)
         telemetry.events.info(
             "parallel", "sweep-complete",
             shards=len(shards),
@@ -268,19 +270,30 @@ class ParallelScanEngine:
         report.telemetry = telemetry.summary()
         return report
 
+    def _note_shard_folded(self, shard: Shard, payload: dict) -> None:
+        """Per-shard fold hook (the supervisor emits its restart and
+        abandonment record here, in canonical shard order)."""
+
     # -- checkpoint/resume ----------------------------------------------------
 
-    def _checkpoint_payload(
-        self, shards: list[Shard], completed: dict[int, dict]
-    ) -> dict:
+    def _expected_config(self, shards: list[Shard]) -> dict:
+        """The knobs a checkpoint must match to be resumable by this
+        engine — shared by the payload writer and the resume check."""
         pipe = self.pipeline
         return {
-            "engine": "parallel-shards",
             "seed": pipe.seed,
             "ports": list(pipe.ports),
             "batch_size": pipe.batch_size,
             "shard_blocks": self.shard_blocks,
             "shards_total": len(shards),
+        }
+
+    def _checkpoint_payload(
+        self, shards: list[Shard], completed: dict[int, dict]
+    ) -> dict:
+        return {
+            "engine": "parallel-shards",
+            **self._expected_config(shards),
             "shards": {
                 str(index): completed[index] for index in sorted(completed)
             },

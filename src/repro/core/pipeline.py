@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.checkpoint import Checkpointer, check_config_matches
+from repro.core.coverage import CoverageReport
 from repro.core.fingerprint.fingerprinter import Fingerprint, VersionFingerprinter
 from repro.core.fingerprint.knowledge_base import (
     KnowledgeBase,
@@ -89,6 +90,8 @@ class ScanReport:
     retry_stats: RetryStats = field(default_factory=RetryStats)
     #: flattened telemetry counters + event/span totals for the run
     telemetry: TelemetrySummary = field(default_factory=TelemetrySummary)
+    #: per-stage scanned/dropped/quarantined/skipped accounting
+    coverage: CoverageReport = field(default_factory=CoverageReport)
 
     def finding_for(self, ip: IPv4Address) -> HostFinding:
         finding = self.findings.get(ip.value)
@@ -141,6 +144,7 @@ class ScanReport:
         self.detections.extend(other.detections)
         self.retry_stats.merge(other.retry_stats)
         self.telemetry.merge(other.telemetry)
+        self.coverage.merge(other.coverage)
 
 
 @dataclass
@@ -169,6 +173,13 @@ class ScanPipeline:
     #: /24 blocks per shard when ``workers`` is set (kept in sync with
     #: repro.core.parallel.DEFAULT_SHARD_BLOCKS)
     shard_blocks: int = 256
+    #: a SupervisorConfig: run the sweep under the supervised runtime
+    #: (escalation ladder, deadlines, quarantine); typed loosely to keep
+    #: this module import-cycle-free with repro.core.supervisor
+    supervisor: object | None = None
+    #: runtime supervision handle for a shard-local pipeline — set by the
+    #: SweepSupervisor, never by callers
+    supervision: object | None = None
 
     def __post_init__(self) -> None:
         if self.telemetry is None:
@@ -194,12 +205,15 @@ class ScanPipeline:
                 clock=self.clock,
                 breaker=self.circuit_breaker,
                 telemetry=self.telemetry,
+                supervision=self.supervision,
             )
         else:
             self._retry = None
+        self._coverage = CoverageReport()
         self._masscan = Masscan(
             self.transport, self.ports, rng=random.Random(self.seed),
             retry=self._retry, telemetry=self.telemetry,
+            supervision=self.supervision,
         )
         self._prefilter = Prefilter(
             self.transport, retry=self._retry, telemetry=self.telemetry
@@ -244,7 +258,23 @@ class ScanPipeline:
         parallel engine instead: shard-local pipelines run concurrently
         and are folded deterministically (checkpoints then live at shard
         boundaries).
+
+        With ``supervisor`` set, the sweep runs under the supervised
+        runtime — the sharded engine wrapped in an escalation ladder
+        with deadlines, watchdogs, and quarantine — and a degraded run
+        returns a partial report whose coverage ledger says exactly what
+        was given up.
         """
+        if self.supervisor is not None and self.supervision is None:
+            from repro.core.supervisor import SweepSupervisor
+
+            engine = SweepSupervisor(
+                self,
+                workers=self.workers if self.workers is not None else 1,
+                shard_blocks=self.shard_blocks,
+                config=self.supervisor,
+            )
+            return engine.run(candidates, checkpoint)
         if self.workers is not None:
             from repro.core.parallel import ParallelScanEngine
 
@@ -288,11 +318,15 @@ class ScanPipeline:
                 addresses=batch.addresses_scanned,
                 open_hosts=len(batch.open_ports),
             )
+            if self.supervision is not None:
+                self.supervision.heartbeat(completed)
             if checkpoint is not None and checkpoint.due(batches_done):
                 self._fold_stats(report)
                 checkpoint.save(
                     self._checkpoint_payload(completed, batches_done, report)
                 )
+        if self.supervision is not None:
+            self._finish_supervised(completed)
         sweep_span = tel.tracer.end()
         sweep_span.attrs["addresses"] = report.port_scan.addresses_scanned
         sweep_span.attrs["batches"] = batches_done
@@ -342,25 +376,93 @@ class ScanPipeline:
 
     def _run_later_stages(self, batch: PortScanResult, report: ScanReport) -> None:
         tel = self.telemetry
+        sup = self.supervision
+        # Addresses the quarantine gate refused to probe at all: they
+        # entered stage I but left through the quarantined door.
+        gate_skips = sup.drain_gate_skips() if sup is not None else 0
+        entered = batch.addresses_scanned + gate_skips
         open_hosts = len(batch.open_ports)
         # Batches partition the address space, so per-batch funnel charges
         # sum to exactly the ScanReport totals.
-        tel.funnel("masscan", batch.addresses_scanned, open_hosts)
+        tel.funnel("masscan", entered, open_hosts, quarantined=gate_skips)
+        self._coverage.charge(
+            "masscan", entered, open_hosts, quarantined=gate_skips
+        )
         with tel.tracer.span("stage:prefilter", hosts=open_hosts):
             if self.use_prefilter:
                 findings = self._prefilter.run(batch)
             else:
                 findings = self._probe_without_prefilter(batch)
+        # Open hosts quarantined by stage I/II strikes never reach stage
+        # III, whatever partial findings stage II managed to fetch first.
+        quarantined_open = self._quarantined_values(batch.open_ports)
+        findings = [f for f in findings if f.ip.value not in quarantined_open]
         candidate_ips = {finding.ip.value for finding in findings}
-        tel.funnel("prefilter", open_hosts, len(candidate_ips))
+        tel.funnel(
+            "prefilter", open_hosts, len(candidate_ips),
+            quarantined=len(quarantined_open),
+        )
+        self._coverage.charge(
+            "prefilter", open_hosts, len(candidate_ips),
+            quarantined=len(quarantined_open),
+        )
         with tel.tracer.span("stage:tsunami", hosts=len(candidate_ips)):
             for finding in findings:
+                if sup is not None and sup.is_quarantined_value(finding.ip.value):
+                    # Quarantined mid-stage (or /24 collateral): keep the
+                    # host's entry so stage-III accounting still balances,
+                    # but run no plugins against it.
+                    report.finding_for(finding.ip)
+                    continue
                 self._verify_and_fingerprint(finding, report)
         vulnerable_hosts = sum(
             1 for value in candidate_ips
             if report.findings[value].vulnerable_slugs
         )
-        tel.funnel("tsunami", len(candidate_ips), vulnerable_hosts)
+        quarantined_candidates = sum(
+            1 for value in self._quarantined_values(candidate_ips)
+            if not report.findings[value].vulnerable_slugs
+        )
+        tel.funnel(
+            "tsunami", len(candidate_ips), vulnerable_hosts,
+            quarantined=quarantined_candidates,
+        )
+        self._coverage.charge(
+            "tsunami", len(candidate_ips), vulnerable_hosts,
+            quarantined=quarantined_candidates,
+        )
+
+    def _quarantined_values(self, values: Iterable[int]) -> set[int]:
+        sup = self.supervision
+        if sup is None:
+            return set()
+        return {v for v in values if sup.is_quarantined_value(v)}
+
+    def _finish_supervised(self, completed: int) -> None:
+        """Close the coverage books for a supervised (shard) sweep.
+
+        Charges the deadline-skipped remainder of the frame and copies
+        the supervision record — quarantine lists, poison/stall tallies —
+        into the coverage ledger the report will carry.
+        """
+        sup = self.supervision
+        tel = self.telemetry
+        remaining = sup.planned - completed - sup.gate_skips_total
+        if sup.deadline_hit and remaining > 0:
+            tel.funnel("masscan", remaining, 0)
+            self._coverage.charge(
+                "masscan", remaining, 0, deadline_skipped=remaining
+            )
+            tel.events.warn(
+                "supervisor", "deadline",
+                skipped=remaining, deadline=sup.deadline,
+            )
+        cov = self._coverage
+        cov.poison_events = sup.poison_events
+        cov.stall_events = sup.stall_events
+        cov.deadline_hits = 1 if sup.deadline_hit else 0
+        cov.quarantined_hosts = set(sup.quarantine.hosts)
+        cov.quarantined_blocks = set(sup.quarantine.blocks)
 
     def _probe_without_prefilter(self, batch: PortScanResult) -> list[PrefilterFinding]:
         """Ablation mode: skip signature matching, try *every* plugin.
@@ -449,8 +551,10 @@ class ScanPipeline:
             # Overwrite, not merge: executor stats are cumulative and this
             # fold runs once per batch when checkpointing is on.
             report.retry_stats = self._retry.stats.copy()
-        # Same contract: the telemetry summary is cumulative.
+        # Same contract: the telemetry summary and coverage ledger are
+        # cumulative.
         report.telemetry = self.telemetry.summary()
+        report.coverage = self._coverage.copy()
 
     def _fold_prefilter_stats(self, report: ScanReport) -> None:
         for port, count in self._prefilter.stats.http_responses.items():
@@ -526,4 +630,7 @@ class ScanPipeline:
             restore(payload["transport"])
         if payload.get("telemetry") is not None:
             self.telemetry.restore_state(payload["telemetry"])
+        # The report's coverage block was copied from the live ledger at
+        # save time, so restoring it re-seats the cumulative ledger too.
+        self._coverage = report.coverage.copy()
         return payload["completed_addresses"], payload["batches_done"], report

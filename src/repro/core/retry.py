@@ -31,7 +31,12 @@ from typing import Callable, TypeVar
 from repro.net.ipv4 import IPv4Address
 from repro.obs.telemetry import Telemetry
 from repro.util.clock import SimClock
-from repro.util.errors import CircuitOpen, TransportError
+from repro.util.errors import (
+    CircuitOpen,
+    PoisonError,
+    QuarantineSkip,
+    TransportError,
+)
 from repro.util.rand import rng_state_from_json, rng_state_to_json
 
 T = TypeVar("T")
@@ -98,6 +103,10 @@ class RetryStats:
     budget_denials: int = 0
     #: retries denied because backoff would blow the deadline
     deadline_denials: int = 0
+    #: operations that raised a non-transport (poison) error — never retried
+    poisoned: int = 0
+    #: operations refused because the target is quarantined
+    quarantine_skips: int = 0
     #: cumulative backoff charged to the clock, simulated seconds
     backoff_seconds: float = 0.0
 
@@ -267,6 +276,15 @@ class RetryExecutor:
       stage I re-probes instead of trusting a single answer.  Probe
       misses never feed the breaker (most ports are closed on healthy
       hosts); only request-path failures do.
+
+    Exceptions that are *not* :class:`~repro.util.errors.TransportError`
+    are classified as poison: the target's response deterministically
+    crashes whatever consumes it, so retrying burns budget for an
+    identical crash.  They are re-raised immediately as
+    :class:`~repro.util.errors.PoisonError` (which *is* a
+    TransportError, so stage-level failure handling degrades
+    gracefully) and reported to the supervision hook, which feeds the
+    quarantine ledger instead of the retry loop.
     """
 
     def __init__(
@@ -277,6 +295,7 @@ class RetryExecutor:
         breaker: CircuitBreaker | None = None,
         stats: RetryStats | None = None,
         telemetry: Telemetry | None = None,
+        supervision=None,
     ) -> None:
         self.policy = policy
         self._rng = rng if rng is not None else random.Random(0)
@@ -284,6 +303,9 @@ class RetryExecutor:
         self.breaker = breaker
         self.stats = stats if stats is not None else RetryStats()
         self.telemetry = telemetry
+        #: shard supervision hook (quarantine gate, poison/stall notes);
+        #: duck-typed to keep this module free of supervisor imports
+        self.supervision = supervision
         self._host_retries: dict[int, int] = {}
 
     # -- internals ---------------------------------------------------------
@@ -298,6 +320,30 @@ class RetryExecutor:
             self._count("retry_breaker_skips_total")
             return False
         return True
+
+    def _check_quarantine(self, ip: IPv4Address) -> bool:
+        """True when ``ip`` is quarantined (operation must be refused)."""
+        if self.supervision is None or not self.supervision.is_quarantined(ip):
+            return False
+        self.stats.quarantine_skips += 1
+        self._count("retry_quarantine_skips_total")
+        return True
+
+    def _classify_poison(self, ip: IPv4Address, exc: Exception) -> PoisonError:
+        """Account a non-transport crash and wrap it for the caller."""
+        self.stats.poisoned += 1
+        self._count("retry_poisoned_total")
+        if self.telemetry is not None:
+            self.telemetry.events.warn(
+                "retry", "poison", host=ip, error=type(exc).__name__,
+            )
+        if self.supervision is not None:
+            self.supervision.note_poison(ip)
+        return PoisonError(f"poison response from {ip}: {exc}")
+
+    def _note_activity(self, ip: IPv4Address) -> None:
+        if self.supervision is not None:
+            self.supervision.note_activity(ip)
 
     def _may_retry(
         self, ip: IPv4Address, attempt: int, elapsed: float, use_budget: bool = True
@@ -338,7 +384,14 @@ class RetryExecutor:
     # -- entry points ------------------------------------------------------
 
     def call(self, ip: IPv4Address, operation: Callable[[], T]) -> T:
-        """Run a raising operation with retries; re-raise on exhaustion."""
+        """Run a raising operation with retries; re-raise on exhaustion.
+
+        Quarantined targets are refused up front (like an open circuit);
+        non-transport exceptions are classified as poison and re-raised
+        without consuming a single retry.
+        """
+        if self._check_quarantine(ip):
+            raise QuarantineSkip(f"{ip} is quarantined")
         if not self._check_breaker(ip):
             raise CircuitOpen(f"circuit open for {ip}")
         self.stats.operations += 1
@@ -351,17 +404,25 @@ class RetryExecutor:
             self._count("retry_attempts_total")
             try:
                 result = operation()
+            except PoisonError:
+                # Already classified by a nested executor call.
+                self._note_activity(ip)
+                raise
             except TransportError as exc:
                 last = exc
                 failed_before = True
                 if self.breaker is not None:
                     self.breaker.record_failure(ip)
+            except Exception as exc:
+                self._note_activity(ip)
+                raise self._classify_poison(ip, exc) from exc
             else:
                 if self.breaker is not None:
                     self.breaker.record_success(ip)
                 if failed_before:
                     self.stats.recovered += 1
                     self._count("retry_recovered_total")
+                self._note_activity(ip)
                 return result
             delay = self._may_retry(ip, attempt, elapsed)
             if delay is None:
@@ -375,6 +436,7 @@ class RetryExecutor:
                 "retry", "exhausted", host=ip,
                 attempts=self.policy.max_attempts, error=type(last).__name__,
             )
+        self._note_activity(ip)
         assert last is not None
         raise last
 
@@ -386,6 +448,8 @@ class RetryExecutor:
         exhausted operations — every genuinely closed port would
         otherwise drain both.
         """
+        if self._check_quarantine(ip):
+            return False
         if not self._check_breaker(ip):
             return False
         self.stats.operations += 1
@@ -399,6 +463,7 @@ class RetryExecutor:
                 if failed_before:
                     self.stats.recovered += 1
                     self._count("retry_recovered_total")
+                self._note_activity(ip)
                 return True
             failed_before = True
             delay = self._may_retry(ip, attempt, elapsed, use_budget=False)
@@ -406,6 +471,7 @@ class RetryExecutor:
                 break
             elapsed += delay
             self._charge(ip, delay, use_budget=False)
+        self._note_activity(ip)
         return False
 
     # -- checkpoint support ------------------------------------------------

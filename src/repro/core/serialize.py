@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.core.coverage import CoverageReport
 from repro.core.fingerprint.fingerprinter import Fingerprint, FingerprintMethod
 from repro.core.pipeline import AppObservation, HostFinding, ScanReport
 from repro.core.retry import RetryStats
@@ -60,6 +61,7 @@ def report_to_dict(report: ScanReport) -> dict:
         "https_responses": dict(report.https_responses),
         "retry_stats": report.retry_stats.to_dict(),
         "telemetry": report.telemetry.to_dict(),
+        "coverage": report.coverage.to_dict(),
         "findings": findings,
     }
 
@@ -77,9 +79,11 @@ def report_from_dict(payload: dict) -> ScanReport:
     report.http_responses = {int(k): v for k, v in payload["http_responses"].items()}
     report.https_responses = {int(k): v for k, v in payload["https_responses"].items()}
     # Reports written before the resilience layer carry no retry block,
-    # and reports from before the telemetry layer no telemetry block.
+    # ones from before the telemetry layer no telemetry block, and ones
+    # from before the supervised runtime no coverage block.
     report.retry_stats = RetryStats.from_dict(payload.get("retry_stats", {}))
     report.telemetry = TelemetrySummary.from_dict(payload.get("telemetry", {}))
+    report.coverage = CoverageReport.from_dict(payload.get("coverage", {}))
 
     for entry in payload["findings"]:
         ip = IPv4Address.parse(entry["ip"])

@@ -33,7 +33,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--experiment",
         choices=("full", "scan", "observe", "honeypot", "defender",
-                 "ct-race", "vhosts", "packet-loss", "recall-recovery"),
+                 "ct-race", "vhosts", "packet-loss", "recall-recovery",
+                 "chaos-soak", "chaos-coverage"),
         default="full",
     )
     parser.add_argument("--scale", choices=sorted(_SCALES), default="default")
@@ -54,7 +55,52 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--telemetry-out", type=str, default=None,
                         help="write the telemetry dump to this file instead "
                              "of appending it to the report")
+    supervision = parser.add_argument_group(
+        "supervised runtime",
+        "run the sweep under the supervised runtime (full / scan / observe "
+        "experiments): deadlines, per-probe watchdogs, quarantine, and a "
+        "coverage account of everything skipped",
+    )
+    supervision.add_argument(
+        "--deadline", type=float, default=None,
+        help="sweep-wide deadline in simulated seconds; the sweep stops "
+             "probing when a shard's clock budget runs out and accounts "
+             "the remainder as deadline-skipped",
+    )
+    supervision.add_argument(
+        "--max-shard-restarts", type=int, default=None,
+        help="restarts granted to a crashing shard before it is abandoned "
+             "and its frame accounted unreachable (default 2)",
+    )
+    supervision.add_argument(
+        "--quarantine-threshold", type=int, default=None,
+        help="poison/stall strikes before a host is quarantined for the "
+             "rest of the sweep (default 2)",
+    )
     return parser
+
+
+def _supervisor_config(args):
+    """A SupervisorConfig when any supervision flag was given, else None."""
+    if (args.deadline is None and args.max_shard_restarts is None
+            and args.quarantine_threshold is None):
+        return None
+    from repro.core.supervisor import SupervisorConfig
+
+    defaults = SupervisorConfig()
+    return SupervisorConfig(
+        sweep_deadline=args.deadline,
+        max_shard_restarts=(
+            args.max_shard_restarts
+            if args.max_shard_restarts is not None
+            else defaults.max_shard_restarts
+        ),
+        quarantine_threshold=(
+            args.quarantine_threshold
+            if args.quarantine_threshold is not None
+            else defaults.quarantine_threshold
+        ),
+    )
 
 
 def _run(
@@ -62,19 +108,21 @@ def _run(
     config: StudyConfig,
     markdown: bool = False,
     workers: int | None = None,
+    supervisor=None,
 ):
     """Run one experiment; returns (report text, Telemetry or None)."""
     if experiment == "full":
-        study = run_full_study(config)
+        study = run_full_study(config, supervisor=supervisor)
         return study.render_markdown() if markdown else study.render(), None
     if experiment == "scan":
-        study = run_scan_study(config, workers=workers)
-        return "\n\n".join(
-            [study.table2().render(), study.table3().render(),
-             study.table4().render(), study.figure1().render()]
-        ), study.telemetry
+        study = run_scan_study(config, workers=workers, supervisor=supervisor)
+        sections = [study.table2().render(), study.table3().render(),
+                    study.table4().render(), study.figure1().render()]
+        if supervisor is not None:
+            sections.append(study.report.coverage.render())
+        return "\n\n".join(sections), study.telemetry
     if experiment == "observe":
-        study = run_scan_study(config, workers=workers)
+        study = run_scan_study(config, workers=workers, supervisor=supervisor)
         # The observer charges its sweep counters to the scan pipeline's
         # handle, so one dump covers both phases.
         observer = run_observer_study(study, telemetry=study.telemetry)
@@ -104,6 +152,15 @@ def _run(
         from repro.experiments.packet_loss import run_recall_recovery_study
 
         return run_recall_recovery_study().table().render(), None
+    if experiment == "chaos-soak":
+        from repro.experiments.chaos_soak import run_chaos_soak
+
+        soak = run_chaos_soak()
+        return soak.render(), None
+    if experiment == "chaos-coverage":
+        from repro.experiments.chaos_soak import run_chaos_coverage_study
+
+        return run_chaos_coverage_study().table().render(), None
     raise ValueError(f"unknown experiment {experiment!r}")
 
 
@@ -113,7 +170,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.seed is not None:
         config = config.with_seed(args.seed)
     report, telemetry = _run(
-        args.experiment, config, markdown=args.markdown, workers=args.workers
+        args.experiment, config, markdown=args.markdown, workers=args.workers,
+        supervisor=_supervisor_config(args),
     )
     if args.telemetry is not None:
         if telemetry is None:

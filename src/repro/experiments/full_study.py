@@ -70,10 +70,18 @@ class FullStudy:
         return "\n".join(lines)
 
 
-def run_full_study(config: StudyConfig | None = None) -> FullStudy:
-    """Run the complete reproduction on one configuration."""
+def run_full_study(
+    config: StudyConfig | None = None,
+    supervisor: object | None = None,
+) -> FullStudy:
+    """Run the complete reproduction on one configuration.
+
+    ``supervisor`` (a :class:`~repro.core.supervisor.SupervisorConfig`)
+    runs the §3 sweep under the supervised runtime; the report then
+    carries a coverage account, rendered in its own section.
+    """
     config = config or StudyConfig.default()
-    scan = run_scan_study(config)
+    scan = run_scan_study(config, supervisor=supervisor)
     observer = run_observer_study(scan)
     honeypots = run_honeypot_study(
         config,

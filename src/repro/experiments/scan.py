@@ -63,13 +63,18 @@ class ScanStudy:
 
 
 def run_scan_study(
-    config: StudyConfig | None = None, workers: int | None = None
+    config: StudyConfig | None = None,
+    workers: int | None = None,
+    supervisor: object | None = None,
 ) -> ScanStudy:
     """Generate the Internet and sweep it with the full pipeline.
 
     ``workers`` dispatches the sweep to the sharded parallel engine; the
     report and telemetry are byte-identical for every worker count, so
-    the analysis products do not depend on it.
+    the analysis products do not depend on it.  ``supervisor`` (a
+    :class:`~repro.core.supervisor.SupervisorConfig`) runs the sweep
+    under the supervised runtime — deadlines, quarantine, and coverage
+    accounting — which also implies the sharded engine.
     """
     config = config or StudyConfig.default()
     internet, geo, census = generate_internet(config.population)
@@ -80,6 +85,7 @@ def run_scan_study(
         seed=config.seed,
         fingerprint=config.fingerprint,
         workers=workers,
+        supervisor=supervisor,
     )
     report = pipeline.run(internet.populated_addresses())
     return ScanStudy(

@@ -24,7 +24,14 @@ This pass walks every module under the scanned root and flags:
   results for the main thread to fold in canonical order.  Concurrent
   writes are scheduling-ordered, so any output derived from them varies
   with the worker count; the parallel engine's shard-fold API is the
-  sanctioned alternative (and its progress counter is baselined).
+  sanctioned alternative (and its progress counter is baselined);
+* ``DET006`` unbounded loops — ``while True:`` / ``while 1:`` — which
+  carry no structural guarantee of termination.  The supervised runtime
+  promises every sweep ends (degraded if need be); a loop only a
+  well-behaved peer can exit breaks that promise on the first tarpit.
+  Iterate ``range(budget)``, charge a clock deadline, or demand
+  measurable progress per pass instead; genuinely sanctioned loops go
+  in the lint baseline.
 
 Import aliases are tracked per module, so ``from time import time as
 now`` does not escape the net; methods on *instances* that merely share
@@ -200,6 +207,17 @@ class _ModuleAuditor(ast.NodeVisitor):
 
     def visit_For(self, node: ast.For) -> None:
         self._audit_iteration(node.iter)
+        self.generic_visit(node)
+
+    # -- unbounded loops (DET006) --------------------------------------------
+
+    def visit_While(self, node: ast.While) -> None:
+        test = node.test
+        if isinstance(test, ast.Constant) and bool(test.value):
+            self._flag(node, "DET006",
+                       "unbounded 'while "
+                       f"{ast.unparse(test)}' loop; bound it with a range, "
+                       "deadline, or progress check")
         self.generic_visit(node)
 
     def _visit_comprehensions(self, node) -> None:

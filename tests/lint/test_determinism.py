@@ -195,3 +195,39 @@ class TestWorkerPoolWrites:
         )
         findings = audit_source(tmp_path, source)
         assert [f.rule for f in findings] == ["DET005"]
+
+
+class TestUnboundedLoops:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "while True:\n    pass\n",
+            "while 1:\n    pass\n",
+            "def f():\n    while True:\n        step()\n",
+        ],
+    )
+    def test_constant_true_loops_flagged(self, tmp_path, source):
+        findings = audit_source(tmp_path, source)
+        assert [f.rule for f in findings] == ["DET006"]
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "for attempt in range(3):\n    pass\n",
+            "while pending:\n    pending = step(pending)\n",
+            "def f(clock, deadline):\n"
+            "    while clock.now < deadline:\n        step()\n",
+        ],
+    )
+    def test_bounded_loops_are_fine(self, tmp_path, source):
+        assert audit_source(tmp_path, source) == []
+
+    def test_nested_unbounded_loop_flagged_once_per_loop(self, tmp_path):
+        source = (
+            "while True:\n"
+            "    while 1:\n"
+            "        pass\n"
+        )
+        findings = audit_source(tmp_path, source)
+        assert [f.rule for f in findings] == ["DET006", "DET006"]
+        assert [f.line for f in findings] == [1, 2]

@@ -377,3 +377,126 @@ class TestChaosFork:
         child.syn_probe(ip, 8192)
         assert child.stats.syn_probes == 1
         assert parent.stats.syn_probes == 0
+
+
+class TestLatencyAndPoisonFaults:
+    """The supervised-runtime fault families: hangs, stalls, poison."""
+
+    def test_hang_charges_full_latency_without_watchdog(self, world):
+        internet, ip = world
+        clock = SimClock()
+        transport = ChaosTransport(
+            InMemoryTransport(internet), FaultPlan(hang_rate=1.0),
+            seed=3, clock=clock,
+        )
+        with pytest.raises(ConnectionTimeout):
+            transport.get(ip, 8192, "/")
+        assert clock.now == pytest.approx(3600.0)  # default hang_latency
+        assert transport.hang_seconds == pytest.approx(3600.0)
+        assert transport.faults.get("hang") == 1
+
+    def test_watchdog_caps_the_hang_charge(self, world):
+        internet, ip = world
+        clock = SimClock()
+        transport = ChaosTransport(
+            InMemoryTransport(internet), FaultPlan(hang_rate=1.0),
+            seed=3, clock=clock,
+        )
+        transport.watchdog = 25.0
+        with pytest.raises(ConnectionTimeout):
+            transport.get(ip, 8192, "/")
+        assert clock.now == pytest.approx(25.0)
+        assert transport.hang_seconds == pytest.approx(25.0)
+
+    def test_stall_delivers_late_without_watchdog(self, world):
+        internet, ip = world
+        clock = SimClock()
+        transport = ChaosTransport(
+            InMemoryTransport(internet),
+            FaultPlan(stall_rate=1.0, stall_latency=90.0),
+            seed=3, clock=clock,
+        )
+        response = transport.get(ip, 8192, "/")
+        assert response.body  # the bytes do arrive, eventually
+        assert clock.now == pytest.approx(90.0)
+        assert transport.stall_seconds == pytest.approx(90.0)
+
+    def test_watchdog_abandons_the_stalled_read(self, world):
+        internet, ip = world
+        clock = SimClock()
+        transport = ChaosTransport(
+            InMemoryTransport(internet),
+            FaultPlan(stall_rate=1.0, stall_latency=90.0),
+            seed=3, clock=clock,
+        )
+        transport.watchdog = 30.0
+        with pytest.raises(ConnectionTimeout):
+            transport.get(ip, 8192, "/")
+        assert clock.now == pytest.approx(30.0)
+
+    def test_poison_raises_a_non_transport_error(self, world):
+        """Poison models a parser crash, so it must NOT look like a
+        transport fault — the retry executor classifies on that."""
+        internet, ip = world
+        transport = ChaosTransport(
+            InMemoryTransport(internet), FaultPlan(poison_rate=1.0), seed=3
+        )
+        with pytest.raises(RuntimeError) as excinfo:
+            transport.get(ip, 8192, "/")
+        assert not isinstance(excinfo.value, TransportError)
+        assert transport.faults.get("poison") == 1
+
+    def test_watchdog_survives_fork(self, world):
+        internet, _ = world
+        transport = ChaosTransport(InMemoryTransport(internet), FaultPlan())
+        transport.watchdog = 15.0
+        assert transport.fork(5, SimClock()).watchdog == 15.0
+
+    def test_scaled_plan_scales_the_new_rates(self):
+        plan = FaultPlan(
+            hang_rate=0.1, stall_rate=0.2, poison_rate=0.3, hang_latency=50.0
+        )
+        scaled = plan.scaled(2.0)
+        assert scaled.hang_rate == pytest.approx(0.2)
+        assert scaled.stall_rate == pytest.approx(0.4)
+        assert scaled.poison_rate == pytest.approx(0.6)
+        assert scaled.hang_latency == 50.0  # durations are not rates
+
+    def test_snapshot_roundtrips_latency_fault_state(self, world):
+        """Snapshot equality: restoring a snapshot and re-snapshotting
+        must reproduce it byte for byte, hang/stall state included."""
+        internet, ip = world
+        clock = SimClock()
+        plan = FaultPlan(hang_rate=0.3, stall_rate=0.3, stall_latency=45.0)
+        transport = ChaosTransport(
+            InMemoryTransport(internet), plan, seed=11, clock=clock
+        )
+        for _ in range(20):
+            try:
+                transport.get(ip, 8192, "/")
+            except ConnectionTimeout:
+                pass
+        assert transport.hang_seconds + transport.stall_seconds > 0
+        state = transport.snapshot_state()
+        assert state["hang_seconds"] == transport.hang_seconds
+        assert state["stall_seconds"] == transport.stall_seconds
+
+        fresh = ChaosTransport(InMemoryTransport(internet), plan, seed=11)
+        fresh.restore_state(state)
+        assert fresh.snapshot_state() == state
+
+    def test_restore_tolerates_pre_latency_checkpoints(self, world):
+        """Checkpoints written before the hang/stall faults existed carry
+        neither field; restore must default them to zero."""
+        internet, _ = world
+        transport = ChaosTransport(
+            InMemoryTransport(internet), FaultPlan(syn_loss=0.5), seed=7
+        )
+        state = transport.snapshot_state()
+        del state["hang_seconds"], state["stall_seconds"]
+        fresh = ChaosTransport(
+            InMemoryTransport(internet), FaultPlan(syn_loss=0.5), seed=7
+        )
+        fresh.restore_state(state)
+        assert fresh.hang_seconds == 0.0
+        assert fresh.stall_seconds == 0.0

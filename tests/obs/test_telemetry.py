@@ -122,3 +122,41 @@ class TestExports:
         telemetry.tracer.end(open_span)
         assert restored.export_jsonl() == telemetry.export_jsonl()
         assert restored.export_prometheus() == telemetry.export_prometheus()
+
+
+class TestFunnelQuarantine:
+    def test_quarantined_flow_extends_the_invariant(self):
+        """in = out + dropped + quarantined, per stage."""
+        telemetry = Telemetry()
+        telemetry.funnel("prefilter", 100, 60, quarantined=15)
+        value = telemetry.metrics.counter_value
+        hosts_in = value("funnel_hosts_total", stage="prefilter", flow="in")
+        out = value("funnel_hosts_total", stage="prefilter", flow="out")
+        dropped = value("funnel_hosts_total", stage="prefilter", flow="dropped")
+        quarantined = value(
+            "funnel_hosts_total", stage="prefilter", flow="quarantined"
+        )
+        assert (hosts_in, out, dropped, quarantined) == (100, 60, 25, 15)
+        assert hosts_in == out + dropped + quarantined
+
+    def test_out_plus_quarantined_cannot_exceed_in(self):
+        with pytest.raises(ValueError):
+            Telemetry().funnel("tsunami", 10, 8, quarantined=3)
+
+    def test_zero_quarantine_exports_no_quarantined_series(self):
+        """Sweeps without a supervisor must export exactly the series
+        they always did (byte-compat with pre-supervisor telemetry)."""
+        plain = Telemetry()
+        plain.funnel("masscan", 10, 4)
+        names = {
+            key for key in plain.metrics.snapshot_state()["counters"]
+            if "quarantined" in key
+        }
+        assert names == set()
+
+    def test_funnel_table_shows_quarantined_column(self):
+        telemetry = Telemetry()
+        telemetry.funnel("masscan", 10, 4, quarantined=2)
+        rendered = telemetry.funnel_table().render()
+        assert "quarantined" in rendered
+        assert "2" in rendered
