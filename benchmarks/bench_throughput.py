@@ -38,11 +38,24 @@ from repro.core import masscan as masscan_mod
 from repro.core import prefilter as prefilter_mod
 from repro.core.pipeline import ScanPipeline
 from repro.core.prefilter import match_signatures, match_signatures_naive
+from repro.core.retry import RetryPolicy
 from repro.lint.corpus import build_corpus
+from repro.net.chaos import ChaosTransport, FaultPlan
 from repro.net.ipv4 import IPv4Address, iana_reserved_networks
 from repro.net.transport import InMemoryTransport, Transport
+from repro.obs.profile import ProfileRollup
+from repro.util.clock import SimClock
 
-SCHEMA = 1
+SCHEMA = 2
+
+#: mild weather for the SimClock-attribution arm: a clean sweep never
+#: advances the simulated clock, so attributing sim time needs retries
+#: (backoff) and slow responses (injected latency) actually happening
+SIM_ATTRIBUTION_PLAN = FaultPlan(
+    request_loss=0.03,
+    slow_rate=0.02,
+    slow_latency=5.0,
+)
 
 
 # -- matcher ------------------------------------------------------------------
@@ -194,7 +207,7 @@ def bench_pipeline(
     limit: int | None,
     worker_counts: tuple[int, ...],
     dead_per_live: int = 50,
-) -> dict:
+) -> tuple[dict, object, list]:
     internet, candidates = bench_census(limit, dead_per_live)
     baseline = run_baseline(internet, candidates)
     per_workers = {
@@ -202,13 +215,105 @@ def bench_pipeline(
         for workers in worker_counts
     }
     reference = per_workers.get("4", next(iter(per_workers.values())))
-    return {
+    results = {
         "addresses": len(candidates),
         "dead_per_live": dead_per_live,
         "baseline_addresses_per_sec": round(baseline, 1),
         "workers": per_workers,
         "speedup_workers4": round(reference / baseline, 3),
+        # Scaling *efficiency* vs the engine's own workers=1 rate: the
+        # honest view the 2.5x-over-baseline headline hides.  >1 means
+        # adding workers helps; <1 means they cost throughput (the GIL).
+        "scaling_efficiency": {
+            str(workers): round(
+                per_workers[str(workers)] / per_workers["1"], 3
+            )
+            for workers in worker_counts
+            if workers != 1 and "1" in per_workers
+        },
     }
+    return results, internet, candidates
+
+
+# -- profiling attribution ----------------------------------------------------
+
+def run_sim_attribution(internet, candidates) -> dict:
+    """Where simulated time goes, under mild chaos + retries.
+
+    Deterministic: the rollup is a pure function of the seeds, so this
+    section of BENCH_scan.json is diffable across machines.
+    """
+    clock = SimClock()
+    transport = ChaosTransport(
+        InMemoryTransport(internet), SIM_ATTRIBUTION_PLAN,
+        seed=11, clock=clock,
+    )
+    pipeline = ScanPipeline(
+        transport, scanned_ports(), seed=3,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.5, max_delay=8.0),
+        clock=clock, workers=1, profile=True,
+    )
+    pipeline.run(candidates)
+    rollup = ProfileRollup.from_spans(pipeline.telemetry.tracer.finished)
+    ranked = sorted(
+        sorted(rollup.paths),
+        key=lambda path: -rollup.paths[path].self_time,
+    )
+    return {
+        "root_total_sim_seconds": round(rollup.root_total, 3),
+        "attributed_fraction": round(rollup.attributed_fraction(), 6),
+        "top_paths": [
+            {
+                "path": path,
+                "self": round(rollup.paths[path].self_time, 3),
+                "total": round(rollup.paths[path].total, 3),
+                "count": rollup.paths[path].count,
+            }
+            for path in ranked[:8]
+        ],
+    }
+
+
+def run_wall_attribution(internet, candidates, worker_counts) -> dict:
+    """Real seconds per span path, per worker count (profiled re-runs).
+
+    The numbers are hardware-bound and *not* gated; what matters is the
+    shape — which path's self time grows as workers are added.  The
+    ``regression`` block names the path whose self wall time grows most
+    from the fewest to the most workers: the code the GIL serialises.
+    """
+    books = {}
+    for workers in worker_counts:
+        transport = InMemoryTransport(internet)
+        pipeline = ScanPipeline(
+            transport, scanned_ports(), seed=3,
+            workers=workers, profile=True,
+        )
+        pipeline.run(candidates)
+        books[workers] = pipeline.wall_profile
+    section = {
+        str(workers): book.to_dict(top=6)
+        for workers, book in books.items()
+    }
+    low, high = min(books), max(books)
+    if low != high:
+        slow, fast = books[high], books[low]
+        paths = sorted(set(slow.path_self) | set(fast.path_self))
+        dominant = max(
+            paths,
+            key=lambda p: slow.path_self.get(p, 0.0)
+            - fast.path_self.get(p, 0.0),
+        )
+        section["regression"] = {
+            "fast_workers": str(low),
+            "slow_workers": str(high),
+            "dominant_path": dominant,
+            "self_delta_seconds": round(
+                slow.path_self.get(dominant, 0.0)
+                - fast.path_self.get(dominant, 0.0), 3,
+            ),
+        }
+    return section
 
 
 # -- regression gate ----------------------------------------------------------
@@ -220,13 +325,22 @@ def check_regression(current: dict, committed: dict, tolerance: float) -> list[s
     *speedups over the in-run baseline*, which cancel the machine out.
     """
     failures: list[str] = []
-    pairs = (
+    pairs = [
         ("matcher speedup",
          current["matcher"]["speedup"], committed["matcher"]["speedup"]),
         ("workers=4 end-to-end speedup",
          current["pipeline"]["speedup_workers4"],
          committed["pipeline"]["speedup_workers4"]),
-    )
+    ]
+    # Scaling efficiency (workers=N vs workers=1) is gated too, so a
+    # change that silently worsens the parallel regression fails CI even
+    # while the headline speedup over the seed baseline still looks fine.
+    # ``.get`` guards keep the gate compatible with schema-1 files.
+    for count in ("4", "8"):
+        now = current["pipeline"].get("scaling_efficiency", {}).get(count)
+        then = committed["pipeline"].get("scaling_efficiency", {}).get(count)
+        if now is not None and then is not None:
+            pairs.append((f"workers={count} scaling efficiency", now, then))
     for label, now, then in pairs:
         floor = then * (1.0 - tolerance)
         if now < floor:
@@ -258,6 +372,14 @@ def main(argv: list[str] | None = None) -> int:
                              "BENCH_scan.json and exit 1 on regression")
     parser.add_argument("--tolerance", type=float, default=0.3,
                         help="allowed relative regression for --check")
+    parser.add_argument("--no-profile", action="store_true",
+                        help="skip the profile-attribution section "
+                             "(halves the bench's wall time)")
+    parser.add_argument("--sim-addresses", type=int, default=30000,
+                        help="frame cap for the chaos-driven SimClock "
+                             "attribution arm (retries make it slow per "
+                             "address; the attribution fraction does not "
+                             "depend on the frame size)")
     args = parser.parse_args(argv)
 
     print("benching matcher ...", flush=True)
@@ -267,15 +389,36 @@ def main(argv: list[str] | None = None) -> int:
           f"  ({matcher['speedup']}x)")
 
     print("benching pipeline ...", flush=True)
-    pipeline = bench_pipeline(
+    pipeline, internet, candidates = bench_pipeline(
         args.addresses, tuple(args.workers), args.dead_per_live
     )
     print(f"  baseline    {pipeline['baseline_addresses_per_sec']:>10} addrs/s")
     for workers, value in pipeline["workers"].items():
         print(f"  workers={workers}   {value:>10} addrs/s")
     print(f"  workers=4 speedup over baseline: {pipeline['speedup_workers4']}x")
+    for workers, efficiency in pipeline["scaling_efficiency"].items():
+        print(f"  workers={workers} efficiency vs workers=1: {efficiency}x")
 
     results = {"schema": SCHEMA, "matcher": matcher, "pipeline": pipeline}
+
+    if not args.no_profile:
+        print("profiling attribution ...", flush=True)
+        sim = run_sim_attribution(internet, candidates[:args.sim_addresses])
+        print(f"  sim root total {sim['root_total_sim_seconds']}s, "
+              f"{sim['attributed_fraction']:.1%} attributed to named paths")
+        wall = run_wall_attribution(internet, candidates, tuple(args.workers))
+        for workers in map(str, args.workers):
+            book = wall.get(workers)
+            if book:
+                print(f"  workers={workers} wall {book['elapsed']}s, "
+                      f"dominant {book['dominant_path']}")
+        regression = wall.get("regression")
+        if regression:
+            print(f"  workers={regression['slow_workers']} vs "
+                  f"{regression['fast_workers']} regression: "
+                  f"+{regression['self_delta_seconds']}s self in "
+                  f"{regression['dominant_path']}")
+        results["profile"] = {"sim": sim, "wall": wall}
     if args.out is not None:
         args.out.write_text(json.dumps(results, indent=2) + "\n")
         print(f"wrote {args.out}")

@@ -41,6 +41,8 @@ from repro.core.fingerprint.knowledge_base import build_default_knowledge_base
 from repro.core.serialize import report_from_dict, report_to_dict
 from repro.net.ipv4 import IPv4Address, is_reserved
 from repro.net.transport import TransportStats
+from repro.obs.profile import ProfileRollup, wall_now
+from repro.obs.trace import Span
 from repro.util.clock import SimClock
 from repro.util.rand import stable_hash
 
@@ -154,6 +156,17 @@ class ParallelScanEngine:
         pipe.telemetry.events.info(
             "parallel", "sweep-start", shards=len(shards),
         )
+        console = pipe.console
+        if console is not None:
+            console.attach_telemetry(pipe.telemetry)
+            console.begin_sweep(
+                [
+                    {"index": s.index, "addresses": len(s.addresses)}
+                    for s in shards
+                ]
+            )
+            for index in sorted(completed):
+                console.note_shard_done(index, completed[index])
         todo = [shard for shard in shards if shard.index not in completed]
         if todo:
             # The shared knowledge base is read-only during a sweep, so
@@ -178,14 +191,28 @@ class ParallelScanEngine:
         report = self._fold(shards, completed)
         if checkpoint is not None:
             checkpoint.clear()
+        if console is not None:
+            console.finish_sweep(report)
         return report
 
     # -- shard execution (worker threads) ------------------------------------
 
     def _run_shard(self, shard: Shard, knowledge_base) -> dict:
+        console = self.pipeline.console
+        if console is not None:
+            console.note_shard_running(shard.index)
+        start = wall_now() if self.pipeline.profile else None
         result = self._execute_shard(shard, knowledge_base)
+        if start is not None:
+            # ``result`` is owned by this call until it crosses the fold,
+            # so stamping the shard's wall seconds here races with nothing.
+            result.setdefault("wall", {"paths": {}})["elapsed"] = (
+                wall_now() - start
+            )
         with self._lock:
             self._shards_done += 1
+        if console is not None:
+            console.note_shard_done(shard.index, result)
         return result
 
     def _execute_shard(self, shard: Shard, knowledge_base) -> dict:
@@ -220,15 +247,23 @@ class ParallelScanEngine:
             knowledge_base=knowledge_base,
             retry_policy=pipe.retry_policy,
             clock=clock,
+            profile=pipe.profile,
         )
 
     def _shard_payload(self, shard: Shard, sub, report) -> dict:
-        return {
+        payload = {
             "report": report_to_dict(report),
             "telemetry": sub.telemetry.snapshot_state(),
             "transport_stats": sub.transport.stats.to_dict(),
             "addresses": report.port_scan.addresses_scanned,
         }
+        if sub.profile:
+            # The wall side-channel: per-path real seconds measured inside
+            # the worker, folded into the parent's WallProfile on the main
+            # thread.  Never merged into the canonical report or telemetry.
+            rollup = ProfileRollup.from_spans(sub.telemetry.tracer.finished)
+            payload["wall"] = {"paths": rollup.wall_to_dict()}
+        return payload
 
     # -- fold (main thread) ---------------------------------------------------
 
@@ -253,6 +288,14 @@ class ParallelScanEngine:
             pipe.transport.stats.merge(
                 TransportStats.from_dict(payload["transport_stats"])
             )
+            wall = payload.get("wall")
+            if wall is not None:
+                pipe.wall_profile.note_shard(shard.index, wall)
+            if pipe.profile:
+                pipe.shard_profiles[shard.index] = ProfileRollup.from_spans(
+                    Span.from_dict(p)
+                    for p in payload["telemetry"]["tracer"]["finished"]
+                )
             telemetry.events.info(
                 "parallel", "shard-complete",
                 index=shard.index, addresses=payload["addresses"],

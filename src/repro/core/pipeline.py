@@ -37,6 +37,7 @@ from repro.core.tsunami.engine import TsunamiEngine
 from repro.core.tsunami.plugin import DetectionReport
 from repro.net.http import Scheme
 from repro.net.ipv4 import IPv4Address
+from repro.obs.profile import ProfileRollup, WallProfile, wall_now
 from repro.obs.telemetry import Telemetry, TelemetrySummary
 from repro.util.clock import SimClock
 from repro.util.rand import stable_hash
@@ -180,10 +181,24 @@ class ScanPipeline:
     #: runtime supervision handle for a shard-local pipeline — set by the
     #: SweepSupervisor, never by callers
     supervision: object | None = None
+    #: arm wall-clock span stamps and wall-time attribution.  Profiling
+    #: never changes canonical output: wall numbers live only in the
+    #: ``wall_profile`` side book (see repro.obs.profile).
+    profile: bool = False
+    #: a ConsoleHub (repro.obs.console) to notify of sweep progress
+    console: object | None = None
 
     def __post_init__(self) -> None:
         if self.telemetry is None:
             self.telemetry = Telemetry(clock=self.clock)
+        if self.profile:
+            self.telemetry.tracer.wall_clock = wall_now
+        #: diagnostic wall-time book for the last run (empty when
+        #: profiling is off); filled on the main thread only
+        self.wall_profile = WallProfile()
+        #: per-shard SimClock rollups from the last parallel run (empty
+        #: when profiling is off or the run was sequential)
+        self.shard_profiles: dict[int, ProfileRollup] = {}
         # Telemetry-aware transports (ChaosTransport) join the shared
         # handle unless the caller wired their own.  Decorator transports
         # are unwrapped through their ``inner`` attribute.
@@ -283,6 +298,8 @@ class ScanPipeline:
             )
             return engine.run(candidates, checkpoint)
         tel = self.telemetry
+        if self.console is not None:
+            self.console.attach_telemetry(tel)
         report = ScanReport()
         completed = 0
         batches_done = 0
@@ -339,6 +356,12 @@ class ScanPipeline:
         self._fold_stats(report)
         if checkpoint is not None:
             checkpoint.clear()  # a completed sweep must not be "resumed"
+        if self.profile:
+            self.wall_profile.note_rollup(
+                ProfileRollup.from_spans(tel.tracer.finished)
+            )
+        if self.console is not None:
+            self.console.finish_sweep(report)
         return report
 
     def rescan_hosts(

@@ -374,6 +374,7 @@ class SweepSupervisor(ParallelScanEngine):
             ),
             clock=clock,
             supervision=supervision,
+            profile=pipe.profile,
         )
         supervision.telemetry = sub.telemetry
         return sub

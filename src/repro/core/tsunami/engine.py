@@ -66,7 +66,10 @@ class TsunamiEngine:
         candidates: tuple[str, ...],
     ) -> list[DetectionReport]:
         """Run every candidate's plugin against one (ip, port, scheme)."""
-        context = PluginContext(self.transport, ip, port, scheme, retry=self.retry)
+        context = PluginContext(
+            self.transport, ip, port, scheme,
+            retry=self.retry, telemetry=self.telemetry,
+        )
         reports = []
         for plugin in self.plugins_for_candidates(candidates):
             self.stats.plugins_run += 1

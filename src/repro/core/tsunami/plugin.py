@@ -45,6 +45,8 @@ class PluginContext:
     scheme: Scheme
     #: when set, transient transport failures are retried with backoff
     retry: RetryExecutor | None = None
+    #: when set, every exchange is noted on the flight recorder
+    telemetry: object | None = None
 
     def fetch(self, path: str, follow_redirects: int = 5) -> HttpResponse | None:
         """GET ``path``; ``None`` on any transport failure."""
@@ -55,10 +57,20 @@ class PluginContext:
 
         try:
             if self.retry is not None:
-                return self.retry.call(self.ip, attempt)
-            return attempt()
-        except TransportError:
+                response = self.retry.call(self.ip, attempt)
+            else:
+                response = attempt()
+        except TransportError as exc:
+            if self.telemetry is not None:
+                self.telemetry.flight.note_exchange(
+                    path, error=type(exc).__name__
+                )
             return None
+        if self.telemetry is not None:
+            self.telemetry.flight.note_exchange(
+                path, status=response.status, body_bytes=len(response.body)
+            )
+        return response
 
     def fetch_json(self, path: str) -> object | None:
         """GET ``path`` and parse the body as JSON; ``None`` on failure."""

@@ -28,6 +28,7 @@ from repro.core.supervisor import SupervisorConfig
 from repro.net.chaos import ChaosTransport, FaultPlan
 from repro.net.population import PopulationModel, generate_internet
 from repro.net.transport import InMemoryTransport
+from repro.obs.telemetry import Telemetry
 from repro.util.clock import SimClock
 from repro.util.errors import ConfigError
 from repro.util.tables import Table
@@ -71,6 +72,10 @@ class ChaosSoakResult:
     plan: FaultPlan
     supervisor: SupervisorConfig
     report: ScanReport
+    #: the pipeline's full observability handle (events, spans, metrics,
+    #: flight recorder) so degraded-run telemetry can be exported and
+    #: diffed exactly like the scan experiments'
+    telemetry: object | None = None
 
     @property
     def coverage(self) -> CoverageReport:
@@ -86,6 +91,8 @@ def _hostile_pipeline(
     supervisor: SupervisorConfig,
     seed: int,
     workers: int,
+    profile: bool = False,
+    console: object | None = None,
 ) -> ScanPipeline:
     clock = SimClock()
     transport = ChaosTransport(
@@ -105,6 +112,8 @@ def _hostile_pipeline(
         # still exists many times over).
         shard_blocks=64,
         supervisor=supervisor,
+        profile=profile,
+        console=console,
     )
 
 
@@ -113,6 +122,8 @@ def run_chaos_soak(
     workers: int = 2,
     plan: FaultPlan = HOSTILE_PLAN,
     supervisor: SupervisorConfig = SOAK_SUPERVISOR,
+    profile: bool = False,
+    console: object | None = None,
 ) -> ChaosSoakResult:
     """One hostile sweep that must complete degraded, books balanced.
 
@@ -125,7 +136,10 @@ def run_chaos_soak(
     internet, _geo, _census = generate_internet(
         PopulationModel(awe_rate=0.002, vuln_rate=0.1, background_rate=1e-7)
     )
-    pipeline = _hostile_pipeline(internet, plan, supervisor, seed, workers)
+    pipeline = _hostile_pipeline(
+        internet, plan, supervisor, seed, workers,
+        profile=profile, console=console,
+    )
     report = pipeline.run(internet.populated_addresses())
 
     coverage = report.coverage
@@ -135,7 +149,10 @@ def run_chaos_soak(
         )
     coverage.verify()
     coverage.reconcile(report)
-    return ChaosSoakResult(plan=plan, supervisor=supervisor, report=report)
+    return ChaosSoakResult(
+        plan=plan, supervisor=supervisor, report=report,
+        telemetry=pipeline.telemetry,
+    )
 
 
 @dataclass(frozen=True)
@@ -154,6 +171,9 @@ class SeverityPoint:
 @dataclass
 class ChaosCoverageResult:
     points: list[SeverityPoint]
+    #: per-arm telemetry folded in severity order (``--telemetry-out``
+    #: support); ``None`` only for hand-built results
+    telemetry: object | None = None
 
     def table(self) -> Table:
         table = Table(
@@ -203,11 +223,18 @@ def run_chaos_coverage_study(
         stall_window=SOAK_SUPERVISOR.stall_window,
     )
     points = []
+    merged = Telemetry()
     for severity in severities:
         pipeline = _hostile_pipeline(
             internet, HOSTILE_PLAN.scaled(severity), supervisor, seed, workers
         )
         report = pipeline.run(addresses)
+        # Fold the arm's record in severity order: one deterministic
+        # stream covering the whole study, diffable like any other run's.
+        merged.events.info(
+            "chaos-coverage", "severity-arm", severity=severity
+        )
+        merged.absorb(pipeline.telemetry)
         coverage = report.coverage
         coverage.verify()
         coverage.reconcile(report)
@@ -223,4 +250,4 @@ def run_chaos_coverage_study(
                 mavs_found=len(report.vulnerable_ips()),
             )
         )
-    return ChaosCoverageResult(points)
+    return ChaosCoverageResult(points, telemetry=merged)

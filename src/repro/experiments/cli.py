@@ -9,6 +9,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.experiments.config import StudyConfig
@@ -55,6 +56,30 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--telemetry-out", type=str, default=None,
                         help="write the telemetry dump to this file instead "
                              "of appending it to the report")
+    observability = parser.add_argument_group(
+        "profiling and the operations console",
+        "diagnostic layers on top of the telemetry: none of them change "
+        "the canonical report or telemetry export",
+    )
+    observability.add_argument(
+        "--profile", action="store_true",
+        help="arm span profiling (SimClock rollups plus per-shard wall "
+             "attribution) for experiments that run the pipeline",
+    )
+    observability.add_argument(
+        "--profile-out", type=str, default=None,
+        help="write the deterministic SimClock profile rollup as JSON "
+             "(implies --profile)",
+    )
+    observability.add_argument(
+        "--flight-out", type=str, default=None,
+        help="write the flight recorder's slowest-probe dump as JSON",
+    )
+    observability.add_argument(
+        "--console-port", type=int, default=None,
+        help="serve the live operations console on this loopback port "
+             "for the duration of the run (0 = ephemeral)",
+    )
     supervision = parser.add_argument_group(
         "supervised runtime",
         "run the sweep under the supervised runtime (full / scan / observe "
@@ -109,20 +134,28 @@ def _run(
     markdown: bool = False,
     workers: int | None = None,
     supervisor=None,
+    profile: bool = False,
+    console=None,
 ):
     """Run one experiment; returns (report text, Telemetry or None)."""
     if experiment == "full":
         study = run_full_study(config, supervisor=supervisor)
         return study.render_markdown() if markdown else study.render(), None
     if experiment == "scan":
-        study = run_scan_study(config, workers=workers, supervisor=supervisor)
+        study = run_scan_study(
+            config, workers=workers, supervisor=supervisor,
+            profile=profile, console=console,
+        )
         sections = [study.table2().render(), study.table3().render(),
                     study.table4().render(), study.figure1().render()]
         if supervisor is not None:
             sections.append(study.report.coverage.render())
         return "\n\n".join(sections), study.telemetry
     if experiment == "observe":
-        study = run_scan_study(config, workers=workers, supervisor=supervisor)
+        study = run_scan_study(
+            config, workers=workers, supervisor=supervisor,
+            profile=profile, console=console,
+        )
         # The observer charges its sweep counters to the scan pipeline's
         # handle, so one dump covers both phases.
         observer = run_observer_study(study, telemetry=study.telemetry)
@@ -155,12 +188,13 @@ def _run(
     if experiment == "chaos-soak":
         from repro.experiments.chaos_soak import run_chaos_soak
 
-        soak = run_chaos_soak()
-        return soak.render(), None
+        soak = run_chaos_soak(profile=profile, console=console)
+        return soak.render(), soak.telemetry
     if experiment == "chaos-coverage":
         from repro.experiments.chaos_soak import run_chaos_coverage_study
 
-        return run_chaos_coverage_study().table().render(), None
+        study = run_chaos_coverage_study()
+        return study.table().render(), study.telemetry
     raise ValueError(f"unknown experiment {experiment!r}")
 
 
@@ -169,10 +203,24 @@ def main(argv: list[str] | None = None) -> int:
     config = _SCALES[args.scale]()
     if args.seed is not None:
         config = config.with_seed(args.seed)
-    report, telemetry = _run(
-        args.experiment, config, markdown=args.markdown, workers=args.workers,
-        supervisor=_supervisor_config(args),
-    )
+    profile = args.profile or args.profile_out is not None
+    hub = server = None
+    if args.console_port is not None:
+        from repro.obs.console import ConsoleHub, ConsoleServer
+
+        hub = ConsoleHub()
+        server = ConsoleServer(hub, port=args.console_port).start()
+        print(f"operations console at {server.url}", file=sys.stderr)
+    try:
+        report, telemetry = _run(
+            args.experiment, config,
+            markdown=args.markdown, workers=args.workers,
+            supervisor=_supervisor_config(args),
+            profile=profile, console=hub,
+        )
+    finally:
+        if server is not None:
+            server.stop()
     if args.telemetry is not None:
         if telemetry is None:
             print(
@@ -187,6 +235,29 @@ def main(argv: list[str] | None = None) -> int:
             print(f"telemetry written to {args.telemetry_out}")
         else:
             report = report + "\n\n" + dump.rstrip("\n")
+    if args.profile_out is not None or args.flight_out is not None:
+        if telemetry is None:
+            print(
+                f"experiment {args.experiment!r} records no telemetry",
+                file=sys.stderr,
+            )
+            return 2
+        if args.profile_out is not None:
+            from repro.obs.profile import ProfileRollup
+
+            rollup = ProfileRollup.from_spans(telemetry.tracer.finished)
+            with open(args.profile_out, "w") as handle:
+                json.dump(rollup.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"profile rollup written to {args.profile_out}")
+        if args.flight_out is not None:
+            with open(args.flight_out, "w") as handle:
+                json.dump(
+                    telemetry.flight.to_dict(), handle,
+                    indent=2, sort_keys=True,
+                )
+                handle.write("\n")
+            print(f"flight record written to {args.flight_out}")
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(report + "\n")

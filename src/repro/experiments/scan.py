@@ -66,6 +66,8 @@ def run_scan_study(
     config: StudyConfig | None = None,
     workers: int | None = None,
     supervisor: object | None = None,
+    profile: bool = False,
+    console: object | None = None,
 ) -> ScanStudy:
     """Generate the Internet and sweep it with the full pipeline.
 
@@ -74,7 +76,10 @@ def run_scan_study(
     the analysis products do not depend on it.  ``supervisor`` (a
     :class:`~repro.core.supervisor.SupervisorConfig`) runs the sweep
     under the supervised runtime — deadlines, quarantine, and coverage
-    accounting — which also implies the sharded engine.
+    accounting — which also implies the sharded engine.  ``profile``
+    arms span profiling (wall attribution in ``pipeline.wall_profile``;
+    canonical output unchanged), and ``console`` attaches a
+    :class:`~repro.obs.console.ConsoleHub` for live observation.
     """
     config = config or StudyConfig.default()
     internet, geo, census = generate_internet(config.population)
@@ -86,6 +91,8 @@ def run_scan_study(
         fingerprint=config.fingerprint,
         workers=workers,
         supervisor=supervisor,
+        profile=profile,
+        console=console,
     )
     report = pipeline.run(internet.populated_addresses())
     return ScanStudy(

@@ -15,6 +15,7 @@ from pathlib import Path
 from repro.lint.baseline import Baseline
 from repro.lint.determinism import DeterminismAuditor
 from repro.lint.findings import Finding, sort_findings
+from repro.lint.observability import ObservabilityAuditor
 from repro.lint.plugins import PluginContractAuditor
 from repro.lint.report import render_json, render_text, rule_catalog
 from repro.lint.signatures import SignatureAuditor
@@ -77,6 +78,7 @@ def run_analyzers(root: Path, with_corpus: bool = True) -> list[Finding]:
     )
     findings.extend(PluginContractAuditor(root, known_slugs=known_slugs).run())
     findings.extend(DeterminismAuditor(root).run())
+    findings.extend(ObservabilityAuditor(root).run())
     return sort_findings(findings)
 
 

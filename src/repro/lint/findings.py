@@ -89,6 +89,12 @@ RULES: dict[str, tuple[Severity, str]] = {
                "unbounded loop (while True / while 1) with no structural "
                "bound; a hostile input can spin it forever — iterate a "
                "range, charge a deadline, or demand progress instead"),
+    # -- observability auditor ----------------------------------------------
+    "OBS001": (Severity.ERROR,
+               "metric registered under a dynamically-built name "
+               "(f-string, concatenation, %, or .format with non-constant "
+               "parts); per-host values in metric names explode series "
+               "cardinality — use a fixed name plus labels instead"),
 }
 
 

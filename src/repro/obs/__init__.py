@@ -15,10 +15,21 @@ so two runs with the same seed produce *identical* telemetry:
 handle that every instrumented layer shares, snapshots through
 :mod:`repro.core.checkpoint`, and exports as JSONL, Prometheus text
 exposition, or a human-readable funnel table.
+
+On top of the pillars sit the diagnostic layers:
+
+* :mod:`repro.obs.profile` — flamegraph-style span rollups with dual
+  SimClock/wall-time accounting;
+* :mod:`repro.obs.flight` — the flight recorder (bounded record of the
+  slowest probes with their full event context);
+* :mod:`repro.obs.console` — the live operations endpoint serving
+  metrics, funnel, quarantine, and shard progress over HTTP.
 """
 
 from repro.obs.events import Event, EventLog
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import ProfileRollup, WallProfile, wall_now
 from repro.obs.telemetry import FUNNEL_STAGES, Telemetry, TelemetrySummary
 from repro.obs.trace import Span, Tracer
 
@@ -26,12 +37,16 @@ __all__ = [
     "Event",
     "EventLog",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ProfileRollup",
     "Span",
     "Tracer",
     "Telemetry",
     "TelemetrySummary",
+    "WallProfile",
     "FUNNEL_STAGES",
+    "wall_now",
 ]

@@ -1,0 +1,185 @@
+"""The flight recorder: a bounded record of the slowest probes.
+
+An end-of-run report says a sweep took N simulated hours; it cannot say
+*which* probes burned them.  The flight recorder keeps, per telemetry
+handle (i.e. per shard), the ``capacity`` slowest stage-III probes with
+their full context:
+
+* the probe span itself (path, host, port, SimClock window, verdict);
+* every HTTP exchange the plugin issued (path, status, body size, or
+  the transport error that ate the request);
+* every event logged while the probe was open — retry attempts, circuit
+  breaker trips, chaos faults, quarantine strikes land here, so a slow
+  probe arrives with its excuse attached.
+
+Determinism rules match the rest of :mod:`repro.obs`: durations and
+ordering come from the SimClock only, records fold in canonical shard
+order (:meth:`FlightRecorder.absorb` keeps the global slowest
+``capacity``), and the recorder snapshots/restores through the
+checkpoint layer so a killed sweep resumes with its record intact.  The
+recorder is *not* part of the canonical report or telemetry JSONL — it
+exports separately (``to_dict``/``render``) for artifacts and the
+operations console.
+"""
+
+from __future__ import annotations
+
+from repro.util.tables import Table
+
+#: slowest probes kept per recorder (and after every fold)
+DEFAULT_CAPACITY = 16
+
+#: compaction threshold multiplier: the buffer may grow to
+#: ``capacity * _SLACK`` before it is sorted and trimmed
+_SLACK = 4
+
+
+def _record_key(record: dict) -> tuple:
+    """Canonical "slowest first" ordering, fully value-determined.
+
+    Slower probes first; ties broken by the probe's own coordinates so
+    the order never depends on fold or insertion order.
+    """
+    return (
+        -record["duration"],
+        record["start"],
+        record.get("host") or "",
+        record.get("port") or 0,
+        record["name"],
+    )
+
+
+class FlightRecorder:
+    """Bounded, deterministic ring of the slowest probe records."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be at least 1")
+        self.capacity = capacity
+        self._records: list[dict] = []
+        #: exchanges noted since the last probe window closed (transient;
+        #: never serialised — probe windows close before checkpoints land)
+        self._exchanges: list[dict] = []
+        #: probes seen in total, including ones compacted away
+        self.probes_seen = 0
+
+    # -- exchange intake (wired through PluginContext) ------------------------
+
+    def exchange_mark(self) -> int:
+        """Position marker delimiting one probe's exchange window."""
+        return len(self._exchanges)
+
+    def note_exchange(
+        self,
+        path: str,
+        status: int | None = None,
+        body_bytes: int | None = None,
+        error: str | None = None,
+    ) -> None:
+        """One plugin HTTP exchange (or its transport failure)."""
+        entry: dict = {"path": path}
+        if status is not None:
+            entry["status"] = status
+        if body_bytes is not None:
+            entry["body_bytes"] = body_bytes
+        if error is not None:
+            entry["error"] = error
+        self._exchanges.append(entry)
+
+    # -- probe intake ----------------------------------------------------------
+
+    def record(
+        self, span, events: tuple, exchange_mark: int
+    ) -> None:
+        """Capture one finished probe span with its window context."""
+        self.probes_seen += 1
+        record = {
+            "name": span.name,
+            "host": str(span.attrs.get("host", "")),
+            "port": span.attrs.get("port", 0),
+            "start": span.start,
+            "duration": span.duration,
+            "attrs": {
+                k: span.attrs[k]
+                for k in sorted(span.attrs)
+                if k not in ("host", "port")
+            },
+            "exchanges": [dict(e) for e in self._exchanges[exchange_mark:]],
+            "events": [e.to_dict() for e in events],
+        }
+        del self._exchanges[exchange_mark:]
+        self._records.append(record)
+        if len(self._records) > self.capacity * _SLACK:
+            self._compact()
+
+    def _compact(self) -> None:
+        self._records.sort(key=_record_key)
+        del self._records[self.capacity:]
+
+    # -- access ----------------------------------------------------------------
+
+    @property
+    def records(self) -> list[dict]:
+        """The slowest ``capacity`` records, slowest first."""
+        return sorted(self._records, key=_record_key)[: self.capacity]
+
+    def __len__(self) -> int:
+        return min(len(self._records), self.capacity)
+
+    # -- shard folding ---------------------------------------------------------
+
+    def absorb(self, other: "FlightRecorder") -> None:
+        """Fold another recorder's record in (the shard-merge step).
+
+        Called in canonical shard order by the telemetry fold; the merged
+        record keeps the globally slowest ``capacity`` probes under the
+        same value-determined ordering, so the result is identical for
+        every worker count.
+        """
+        self._records.extend(dict(r) for r in other._records)
+        self.probes_seen += other.probes_seen
+        self._compact()
+
+    # -- exports ---------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "probes_seen": self.probes_seen,
+            "records": self.records,
+        }
+
+    def table(self, title: str = "Flight recorder (slowest probes)") -> Table:
+        table = Table(
+            title,
+            ("probe", "host", "port", "duration", "exchanges", "events"),
+        )
+        for record in self.records:
+            table.add_row(
+                record["name"],
+                record["host"],
+                record["port"],
+                f"{record['duration']:.3f}",
+                len(record["exchanges"]),
+                len(record["events"]),
+            )
+        return table
+
+    def render(self) -> str:
+        return self.table().render()
+
+    # -- checkpoint support ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Records only — exchange windows never span a checkpoint."""
+        return {
+            "capacity": self.capacity,
+            "probes_seen": self.probes_seen,
+            "records": self.records,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.capacity = state["capacity"]
+        self.probes_seen = state["probes_seen"]
+        self._records = [dict(r) for r in state["records"]]
+        self._exchanges = []

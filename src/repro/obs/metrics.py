@@ -208,7 +208,11 @@ class MetricsRegistry:
             pairs = labels + extra
             if not pairs:
                 return ""
-            return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
+            return (
+                "{"
+                + ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+                + "}"
+            )
 
         for (name, labels), counter in sorted(self._counters.items()):
             type_line(name, "counter")
@@ -277,3 +281,14 @@ def _num(value: float) -> str:
     if float(value).is_integer():
         return str(int(value))
     return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote, and newline are the three characters the
+    format requires escaping inside quoted label values.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )

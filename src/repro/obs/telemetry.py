@@ -18,8 +18,9 @@ import json
 from dataclasses import dataclass, field
 
 from repro.obs.events import EventLog
+from repro.obs.flight import DEFAULT_CAPACITY, FlightRecorder
 from repro.obs.metrics import MetricsRegistry, _label_key, flat_name
-from repro.obs.trace import Tracer
+from repro.obs.trace import Span, Tracer
 from repro.util.clock import SimClock
 from repro.util.tables import Table
 
@@ -75,16 +76,50 @@ class TelemetrySummary:
         )
 
 
+class _FlightTap:
+    """Span listener feeding finished probe spans to the flight recorder.
+
+    On a probe span's start it marks the event log and exchange buffer;
+    on its end it hands the recorder the span plus everything logged in
+    that window.  Non-probe spans pass through untouched, so the tap adds
+    no cost to the canonical pillars.
+    """
+
+    def __init__(self, events: EventLog, flight: FlightRecorder) -> None:
+        self.events = events
+        self.flight = flight
+        #: (span_id, event mark, exchange mark) for open probe spans
+        self._marks: list[tuple[int, int, int]] = []
+
+    def on_start(self, span: Span) -> None:
+        if span.name.startswith("probe:"):
+            self._marks.append(
+                (span.span_id, len(self.events), self.flight.exchange_mark())
+            )
+
+    def on_end(self, span: Span) -> None:
+        if self._marks and self._marks[-1][0] == span.span_id:
+            _, event_mark, exchange_mark = self._marks.pop()
+            self.flight.record(
+                span, self.events.events[event_mark:], exchange_mark
+            )
+
+
 class Telemetry:
-    """Shared observability handle: events + spans + metrics."""
+    """Shared observability handle: events + spans + metrics + flight."""
 
     def __init__(
-        self, clock: SimClock | None = None, events_level: str = "info"
+        self,
+        clock: SimClock | None = None,
+        events_level: str = "info",
+        flight_capacity: int = DEFAULT_CAPACITY,
     ) -> None:
         self.clock = clock
         self.events = EventLog(clock=clock, min_level=events_level)
         self.tracer = Tracer(clock=clock)
         self.metrics = MetricsRegistry()
+        self.flight = FlightRecorder(capacity=flight_capacity)
+        self.tracer.listener = _FlightTap(self.events, self.flight)
 
     # -- cross-pillar helpers ------------------------------------------------
 
@@ -180,6 +215,7 @@ class Telemetry:
         self.events.absorb(other.events)
         self.tracer.absorb(other.tracer)
         self.metrics.absorb(other.metrics)
+        self.flight.absorb(other.flight)
 
     def absorb_state(self, state: dict) -> None:
         """Absorb a telemetry snapshot (a shard result that round-tripped
@@ -195,9 +231,14 @@ class Telemetry:
             "events": self.events.snapshot_state(),
             "tracer": self.tracer.snapshot_state(),
             "metrics": self.metrics.snapshot_state(),
+            "flight": self.flight.snapshot_state(),
         }
 
     def restore_state(self, state: dict) -> None:
         self.events.restore_state(state["events"])
         self.tracer.restore_state(state["tracer"])
         self.metrics.restore_state(state["metrics"])
+        # Snapshots written before the flight recorder carry no block.
+        flight = state.get("flight")
+        if flight is not None:
+            self.flight.restore_state(flight)

@@ -36,6 +36,12 @@ class Span:
     start: float
     end: float | None = None
     attrs: dict[str, object] = field(default_factory=dict)
+    #: real perf_counter stamps, set only when the tracer's ``wall_clock``
+    #: is armed (profiling).  Deliberately excluded from ``to_dict`` — and
+    #: therefore from the JSONL export and every snapshot — because wall
+    #: time is nondeterministic and must never leak into canonical output.
+    wall_start: float | None = None
+    wall_end: float | None = None
 
     @property
     def duration(self) -> float:
@@ -73,6 +79,12 @@ class Tracer:
         self._stack: list[Span] = []
         self._finished: list[Span] = []
         self._next_id = 0
+        #: optional span observer with ``on_start(span)`` / ``on_end(span)``
+        #: methods (the telemetry handle wires the flight recorder here)
+        self.listener: object | None = None
+        #: optional real-time source (``repro.obs.profile.wall_now``); when
+        #: set, spans carry wall stamps alongside their SimClock times
+        self.wall_clock = None
 
     def _now(self) -> float:
         return self.clock.now if self.clock is not None else 0.0
@@ -100,7 +112,11 @@ class Tracer:
             attrs=dict(attrs),
         )
         self._next_id += 1
+        if self.wall_clock is not None:
+            span.wall_start = self.wall_clock()
         self._stack.append(span)
+        if self.listener is not None:
+            self.listener.on_start(span)
         return span
 
     def end(self, span: Span | None = None) -> Span:
@@ -115,7 +131,11 @@ class Tracer:
                 f"but {top.name!r} is innermost"
             )
         top.end = self._now()
+        if self.wall_clock is not None:
+            top.wall_end = self.wall_clock()
         self._finished.append(top)
+        if self.listener is not None:
+            self.listener.on_end(top)
         return top
 
     @contextmanager
@@ -166,6 +186,8 @@ class Tracer:
                 start=span.start,
                 end=span.end,
                 attrs=dict(span.attrs),
+                wall_start=span.wall_start,
+                wall_end=span.wall_end,
             ))
         self._next_id += other._next_id
 

@@ -56,7 +56,8 @@ def build_world(blocks: int = 6):
     return internet, ips
 
 
-def run_arm(workers, chaos=False, checkpoint=None, seed=7, shard_blocks=2):
+def run_arm(workers, chaos=False, checkpoint=None, seed=7, shard_blocks=2,
+            profile=False):
     """One sweep over a freshly built world; returns (report, pipeline)."""
     internet, ips = build_world()
     clock = SimClock()
@@ -68,7 +69,7 @@ def run_arm(workers, chaos=False, checkpoint=None, seed=7, shard_blocks=2):
         fingerprint=False, workers=workers, shard_blocks=shard_blocks,
         retry_policy=RetryPolicy(max_attempts=3, base_delay=0.5, max_delay=4.0)
         if chaos else None,
-        clock=clock,
+        clock=clock, profile=profile,
     )
     report = pipeline.run(ips, checkpoint=checkpoint)
     return report, pipeline
@@ -158,6 +159,67 @@ class TestWorkerCountInvariance:
             ParallelScanEngine(pipeline, workers=0)
 
 
+class TestProfileInvariance:
+    """Profiling is observability, not behaviour: arming it must not
+    perturb the canonical outputs, and its own canonical artifacts (the
+    SimClock rollup and the flight recorder) must themselves be
+    identical for every worker count."""
+
+    def test_profiling_does_not_change_canonical_output(self):
+        plain = outputs(*run_arm(workers=4, chaos=True))
+        profiled = outputs(*run_arm(workers=4, chaos=True, profile=True))
+        assert profiled == plain
+
+    def test_rollup_and_flight_are_worker_count_invariant(self):
+        """The acceptance sweep: workers 1, 2, 4, 8 under chaos."""
+        def canonical(pipeline):
+            from repro.obs.profile import ProfileRollup
+
+            rollup = ProfileRollup.from_spans(pipeline.telemetry.tracer.finished)
+            return (
+                json.dumps(rollup.to_dict(), sort_keys=True),
+                json.dumps(pipeline.telemetry.flight.to_dict(), sort_keys=True),
+            )
+
+        baseline_report, baseline_pipe = run_arm(
+            workers=1, chaos=True, profile=True
+        )
+        expected_outputs = outputs(baseline_report, baseline_pipe)
+        expected_profile = canonical(baseline_pipe)
+        assert baseline_pipe.telemetry.flight.probes_seen > 0
+        for workers in (2, 4, 8):
+            report, pipeline = run_arm(
+                workers=workers, chaos=True, profile=True
+            )
+            assert outputs(report, pipeline) == expected_outputs, workers
+            assert canonical(pipeline) == expected_profile, workers
+
+    def test_rollup_attributes_the_sweep_time(self):
+        _, pipeline = run_arm(workers=4, chaos=True, profile=True)
+        from repro.obs.profile import ProfileRollup
+
+        rollup = ProfileRollup.from_spans(pipeline.telemetry.tracer.finished)
+        assert rollup.root_total > 0  # chaos + retry advanced the SimClock
+        assert rollup.attributed_fraction() >= 0.95
+
+    def test_wall_book_is_populated_but_never_canonical(self):
+        report, pipeline = run_arm(workers=4, chaos=True, profile=True)
+        book = pipeline.wall_profile
+        assert book.armed
+        assert len(book.shards) == len(pipeline.shard_profiles) > 1
+        assert book.elapsed() > 0
+        assert book.dominant_path() is not None
+        # wall numbers stay out of the two canonical artifacts
+        report_json, telemetry_jsonl = outputs(report, pipeline)
+        assert "wall" not in report_json
+        assert "wall" not in telemetry_jsonl
+
+    def test_profile_off_keeps_wall_book_empty(self):
+        _, pipeline = run_arm(workers=4, chaos=True)
+        assert not pipeline.wall_profile.armed
+        assert pipeline.shard_profiles == {}
+
+
 class SimulatedCrash(BaseException):
     """A kill signal; not an Exception so nothing downstream swallows it."""
 
@@ -192,6 +254,29 @@ class TestShardCheckpointResume:
         assert resumed[0] == expected[0]
         assert resumed[1] == expected[1]
         assert not ckpt.exists()  # success clears the checkpoint
+
+    def test_kill_and_resume_with_profiling_is_byte_identical(self, tmp_path):
+        """Profiling + flight recording stay on through the kill and the
+        resume; the canonical outputs and the flight record still match
+        an uninterrupted run."""
+        expected_report, expected_pipe = run_arm(
+            workers=4, chaos=True, profile=True
+        )
+        expected = outputs(expected_report, expected_pipe)
+        crasher = CrashingCheckpointer(
+            tmp_path / "scan.ckpt", die_after_saves=2, every_batches=1
+        )
+        with pytest.raises(SimulatedCrash):
+            run_arm(workers=4, chaos=True, checkpoint=crasher, profile=True)
+        ckpt = Checkpointer(tmp_path / "scan.ckpt", every_batches=1)
+        resumed_report, resumed_pipe = run_arm(
+            workers=4, chaos=True, checkpoint=ckpt, profile=True
+        )
+        assert outputs(resumed_report, resumed_pipe) == expected
+        assert (
+            resumed_pipe.telemetry.flight.to_dict()
+            == expected_pipe.telemetry.flight.to_dict()
+        )
 
     def test_resume_only_reexecutes_missing_shards(self, tmp_path):
         crasher = CrashingCheckpointer(

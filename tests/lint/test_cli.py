@@ -56,17 +56,20 @@ class TestRealTree:
         assert code == 0
         assert "baselined" in out
 
-    def test_without_baseline_only_the_sanctioned_finding_remains(
+    def test_without_baseline_only_the_sanctioned_findings_remain(
         self, tmp_path, capsys, monkeypatch
     ):
-        """The parallel engine's progress counter is a *deliberate*,
-        explicitly baselined DET005; nothing else may surface."""
+        """Two findings are *deliberate* and explicitly baselined — the
+        profiler's wall-clock read (DET001) and the parallel engine's
+        progress counter (DET005); nothing else may surface."""
         monkeypatch.chdir(tmp_path)  # no baseline file in CWD
         code, out = run(["--format", "json"], capsys)
         assert code == 1
         report = json.loads(out)
-        assert [f["rule"] for f in report["findings"]] == ["DET005"]
-        assert report["findings"][0]["path"] == "repro/core/parallel.py"
+        assert [(f["rule"], f["path"]) for f in report["findings"]] == [
+            ("DET005", "repro/core/parallel.py"),
+            ("DET001", "repro/obs/profile.py"),
+        ]
 
 
 class TestBrokenTree:

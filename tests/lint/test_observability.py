@@ -1,0 +1,97 @@
+"""Tests for the observability auditor (OBS001)."""
+
+import textwrap
+
+from repro.lint.cli import default_root
+from repro.lint.observability import ObservabilityAuditor
+
+
+def audit(tmp_path, source):
+    (tmp_path / "mod.py").write_text(textwrap.dedent(source))
+    return ObservabilityAuditor(tmp_path).run()
+
+
+def rules(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestDynamicMetricNames:
+    def test_fstring_name_is_flagged(self, tmp_path):
+        findings = audit(tmp_path, """
+            def charge(registry, host):
+                registry.counter(f"probes_{host}_total").inc()
+        """)
+        assert rules(findings) == ["OBS001"]
+        assert "f-string" in findings[0].message
+
+    def test_concatenation_with_variable_is_flagged(self, tmp_path):
+        findings = audit(tmp_path, """
+            def charge(registry, slug):
+                registry.gauge("depth_" + slug).set(1)
+        """)
+        assert rules(findings) == ["OBS001"]
+
+    def test_percent_formatting_is_flagged(self, tmp_path):
+        findings = audit(tmp_path, """
+            def charge(registry, port):
+                registry.histogram("lat_%s" % port).observe(0.1)
+        """)
+        assert rules(findings) == ["OBS001"]
+
+    def test_str_format_is_flagged(self, tmp_path):
+        findings = audit(tmp_path, """
+            def charge(registry, host):
+                registry.counter("probes_{}_total".format(host)).inc()
+        """)
+        assert rules(findings) == ["OBS001"]
+
+    def test_finding_carries_file_and_line(self, tmp_path):
+        (finding,) = audit(tmp_path, """
+            def charge(registry, host):
+                registry.counter(f"x_{host}").inc()
+        """)
+        assert finding.path.endswith("mod.py")
+        assert finding.line == 3
+
+
+class TestSanctionedNames:
+    def test_constant_name_with_labels_is_fine(self, tmp_path):
+        assert audit(tmp_path, """
+            def charge(registry, host):
+                registry.counter("probes_total", host=host).inc()
+        """) == []
+
+    def test_constant_through_a_variable_is_fine(self, tmp_path):
+        assert audit(tmp_path, """
+            FUNNEL = "funnel_hosts_total"
+
+            def charge(registry, stage):
+                registry.counter(FUNNEL, stage=stage).inc()
+        """) == []
+
+    def test_constant_concatenation_is_fine(self, tmp_path):
+        assert audit(tmp_path, """
+            def charge(registry):
+                registry.counter("probes_" + "total").inc()
+        """) == []
+
+    def test_fstring_without_fields_is_fine(self, tmp_path):
+        assert audit(tmp_path, """
+            def charge(registry):
+                registry.counter(f"probes_total").inc()
+        """) == []
+
+    def test_non_factory_calls_are_ignored(self, tmp_path):
+        assert audit(tmp_path, """
+            def log(events, host):
+                events.info(f"probing {host}")
+        """) == []
+
+    def test_unparseable_file_reports_lnt001(self, tmp_path):
+        findings = audit(tmp_path, "def broken(:\n")
+        assert rules(findings) == ["LNT001"]
+
+
+class TestRepoIsClean:
+    def test_the_package_has_no_dynamic_metric_names(self):
+        assert ObservabilityAuditor(default_root()).run() == []

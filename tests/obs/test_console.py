@@ -1,0 +1,243 @@
+"""Tests for the operations console: hub aggregation and the HTTP server.
+
+The acceptance property: during a *live* chaos-soak the console answers
+``/metrics``, ``/funnel``, ``/quarantine``, and ``/shards`` mid-flight —
+while shards are still executing — without disturbing the run.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+from repro.experiments.chaos_soak import run_chaos_soak
+from repro.obs.console import ConsoleHub, ConsoleServer
+from repro.obs.telemetry import FUNNEL_STAGES, Telemetry
+from repro.util.clock import SimClock
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return (
+            response.status,
+            response.headers["content-type"],
+            response.read().decode(),
+        )
+
+
+class TestHubViews:
+    def test_empty_hub_serves_empty_views(self):
+        hub = ConsoleHub()
+        assert hub.metrics_text() == ""
+        assert hub.funnel() == {
+            "stages": {
+                stage: {"in": 0.0, "out": 0.0, "dropped": 0.0,
+                        "quarantined": 0.0}
+                for stage in FUNNEL_STAGES
+            }
+        }
+        assert hub.quarantine()["quarantined_hosts"] == []
+        assert hub.shards() == {
+            "complete": False, "total": 0, "running": 0, "done": 0,
+            "shards": {},
+        }
+        assert hub.flight()["records"] == []
+
+    def test_parent_telemetry_feeds_metrics_and_funnel(self):
+        hub = ConsoleHub()
+        telemetry = Telemetry(clock=SimClock())
+        telemetry.metrics.counter(
+            "funnel_hosts_total", stage="masscan", flow="in"
+        ).inc(7)
+        hub.attach_telemetry(telemetry)
+        assert hub.funnel()["stages"]["masscan"]["in"] == 7.0
+        assert 'stage="masscan"' in hub.metrics_text()
+
+    def test_midflight_payloads_merge_with_parent(self):
+        hub = ConsoleHub()
+        parent = Telemetry(clock=SimClock())
+        parent.metrics.counter(
+            "funnel_hosts_total", stage="masscan", flow="in"
+        ).inc(3)
+        hub.attach_telemetry(parent)
+        hub.begin_sweep([{"index": 0, "addresses": 10},
+                         {"index": 1, "addresses": 12}])
+
+        shard = Telemetry(clock=SimClock())
+        shard.metrics.counter(
+            "funnel_hosts_total", stage="masscan", flow="in"
+        ).inc(4)
+        hub.note_shard_running(0)
+        hub.note_shard_done(0, {
+            "addresses": 10,
+            "telemetry": shard.snapshot_state(),
+            "report": {"coverage": {"quarantined_hosts": ["10.0.0.9"]}},
+        })
+
+        assert hub.funnel()["stages"]["masscan"]["in"] == 7.0
+        shards = hub.shards()
+        assert shards == {
+            "complete": False, "total": 2, "running": 0, "done": 1,
+            "shards": {
+                "0": {"planned": 10, "status": "done", "scanned": 10},
+                "1": {"planned": 12, "status": "planned", "scanned": 0},
+            },
+        }
+        assert hub.quarantine()["quarantined_hosts"] == ["10.0.0.9"]
+
+    def test_finish_sweep_switches_to_the_parent_only(self):
+        """After the fold the parent holds the shard's numbers; keeping
+        the payload too would double-count them."""
+        hub = ConsoleHub()
+        parent = Telemetry(clock=SimClock())
+        hub.attach_telemetry(parent)
+        hub.begin_sweep([{"index": 0, "addresses": 10}])
+
+        shard = Telemetry(clock=SimClock())
+        shard.metrics.counter(
+            "funnel_hosts_total", stage="masscan", flow="in"
+        ).inc(4)
+        hub.note_shard_done(0, {
+            "addresses": 10, "telemetry": shard.snapshot_state(),
+            "report": {"coverage": {}},
+        })
+        assert hub.funnel()["stages"]["masscan"]["in"] == 4.0
+
+        # emulate the fold: the parent registry absorbs the shard's counts
+        parent.metrics.counter(
+            "funnel_hosts_total", stage="masscan", flow="in"
+        ).inc(4)
+
+        class Report:
+            class coverage:
+                @staticmethod
+                def to_dict():
+                    return {"quarantined_hosts": ["10.0.0.1"]}
+
+        hub.finish_sweep(Report())
+        assert hub.funnel()["stages"]["masscan"]["in"] == 4.0  # not 8
+        assert hub.shards()["complete"] is True
+        assert hub.quarantine()["quarantined_hosts"] == ["10.0.0.1"]
+
+    def test_abandoned_shards_count_as_done(self):
+        hub = ConsoleHub()
+        hub.begin_sweep([{"index": 0, "addresses": 5}])
+        hub.note_shard_done(0, {
+            "addresses": 2,
+            "telemetry": Telemetry().snapshot_state(),
+            "report": {"coverage": {}},
+            "supervisor": {"abandoned": True, "restarts": 2},
+        })
+        shards = hub.shards()
+        assert shards["done"] == 1
+        assert shards["shards"]["0"]["status"] == "abandoned"
+        assert shards["shards"]["0"]["restarts"] == 2
+
+
+class TestServerEndpoints:
+    def test_all_endpoints_respond(self):
+        hub = ConsoleHub()
+        telemetry = Telemetry(clock=SimClock())
+        telemetry.metrics.counter(
+            "funnel_hosts_total", stage="masscan", flow="in"
+        ).inc(5)
+        hub.attach_telemetry(telemetry)
+        with ConsoleServer(hub, port=0) as server:
+            status, ctype, body = fetch(server.url + "/metrics")
+            assert status == 200
+            assert ctype == "text/plain; version=0.0.4"
+            assert 'funnel_hosts_total{flow="in",stage="masscan"} 5' in body
+
+            status, ctype, body = fetch(server.url + "/funnel")
+            assert status == 200 and ctype == "application/json"
+            assert json.loads(body)["stages"]["masscan"]["in"] == 5.0
+
+            for path in ("/quarantine", "/shards", "/flight"):
+                status, ctype, body = fetch(server.url + path)
+                assert status == 200 and ctype == "application/json"
+                json.loads(body)
+
+            status, ctype, body = fetch(server.url + "/")
+            assert status == 200 and ctype == "text/html"
+            assert "Sweep console" in body
+
+    def test_unknown_path_is_404(self):
+        with ConsoleServer(ConsoleHub(), port=0) as server:
+            try:
+                fetch(server.url + "/nope")
+            except urllib.error.HTTPError as error:
+                assert error.code == 404
+            else:  # pragma: no cover
+                raise AssertionError("expected a 404")
+
+    def test_ephemeral_port_is_bound(self):
+        with ConsoleServer(ConsoleHub(), port=0) as server:
+            assert server.port > 0
+            assert server.url == f"http://127.0.0.1:{server.port}"
+
+
+class PausingHub(ConsoleHub):
+    """A hub that parks the sweep after its first completed shard, so a
+    test can scrape the console while the run is provably mid-flight."""
+
+    def __init__(self):
+        super().__init__()
+        self.first_done = threading.Event()
+        self.release = threading.Event()
+
+    def note_shard_done(self, index, payload):
+        super().note_shard_done(index, payload)
+        if not self.first_done.is_set():
+            self.first_done.set()
+            # block the worker outside the hub lock until the test has
+            # finished scraping
+            assert self.release.wait(timeout=60)
+
+
+class TestLiveChaosSoak:
+    def test_console_serves_midflight_during_a_chaos_soak(self):
+        """The tentpole acceptance test: all four endpoints answer while
+        a chaos-soak sweep is still executing."""
+        hub = PausingHub()
+        outcome = {}
+
+        def soak():
+            outcome["result"] = run_chaos_soak(console=hub)
+
+        with ConsoleServer(hub, port=0) as server:
+            worker = threading.Thread(target=soak, daemon=True)
+            worker.start()
+            try:
+                assert hub.first_done.wait(timeout=120), "no shard completed"
+
+                status, _, metrics = fetch(server.url + "/metrics")
+                assert status == 200
+                assert "funnel_hosts_total" in metrics
+
+                status, _, body = fetch(server.url + "/funnel")
+                assert status == 200
+                funnel = json.loads(body)
+                assert funnel["stages"]["masscan"]["in"] > 0
+
+                status, _, body = fetch(server.url + "/quarantine")
+                assert status == 200
+                json.loads(body)  # shape only: chaos may not have struck yet
+
+                status, _, body = fetch(server.url + "/shards")
+                assert status == 200
+                shards = json.loads(body)
+                assert shards["complete"] is False  # provably mid-flight
+                assert shards["total"] > shards["done"] >= 1
+            finally:
+                hub.release.set()
+            worker.join(timeout=300)
+            assert not worker.is_alive()
+            assert "result" in outcome  # the soak's own gates all passed
+
+            # after the fold the console flips to complete and keeps serving
+            shards = json.loads(fetch(server.url + "/shards")[2])
+            assert shards["complete"] is True
+            assert shards["done"] == shards["total"]
+            final = json.loads(fetch(server.url + "/funnel")[2])
+            assert final["stages"]["masscan"]["in"] >= funnel["stages"][
+                "masscan"]["in"]

@@ -1,0 +1,190 @@
+"""Tests for the slowest-probe flight recorder."""
+
+import json
+
+import pytest
+
+from repro.obs.flight import DEFAULT_CAPACITY, FlightRecorder, _record_key
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import Span
+from repro.util.clock import SimClock
+
+
+def probe_span(duration, start=0.0, host="10.0.0.1", port=80, name="probe:x"):
+    span = Span(
+        span_id=0, parent_id=None, name=name, start=start,
+        end=start + duration, attrs={"host": host, "port": port},
+    )
+    return span
+
+
+def record_probe(flight, duration, **kwargs):
+    flight.record(probe_span(duration, **kwargs), (), flight.exchange_mark())
+
+
+class TestRecorder:
+    def test_keeps_the_slowest_capacity_records(self):
+        flight = FlightRecorder(capacity=3)
+        for duration in (1.0, 5.0, 2.0, 4.0, 3.0):
+            record_probe(flight, duration)
+        assert [r["duration"] for r in flight.records] == [5.0, 4.0, 3.0]
+        assert len(flight) == 3
+        assert flight.probes_seen == 5
+
+    def test_ordering_is_value_determined(self):
+        # equal durations tie-break on start, then host/port/name —
+        # never on insertion order
+        a = {"duration": 2.0, "start": 5.0, "host": "b", "port": 1, "name": "p"}
+        b = {"duration": 2.0, "start": 1.0, "host": "a", "port": 1, "name": "p"}
+        c = {"duration": 3.0, "start": 9.0, "host": "z", "port": 9, "name": "p"}
+        assert sorted([a, b, c], key=_record_key) == [c, b, a]
+
+    def test_compaction_preserves_the_top_k(self):
+        flight = FlightRecorder(capacity=2)
+        # push far past capacity * slack to force mid-stream compaction
+        for index in range(50):
+            record_probe(flight, float(index), start=float(index))
+        assert [r["duration"] for r in flight.records] == [49.0, 48.0]
+        assert flight.probes_seen == 50
+
+    def test_absorb_keeps_the_global_top_k(self):
+        durations = [float(d) for d in (9, 1, 8, 2, 7, 3, 6, 4, 5, 10)]
+        whole = FlightRecorder(capacity=4)
+        for index, duration in enumerate(durations):
+            record_probe(whole, duration, start=float(index))
+
+        left = FlightRecorder(capacity=4)
+        right = FlightRecorder(capacity=4)
+        for index, duration in enumerate(durations):
+            shard = left if index < 5 else right
+            record_probe(shard, duration, start=float(index))
+        folded = FlightRecorder(capacity=4)
+        folded.absorb(left)
+        folded.absorb(right)
+
+        assert folded.records == whole.records
+        assert folded.probes_seen == whole.probes_seen == 10
+
+    def test_exchange_windows_are_per_probe(self):
+        flight = FlightRecorder()
+        flight.note_exchange("/stray", status=200)  # before any window
+        mark = flight.exchange_mark()
+        flight.note_exchange("/login", status=401, body_bytes=12)
+        flight.note_exchange("/api", error="ConnectionReset")
+        flight.record(probe_span(1.0), (), mark)
+        (record,) = flight.records
+        assert record["exchanges"] == [
+            {"path": "/login", "status": 401, "body_bytes": 12},
+            {"path": "/api", "error": "ConnectionReset"},
+        ]
+        # the consumed window is gone; the next probe starts clean
+        assert flight.exchange_mark() == 1  # only the stray entry remains
+
+    def test_record_strips_host_port_from_attrs(self):
+        flight = FlightRecorder()
+        span = probe_span(1.0)
+        span.attrs["verdict"] = "mav"
+        flight.record(span, (), 0)
+        (record,) = flight.records
+        assert record["host"] == "10.0.0.1"
+        assert record["port"] == 80
+        assert record["attrs"] == {"verdict": "mav"}
+
+    def test_snapshot_restore_round_trip(self):
+        flight = FlightRecorder(capacity=2)
+        for duration in (1.0, 3.0, 2.0):
+            record_probe(flight, duration)
+        state = json.loads(json.dumps(flight.snapshot_state()))
+        restored = FlightRecorder()
+        restored.restore_state(state)
+        assert restored.capacity == 2
+        assert restored.probes_seen == 3
+        assert restored.records == flight.records
+        assert restored.to_dict() == flight.to_dict()
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_render_mentions_every_kept_probe(self):
+        flight = FlightRecorder(capacity=2)
+        record_probe(flight, 2.0, host="10.0.0.1")
+        record_probe(flight, 1.0, host="10.0.0.2")
+        text = flight.render()
+        assert "10.0.0.1" in text and "10.0.0.2" in text
+
+
+class TestTelemetryTap:
+    """The recorder wired through the telemetry handle's span listener."""
+
+    def run_probe(self, telemetry, clock, slug, host, duration):
+        tracer = telemetry.tracer
+        tracer.start(f"probe:{slug}", host=host, port=80)
+        telemetry.events.info("tsunami", "attempt", host=host)
+        telemetry.flight.note_exchange("/check", status=200, body_bytes=5)
+        clock.advance(duration)
+        tracer.end()
+
+    def test_probe_spans_feed_the_recorder(self):
+        clock = SimClock()
+        telemetry = Telemetry(clock=clock)
+        with telemetry.tracer.span("sweep"):
+            self.run_probe(telemetry, clock, "jenkins", "10.0.0.1", 3.0)
+            self.run_probe(telemetry, clock, "docker", "10.0.0.2", 5.0)
+        records = telemetry.flight.records
+        assert [r["name"] for r in records] == ["probe:docker", "probe:jenkins"]
+        assert records[0]["duration"] == 5.0
+        assert records[0]["exchanges"] == [
+            {"path": "/check", "status": 200, "body_bytes": 5}
+        ]
+        assert [e["event"] for e in records[0]["events"]] == ["attempt"]
+
+    def test_non_probe_spans_are_ignored(self):
+        telemetry = Telemetry(clock=SimClock())
+        with telemetry.tracer.span("sweep"):
+            with telemetry.tracer.span("batch"):
+                pass
+        assert telemetry.flight.probes_seen == 0
+
+    def test_default_capacity_is_bounded(self):
+        clock = SimClock()
+        telemetry = Telemetry(clock=clock)
+        with telemetry.tracer.span("sweep"):
+            for index in range(DEFAULT_CAPACITY * 10):
+                self.run_probe(
+                    telemetry, clock, "x", f"10.0.{index // 250}.{index % 250}",
+                    float(index),
+                )
+        assert len(telemetry.flight) == DEFAULT_CAPACITY
+        assert telemetry.flight.probes_seen == DEFAULT_CAPACITY * 10
+
+    def test_absorb_merges_shard_recorders(self):
+        clock_a, clock_b = SimClock(), SimClock()
+        a, b = Telemetry(clock=clock_a), Telemetry(clock=clock_b)
+        with a.tracer.span("sweep"):
+            self.run_probe(a, clock_a, "jenkins", "10.0.0.1", 9.0)
+        with b.tracer.span("sweep"):
+            self.run_probe(b, clock_b, "docker", "10.0.0.2", 4.0)
+        a.absorb(b)
+        assert [r["name"] for r in a.flight.records] == [
+            "probe:jenkins", "probe:docker",
+        ]
+        assert a.flight.probes_seen == 2
+
+    def test_flight_survives_snapshot_restore(self):
+        clock = SimClock()
+        telemetry = Telemetry(clock=clock)
+        with telemetry.tracer.span("sweep"):
+            self.run_probe(telemetry, clock, "jenkins", "10.0.0.1", 2.0)
+        state = json.loads(json.dumps(telemetry.snapshot_state()))
+        restored = Telemetry(clock=SimClock())
+        restored.restore_state(state)
+        assert restored.flight.to_dict() == telemetry.flight.to_dict()
+
+    def test_restore_tolerates_pre_flight_snapshots(self):
+        telemetry = Telemetry()
+        state = telemetry.snapshot_state()
+        state.pop("flight")  # a checkpoint written before the recorder shipped
+        fresh = Telemetry()
+        fresh.restore_state(state)
+        assert fresh.flight.probes_seen == 0

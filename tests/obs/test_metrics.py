@@ -95,6 +95,65 @@ class TestRegistry:
     def test_empty_registry_exposition(self):
         assert MetricsRegistry().to_prometheus() == ""
 
+    def test_touched_then_restored_empty_registry_is_empty(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total").inc()
+        registry.restore_state(MetricsRegistry().snapshot_state())
+        assert registry.to_prometheus() == ""
+
+
+class TestExpositionEscaping:
+    """Label values must survive the three characters the Prometheus
+    text format requires escaping inside quoted values."""
+
+    def exposition_line(self, value):
+        registry = MetricsRegistry()
+        registry.counter("paths_total", path=value).inc()
+        (line,) = [
+            line for line in registry.to_prometheus().splitlines()
+            if not line.startswith("#")
+        ]
+        return line
+
+    def test_double_quotes_are_escaped(self):
+        line = self.exposition_line('say "hi"')
+        assert line == 'paths_total{path="say \\"hi\\""} 1'
+
+    def test_backslashes_are_escaped(self):
+        line = self.exposition_line("C:\\temp")
+        assert line == 'paths_total{path="C:\\\\temp"} 1'
+
+    def test_newlines_are_escaped(self):
+        line = self.exposition_line("line1\nline2")
+        assert line == 'paths_total{path="line1\\nline2"} 1'
+        # the exposition must stay one-line-per-sample
+        assert "\n" not in line
+
+    def test_backslash_escapes_before_other_escapes(self):
+        # a literal backslash-n must not collapse into an escaped newline
+        line = self.exposition_line("a\\nb")
+        assert line == 'paths_total{path="a\\\\nb"} 1'
+
+    def test_histogram_le_labels_are_untouched(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(0.5,)).observe(9.0)
+        text = registry.to_prometheus()
+        # the out-of-bounds observation lands only in the +Inf bucket
+        assert 'lat_bucket{le="0.5"} 0' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text
+
+    def test_inf_bucket_always_counts_everything(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat", code=500, buckets=(1.0, 2.0)
+        )
+        for value in (0.5, 1.5, 99.0, float("inf")):
+            histogram.observe(value)
+        text = registry.to_prometheus()
+        assert 'lat_bucket{code="500",le="+Inf"} 4' in text
+        assert 'lat_count{code="500"} 4' in text
+
     def test_snapshot_restore_round_trip(self):
         registry = MetricsRegistry()
         registry.counter("ops_total", kind="call").inc(7)

@@ -1,0 +1,213 @@
+"""Tests for span profile rollups and the wall-time book."""
+
+import json
+
+from repro.obs.profile import PathStats, ProfileRollup, WallProfile, wall_now
+from repro.obs.trace import Tracer
+from repro.util.clock import SimClock
+
+
+def traced_run():
+    """A small span tree with known SimClock timings.
+
+    sweep (0..10)
+    ├── batch (0..7)
+    │   ├── stage:prefilter (0..2)
+    │   └── stage:tsunami (2..7)
+    │       └── probe:jenkins (3..6)
+    └── batch (7..9)
+    """
+    clock = SimClock()
+    tracer = Tracer(clock=clock)
+    tracer.start("sweep")
+    tracer.start("batch")
+    tracer.start("stage:prefilter")
+    clock.advance(2.0)
+    tracer.end()
+    tracer.start("stage:tsunami")
+    clock.advance(1.0)
+    tracer.start("probe:jenkins", host="1.2.3.4")
+    clock.advance(3.0)
+    tracer.end()
+    clock.advance(1.0)
+    tracer.end()  # tsunami
+    tracer.end()  # batch
+    tracer.start("batch")
+    clock.advance(2.0)
+    tracer.end()
+    clock.advance(1.0)
+    tracer.end()  # sweep
+    return tracer
+
+
+class TestRollup:
+    def test_paths_and_totals(self):
+        rollup = ProfileRollup.from_spans(traced_run().finished)
+        assert rollup.total("sweep") == 10.0
+        assert rollup.total("sweep/batch") == 9.0  # 7 + 2
+        assert rollup.total("sweep/batch/stage:tsunami") == 5.0
+        assert rollup.total("sweep/batch/stage:tsunami/probe:jenkins") == 3.0
+        assert rollup.paths["sweep/batch"].count == 2
+
+    def test_self_time_excludes_children(self):
+        rollup = ProfileRollup.from_spans(traced_run().finished)
+        # tsunami ran 5s, its probe 3s -> 2s of its own
+        assert rollup.self_time("sweep/batch/stage:tsunami") == 2.0
+        # sweep ran 10s, its two batches 9s -> 1s of orchestration
+        assert rollup.self_time("sweep") == 1.0
+
+    def test_self_times_sum_to_root_total(self):
+        rollup = ProfileRollup.from_spans(traced_run().finished)
+        attributed = sum(s.self_time for s in rollup.paths.values())
+        assert attributed == rollup.root_total == 10.0
+
+    def test_attributed_fraction(self):
+        rollup = ProfileRollup.from_spans(traced_run().finished)
+        # 1s of sweep self time out of 10s total
+        assert rollup.attributed_fraction() == 0.9
+
+    def test_zero_duration_record_attributes_trivially(self):
+        tracer = Tracer()  # no clock: every duration is 0.0
+        with tracer.span("sweep"):
+            with tracer.span("batch"):
+                pass
+        rollup = ProfileRollup.from_spans(tracer.finished)
+        assert rollup.root_total == 0.0
+        assert rollup.attributed_fraction() == 1.0
+
+    def test_open_spans_are_excluded(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        tracer.start("sweep")
+        tracer.start("batch")
+        clock.advance(1.0)
+        tracer.end()  # batch closes, sweep stays open
+        rollup = ProfileRollup.from_spans(
+            list(tracer.finished) + list(tracer._stack)
+        )
+        # the open sweep has no end; it must not contribute (and the
+        # closed batch becomes a root because its parent is excluded)
+        assert set(rollup.paths) == {"batch"}
+
+    def test_by_stage_merges_leaf_names(self):
+        rollup = ProfileRollup.from_spans(traced_run().finished)
+        stages = rollup.by_stage()
+        assert stages["batch"].count == 2
+        assert stages["batch"].total == 9.0
+        assert stages["probe:jenkins"].total == 3.0
+
+    def test_to_dict_is_canonical_and_json_safe(self):
+        rollup = ProfileRollup.from_spans(traced_run().finished)
+        payload = rollup.to_dict()
+        assert list(payload["paths"]) == sorted(payload["paths"])
+        assert payload["root_total"] == 10.0
+        assert payload["attributed_fraction"] == 0.9
+        again = ProfileRollup.from_spans(traced_run().finished).to_dict()
+        assert json.dumps(payload, sort_keys=True) == json.dumps(
+            again, sort_keys=True
+        )
+
+    def test_render_lists_every_path(self):
+        rollup = ProfileRollup.from_spans(traced_run().finished)
+        text = rollup.render()
+        for path in rollup.paths:
+            assert path in text
+
+
+class TestWallAccounting:
+    def traced_with_wall(self):
+        """Arm a deterministic fake wall clock: each read advances 1s."""
+        tracer = Tracer(clock=SimClock())
+        ticks = iter(range(100))
+        tracer.wall_clock = lambda: float(next(ticks))
+        with tracer.span("sweep"):        # wall 0..5
+            with tracer.span("batch"):    # wall 1..4
+                with tracer.span("stage:prefilter"):  # wall 2..3
+                    pass
+        return tracer
+
+    def test_wall_rides_spans_but_not_their_dicts(self):
+        tracer = self.traced_with_wall()
+        sweep = tracer.spans_named("sweep")[0]
+        assert sweep.wall_start == 0.0 and sweep.wall_end == 5.0
+        assert "wall_start" not in sweep.to_dict()
+        assert "wall_end" not in sweep.to_dict()
+
+    def test_wall_self_subtracts_children(self):
+        rollup = ProfileRollup.from_spans(self.traced_with_wall().finished)
+        wall = rollup.wall_to_dict()
+        assert wall["sweep"]["total"] == 5.0
+        assert wall["sweep"]["self"] == 2.0  # 5 - batch's 3
+        assert wall["sweep/batch"]["self"] == 2.0  # 3 - prefilter's 1
+
+    def test_wall_book_absent_without_profiling(self):
+        rollup = ProfileRollup.from_spans(traced_run().finished)
+        assert rollup.has_wall is False
+        assert rollup.wall_to_dict() == {}
+
+    def test_canonical_dict_never_carries_wall(self):
+        rollup = ProfileRollup.from_spans(self.traced_with_wall().finished)
+        payload = json.dumps(rollup.to_dict())
+        assert "wall" not in payload
+
+    def test_wall_now_is_monotonic(self):
+        a = wall_now()
+        b = wall_now()
+        assert b >= a
+
+
+class TestWallProfile:
+    def test_note_shard_folds_elapsed_and_paths(self):
+        book = WallProfile()
+        book.note_shard(0, {"elapsed": 1.5, "paths": {
+            "sweep": {"self": 0.5, "total": 1.5},
+        }})
+        book.note_shard(1, {"elapsed": 2.5, "paths": {
+            "sweep": {"self": 2.0, "total": 2.5},
+            "sweep/batch": {"self": 0.5, "total": 0.5},
+        }})
+        assert book.armed
+        assert book.elapsed() == 4.0
+        assert book.path_self["sweep"] == 2.5
+        assert book.dominant_path() == "sweep"
+
+    def test_note_rollup_folds_a_sequential_record(self):
+        tracer = Tracer(clock=SimClock())
+        ticks = iter(range(100))
+        tracer.wall_clock = lambda: float(next(ticks))
+        with tracer.span("sweep"):
+            pass
+        book = WallProfile()
+        book.note_rollup(ProfileRollup.from_spans(tracer.finished))
+        assert book.path_total["sweep"] == 1.0
+
+    def test_to_dict_ranks_by_self_and_honours_top(self):
+        book = WallProfile()
+        book.note_shard(0, {"elapsed": 1.0, "paths": {
+            "a": {"self": 0.1, "total": 0.1},
+            "b": {"self": 0.9, "total": 0.9},
+            "c": {"self": 0.5, "total": 0.5},
+        }})
+        payload = book.to_dict(top=2)
+        assert list(payload["paths"]) == ["b", "c"]
+        assert payload["dominant_path"] == "b"
+        assert payload["shards"] == {"0": 1.0}
+
+    def test_unarmed_book_is_empty(self):
+        book = WallProfile()
+        assert not book.armed
+        assert book.elapsed() == 0.0
+        assert book.dominant_path() is None
+        assert book.to_dict() == {
+            "elapsed": 0.0, "shards": {}, "dominant_path": None, "paths": {},
+        }
+
+
+class TestPathStats:
+    def test_to_dict_rounds_sim_only(self):
+        stats = PathStats(
+            count=2, total=1.23456789055, self_time=0.5,
+            wall_total=9.9, wall_self=9.9,
+        )
+        payload = stats.to_dict()
+        assert payload == {"count": 2, "total": 1.234567891, "self": 0.5}
