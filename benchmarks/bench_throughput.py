@@ -6,7 +6,8 @@ they were before the parallel-engine PR):
 * **matcher** — ``match_signatures`` (guaranteed-literal prescan + single
   combined scan) versus ``match_signatures_naive`` (up to 90 regexes, one
   at a time) over the canned-page corpus plus signature-free bodies;
-* **pipeline** — the sharded engine at 1/2/4/8 workers versus a
+* **pipeline** — the sharded engine at 1/2/4/8 workers — on both the
+  thread executor and the multicore process executor — versus a
   sequential baseline run with the naive matcher and the per-port probe
   path (no batched ``probe_ports``), on a bench-scale census.
 
@@ -15,7 +16,12 @@ trajectory.  ``--check`` gates CI on the committed file: because absolute
 addresses/sec depend on the runner's hardware, the gate compares the
 hardware-independent *speedup ratios* (current vs committed) and fails
 when sequential throughput regresses more than ``--tolerance`` relative
-to its baseline.
+to its baseline.  Process-executor scaling efficiency additionally gets
+*absolute* floors (workers=4 >= 2x, workers=8 >= 3x over workers=1) —
+but only when the machine has the cores to make the floor physically
+meaningful, which is why ``cpu_cores`` is recorded in the file: a
+1-core container measuring efficiency 1.0 is not a regression, it is
+Amdahl's law.
 
 Usage::
 
@@ -29,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -46,7 +53,13 @@ from repro.net.transport import InMemoryTransport, Transport
 from repro.obs.profile import ProfileRollup
 from repro.util.clock import SimClock
 
-SCHEMA = 2
+SCHEMA = 3
+
+#: absolute floors on process-executor scaling efficiency (workers=N
+#: throughput over workers=1), enforced by --enforce-scaling-floors on
+#: machines with at least N cores.  On fewer cores the floor is
+#: physically unreachable and is skipped, not failed.
+EFFICIENCY_FLOORS = {"4": 2.0, "8": 3.0}
 
 #: mild weather for the SimClock-attribution arm: a clean sweep never
 #: advances the simulated clock, so attributing sim time needs retries
@@ -192,10 +205,20 @@ def run_baseline(internet, candidates) -> float:
     return len(candidates) / elapsed
 
 
-def run_engine(internet, candidates, workers: int) -> float:
-    """Sharded engine at ``workers``: addresses/sec."""
+def run_engine(
+    internet, candidates, workers: int, executor: str = "thread"
+) -> float:
+    """Sharded engine at ``workers`` on ``executor``: addresses/sec.
+
+    Process runs pay their real operating costs inside the timed window —
+    interpreter spawn plus pickling the world into each worker — because
+    that is what a user of ``--executor process`` pays too.
+    """
     transport = InMemoryTransport(internet)
-    pipeline = ScanPipeline(transport, scanned_ports(), seed=3, workers=workers)
+    pipeline = ScanPipeline(
+        transport, scanned_ports(), seed=3,
+        workers=workers, executor=executor,
+    )
     start = time.perf_counter()
     report = pipeline.run(candidates)
     elapsed = time.perf_counter() - start
@@ -207,31 +230,62 @@ def bench_pipeline(
     limit: int | None,
     worker_counts: tuple[int, ...],
     dead_per_live: int = 50,
+    executors: tuple[str, ...] = ("thread", "process"),
 ) -> tuple[dict, object, list]:
+    if "thread" not in executors:
+        raise ValueError("the thread executor anchors the speedup ratios "
+                         "and cannot be skipped")
     internet, candidates = bench_census(limit, dead_per_live)
     baseline = run_baseline(internet, candidates)
-    per_workers = {
-        str(workers): round(run_engine(internet, candidates, workers), 1)
-        for workers in worker_counts
+    sweeps = {
+        executor: {
+            str(workers): round(
+                run_engine(internet, candidates, workers, executor), 1
+            )
+            for workers in worker_counts
+        }
+        for executor in executors
     }
-    reference = per_workers.get("4", next(iter(per_workers.values())))
-    results = {
-        "addresses": len(candidates),
-        "dead_per_live": dead_per_live,
-        "baseline_addresses_per_sec": round(baseline, 1),
-        "workers": per_workers,
-        "speedup_workers4": round(reference / baseline, 3),
+
+    def efficiency(per_workers: dict) -> dict:
         # Scaling *efficiency* vs the engine's own workers=1 rate: the
         # honest view the 2.5x-over-baseline headline hides.  >1 means
-        # adding workers helps; <1 means they cost throughput (the GIL).
-        "scaling_efficiency": {
+        # adding workers helps; <1 means they cost throughput (the GIL
+        # for threads, spawn + world-pickling overhead for processes).
+        return {
             str(workers): round(
                 per_workers[str(workers)] / per_workers["1"], 3
             )
             for workers in worker_counts
             if workers != 1 and "1" in per_workers
-        },
+        }
+
+    thread = sweeps["thread"]
+    reference = thread.get("4", next(iter(thread.values())))
+    results = {
+        "addresses": len(candidates),
+        "dead_per_live": dead_per_live,
+        # Scaling numbers are only meaningful relative to the cores that
+        # measured them; the floors in --enforce-scaling-floors key off
+        # this field so a 1-core container is not failed for obeying
+        # Amdahl's law.
+        "cpu_cores": os.cpu_count(),
+        "baseline_addresses_per_sec": round(baseline, 1),
+        "workers": thread,
+        "speedup_workers4": round(reference / baseline, 3),
+        "scaling_efficiency": efficiency(thread),
     }
+    if "process" in sweeps:
+        process = sweeps["process"]
+        results["process_workers"] = process
+        # No workers=1 fallback here: a fallback number would be compared
+        # against a committed workers=4 measurement by the ratio gate,
+        # which is incoherent.  Absent key -> gate pair skipped.
+        if "4" in process:
+            results["speedup_workers4_process"] = round(
+                process["4"] / baseline, 3
+            )
+        results["process_scaling_efficiency"] = efficiency(process)
     return results, internet, candidates
 
 
@@ -332,21 +386,62 @@ def check_regression(current: dict, committed: dict, tolerance: float) -> list[s
          current["pipeline"]["speedup_workers4"],
          committed["pipeline"]["speedup_workers4"]),
     ]
+    now = current["pipeline"].get("speedup_workers4_process")
+    then = committed["pipeline"].get("speedup_workers4_process")
+    if now is not None and then is not None:
+        pairs.append(("workers=4 process end-to-end speedup", now, then))
     # Scaling efficiency (workers=N vs workers=1) is gated too, so a
     # change that silently worsens the parallel regression fails CI even
     # while the headline speedup over the seed baseline still looks fine.
-    # ``.get`` guards keep the gate compatible with schema-1 files.
-    for count in ("4", "8"):
-        now = current["pipeline"].get("scaling_efficiency", {}).get(count)
-        then = committed["pipeline"].get("scaling_efficiency", {}).get(count)
-        if now is not None and then is not None:
-            pairs.append((f"workers={count} scaling efficiency", now, then))
+    # ``.get`` guards keep the gate compatible with older-schema files.
+    for key, what in (("scaling_efficiency", "thread"),
+                      ("process_scaling_efficiency", "process")):
+        for count in ("4", "8"):
+            now = current["pipeline"].get(key, {}).get(count)
+            then = committed["pipeline"].get(key, {}).get(count)
+            if now is not None and then is not None:
+                pairs.append(
+                    (f"workers={count} {what} scaling efficiency", now, then)
+                )
     for label, now, then in pairs:
         floor = then * (1.0 - tolerance)
         if now < floor:
             failures.append(
                 f"{label} regressed: {now:.3f} < {floor:.3f} "
                 f"(committed {then:.3f}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def check_scaling_floors(current: dict) -> list[str]:
+    """Absolute floors on *this run's* process-executor scaling.
+
+    Unlike :func:`check_regression` this does not compare against the
+    committed file: it asserts the multicore promise itself — workers=4
+    must beat workers=1 by at least 2x on a >=4-core machine (3x at
+    workers=8 on >=8 cores).  Floors whose core count the runner lacks
+    are skipped, so the committed file from a small container never
+    poisons the gate; CI enforces them on real multicore runners with a
+    frame large enough that worker startup is amortised.
+    """
+    pipeline = current["pipeline"]
+    cores = pipeline.get("cpu_cores") or 1
+    efficiency = pipeline.get("process_scaling_efficiency")
+    if efficiency is None:
+        return ["--enforce-scaling-floors needs the process executor "
+                "measured; include it in --executors"]
+    failures: list[str] = []
+    for count, floor in sorted(
+        EFFICIENCY_FLOORS.items(), key=lambda pair: int(pair[0])
+    ):
+        if cores < int(count):
+            continue
+        now = efficiency.get(count)
+        if now is not None and now < floor:
+            failures.append(
+                f"process executor at workers={count} scaled only "
+                f"{now:.3f}x over workers=1 on a {cores}-core machine "
+                f"(floor {floor}x)"
             )
     return failures
 
@@ -367,11 +462,25 @@ def main(argv: list[str] | None = None) -> int:
                              "internet-wide sweep)")
     parser.add_argument("--workers", type=int, nargs="+",
                         default=(1, 2, 4, 8))
+    parser.add_argument("--executors", nargs="+",
+                        choices=("thread", "process"),
+                        default=("thread", "process"),
+                        help="executors to sweep; thread anchors the "
+                             "baseline-relative speedups and is mandatory. "
+                             "CI's smoke-scale gate runs thread-only because "
+                             "a tiny frame measures process startup cost, "
+                             "not scaling")
     parser.add_argument("--check", type=Path, default=None,
                         help="compare speedup ratios against this committed "
                              "BENCH_scan.json and exit 1 on regression")
     parser.add_argument("--tolerance", type=float, default=0.3,
                         help="allowed relative regression for --check")
+    parser.add_argument("--enforce-scaling-floors", action="store_true",
+                        help="fail unless this run's process executor hits "
+                             "the absolute efficiency floors (workers=4 >= "
+                             "2x, workers=8 >= 3x vs workers=1) on a machine "
+                             "with that many cores; use a frame large enough "
+                             "to amortise worker startup")
     parser.add_argument("--no-profile", action="store_true",
                         help="skip the profile-attribution section "
                              "(halves the bench's wall time)")
@@ -390,14 +499,23 @@ def main(argv: list[str] | None = None) -> int:
 
     print("benching pipeline ...", flush=True)
     pipeline, internet, candidates = bench_pipeline(
-        args.addresses, tuple(args.workers), args.dead_per_live
+        args.addresses, tuple(args.workers), args.dead_per_live,
+        tuple(args.executors),
     )
-    print(f"  baseline    {pipeline['baseline_addresses_per_sec']:>10} addrs/s")
-    for workers, value in pipeline["workers"].items():
-        print(f"  workers={workers}   {value:>10} addrs/s")
-    print(f"  workers=4 speedup over baseline: {pipeline['speedup_workers4']}x")
-    for workers, efficiency in pipeline["scaling_efficiency"].items():
-        print(f"  workers={workers} efficiency vs workers=1: {efficiency}x")
+    print(f"  baseline    {pipeline['baseline_addresses_per_sec']:>10} addrs/s"
+          f"  ({pipeline['cpu_cores']} cores)")
+    for executor, key in (("thread", "workers"), ("process", "process_workers")):
+        for workers, value in pipeline.get(key, {}).items():
+            print(f"  {executor:>7} workers={workers}   {value:>10} addrs/s")
+    speedups = [f"thread {pipeline['speedup_workers4']}x"]
+    if "speedup_workers4_process" in pipeline:
+        speedups.append(f"process {pipeline['speedup_workers4_process']}x")
+    print("  workers=4 speedup over baseline: " + ", ".join(speedups))
+    for executor, key in (("thread", "scaling_efficiency"),
+                          ("process", "process_scaling_efficiency")):
+        for workers, efficiency in pipeline.get(key, {}).items():
+            print(f"  {executor:>7} workers={workers} efficiency "
+                  f"vs workers=1: {efficiency}x")
 
     results = {"schema": SCHEMA, "matcher": matcher, "pipeline": pipeline}
 
@@ -423,13 +541,28 @@ def main(argv: list[str] | None = None) -> int:
         args.out.write_text(json.dumps(results, indent=2) + "\n")
         print(f"wrote {args.out}")
 
+    failures: list[str] = []
     if args.check is not None:
         committed = json.loads(args.check.read_text())
-        failures = check_regression(results, committed, args.tolerance)
-        for failure in failures:
-            print(f"REGRESSION: {failure}", file=sys.stderr)
-        if failures:
-            return 1
+        failures += check_regression(results, committed, args.tolerance)
+    if args.enforce_scaling_floors:
+        floor_failures = check_scaling_floors(results)
+        if not floor_failures:
+            cores = pipeline["cpu_cores"]
+            enforced = [
+                count for count in EFFICIENCY_FLOORS if cores >= int(count)
+            ]
+            if enforced:
+                print("scaling floors passed at workers="
+                      + ",".join(sorted(enforced, key=int)))
+            else:
+                print(f"scaling floors skipped: only {cores} core(s)")
+        failures += floor_failures
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    if args.check is not None:
         print("regression gate passed")
     return 0
 

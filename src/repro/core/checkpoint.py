@@ -10,6 +10,16 @@ bit-identical to an uninterrupted run on the same seed.
 
 Checkpoints are written at batch boundaries with a write-and-rename, so
 a crash *during* a checkpoint leaves the previous one intact.
+
+Sharded sweeps checkpoint at shard boundaries instead, storing each
+completed shard's JSON-safe payload verbatim — the same immutable form
+process-pool workers send back across the pickle boundary.  Because the
+stored form never depends on *how* the shard ran, checkpoints are
+executor-neutral: a sweep killed under the thread executor resumes under
+the process executor (or vice versa) and still reproduces the
+uninterrupted report bit for bit.  Worker count and executor are
+deliberately absent from the resume-config check below for the same
+reason.
 """
 
 from __future__ import annotations

@@ -28,12 +28,29 @@ byte-identical to ``workers=1`` — the acceptance property the parallel
 equivalence tests pin.  Checkpoint/resume works at shard boundaries: the
 checkpoint stores completed shard payloads, and a resumed run re-executes
 only the missing shards.
+
+Two executors run the same shards.  ``executor="thread"`` shares the
+:class:`ShardRunner` by reference across a thread pool — cheap, but the
+GIL serialises the actual scanning.  ``executor="process"`` pickles the
+runner once into each worker of a spawn-safe
+:class:`~concurrent.futures.ProcessPoolExecutor` and ships shard
+payloads — plain JSON-safe data, the exact form a checkpoint stores —
+back over the result channel.  Because a payload is a pure function of
+the shard seed and the (read-only) forked transport, the two executors
+are byte-identical to each other and to ``workers=1``.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import threading
-from concurrent.futures import ThreadPoolExecutor, as_completed
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.core.checkpoint import Checkpointer, check_config_matches
@@ -52,6 +69,19 @@ from repro.util.rand import stable_hash
 #: with the ``ScanPipeline.shard_blocks`` field default.
 DEFAULT_SHARD_BLOCKS = 256
 
+#: shard execution backends (the ``ScanPipeline.executor`` field)
+EXECUTORS = ("thread", "process")
+
+#: multiprocessing start method used when neither the pipeline nor the
+#: REPRO_MP_START_METHOD environment variable picks one; spawn is the
+#: only method available everywhere and the one that catches pickling
+#: bugs fork would mask
+DEFAULT_START_METHOD = "spawn"
+
+
+def _rebuild_shard(index: int, seed: int, values: tuple[int, ...]) -> "Shard":
+    return Shard(index, seed, tuple(IPv4Address(v) for v in values))
+
 
 class Shard:
     """One /24-aligned slice of the candidate frame."""
@@ -64,6 +94,13 @@ class Shard:
         self.index = index
         self.seed = seed
         self.addresses = addresses
+
+    def __reduce__(self):
+        # Ship raw address integers across the process boundary instead
+        # of one dataclass instance per address.
+        return _rebuild_shard, (
+            self.index, self.seed, tuple(ip.value for ip in self.addresses),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Shard(index={self.index}, addresses={len(self.addresses)})"
@@ -104,6 +141,131 @@ def plan_shards(
     return shards
 
 
+@dataclass
+class ShardRunner:
+    """Everything one shard needs to run, picklable as a unit.
+
+    The runner is the single implementation of shard execution for both
+    executors: thread workers share it by reference, process workers get
+    a pickled copy via the pool initializer (once per worker, not per
+    shard).  Every field is read-only during a sweep — the transport is
+    *forked* per shard, never probed directly — so sharing and copying
+    are observably identical, which is what makes the two executors
+    byte-identical.
+
+    The return value of :meth:`run` is plain JSON-safe data (the same
+    serialised form a checkpoint stores); it is the only thing that
+    crosses back out of a worker.
+    """
+
+    transport: object
+    ports: tuple
+    batch_size: int
+    fingerprint: bool
+    use_prefilter: bool
+    knowledge_base: object
+    retry_policy: object
+    profile: bool
+
+    def run(self, shard: Shard) -> dict:
+        start = wall_now() if self.profile else None
+        payload = self._execute(shard)
+        if start is not None:
+            # The payload is owned by this call until it crosses the
+            # fold, so stamping the shard's wall seconds races with
+            # nothing.  Wall numbers are a diagnostic side-channel; they
+            # never enter the canonical report or telemetry.
+            payload.setdefault("wall", {"paths": {}})["elapsed"] = (
+                wall_now() - start
+            )
+        return payload
+
+    def _execute(self, shard: Shard) -> dict:
+        """One shard, in a fully private deterministic universe.
+
+        Everything mutable is created here and owned by this call: the
+        forked transport, the shard clock (starting at zero), and the
+        shard pipeline with its own telemetry, retry executor, and
+        breakers.  (The supervised runner overrides this with the
+        restart rung of the escalation ladder.)
+        """
+        sub = self._build_pipeline(shard)
+        report = sub.run(shard.addresses)
+        return self._payload(shard, sub, report)
+
+    def _build_pipeline(self, shard: Shard):
+        from repro.core.pipeline import ScanPipeline
+
+        clock = SimClock()
+        transport = self.transport.fork(shard.seed, clock)
+        return ScanPipeline(
+            transport=transport,
+            ports=self.ports,
+            seed=shard.seed,
+            batch_size=self.batch_size,
+            fingerprint=self.fingerprint,
+            use_prefilter=self.use_prefilter,
+            knowledge_base=self.knowledge_base,
+            retry_policy=self.retry_policy,
+            clock=clock,
+            profile=self.profile,
+        )
+
+    def _payload(self, shard: Shard, sub, report) -> dict:
+        payload = {
+            "report": report_to_dict(report),
+            "telemetry": sub.telemetry.snapshot_state(),
+            "transport_stats": sub.transport.stats.to_dict(),
+            "addresses": report.port_scan.addresses_scanned,
+        }
+        if sub.profile:
+            # The wall side-channel: per-path real seconds measured inside
+            # the worker, folded into the parent's WallProfile on the main
+            # thread.  Never merged into the canonical report or telemetry.
+            rollup = ProfileRollup.from_spans(sub.telemetry.tracer.finished)
+            payload["wall"] = {"paths": rollup.wall_to_dict()}
+        return payload
+
+
+#: the runner a process-pool worker executes shards with, installed once
+#: per worker by :func:`_init_worker` (workers are single-threaded, so
+#: this is plain per-process state, not shared mutable state)
+_WORKER_RUNNER: ShardRunner | None = None
+
+
+def _init_worker(runner: ShardRunner) -> None:
+    """Process-pool initializer: unpickle the shard runner once."""
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = runner
+
+
+def _process_shard(shard: Shard) -> dict:
+    """The function a process-pool worker runs per shard."""
+    assert _WORKER_RUNNER is not None, "worker initializer did not run"
+    return _WORKER_RUNNER.run(shard)
+
+
+def resolve_start_method(preferred: str | None = None) -> str:
+    """The multiprocessing start method the process executor will use.
+
+    Priority: explicit ``preferred`` (the ``ScanPipeline.mp_start_method``
+    field), then the ``REPRO_MP_START_METHOD`` environment variable (how
+    CI runs the whole suite under both spawn and fork), then
+    :data:`DEFAULT_START_METHOD`.
+    """
+    method = (
+        preferred
+        or os.environ.get("REPRO_MP_START_METHOD")
+        or DEFAULT_START_METHOD
+    )
+    available = multiprocessing.get_all_start_methods()
+    if method not in available:
+        raise ValueError(
+            f"start method {method!r} not available here; pick from {available}"
+        )
+    return method
+
+
 class ParallelScanEngine:
     """Run one sweep as concurrent, independently deterministic shards.
 
@@ -117,12 +279,20 @@ class ParallelScanEngine:
         pipeline,
         workers: int,
         shard_blocks: int = DEFAULT_SHARD_BLOCKS,
+        executor: str = "thread",
+        mp_start_method: str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; pick from {EXECUTORS}"
+            )
         self.pipeline = pipeline
         self.workers = workers
         self.shard_blocks = shard_blocks
+        self.executor = executor
+        self.mp_start_method = mp_start_method
         self._lock = threading.Lock()
         #: shards finished so far (progress accounting only — results
         #: always travel through the main-thread fold)
@@ -176,18 +346,11 @@ class ParallelScanEngine:
                 knowledge_base = (
                     pipe.knowledge_base or build_default_knowledge_base()
                 )
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                futures = {
-                    pool.submit(self._run_shard, shard, knowledge_base): shard
-                    for shard in todo
-                }
-                for future in as_completed(futures):
-                    shard = futures[future]
-                    completed[shard.index] = future.result()
-                    if checkpoint is not None and checkpoint.due(len(completed)):
-                        checkpoint.save(
-                            self._checkpoint_payload(shards, completed)
-                        )
+            runner = self._make_runner(knowledge_base)
+            if self.executor == "process":
+                self._run_in_processes(runner, todo, completed, checkpoint, shards)
+            else:
+                self._run_in_threads(runner, todo, completed, checkpoint, shards)
         report = self._fold(shards, completed)
         if checkpoint is not None:
             checkpoint.clear()
@@ -195,75 +358,112 @@ class ParallelScanEngine:
             console.finish_sweep(report)
         return report
 
-    # -- shard execution (worker threads) ------------------------------------
+    # -- shard execution ------------------------------------------------------
 
-    def _run_shard(self, shard: Shard, knowledge_base) -> dict:
-        console = self.pipeline.console
-        if console is not None:
-            console.note_shard_running(shard.index)
-        start = wall_now() if self.pipeline.profile else None
-        result = self._execute_shard(shard, knowledge_base)
-        if start is not None:
-            # ``result`` is owned by this call until it crosses the fold,
-            # so stamping the shard's wall seconds here races with nothing.
-            result.setdefault("wall", {"paths": {}})["elapsed"] = (
-                wall_now() - start
-            )
-        with self._lock:
-            self._shards_done += 1
-        if console is not None:
-            console.note_shard_done(shard.index, result)
-        return result
-
-    def _execute_shard(self, shard: Shard, knowledge_base) -> dict:
-        """One shard, in a fully private deterministic universe.
-
-        Everything mutable is created here and owned by this call: the
-        forked transport, the shard clock (starting at zero), and the
-        shard pipeline with its own telemetry, retry executor, and
-        breakers.  The return value is plain JSON-safe data — the same
-        serialised form a checkpoint stores — so live folds and resumed
-        folds are symmetric.
-        """
-        sub = self._shard_pipeline(shard, knowledge_base)
-        report = sub.run(shard.addresses)
-        return self._shard_payload(shard, sub, report)
-
-    def _shard_pipeline(self, shard: Shard, knowledge_base):
-        """Build one shard's private pipeline (the supervisor overrides
-        this to arm watchdogs and attach a supervision handle)."""
-        from repro.core.pipeline import ScanPipeline
-
+    def _make_runner(self, knowledge_base) -> ShardRunner:
+        """Bundle the pipeline's shard-relevant config into a runner
+        (the supervisor overrides this to add supervision config)."""
         pipe = self.pipeline
-        clock = SimClock()
-        transport = pipe.transport.fork(shard.seed, clock)
-        return ScanPipeline(
-            transport=transport,
-            ports=pipe.ports,
-            seed=shard.seed,
+        return ShardRunner(
+            transport=pipe.transport,
+            ports=tuple(pipe.ports),
             batch_size=pipe.batch_size,
             fingerprint=pipe.fingerprint,
             use_prefilter=pipe.use_prefilter,
             knowledge_base=knowledge_base,
             retry_policy=pipe.retry_policy,
-            clock=clock,
             profile=pipe.profile,
         )
 
-    def _shard_payload(self, shard: Shard, sub, report) -> dict:
-        payload = {
-            "report": report_to_dict(report),
-            "telemetry": sub.telemetry.snapshot_state(),
-            "transport_stats": sub.transport.stats.to_dict(),
-            "addresses": report.port_scan.addresses_scanned,
-        }
-        if sub.profile:
-            # The wall side-channel: per-path real seconds measured inside
-            # the worker, folded into the parent's WallProfile on the main
-            # thread.  Never merged into the canonical report or telemetry.
-            rollup = ProfileRollup.from_spans(sub.telemetry.tracer.finished)
-            payload["wall"] = {"paths": rollup.wall_to_dict()}
-        return payload
+    def _run_in_threads(
+        self,
+        runner: ShardRunner,
+        todo: list[Shard],
+        completed: dict[int, dict],
+        checkpoint: Checkpointer | None,
+        shards: list[Shard],
+    ) -> None:
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = {
+                pool.submit(self._run_shard, shard, runner): shard
+                for shard in todo
+            }
+            for future in as_completed(futures):
+                shard = futures[future]
+                completed[shard.index] = future.result()
+                self._maybe_checkpoint(checkpoint, shards, completed)
+
+    def _run_in_processes(
+        self,
+        runner: ShardRunner,
+        todo: list[Shard],
+        completed: dict[int, dict],
+        checkpoint: Checkpointer | None,
+        shards: list[Shard],
+    ) -> None:
+        """Run shards on a process pool: the runner crosses the pickle
+        boundary once per worker (pool initializer), shard payloads come
+        back over the result channel, and every console notification and
+        progress write happens here on the main thread — worker processes
+        cannot touch parent state at all."""
+        console = self.pipeline.console
+        context = multiprocessing.get_context(
+            resolve_start_method(self.mp_start_method)
+        )
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(runner,),
+        )
+        try:
+            futures = {
+                pool.submit(_process_shard, shard): shard for shard in todo
+            }
+            if console is not None:
+                # Submission hands the shard to the pool; completion is
+                # the next observable event, so "running" spans the
+                # queued-plus-executing window in process mode.
+                for shard in todo:
+                    console.note_shard_running(shard.index)
+            for future in as_completed(futures):
+                shard = futures[future]
+                result = future.result()
+                with self._lock:
+                    self._shards_done += 1
+                if console is not None:
+                    console.note_shard_done(shard.index, result)
+                completed[shard.index] = result
+                self._maybe_checkpoint(checkpoint, shards, completed)
+        finally:
+            # cancel_futures: a mid-sweep crash (the kill-and-resume
+            # tests) must not wait out every queued shard; on the success
+            # path there is nothing left to cancel.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _maybe_checkpoint(
+        self,
+        checkpoint: Checkpointer | None,
+        shards: list[Shard],
+        completed: dict[int, dict],
+    ) -> None:
+        if checkpoint is not None and checkpoint.due(len(completed)):
+            checkpoint.save(self._checkpoint_payload(shards, completed))
+
+    def _run_shard(self, shard: Shard, runner: ShardRunner) -> dict:
+        """Thread-executor wrapper: console notes and the progress
+        counter live here, next to the worker, because threads share the
+        hub safely; the process path does the same work on the main
+        thread instead."""
+        console = self.pipeline.console
+        if console is not None:
+            console.note_shard_running(shard.index)
+        result = runner.run(shard)
+        with self._lock:
+            self._shards_done += 1
+        if console is not None:
+            console.note_shard_done(shard.index, result)
+        return result
 
     # -- fold (main thread) ---------------------------------------------------
 

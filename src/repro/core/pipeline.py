@@ -174,6 +174,14 @@ class ScanPipeline:
     #: /24 blocks per shard when ``workers`` is set (kept in sync with
     #: repro.core.parallel.DEFAULT_SHARD_BLOCKS)
     shard_blocks: int = 256
+    #: shard execution backend when ``workers`` is set: "thread" (shared
+    #: memory, GIL-bound) or "process" (true multicore — the shard runner
+    #: crosses the pickle boundary once per worker).  Output is
+    #: byte-identical either way; see repro.core.parallel.
+    executor: str = "thread"
+    #: multiprocessing start method for the process executor (None =
+    #: the REPRO_MP_START_METHOD env var, falling back to "spawn")
+    mp_start_method: str | None = None
     #: a SupervisorConfig: run the sweep under the supervised runtime
     #: (escalation ladder, deadlines, quarantine); typed loosely to keep
     #: this module import-cycle-free with repro.core.supervisor
@@ -288,13 +296,16 @@ class ScanPipeline:
                 workers=self.workers if self.workers is not None else 1,
                 shard_blocks=self.shard_blocks,
                 config=self.supervisor,
+                executor=self.executor,
+                mp_start_method=self.mp_start_method,
             )
             return engine.run(candidates, checkpoint)
         if self.workers is not None:
             from repro.core.parallel import ParallelScanEngine
 
             engine = ParallelScanEngine(
-                self, workers=self.workers, shard_blocks=self.shard_blocks
+                self, workers=self.workers, shard_blocks=self.shard_blocks,
+                executor=self.executor, mp_start_method=self.mp_start_method,
             )
             return engine.run(candidates, checkpoint)
         tel = self.telemetry

@@ -42,7 +42,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.parallel import DEFAULT_SHARD_BLOCKS, ParallelScanEngine, Shard
+from repro.core.parallel import (
+    DEFAULT_SHARD_BLOCKS,
+    ParallelScanEngine,
+    Shard,
+    ShardRunner,
+)
 from repro.core.retry import RetryPolicy
 from repro.core.serialize import report_to_dict
 from repro.net.ipv4 import IPv4Address
@@ -283,45 +288,21 @@ class ShardSupervision:
             self.telemetry.metrics.counter(name, **labels).inc()
 
 
-class SweepSupervisor(ParallelScanEngine):
-    """The sharded engine wrapped in the escalation ladder.
+@dataclass
+class SupervisedShardRunner(ShardRunner):
+    """The shard runner with the escalation ladder's worker-side rungs.
 
-    Dispatched by :class:`~repro.core.pipeline.ScanPipeline` when its
-    ``supervisor`` config is set.  Inherits sharding, folding, and
-    shard-boundary checkpointing; adds per-shard supervision, bounded
-    restarts, abandonment, and the fold-time coverage reconciliation
-    that makes a degraded report trustworthy.
+    Like its base, this crosses the pickle boundary whole in process
+    mode, so everything the ladder needs inside a worker — restart
+    budget, deadlines, crash injection — must live in the (picklable)
+    :class:`SupervisorConfig`.  Custom ``crash_hook`` callables are a
+    thread-mode test hook only.
     """
 
-    def __init__(
-        self,
-        pipeline,
-        workers: int,
-        shard_blocks: int = DEFAULT_SHARD_BLOCKS,
-        config: SupervisorConfig | None = None,
-        crash_hook=None,
-    ) -> None:
-        super().__init__(pipeline, workers, shard_blocks)
-        self.config = config if config is not None else SupervisorConfig()
-        #: called as ``crash_hook(shard_index, attempt)`` at the start of
-        #: every shard attempt; raising simulates a dying worker.  The
-        #: default honours ``config.crash_shards``.
-        self.crash_hook = (
-            crash_hook if crash_hook is not None else self._config_crash_hook
-        )
-        self._restart_total = 0
-        self._abandon_total = 0
+    config: SupervisorConfig = None  # always set by SweepSupervisor
+    crash_hook: object = None
 
-    def _config_crash_hook(self, shard_index: int, attempt: int) -> None:
-        for index, crashes in self.config.crash_shards:
-            if index == shard_index and attempt < crashes:
-                raise ShardCrash(
-                    f"injected crash: shard {shard_index} attempt {attempt}"
-                )
-
-    # -- shard execution (worker threads) ------------------------------------
-
-    def _execute_shard(self, shard: Shard, knowledge_base) -> dict:
+    def _execute(self, shard: Shard) -> dict:
         """Run one shard under the restart rung of the ladder.
 
         Each attempt is a fresh private universe with the same seeds, so
@@ -334,47 +315,56 @@ class SweepSupervisor(ParallelScanEngine):
         last: Exception | None = None
         for attempt in range(cfg.max_shard_restarts + 1):
             try:
-                if self.crash_hook is not None:
-                    self.crash_hook(shard.index, attempt)
-                sub = self._shard_pipeline(shard, knowledge_base)
+                self._crash(shard.index, attempt)
+                sub = self._build_pipeline(shard)
                 report = sub.run(shard.addresses)
             except Exception as exc:
                 last = exc
                 continue
-            payload = self._shard_payload(shard, sub, report)
+            payload = self._payload(shard, sub, report)
             payload["supervisor"] = {"restarts": attempt, "abandoned": False}
             return payload
         return self._abandoned_payload(shard, last)
 
-    def _shard_pipeline(self, shard: Shard, knowledge_base):
+    def _crash(self, shard_index: int, attempt: int) -> None:
+        """Deterministic crash injection, config-driven by default."""
+        if self.crash_hook is not None:
+            self.crash_hook(shard_index, attempt)
+            return
+        for index, crashes in self.config.crash_shards:
+            if index == shard_index and attempt < crashes:
+                raise ShardCrash(
+                    f"injected crash: shard {shard_index} attempt {attempt}"
+                )
+
+    def _build_pipeline(self, shard: Shard):
         from repro.core.pipeline import ScanPipeline
 
-        pipe = self.pipeline
         cfg = self.config
         clock = SimClock()
-        transport = pipe.transport.fork(shard.seed, clock)
+        transport = self.transport.fork(shard.seed, clock)
         self._arm_watchdog(transport)
         supervision = ShardSupervision(
             cfg, clock, planned=len(shard.addresses)
         )
         sub = ScanPipeline(
             transport=transport,
-            ports=pipe.ports,
+            ports=self.ports,
             seed=shard.seed,
-            batch_size=pipe.batch_size,
-            fingerprint=pipe.fingerprint,
-            use_prefilter=pipe.use_prefilter,
-            knowledge_base=knowledge_base,
+            batch_size=self.batch_size,
+            fingerprint=self.fingerprint,
+            use_prefilter=self.use_prefilter,
+            knowledge_base=self.knowledge_base,
             # The quarantine gate lives in the executor, so supervised
             # shards always run one (with the parent policy when given).
             retry_policy=(
-                pipe.retry_policy
-                if pipe.retry_policy is not None
+                self.retry_policy
+                if self.retry_policy is not None
                 else RetryPolicy()
             ),
             clock=clock,
             supervision=supervision,
-            profile=pipe.profile,
+            profile=self.profile,
         )
         supervision.telemetry = sub.telemetry
         return sub
@@ -417,6 +407,62 @@ class SweepSupervisor(ParallelScanEngine):
                 "error": f"{type(error).__name__}: {error}",
             },
         }
+
+
+class SweepSupervisor(ParallelScanEngine):
+    """The sharded engine wrapped in the escalation ladder.
+
+    Dispatched by :class:`~repro.core.pipeline.ScanPipeline` when its
+    ``supervisor`` config is set.  Inherits sharding, folding, and
+    shard-boundary checkpointing; adds per-shard supervision, bounded
+    restarts, abandonment, and the fold-time coverage reconciliation
+    that makes a degraded report trustworthy.
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        workers: int,
+        shard_blocks: int = DEFAULT_SHARD_BLOCKS,
+        config: SupervisorConfig | None = None,
+        crash_hook=None,
+        executor: str = "thread",
+        mp_start_method: str | None = None,
+    ) -> None:
+        super().__init__(
+            pipeline, workers, shard_blocks,
+            executor=executor, mp_start_method=mp_start_method,
+        )
+        self.config = config if config is not None else SupervisorConfig()
+        #: called as ``crash_hook(shard_index, attempt)`` at the start of
+        #: every shard attempt; raising simulates a dying worker.  None
+        #: (the default) honours ``config.crash_shards``, which — being
+        #: plain config — also works across the process boundary.
+        self.crash_hook = crash_hook
+        self._restart_total = 0
+        self._abandon_total = 0
+
+    # -- shard execution ------------------------------------------------------
+
+    def _make_runner(self, knowledge_base) -> SupervisedShardRunner:
+        if self.crash_hook is not None and self.executor == "process":
+            raise ValueError(
+                "a custom crash_hook is thread-executor only; use "
+                "SupervisorConfig.crash_shards for process-mode injection"
+            )
+        pipe = self.pipeline
+        return SupervisedShardRunner(
+            transport=pipe.transport,
+            ports=tuple(pipe.ports),
+            batch_size=pipe.batch_size,
+            fingerprint=pipe.fingerprint,
+            use_prefilter=pipe.use_prefilter,
+            knowledge_base=knowledge_base,
+            retry_policy=pipe.retry_policy,
+            profile=pipe.profile,
+            config=self.config,
+            crash_hook=self.crash_hook,
+        )
 
     # -- fold (main thread) ---------------------------------------------------
 

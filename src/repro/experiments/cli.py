@@ -42,9 +42,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--workers", type=int, default=None,
                         help="run the sweep as concurrent /24-aligned shards "
-                             "on this many worker threads (scan / observe "
+                             "on this many workers (scan / observe "
                              "experiments); the report and telemetry are "
                              "byte-identical for every worker count")
+    parser.add_argument("--executor", choices=("thread", "process"),
+                        default="thread",
+                        help="shard execution backend when --workers is set: "
+                             "threads share memory but are GIL-bound; "
+                             "processes scan on real cores (output is "
+                             "byte-identical either way)")
     parser.add_argument("--markdown", action="store_true",
                         help="render the full report as markdown")
     parser.add_argument("--out", type=str, default=None,
@@ -133,6 +139,7 @@ def _run(
     config: StudyConfig,
     markdown: bool = False,
     workers: int | None = None,
+    executor: str = "thread",
     supervisor=None,
     profile: bool = False,
     console=None,
@@ -143,8 +150,8 @@ def _run(
         return study.render_markdown() if markdown else study.render(), None
     if experiment == "scan":
         study = run_scan_study(
-            config, workers=workers, supervisor=supervisor,
-            profile=profile, console=console,
+            config, workers=workers, executor=executor,
+            supervisor=supervisor, profile=profile, console=console,
         )
         sections = [study.table2().render(), study.table3().render(),
                     study.table4().render(), study.figure1().render()]
@@ -153,8 +160,8 @@ def _run(
         return "\n\n".join(sections), study.telemetry
     if experiment == "observe":
         study = run_scan_study(
-            config, workers=workers, supervisor=supervisor,
-            profile=profile, console=console,
+            config, workers=workers, executor=executor,
+            supervisor=supervisor, profile=profile, console=console,
         )
         # The observer charges its sweep counters to the scan pipeline's
         # handle, so one dump covers both phases.
@@ -215,6 +222,7 @@ def main(argv: list[str] | None = None) -> int:
         report, telemetry = _run(
             args.experiment, config,
             markdown=args.markdown, workers=args.workers,
+            executor=args.executor,
             supervisor=_supervisor_config(args),
             profile=profile, console=hub,
         )

@@ -65,6 +65,7 @@ class ScanStudy:
 def run_scan_study(
     config: StudyConfig | None = None,
     workers: int | None = None,
+    executor: str = "thread",
     supervisor: object | None = None,
     profile: bool = False,
     console: object | None = None,
@@ -73,7 +74,9 @@ def run_scan_study(
 
     ``workers`` dispatches the sweep to the sharded parallel engine; the
     report and telemetry are byte-identical for every worker count, so
-    the analysis products do not depend on it.  ``supervisor`` (a
+    the analysis products do not depend on it.  ``executor`` picks the
+    engine's backend ("thread" or "process" — byte-identical too; only
+    "process" escapes the GIL).  ``supervisor`` (a
     :class:`~repro.core.supervisor.SupervisorConfig`) runs the sweep
     under the supervised runtime — deadlines, quarantine, and coverage
     accounting — which also implies the sharded engine.  ``profile``
@@ -90,6 +93,7 @@ def run_scan_study(
         seed=config.seed,
         fingerprint=config.fingerprint,
         workers=workers,
+        executor=executor,
         supervisor=supervisor,
         profile=profile,
         console=console,

@@ -335,6 +335,15 @@ class ChaosTransport(Transport):
         clone.watchdog = self.watchdog
         return clone
 
+    def __getstate__(self) -> dict:
+        # The chaos layer crosses the process-pool pickle boundary as
+        # part of a ShardRunner.  Its telemetry handle must not: that is
+        # main-process state, and the forked shard clone gets the shard
+        # pipeline's own handle attached on construction anyway.
+        state = self.__dict__.copy()
+        state["telemetry"] = None
+        return state
+
     # -- checkpoint support ------------------------------------------------
 
     def snapshot_state(self) -> dict:

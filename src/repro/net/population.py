@@ -195,11 +195,29 @@ def _generic_page(flavour: str) -> str:
 _GENERIC_FLAVOURS = ("nginx", "apache", "iis", "router", "api")
 
 
-def _make_background_responder(flavour: str):
-    body = _generic_page(flavour)
-    if flavour == "api":
-        return lambda request: HttpResponse.json(body)
-    return lambda request: HttpResponse.html(body)
+class _BackgroundResponder:
+    """One static background page as a picklable callable.
+
+    A closure would serve the page just as well, but generated internets
+    now cross the process-pool boundary whole (the parallel engine ships
+    its transport — internet included — to worker processes), and local
+    functions cannot be pickled.
+    """
+
+    __slots__ = ("flavour", "body")
+
+    def __init__(self, flavour: str) -> None:
+        self.flavour = flavour
+        self.body = _generic_page(flavour)
+
+    def __call__(self, request) -> HttpResponse:
+        if self.flavour == "api":
+            return HttpResponse.json(self.body)
+        return HttpResponse.html(self.body)
+
+
+def _make_background_responder(flavour: str) -> _BackgroundResponder:
+    return _BackgroundResponder(flavour)
 
 
 class _Generator:

@@ -1,0 +1,176 @@
+"""The determinism matrix: one property, every execution shape.
+
+The repo's core invariant is that a sweep's canonical artifacts — the
+serialized ScanReport and the telemetry JSONL export — are a pure
+function of the seed.  This file pins that property across every
+execution dimension at once:
+
+* worker count        1 / 2 / 4 / 8
+* executor            thread pool / process pool (spawn-safe pickling)
+* fault plan          clean / chaos / hostile-supervised
+* interruption        straight through / kill-and-resume via checkpoint
+* observability       profiling + flight recorder on / off
+
+Each scenario has one golden run (workers=1, thread executor, straight
+through); every other arm must reproduce it byte for byte, including the
+quarantine lists and the canonical profile/flight dumps.  The matrix is
+pruned to pairwise coverage — the hostile supervised scenario carries the
+full workers × executor cross because it exercises every subsystem
+(chaos, retry, quarantine, restarts, profiling) at once; the lighter
+scenarios cover the remaining dimension pairs.
+"""
+
+import json
+
+import pytest
+
+from repro.apps.catalog import scanned_ports
+from repro.core.checkpoint import Checkpointer
+from repro.core.pipeline import ScanPipeline
+from repro.core.retry import RetryPolicy
+from repro.core.serialize import report_to_dict
+from repro.net.chaos import ChaosTransport
+from repro.net.transport import InMemoryTransport
+from repro.obs.profile import ProfileRollup
+from repro.util.clock import SimClock
+from tests.core.test_parallel import (
+    PLAN,
+    CrashingCheckpointer,
+    SimulatedCrash,
+    build_world,
+)
+from tests.core.test_supervisor import HOSTILE, SUPERVISED
+
+#: scenario name -> (fault plan, supervisor config, profiling armed)
+SCENARIOS = {
+    "clean": (None, None, False),
+    "clean-profiled": (None, None, True),
+    "chaos": (PLAN, None, False),
+    "hostile-supervised": (HOSTILE, SUPERVISED, True),
+}
+
+
+def sweep(scenario, workers, executor, checkpoint=None):
+    """One sweep over a freshly built world in the given shape."""
+    plan, supervisor, profile = SCENARIOS[scenario]
+    internet, ips = build_world()
+    clock = SimClock()
+    transport = InMemoryTransport(internet)
+    if plan is not None:
+        transport = ChaosTransport(transport, plan, seed=21, clock=clock)
+    pipeline = ScanPipeline(
+        transport, scanned_ports(), seed=7, batch_size=3,
+        fingerprint=False, workers=workers, shard_blocks=2,
+        executor=executor,
+        retry_policy=(
+            RetryPolicy(max_attempts=3, base_delay=0.5, max_delay=4.0)
+            if plan is not None else None
+        ),
+        clock=clock, supervisor=supervisor, profile=profile,
+    )
+    report = pipeline.run(ips, checkpoint=checkpoint)
+    return report, pipeline
+
+
+def artifacts(report, pipeline):
+    """Everything an arm must reproduce byte for byte."""
+    rollup = ProfileRollup.from_spans(pipeline.telemetry.tracer.finished)
+    return {
+        "report": json.dumps(report_to_dict(report), sort_keys=True),
+        "telemetry": pipeline.telemetry.export_jsonl(),
+        "quarantined_hosts": sorted(report.coverage.quarantined_hosts),
+        "quarantined_blocks": sorted(report.coverage.quarantined_blocks),
+        "profile": json.dumps(rollup.to_dict(), sort_keys=True),
+        "flight": json.dumps(
+            pipeline.telemetry.flight.to_dict(), sort_keys=True
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """Scenario -> artifacts of its workers=1 thread straight-through run,
+    computed once per test session."""
+    cache = {}
+
+    def get(scenario):
+        if scenario not in cache:
+            cache[scenario] = artifacts(
+                *sweep(scenario, workers=1, executor="thread")
+            )
+        return cache[scenario]
+
+    return get
+
+
+def _arm_id(arm):
+    scenario, workers, executor = arm
+    return f"{scenario}-w{workers}-{executor}"
+
+
+#: the full workers × executor cross on the everything-at-once scenario,
+#: plus pairwise coverage of the lighter scenarios
+STRAIGHT_ARMS = [
+    (scenario, workers, executor)
+    for scenario in ("hostile-supervised",)
+    for workers in (1, 2, 4, 8)
+    for executor in ("thread", "process")
+] + [
+    ("clean", 1, "process"),
+    ("clean", 4, "thread"),
+    ("clean", 4, "process"),
+    ("clean", 8, "thread"),
+    ("clean-profiled", 2, "thread"),
+    ("clean-profiled", 4, "process"),
+    ("chaos", 2, "process"),
+    ("chaos", 4, "thread"),
+    ("chaos", 8, "process"),
+]
+
+RESUME_ARMS = [
+    ("hostile-supervised", 2, "thread"),
+    ("hostile-supervised", 4, "process"),
+    ("chaos", 4, "process"),
+    ("clean", 2, "thread"),
+]
+
+
+class TestStraightThrough:
+    @pytest.mark.parametrize("arm", STRAIGHT_ARMS, ids=_arm_id)
+    def test_arm_matches_golden(self, arm, golden):
+        scenario, workers, executor = arm
+        assert artifacts(*sweep(scenario, workers, executor)) == golden(scenario)
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("arm", RESUME_ARMS, ids=_arm_id)
+    def test_resumed_arm_matches_golden(self, arm, golden, tmp_path):
+        scenario, workers, executor = arm
+        path = str(tmp_path / "sweep.ckpt")
+        crasher = CrashingCheckpointer(path, 2, every_batches=1)
+        with pytest.raises(SimulatedCrash):
+            sweep(scenario, workers, executor, checkpoint=crasher)
+        report, pipeline = sweep(
+            scenario, workers, executor,
+            checkpoint=Checkpointer(path, every_batches=1),
+        )
+        assert artifacts(report, pipeline) == golden(scenario)
+
+
+class TestCrossExecutorResume:
+    def test_thread_checkpoint_resumes_under_process_executor(self, tmp_path):
+        """A checkpoint is executor-neutral: payloads saved by thread
+        workers must fold identically when the resume runs on processes
+        (and vice versa), because both store the same JSON-safe form."""
+        path = str(tmp_path / "sweep.ckpt")
+        crasher = CrashingCheckpointer(path, 2, every_batches=1)
+        with pytest.raises(SimulatedCrash):
+            sweep("hostile-supervised", 2, "thread", checkpoint=crasher)
+        report, pipeline = sweep(
+            "hostile-supervised", 2, "process",
+            checkpoint=Checkpointer(path, every_batches=1),
+        )
+        reference = artifacts(
+            *sweep("hostile-supervised", 1, "thread")
+        )
+        assert artifacts(report, pipeline) == reference

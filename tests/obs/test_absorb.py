@@ -120,3 +120,118 @@ class TestTelemetryAbsorb:
         assert (
             serialized.summary().to_dict() == live.summary().to_dict()
         )
+
+
+class TestFoldEdgeCases:
+    """Cross-process fold corners: colliding span ids, empty shards,
+    top-K ties, and late payloads after the fold."""
+
+    def test_identical_span_ids_from_two_shards_never_collide(self):
+        """Process workers all number their spans from 1; absorbing two
+        shards with byte-identical id ranges must rebase both."""
+        def shard():
+            tracer = Tracer()
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+            return tracer.snapshot_state()
+
+        state = shard()
+        parent = Tracer()
+        with parent.span("sweep"):
+            pass
+        for _ in range(2):  # same serialized ids absorbed twice
+            twin = Tracer()
+            twin.restore_state(state)
+            parent.absorb(twin)
+        ids = [span.span_id for span in parent.finished]
+        assert len(ids) == len(set(ids)) == 5
+        # parent links still point inside their own shard after rebasing
+        outers = [s for s in parent.finished if s.name == "outer"]
+        inners = [s for s in parent.finished if s.name == "inner"]
+        assert {i.parent_id for i in inners} == {o.span_id for o in outers}
+
+    def test_spans_opened_after_an_absorb_stay_collision_free(self):
+        parent = Tracer()
+        shard = Tracer()
+        with shard.span("shard-span"):
+            pass
+        parent.absorb(shard)
+        with parent.span("late-parent-span"):
+            pass
+        ids = [span.span_id for span in parent.finished]
+        assert len(ids) == len(set(ids))
+
+    def test_absorbing_an_empty_shard_changes_nothing(self):
+        """An abandoned shard folds a stub payload; an empty telemetry
+        state must be a no-op on every pillar."""
+        parent = Telemetry()
+        parent.events.info("parallel", "sweep-start")
+        parent.funnel("masscan", 4, 2)
+        before = (parent.export_jsonl(), parent.summary().to_dict())
+        parent.absorb_state(Telemetry().snapshot_state())
+        assert (parent.export_jsonl(), parent.summary().to_dict()) == before
+
+    def test_flight_top_k_ties_break_identically_across_fold_orders(self):
+        """Records tied on duration at the capacity boundary must keep
+        the same winners whatever order shards are absorbed in."""
+        from repro.obs.flight import FlightRecorder
+
+        def record(recorder, host, start, duration):
+            class Span:
+                pass
+
+            span = Span()
+            span.name = "probe:http"
+            span.start = start
+            span.duration = duration
+            span.attrs = {"host": host, "port": 80}
+            recorder.record(span, events=(), exchange_mark=0)
+
+        def shard(hosts, duration):
+            recorder = FlightRecorder(capacity=2)
+            for index, host in enumerate(hosts):
+                record(recorder, host, float(index), duration)
+            return recorder
+
+        # four records, all tied at duration=5.0: the capacity-2 cut
+        # lands inside the tie and must resolve by (start, host) alone
+        a = shard(("203.0.113.1", "203.0.113.2"), 5.0)
+        b = shard(("198.51.100.1", "198.51.100.2"), 5.0)
+
+        forward = FlightRecorder(capacity=2)
+        forward.absorb(shard(("203.0.113.1", "203.0.113.2"), 5.0))
+        forward.absorb(shard(("198.51.100.1", "198.51.100.2"), 5.0))
+        backward = FlightRecorder(capacity=2)
+        backward.absorb(b)
+        backward.absorb(a)
+        assert forward.to_dict() == backward.to_dict()
+        assert forward.probes_seen == backward.probes_seen == 4
+
+    def test_console_ignores_payload_arriving_after_the_fold(self):
+        """Double-count protection: once finish_sweep has run, the parent
+        handle holds every shard's counters, so a straggler payload (a
+        pool result delivered late) must not re-enter the aggregate."""
+        from repro.obs.console import ConsoleHub
+
+        def payload():
+            telemetry = Telemetry()
+            telemetry.funnel("masscan", 10, 6)
+            return {"telemetry": telemetry.snapshot_state(), "addresses": 10}
+
+        parent = Telemetry()
+        hub = ConsoleHub()
+        hub.attach_telemetry(parent)
+        hub.begin_sweep([{"index": 0, "addresses": 10}])
+        hub.note_shard_done(0, payload())
+        # mid-flight: the unfolded payload counts exactly once
+        assert hub.funnel()["stages"]["masscan"]["in"] == 10.0
+
+        parent.absorb_state(payload()["telemetry"])  # the canonical fold
+        from repro.core.pipeline import ScanReport
+
+        hub.finish_sweep(ScanReport())
+        assert hub.funnel()["stages"]["masscan"]["in"] == 10.0
+        # the straggler: same shard's payload delivered again, post-fold
+        hub.note_shard_done(0, payload())
+        assert hub.funnel()["stages"]["masscan"]["in"] == 10.0

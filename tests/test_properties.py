@@ -1,5 +1,6 @@
 """Property-based tests (hypothesis) on core invariants."""
 
+import pickle
 import random
 
 from hypothesis import given, settings
@@ -193,3 +194,188 @@ def test_kb_identifies_superset_consistently(rng):
 
 
 _KB_CACHE: dict[str, object] = {}
+
+
+# ---------------------------------------------------------------------------
+# Pickle round-trips of shard state
+#
+# The process executor ships every shard-state component across the
+# pickle boundary (the ShardRunner into workers, nothing back but JSON).
+# A component is process-safe iff a pickled clone is *behaviourally*
+# equivalent: the same subsequent inputs must produce the same subsequent
+# outputs and serialised state as the original.
+# ---------------------------------------------------------------------------
+
+
+def _clone(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), max_size=10),
+    st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), max_size=10),
+)
+def test_simclock_pickle_round_trip(before, after):
+    clock = SimClock()
+    for delta in before:
+        clock.advance(delta)
+    twin = _clone(clock)
+    assert twin.now == clock.now
+    for delta in after:
+        clock.advance(delta)
+        twin.advance(delta)
+    assert twin.now == clock.now
+
+
+@given(st.integers(min_value=0, max_value=2**32), st.integers(min_value=0, max_value=50))
+def test_seeded_rng_pickle_round_trip(seed, draws):
+    rng = random.Random(stable_hash(seed, "shard", 3))
+    for _ in range(draws):
+        rng.random()
+    twin = _clone(rng)
+    assert [twin.random() for _ in range(20)] == [rng.random() for _ in range(20)]
+    assert twin.getstate() == rng.getstate()
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=8),
+    st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_retry_executor_pickle_round_trip(before_failures, after_failures):
+    """Drive a pickled executor clone with the failure script the
+    original sees; stats, breaker verdicts, and backoff draws must not
+    diverge."""
+    from repro.core.retry import CircuitBreaker, RetryExecutor, RetryPolicy
+    from repro.util.errors import ConnectionTimeout, TransportError
+
+    def build():
+        clock = SimClock()
+        return RetryExecutor(
+            RetryPolicy(max_attempts=3, base_delay=0.5, max_delay=4.0),
+            rng=random.Random(stable_hash(7, "retry")),
+            clock=clock,
+            breaker=CircuitBreaker(clock=clock),
+        )
+
+    def drive(executor, failures):
+        outcomes = []
+        for host, count in enumerate(failures):
+            ip = IPv4Address.parse(f"198.51.{100 + host}.7")
+            remaining = [count]
+
+            def op():
+                if remaining[0] > 0:
+                    remaining[0] -= 1
+                    raise ConnectionTimeout("injected")
+                return "ok"
+
+            try:
+                outcomes.append(executor.call(ip, op))
+            except TransportError as exc:
+                outcomes.append(type(exc).__name__)
+        return outcomes
+
+    executor = build()
+    drive(executor, before_failures)
+    twin = _clone(executor)
+    assert drive(twin, after_failures) == drive(executor, after_failures)
+    assert twin.stats.to_dict() == executor.stats.to_dict()
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2**32 - 1), max_size=20),
+    st.lists(st.integers(min_value=0, max_value=2**32 - 1), max_size=20),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=3),
+)
+def test_quarantine_pickle_round_trip(before, after, host_threshold, block_threshold):
+    from repro.core.supervisor import Quarantine
+
+    ledger = Quarantine(host_threshold, block_threshold)
+    for value in before:
+        ledger.strike(value)
+    twin = _clone(ledger)
+    assert twin.hosts == ledger.hosts and twin.blocks == ledger.blocks
+    for value in after:
+        assert twin.is_quarantined(value) == ledger.is_quarantined(value)
+        assert twin.strike(value) == ledger.strike(value)
+    assert twin.hosts == ledger.hosts and twin.blocks == ledger.blocks
+
+
+@given(
+    st.lists(st.sampled_from(["debug", "info", "warn", "error"]), max_size=15),
+    st.lists(st.sampled_from(["debug", "info", "warn", "error"]), max_size=15),
+)
+def test_event_log_pickle_round_trip(before, after):
+    from repro.obs.events import EventLog
+
+    log = EventLog(clock=SimClock())
+    for index, level in enumerate(before):
+        log.clock.advance(1.0)
+        log.emit(level, "stage", f"event-{index}", host=None, n=index)
+    twin = _clone(log)
+    for index, level in enumerate(after):
+        for target in (log, twin):
+            target.clock.advance(1.0)
+            target.emit(level, "stage", f"late-{index}", host=None, n=index)
+    assert twin.to_jsonl() == log.to_jsonl()
+    assert twin.suppressed == log.suppressed
+    assert twin.snapshot_state() == log.snapshot_state()
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=120, allow_nan=False), max_size=15),
+    st.lists(st.floats(min_value=0, max_value=120, allow_nan=False), max_size=15),
+)
+def test_metrics_registry_pickle_round_trip(before, after):
+    from repro.obs.metrics import MetricsRegistry
+
+    def feed(registry, values):
+        for value in values:
+            registry.counter("probes_total", stage="masscan").inc()
+            registry.gauge("inflight").set(value)
+            registry.histogram("latency_seconds").observe(value)
+
+    registry = MetricsRegistry()
+    feed(registry, before)
+    twin = _clone(registry)
+    feed(registry, after)
+    feed(twin, after)
+    assert twin.snapshot_state() == registry.snapshot_state()
+    assert twin.to_prometheus() == registry.to_prometheus()
+
+
+class _SpanStub:
+    """The four attributes FlightRecorder.record reads from a span."""
+
+    def __init__(self, name, host, start, duration):
+        self.name = name
+        self.start = start
+        self.duration = duration
+        self.attrs = {"host": host, "port": 80}
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=600, allow_nan=False), max_size=30),
+    st.lists(st.floats(min_value=0, max_value=600, allow_nan=False), max_size=30),
+)
+def test_flight_recorder_pickle_round_trip(before, after):
+    from repro.obs.flight import FlightRecorder
+
+    def feed(recorder, durations, base):
+        for index, duration in enumerate(durations):
+            span = _SpanStub(
+                "probe:http", f"203.0.113.{index % 200}",
+                float(base + index), duration,
+            )
+            recorder.record(span, events=(), exchange_mark=recorder.exchange_mark())
+
+    recorder = FlightRecorder(capacity=4)
+    feed(recorder, before, base=0)
+    twin = _clone(recorder)
+    feed(recorder, after, base=1000)
+    feed(twin, after, base=1000)
+    assert twin.to_dict() == recorder.to_dict()
+    assert twin.probes_seen == recorder.probes_seen
+    assert twin.snapshot_state() == recorder.snapshot_state()
