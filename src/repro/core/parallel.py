@@ -15,7 +15,9 @@ the data*:
   :class:`~repro.util.clock.SimClock` starting at zero, its own
   :class:`~repro.obs.telemetry.Telemetry`, retry executor, and circuit
   breakers, all seeded from ``stable_hash(seed, "shard", index)``.
-  Worker threads share *no* mutable state beyond a progress counter;
+  Worker callables share *no* mutable state at all — they return their
+  shard payload and the main-thread completion loop does every write
+  (progress, console, checkpointing);
 * **deterministic fold** — shard results are serialised (the same
   round-trip a checkpoint uses) and merged on the main thread in shard
   index order: reports merge, telemetry is absorbed with span-id
@@ -44,7 +46,6 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import threading
 from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
@@ -77,6 +78,22 @@ EXECUTORS = ("thread", "process")
 #: only method available everywhere and the one that catches pickling
 #: bugs fork would mask
 DEFAULT_START_METHOD = "spawn"
+
+#: callables that execute inside pool workers; the reprolint concurrency
+#: analyzer seeds its worker-reachability graph from these (plain data,
+#: consumed from the AST — keep the dotted names in sync with the defs)
+WORKER_ENTRY_POINTS = (
+    "repro.core.parallel.ShardRunner.run",
+    "repro.core.parallel._process_shard",
+)
+
+#: classes whose instances cross the process-executor pickle boundary
+#: whole (the analyzer audits their attribute hygiene: no lambdas, no
+#: main-process handles, no locks or open resources)
+PICKLE_BOUNDARY_TYPES = (
+    "repro.core.parallel.Shard",
+    "repro.core.parallel.ShardRunner",
+)
 
 
 def _rebuild_shard(index: int, seed: int, values: tuple[int, ...]) -> "Shard":
@@ -293,9 +310,9 @@ class ParallelScanEngine:
         self.shard_blocks = shard_blocks
         self.executor = executor
         self.mp_start_method = mp_start_method
-        self._lock = threading.Lock()
-        #: shards finished so far (progress accounting only — results
-        #: always travel through the main-thread fold)
+        #: shards finished so far — progress accounting only, written
+        #: exclusively by the main-thread completion loops (workers
+        #: return payloads; they never touch engine state)
         self._shards_done = 0
 
     # -- orchestration -------------------------------------------------------
@@ -383,14 +400,23 @@ class ParallelScanEngine:
         checkpoint: Checkpointer | None,
         shards: list[Shard],
     ) -> None:
+        """Run shards on a thread pool.  Workers execute ``runner.run``
+        and nothing else — every console notification, the progress
+        counter, and checkpointing happen here on the main thread as
+        results complete, exactly like the process path."""
+        console = self.pipeline.console
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             futures = {
-                pool.submit(self._run_shard, shard, runner): shard
-                for shard in todo
+                pool.submit(runner.run, shard): shard for shard in todo
             }
+            if console is not None:
+                for shard in todo:
+                    console.note_shard_running(shard.index)
             for future in as_completed(futures):
                 shard = futures[future]
-                completed[shard.index] = future.result()
+                result = future.result()
+                self._note_shard_result(shard, result)
+                completed[shard.index] = result
                 self._maybe_checkpoint(checkpoint, shards, completed)
 
     def _run_in_processes(
@@ -429,10 +455,7 @@ class ParallelScanEngine:
             for future in as_completed(futures):
                 shard = futures[future]
                 result = future.result()
-                with self._lock:
-                    self._shards_done += 1
-                if console is not None:
-                    console.note_shard_done(shard.index, result)
+                self._note_shard_result(shard, result)
                 completed[shard.index] = result
                 self._maybe_checkpoint(checkpoint, shards, completed)
         finally:
@@ -450,20 +473,16 @@ class ParallelScanEngine:
         if checkpoint is not None and checkpoint.due(len(completed)):
             checkpoint.save(self._checkpoint_payload(shards, completed))
 
-    def _run_shard(self, shard: Shard, runner: ShardRunner) -> dict:
-        """Thread-executor wrapper: console notes and the progress
-        counter live here, next to the worker, because threads share the
-        hub safely; the process path does the same work on the main
-        thread instead."""
+    def _note_shard_result(self, shard: Shard, result: dict) -> None:
+        """Main-thread bookkeeping per completed shard: the progress
+        counter and console notification.  This used to happen inside
+        the thread workers (a DET005-baselined scheduling-ordered
+        write); worker callables now return their payload and nothing
+        else, so the engine owns every write to its own state."""
+        self._shards_done += 1
         console = self.pipeline.console
         if console is not None:
-            console.note_shard_running(shard.index)
-        result = runner.run(shard)
-        with self._lock:
-            self._shards_done += 1
-        if console is not None:
             console.note_shard_done(shard.index, result)
-        return result
 
     # -- fold (main thread) ---------------------------------------------------
 

@@ -56,6 +56,18 @@ from repro.obs.telemetry import Telemetry
 from repro.util.clock import SimClock
 from repro.util.errors import ShardCrash
 
+#: worker-side entry point of the supervised runtime, consumed by the
+#: reprolint concurrency analyzer (see core/parallel.py for the base set)
+WORKER_ENTRY_POINTS = (
+    "repro.core.supervisor.SupervisedShardRunner.run",
+)
+
+#: the supervised runner and its config cross the pickle boundary whole
+PICKLE_BOUNDARY_TYPES = (
+    "repro.core.supervisor.SupervisedShardRunner",
+    "repro.core.supervisor.SupervisorConfig",
+)
+
 
 @dataclass(frozen=True)
 class SupervisorConfig:

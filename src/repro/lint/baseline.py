@@ -29,15 +29,32 @@ class Baseline:
     def load(cls, path: Path) -> "Baseline":
         """Read a baseline file; a missing file is an empty baseline."""
         try:
-            payload = json.loads(Path(path).read_text())
+            text = Path(path).read_text()
         except FileNotFoundError:
             return cls()
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise ValueError(f"malformed baseline file {path}: {error}")
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"malformed baseline file {path}: expected an object, "
+                f"got {type(payload).__name__}"
+            )
         if payload.get("version") != BASELINE_VERSION:
             raise ValueError(
                 f"unsupported baseline version in {path}: "
                 f"{payload.get('version')!r}"
             )
-        return cls(frozenset(payload.get("fingerprints", ())))
+        fingerprints = payload.get("fingerprints", ())
+        if not isinstance(fingerprints, list) or any(
+            not isinstance(fp, str) for fp in fingerprints
+        ):
+            raise ValueError(
+                f"malformed baseline file {path}: 'fingerprints' must be "
+                "a list of strings"
+            )
+        return cls(frozenset(fingerprints))
 
     @classmethod
     def from_findings(cls, findings: list[Finding]) -> "Baseline":

@@ -1,24 +1,27 @@
 """``python -m repro.lint`` — run every analyzer, report, gate on the baseline.
 
-Exit codes: 0 = no findings outside the baseline, 1 = new findings,
-2 = usage / configuration error.  Lint health is also charged to the
-shared :mod:`repro.obs` telemetry (one counter series per rule id), so
-``--telemetry`` surfaces it in the same formats as the scan funnel.
+Exit codes: 0 = no findings outside the baseline, 1 = new findings (or
+stale baseline entries under ``--fail-on-stale``), 2 = usage /
+configuration error.  Analysis runs through the incremental
+:class:`~repro.lint.engine.LintEngine` (content-hash cache, ``--jobs``
+fan-out, ``--changed-only`` scoping); the report itself is a pure
+function of the tree, so none of those knobs can change its bytes.
+Lint health is also charged to the shared :mod:`repro.obs` telemetry
+(one counter series per rule id), so ``--telemetry`` surfaces it in
+the same formats as the scan funnel.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.lint.baseline import Baseline
-from repro.lint.determinism import DeterminismAuditor
-from repro.lint.findings import Finding, sort_findings
-from repro.lint.observability import ObservabilityAuditor
-from repro.lint.plugins import PluginContractAuditor
+from repro.lint.engine import DEFAULT_CACHE, LintEngine
+from repro.lint.findings import Finding
 from repro.lint.report import render_json, render_text, rule_catalog
-from repro.lint.signatures import SignatureAuditor
 
 #: the committed suppression file, looked up relative to the CWD
 DEFAULT_BASELINE = "reprolint-baseline.json"
@@ -34,8 +37,9 @@ def default_root() -> Path:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="Audit the signature corpus, plugin contracts, and "
-                    "determinism invariants.",
+        description="Audit the signature corpus, plugin contracts, "
+                    "determinism invariants, and worker-concurrency / "
+                    "pickle-boundary hygiene.",
     )
     parser.add_argument("--root", type=Path, default=None,
                         help="repro package directory to audit "
@@ -49,9 +53,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--update-baseline", action="store_true",
                         help="accept the current findings into the baseline "
                              "and exit 0")
+    parser.add_argument("--fail-on-stale", action="store_true",
+                        help="exit 1 if the baseline carries fingerprints "
+                             "that no longer fire")
     parser.add_argument("--no-corpus", action="store_true",
                         help="skip the canned-page recall/precision checks "
                              "(shape-only signature audit)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run lint work units on N threads (default: 1; "
+                             "the report is byte-identical for any N)")
+    parser.add_argument("--cache", type=Path, default=Path(DEFAULT_CACHE),
+                        help="incremental cache file "
+                             f"(default: ./{DEFAULT_CACHE})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the incremental cache")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="only analyze and report files whose content "
+                             "hash differs from the cache manifest "
+                             "(whole-tree rules still re-run if anything "
+                             "changed)")
+    parser.add_argument("--stats-out", type=Path, default=None,
+                        help="write engine timing / cache statistics as JSON "
+                             "to this file (the CI artifact)")
     parser.add_argument("--rules", action="store_true",
                         help="print the rule catalog and exit")
     parser.add_argument("--telemetry", choices=("jsonl", "prometheus"),
@@ -63,23 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def run_analyzers(root: Path, with_corpus: bool = True) -> list[Finding]:
-    """All findings for one tree, in canonical order."""
-    corpus = None
-    if with_corpus:
-        from repro.lint.corpus import build_corpus
-
-        corpus = build_corpus()
-    from repro.apps.catalog import in_scope_apps
-
-    known_slugs = frozenset(spec.slug for spec in in_scope_apps())
-    findings: list[Finding] = []
-    findings.extend(
-        SignatureAuditor(root, corpus=corpus, known_slugs=known_slugs).run()
-    )
-    findings.extend(PluginContractAuditor(root, known_slugs=known_slugs).run())
-    findings.extend(DeterminismAuditor(root).run())
-    findings.extend(ObservabilityAuditor(root).run())
-    return sort_findings(findings)
+    """All findings for one tree, in canonical order (no cache, one job)."""
+    return LintEngine(
+        root, with_corpus=with_corpus, cache_path=None,
+    ).run().findings
 
 
 def _record_telemetry(telemetry, findings: list[Finding], new: list[Finding]) -> None:
@@ -102,8 +112,28 @@ def main(argv: list[str] | None = None) -> int:
     if not root.is_dir():
         print(f"error: not a directory: {root}", file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        print("error: --jobs must be at least 1", file=sys.stderr)
+        return 2
+    if args.changed_only and args.update_baseline:
+        print("error: --changed-only cannot update the baseline "
+              "(it sees only part of the tree)", file=sys.stderr)
+        return 2
 
-    findings = run_analyzers(root, with_corpus=not args.no_corpus)
+    engine = LintEngine(
+        root,
+        with_corpus=not args.no_corpus,
+        jobs=args.jobs,
+        cache_path=None if args.no_cache else args.cache,
+        changed_only=args.changed_only,
+    )
+    result = engine.run()
+    findings = result.findings
+
+    if args.stats_out is not None:
+        args.stats_out.write_text(
+            json.dumps(result.stats.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
 
     try:
         baseline = Baseline.load(args.baseline)
@@ -118,6 +148,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     new = baseline.new_findings(findings)
+    # A --changed-only run sees a slice of the tree, so absent findings
+    # say nothing about fixed debt: stale detection needs the full walk.
+    stale = (
+        [] if args.changed_only else baseline.stale_fingerprints(findings)
+    )
 
     from repro.obs.telemetry import Telemetry
 
@@ -125,9 +160,9 @@ def main(argv: list[str] | None = None) -> int:
     _record_telemetry(telemetry, findings, new)
 
     report = (
-        render_json(findings, new)
+        render_json(findings, new, stale)
         if args.format == "json"
-        else render_text(findings, new)
+        else render_text(findings, new, stale)
     )
     if args.out is not None:
         args.out.write_text(report)
@@ -143,11 +178,11 @@ def main(argv: list[str] | None = None) -> int:
         else:
             sys.stdout.write(dump)
 
-    stale = baseline.stale_fingerprints(findings)
-    if stale and args.format == "text" and args.out is None:
-        print(f"note: {len(stale)} baseline entr(y/ies) no longer fire; "
-              "run --update-baseline to shrink the baseline.")
-    return 1 if new else 0
+    if new:
+        return 1
+    if stale and args.fail_on_stale:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

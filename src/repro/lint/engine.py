@@ -1,0 +1,359 @@
+"""Incremental, parallel lint engine.
+
+The analyzer count keeps growing (six families now) and the whole-tree
+walk is pure overhead when nothing changed, so the driver borrows the
+scan engine's own playbook: split the work into independent units, run
+them on a pool, fold the results in canonical order — and make all of
+it *invisible to the data*.  The report is a pure function of the tree:
+byte-identical across ``jobs`` ∈ {1, N}, across cold and warm cache,
+and across any interleaving of unit completion (the acceptance tests
+pin all three).
+
+Work units come in two scopes:
+
+* **file** — the determinism and observability passes audit one module
+  at a time, so each (analyzer, file) pair is a unit keyed by the
+  file's content hash.  Editing one file re-lints one file.
+* **tree** — the signature, plugin, and concurrency passes are
+  whole-program analyses (cross-file overlap, duplicate slugs, the
+  worker call graph); their units are keyed by a digest over *every*
+  file hash, so any edit anywhere re-runs them, and an untouched tree
+  re-runs nothing at all.
+
+The cache (``.reprolint-cache.json``, git-ignored) stores finding
+tuples per unit key plus the file-hash manifest; hits skip the analyzer
+entirely.  Findings are folded through
+:func:`~repro.lint.findings.sort_findings` regardless of which units
+ran live, which is what makes cache state and job count unobservable in
+the output.  Cache corruption or version drift degrades to a cold run.
+
+Wall-clock timing for the CI artifact goes through
+:func:`repro.obs.profile.wall_now` — the one sanctioned wall read —
+and lives only in :class:`EngineStats`, never in the report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding, sort_findings
+from repro.obs.profile import wall_now
+
+#: the git-ignored cache file, looked up relative to the CWD by default
+DEFAULT_CACHE = ".reprolint-cache.json"
+
+#: bumped whenever a rule or analyzer changes behaviour, so stale caches
+#: invalidate wholesale instead of serving findings from an old ruleset
+CACHE_VERSION = 2
+
+
+@dataclass
+class EngineStats:
+    """One run's accounting — the CI timing/cache artifact payload."""
+
+    jobs: int = 1
+    files_total: int = 0
+    changed_files: int = 0
+    units_total: int = 0
+    units_from_cache: int = 0
+    units_executed: int = 0
+    units_skipped: int = 0          # --changed-only scope cuts
+    by_analyzer: dict[str, dict] = field(default_factory=dict)
+    cache_path: str | None = None
+    cache_loaded: bool = False
+    changed_only: bool = False
+    elapsed_wall_seconds: float = 0.0
+
+    def note_unit(self, analyzer: str, outcome: str) -> None:
+        per = self.by_analyzer.setdefault(
+            analyzer, {"executed": 0, "from_cache": 0, "skipped": 0}
+        )
+        per[outcome] += 1
+        self.units_total += 1
+        if outcome == "executed":
+            self.units_executed += 1
+        elif outcome == "from_cache":
+            self.units_from_cache += 1
+        else:
+            self.units_skipped += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "files_total": self.files_total,
+            "changed_files": self.changed_files,
+            "units_total": self.units_total,
+            "units_executed": self.units_executed,
+            "units_from_cache": self.units_from_cache,
+            "units_skipped": self.units_skipped,
+            "by_analyzer": {
+                name: dict(self.by_analyzer[name])
+                for name in sorted(self.by_analyzer)
+            },
+            "cache_path": self.cache_path,
+            "cache_loaded": self.cache_loaded,
+            "changed_only": self.changed_only,
+            "elapsed_wall_seconds": self.elapsed_wall_seconds,
+        }
+
+
+@dataclass
+class EngineResult:
+    findings: list[Finding]
+    stats: EngineStats
+
+
+@dataclass
+class _Unit:
+    """One schedulable piece of lint work."""
+
+    analyzer: str
+    key: str                    # cache identity (analyzer + scope + hash)
+    rel: str | None             # file-scope units carry their file
+    run: object                 # () -> list[Finding]
+
+
+class LintEngine:
+    """Plan units, reuse cached ones, fan the rest out, fold, save."""
+
+    def __init__(
+        self,
+        root: Path,
+        *,
+        with_corpus: bool = True,
+        jobs: int = 1,
+        cache_path: Path | str | None = DEFAULT_CACHE,
+        changed_only: bool = False,
+        analyzers: tuple[str, ...] | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.root = Path(root)
+        self.with_corpus = with_corpus
+        self.jobs = jobs
+        self.cache_path = Path(cache_path) if cache_path is not None else None
+        self.changed_only = changed_only
+        self.analyzers = analyzers
+
+    # -- the run -------------------------------------------------------------
+
+    def run(self) -> EngineResult:
+        start = wall_now()
+        stats = EngineStats(
+            jobs=self.jobs,
+            cache_path=(
+                str(self.cache_path) if self.cache_path is not None else None
+            ),
+            changed_only=self.changed_only,
+        )
+        files = self._discover_files()
+        hashes = {rel: self._hash_file(path) for rel, path in files.items()}
+        stats.files_total = len(files)
+
+        cache = self._load_cache()
+        stats.cache_loaded = cache is not None
+        old_manifest = (cache or {}).get("files", {})
+        old_entries = (cache or {}).get("entries", {})
+        changed = sorted(
+            rel for rel, digest in hashes.items()
+            if old_manifest.get(rel) != digest
+        )
+        stats.changed_files = len(changed)
+
+        units = self._plan_units(files, hashes, bool(changed))
+        to_run: list[_Unit] = []
+        reused: list[list[Finding]] = []
+        entries: dict[str, list] = {}
+        for unit in units:
+            if self.changed_only and unit.rel is not None and (
+                unit.rel not in changed
+            ):
+                stats.note_unit(unit.analyzer, "skipped")
+                continue
+            cached = old_entries.get(unit.key)
+            if cached is not None:
+                findings = [Finding(*row) for row in cached]
+                reused.append(findings)
+                entries[unit.key] = cached
+                stats.note_unit(unit.analyzer, "from_cache")
+                continue
+            to_run.append(unit)
+
+        executed = self._execute(to_run)
+        for unit, findings in executed:
+            entries[unit.key] = [
+                [f.path, f.line, f.rule, f.message] for f in findings
+            ]
+            stats.note_unit(unit.analyzer, "executed")
+
+        findings = sort_findings(
+            [f for batch in reused for f in batch]
+            + [f for _, batch in executed for f in batch]
+        )
+        if self.changed_only:
+            in_scope = set(changed)
+            findings = [f for f in findings if f.path in self._rels_for(
+                in_scope, files
+            )]
+        self._save_cache(hashes, entries)
+        stats.elapsed_wall_seconds = wall_now() - start
+        return EngineResult(findings=findings, stats=stats)
+
+    # -- unit planning -------------------------------------------------------
+
+    def _discover_files(self) -> dict[str, Path]:
+        files: dict[str, Path] = {}
+        for path in sorted(self.root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            rel = (
+                Path(self.root.name) / path.relative_to(self.root)
+            ).as_posix()
+            files[rel] = path
+        return files
+
+    @staticmethod
+    def _hash_file(path: Path) -> str:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+
+    @staticmethod
+    def _tree_digest(hashes: dict[str, str]) -> str:
+        acc = hashlib.sha256()
+        for rel in sorted(hashes):
+            acc.update(rel.encode())
+            acc.update(hashes[rel].encode())
+        return acc.hexdigest()
+
+    def _plan_units(
+        self, files: dict[str, Path], hashes: dict[str, str], any_changed: bool
+    ) -> list[_Unit]:
+        from repro.lint.concurrency import ConcurrencyAuditor
+        from repro.lint.determinism import DeterminismAuditor
+        from repro.lint.observability import ObservabilityAuditor
+        from repro.lint.plugins import PluginContractAuditor
+        from repro.lint.signatures import SignatureAuditor
+
+        units: list[_Unit] = []
+        det = DeterminismAuditor(self.root)
+        obs = ObservabilityAuditor(self.root)
+        for rel in sorted(files):
+            path = files[rel]
+            units.append(_Unit(
+                "determinism", f"determinism::{rel}::{hashes[rel]}", rel,
+                (lambda p=path: det.audit_file(p)),
+            ))
+            units.append(_Unit(
+                "observability", f"observability::{rel}::{hashes[rel]}", rel,
+                (lambda p=path: obs.audit_file(p)),
+            ))
+        tree = self._tree_digest(hashes)
+
+        def run_signatures() -> list[Finding]:
+            corpus = None
+            if self.with_corpus:
+                from repro.lint.corpus import build_corpus
+
+                corpus = build_corpus()
+            return SignatureAuditor(
+                self.root, corpus=corpus, known_slugs=self._known_slugs()
+            ).run()
+
+        def run_plugins() -> list[Finding]:
+            return PluginContractAuditor(
+                self.root, known_slugs=self._known_slugs()
+            ).run()
+
+        def run_concurrency() -> list[Finding]:
+            return ConcurrencyAuditor(self.root).run()
+
+        corpus_tag = "corpus" if self.with_corpus else "shape"
+        units.append(_Unit(
+            "signatures", f"signatures-{corpus_tag}::<tree>::{tree}", None,
+            run_signatures,
+        ))
+        units.append(_Unit(
+            "plugins", f"plugins::<tree>::{tree}", None, run_plugins,
+        ))
+        units.append(_Unit(
+            "concurrency", f"concurrency::<tree>::{tree}", None,
+            run_concurrency,
+        ))
+        if self.analyzers is not None:
+            units = [u for u in units if u.analyzer in self.analyzers]
+        return units
+
+    @staticmethod
+    def _known_slugs() -> frozenset[str]:
+        from repro.apps.catalog import in_scope_apps
+
+        return frozenset(spec.slug for spec in in_scope_apps())
+
+    @staticmethod
+    def _rels_for(in_scope: set[str], files: dict[str, Path]) -> set[str]:
+        return {rel for rel in files if rel in in_scope}
+
+    # -- execution -----------------------------------------------------------
+
+    def _execute(
+        self, units: list[_Unit]
+    ) -> list[tuple[_Unit, list[Finding]]]:
+        """Run live units, single-threaded or fanned out.
+
+        Workers return finding lists and touch nothing shared — the
+        fold (sorting, cache entries, stats) happens on the caller's
+        thread, same discipline the scan engine's DET005/RACE rules
+        enforce on the code being linted.
+        """
+        if not units:
+            return []
+        if self.jobs == 1:
+            return [(unit, unit.run()) for unit in units]
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            futures = [pool.submit(unit.run) for unit in units]
+            return [
+                (unit, future.result())
+                for unit, future in zip(units, futures)
+            ]
+
+    # -- cache ---------------------------------------------------------------
+
+    def _load_cache(self) -> dict | None:
+        if self.cache_path is None:
+            return None
+        try:
+            payload = json.loads(self.cache_path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("version") != CACHE_VERSION:
+            return None
+        if payload.get("root") != self.root.name:
+            return None
+        files = payload.get("files")
+        entries = payload.get("entries")
+        if not isinstance(files, dict) or not isinstance(entries, dict):
+            return None
+        return payload
+
+    def _save_cache(
+        self, hashes: dict[str, str], entries: dict[str, list]
+    ) -> None:
+        if self.cache_path is None:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "root": self.root.name,
+            "files": {rel: hashes[rel] for rel in sorted(hashes)},
+            "entries": {key: entries[key] for key in sorted(entries)},
+        }
+        try:
+            self.cache_path.write_text(
+                json.dumps(payload, indent=1, sort_keys=True) + "\n"
+            )
+        except OSError:  # a read-only checkout must still lint
+            return

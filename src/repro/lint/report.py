@@ -14,7 +14,11 @@ import json
 from repro.lint.findings import RULES, Finding
 
 
-def render_json(findings: list[Finding], new: list[Finding]) -> str:
+def render_json(
+    findings: list[Finding],
+    new: list[Finding],
+    stale: list[str] = (),
+) -> str:
     """The ``--format json`` report (also the CI artifact)."""
     new_fingerprints = {f.fingerprint() for f in new}
     counts: dict[str, int] = {}
@@ -29,24 +33,35 @@ def render_json(findings: list[Finding], new: list[Finding]) -> str:
         "counts_by_rule": {rule: counts[rule] for rule in sorted(counts)},
         "total": len(findings),
         "new": len(new),
+        "stale_baseline_fingerprints": sorted(stale),
     }
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
-def render_text(findings: list[Finding], new: list[Finding]) -> str:
+def render_text(
+    findings: list[Finding],
+    new: list[Finding],
+    stale: list[str] = (),
+) -> str:
     """The ``--format text`` report."""
-    if not findings:
-        return "reprolint: no findings.\n"
-    new_fingerprints = {f.fingerprint() for f in new}
     lines = []
-    for finding in findings:
-        marker = "" if finding.fingerprint() in new_fingerprints else " (baseline)"
-        lines.append(finding.render() + marker)
-    lines.append("")
-    lines.append(
-        f"reprolint: {len(findings)} finding(s), {len(new)} new, "
-        f"{len(findings) - len(new)} baselined."
-    )
+    if not findings:
+        lines.append("reprolint: no findings.")
+    else:
+        new_fingerprints = {f.fingerprint() for f in new}
+        for finding in findings:
+            marker = (
+                "" if finding.fingerprint() in new_fingerprints
+                else " (baseline)"
+            )
+            lines.append(finding.render() + marker)
+        lines.append("")
+        lines.append(
+            f"reprolint: {len(findings)} finding(s), {len(new)} new, "
+            f"{len(findings) - len(new)} baselined."
+        )
+    for fingerprint in sorted(stale):
+        lines.append(f"stale baseline entry (no longer fires): {fingerprint}")
     return "\n".join(lines) + "\n"
 
 

@@ -1,0 +1,27 @@
+"""Seeded PR-7 regression: main-process telemetry dragged through pickle.
+
+Before the fix, ``ChaosTransport`` kept its reference to the parent
+process's telemetry handle when pickled into a ``ShardRunner``: worker
+processes then held (and under ``fork`` silently double-counted into) a
+copy of main-process observability state.  The fixed class nulls the
+handle in ``__getstate__``; this fixture reintroduces the original
+shape — a boundary-crossing transport binding ``self.telemetry`` with
+no ``__getstate__`` at all — which the analyzer must flag (PKL002).
+"""
+
+
+class MiniChaosTransport:
+    def __init__(self, inner, seed=0, telemetry=None):
+        self.inner = inner
+        self.seed = seed
+        self.telemetry = telemetry  # the seeded bug: never stripped
+
+    def fork(self, shard_seed, clock=None):
+        return MiniChaosTransport(
+            self.inner.fork(shard_seed, clock), seed=shard_seed,
+        )
+
+    def syn_probe(self, ip, port):
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("chaos_probes_total").inc()
+        return self.inner.syn_probe(ip, port)

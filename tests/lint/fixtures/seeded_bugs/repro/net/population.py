@@ -1,0 +1,36 @@
+"""Seeded PR-7 regression: unpicklable lambda responders.
+
+Before the fix, background servers were built with ``lambda`` request
+handlers.  Generated internets travel whole across the process-pool
+boundary (the transport — servers included — is pickled into each
+worker), and local functions cannot be pickled: the sweep died at
+runtime with ``Can't pickle <lambda>``.  The analyzer must flag the
+stored lambda statically (PKL001).
+"""
+
+
+def _generic_page(flavour):
+    return f"<html><body>{flavour}</body></html>"
+
+
+class MiniServer:
+    def __init__(self):
+        self.responder = None
+
+
+class MiniTransport:
+    """Holds the generated servers; crosses the pickle boundary whole."""
+
+    def __init__(self):
+        self.servers = {}
+
+    def fork(self, shard_seed, clock=None):
+        clone = MiniTransport()
+        clone.servers = self.servers
+        return clone
+
+    def add_background(self, ip, flavour):
+        page = _generic_page(flavour)
+        server = MiniServer()
+        server.responder = lambda request: page  # the seeded bug
+        self.servers[ip] = server

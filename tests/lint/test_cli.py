@@ -56,18 +56,19 @@ class TestRealTree:
         assert code == 0
         assert "baselined" in out
 
-    def test_without_baseline_only_the_sanctioned_findings_remain(
+    def test_without_baseline_only_the_sanctioned_finding_remains(
         self, tmp_path, capsys, monkeypatch
     ):
-        """Two findings are *deliberate* and explicitly baselined — the
-        profiler's wall-clock read (DET001) and the parallel engine's
-        progress counter (DET005); nothing else may surface."""
+        """Exactly one finding is *deliberate* and explicitly baselined —
+        the profiler's wall-clock read (DET001).  The parallel engine's
+        old DET005 (worker-side progress counter) was fixed by folding
+        shard completions on the main thread, so nothing else — no
+        DET, no RACE, no PKL — may surface on the real tree."""
         monkeypatch.chdir(tmp_path)  # no baseline file in CWD
         code, out = run(["--format", "json"], capsys)
         assert code == 1
         report = json.loads(out)
         assert [(f["rule"], f["path"]) for f in report["findings"]] == [
-            ("DET005", "repro/core/parallel.py"),
             ("DET001", "repro/obs/profile.py"),
         ]
 

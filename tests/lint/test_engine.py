@@ -1,0 +1,222 @@
+"""The incremental parallel engine: determinism, cache, scoping.
+
+The acceptance bar from the issue: the report must be byte-identical
+across ``--jobs 1`` vs ``--jobs 4`` and across cold vs warm cache, the
+cache must actually skip work on a clean re-run, and an edit must
+invalidate exactly the edited file's units (plus the whole-tree rules).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+from repro.lint.engine import CACHE_VERSION, LintEngine
+
+
+@pytest.fixture
+def tree(tmp_path: Path) -> Path:
+    """A small self-contained package with one violation per scope:
+    a wall-clock read (file-scope DET001) and a worker-reachable shared
+    counter (tree-scope RACE002 + DET005)."""
+    root = tmp_path / "repro"
+    root.mkdir()
+    (root / "clockuser.py").write_text(
+        "import time\n\ndef stamp():\n    return time.time()\n"
+    )
+    (root / "engine.py").write_text(
+        "from concurrent.futures import ThreadPoolExecutor\n"
+        "\n"
+        "WORKER_ENTRY_POINTS = (\n"
+        '    "repro.engine.Engine._work",\n'
+        ")\n"
+        "\n"
+        "\n"
+        "class Engine:\n"
+        "    def __init__(self):\n"
+        "        self.done = 0\n"
+        "\n"
+        "    def run(self, shards):\n"
+        "        with ThreadPoolExecutor() as pool:\n"
+        "            for shard in shards:\n"
+        "                pool.submit(self._work, shard)\n"
+        "\n"
+        "    def _work(self, shard):\n"
+        "        self.done += 1\n"
+        "        return shard\n"
+    )
+    return root
+
+
+def lint(root: Path, **kwargs):
+    kwargs.setdefault("with_corpus", False)
+    kwargs.setdefault(
+        "analyzers", ("determinism", "observability", "concurrency")
+    )
+    return LintEngine(root, **kwargs)
+
+
+class TestDeterminism:
+    def test_jobs_one_and_four_produce_identical_findings(self, tree):
+        one = lint(tree, jobs=1, cache_path=None).run()
+        four = lint(tree, jobs=4, cache_path=None).run()
+        assert one.findings == four.findings
+        assert one.findings  # the fixture is not accidentally clean
+
+    def test_cold_and_warm_cache_produce_identical_findings(
+        self, tree, tmp_path
+    ):
+        cache = tmp_path / "cache.json"
+        cold = lint(tree, cache_path=cache).run()
+        warm = lint(tree, cache_path=cache).run()
+        assert cold.findings == warm.findings
+        assert cold.stats.units_executed > 0
+        assert cold.stats.units_from_cache == 0
+        assert warm.stats.units_executed == 0
+        assert warm.stats.units_from_cache == warm.stats.units_total
+
+    def test_expected_rules_fire(self, tree):
+        result = lint(tree, cache_path=None).run()
+        rules = {(f.rule, f.path) for f in result.findings}
+        assert ("DET001", "repro/clockuser.py") in rules
+        assert ("RACE002", "repro/engine.py") in rules
+        assert ("DET005", "repro/engine.py") in rules
+
+
+class TestCacheInvalidation:
+    def test_editing_one_file_reruns_only_its_units_and_tree_rules(
+        self, tree, tmp_path
+    ):
+        cache = tmp_path / "cache.json"
+        lint(tree, cache_path=cache).run()
+        (tree / "clockuser.py").write_text(
+            "def stamp():\n    return 0.0\n"
+        )
+        result = lint(tree, cache_path=cache).run()
+        per = result.stats.by_analyzer
+        # one file changed: its determinism + observability units re-ran,
+        # the other file's came from cache
+        assert per["determinism"] == {
+            "executed": 1, "from_cache": 1, "skipped": 0,
+        }
+        assert per["observability"] == {
+            "executed": 1, "from_cache": 1, "skipped": 0,
+        }
+        # any edit re-keys the tree digest, so concurrency re-ran
+        assert per["concurrency"]["executed"] == 1
+        # and the fix is reflected: the DET001 is gone
+        assert not [f for f in result.findings if f.rule == "DET001"]
+
+    def test_corrupt_cache_degrades_to_cold_run(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        baseline = lint(tree, cache_path=None).run()
+        for garbage in ("not json{", '"a string"', '{"version": -1}'):
+            cache.write_text(garbage)
+            result = lint(tree, cache_path=cache).run()
+            assert result.findings == baseline.findings
+            assert result.stats.units_from_cache == 0
+
+    def test_cache_version_drift_invalidates_wholesale(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        lint(tree, cache_path=cache).run()
+        payload = json.loads(cache.read_text())
+        assert payload["version"] == CACHE_VERSION
+        payload["version"] = CACHE_VERSION - 1
+        cache.write_text(json.dumps(payload))
+        result = lint(tree, cache_path=cache).run()
+        assert result.stats.units_from_cache == 0
+
+    def test_missing_cache_dir_is_tolerated(self, tree, tmp_path):
+        cache = tmp_path / "no" / "such" / "dir" / "cache.json"
+        result = lint(tree, cache_path=cache).run()
+        assert result.findings  # linted fine, cache write just skipped
+
+
+class TestChangedOnly:
+    def test_reports_only_changed_files(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        lint(tree, cache_path=cache).run()
+        (tree / "clockuser.py").write_text(
+            "import time\n\n\ndef stamp():\n    return time.time()\n"
+        )
+        result = lint(tree, cache_path=cache, changed_only=True).run()
+        assert {f.path for f in result.findings} == {"repro/clockuser.py"}
+        per = result.stats.by_analyzer
+        assert per["determinism"] == {
+            "executed": 1, "from_cache": 0, "skipped": 1,
+        }
+
+    def test_clean_tree_reports_nothing(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        lint(tree, cache_path=cache).run()
+        result = lint(tree, cache_path=cache, changed_only=True).run()
+        assert result.findings == []
+        assert result.stats.changed_files == 0
+
+
+class TestValidation:
+    def test_zero_jobs_is_rejected(self, tree):
+        with pytest.raises(ValueError):
+            LintEngine(tree, jobs=0)
+
+
+def run_cli(args, capsys):
+    code = main(args)
+    return code, capsys.readouterr().out
+
+
+class TestCliFlags:
+    def test_jobs_reports_are_byte_identical(
+        self, tree, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        args = ["--root", str(tree), "--no-corpus", "--no-cache",
+                "--format", "json"]
+        _, one = run_cli(args + ["--jobs", "1"], capsys)
+        _, four = run_cli(args + ["--jobs", "4"], capsys)
+        assert one == four
+
+    def test_stats_out_writes_the_ci_artifact(
+        self, tree, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        stats_file = tmp_path / "lint-stats.json"
+        code, _ = run_cli(
+            ["--root", str(tree), "--no-corpus", "--jobs", "2",
+             "--stats-out", str(stats_file)],
+            capsys,
+        )
+        assert code == 1  # fixture has findings, no baseline
+        stats = json.loads(stats_file.read_text())
+        assert stats["jobs"] == 2
+        assert stats["files_total"] == 2
+        assert stats["elapsed_wall_seconds"] > 0
+        assert set(stats["by_analyzer"]) == {
+            "determinism", "observability", "signatures", "plugins",
+            "concurrency",
+        }
+
+    def test_warm_cache_cli_run_matches_cold(
+        self, tree, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        args = ["--root", str(tree), "--no-corpus", "--format", "json"]
+        _, cold = run_cli(args, capsys)
+        assert (tmp_path / ".reprolint-cache.json").is_file()
+        _, warm = run_cli(args, capsys)
+        assert cold == warm
+
+    def test_changed_only_with_update_baseline_is_a_usage_error(
+        self, tree, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        code = main(["--root", str(tree), "--no-corpus",
+                     "--changed-only", "--update-baseline"])
+        assert code == 2
+
+    def test_bad_jobs_is_a_usage_error(self, tree, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["--root", str(tree), "--jobs", "0"]) == 2
