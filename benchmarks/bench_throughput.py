@@ -53,7 +53,16 @@ from repro.net.transport import InMemoryTransport, Transport
 from repro.obs.profile import ProfileRollup
 from repro.util.clock import SimClock
 
-SCHEMA = 3
+SCHEMA = 4
+
+#: absolute floors on the interval/rescan arms, enforced by
+#: --enforce-rescan-floors.  An incremental re-scan at 2% block churn
+#: must beat a from-scratch sweep by >= 5x end to end, and the
+#: interval-compressed frame must cost <= 1/10 the bytes per address of
+#: a naive per-address dict.  Both compare two runs on the *same*
+#: machine, so unlike raw throughput they are hardware-independent.
+RESCAN_SPEEDUP_FLOOR = 5.0
+MEMORY_RATIO_FLOOR = 10.0
 
 #: absolute floors on process-executor scaling efficiency (workers=N
 #: throughput over workers=1), enforced by --enforce-scaling-floors on
@@ -370,6 +379,125 @@ def run_wall_attribution(internet, candidates, worker_counts) -> dict:
     return section
 
 
+# -- rescan engine ------------------------------------------------------------
+
+def bench_rescan(frame_addresses: int, churn: float = 0.02) -> dict:
+    """Incremental re-scan vs from-scratch sweep at ``churn`` block churn.
+
+    Builds its own world (the tiny-study population over an
+    interval-compressed frame) so the measurement does not depend on
+    ``--addresses``: the rescan win is about dead-run skipping and host
+    replay, and needs a frame big enough for both to matter.
+    """
+    from repro.core.rescan import RescanEngine
+    from repro.experiments.config import StudyConfig
+    from repro.net.intervals import CompressedPopulation
+    from repro.net.population import generate_internet
+
+    config = StudyConfig.tiny()
+    internet, _geo, _census = generate_internet(config.population)
+    transport = InMemoryTransport(internet)
+    pop = CompressedPopulation.build(internet, frame_addresses, seed=config.seed)
+    frame = pop.frame
+    engine = RescanEngine(
+        transport, scanned_ports(), seed=config.seed, batch_size=16384
+    )
+
+    start = time.perf_counter()
+    state = engine.baseline(frame)
+    baseline_seconds = time.perf_counter() - start
+
+    # Median of three on both sides: the gate is an absolute floor on the
+    # ratio, so one noisy run must not be able to fail (or pass) it.
+    full_times = []
+    for _ in range(3):
+        start = time.perf_counter()
+        ScanPipeline(
+            transport, scanned_ports(), seed=config.seed, batch_size=16384
+        ).run(frame)
+        full_times.append(time.perf_counter() - start)
+    full_seconds = sorted(full_times)[1]
+
+    # Port-level churn on ``churn`` of the live /24s: every
+    # ``1/churn``-th live host goes away.  The engine must self-detect
+    # each from the stage-I diff and deep-probe only those blocks.
+    live = pop.live_values()
+    step = max(1, int(1 / churn))
+    removed = 0
+    for value in live[::step]:
+        host = internet.host_at(IPv4Address(value))
+        if host is not None:
+            internet.remove_host(IPv4Address(value))
+            removed += 1
+
+    rescan_times = []
+    for _ in range(3):
+        start = time.perf_counter()
+        engine.rescan(frame, state)
+        rescan_times.append(time.perf_counter() - start)
+    rescan_seconds = sorted(rescan_times)[1]
+
+    return {
+        "frame_addresses": frame_addresses,
+        "frame_runs": len(frame.runs),
+        "live_hosts": len(live),
+        "churned_hosts": removed,
+        "churn": churn,
+        "baseline_recorded_seconds": round(baseline_seconds, 3),
+        "full_sweep_seconds": round(full_seconds, 3),
+        "rescan_seconds": round(rescan_seconds, 3),
+        "speedup_at_churn": round(full_seconds / rescan_seconds, 3),
+    }
+
+
+def bench_population_memory(
+    frame_addresses: int, dict_sample: int = 200_000
+) -> dict:
+    """tracemalloc bytes-per-address: naive dict vs interval frame.
+
+    The dict arm allocates ``{address: {}}`` for a sample and
+    extrapolates (allocating 10M dict entries just to measure them is
+    the bug this PR removes); the interval arm builds the real frame at
+    full size and measures it outright.
+    """
+    import tracemalloc
+
+    from repro.experiments.config import StudyConfig
+    from repro.net.intervals import CompressedPopulation
+    from repro.net.population import generate_internet
+
+    config = StudyConfig.tiny()
+    internet, _geo, _census = generate_internet(config.population)
+
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    frame = CompressedPopulation.build(
+        internet, frame_addresses, seed=config.seed
+    ).frame
+    after, _ = tracemalloc.get_traced_memory()
+    interval_bytes = after - before
+
+    before, _ = tracemalloc.get_traced_memory()
+    sample = {value: {} for value in range(dict_sample)}
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    dict_bytes_per_address = (after - before) / len(sample)
+    del sample
+
+    interval_per_address = interval_bytes / len(frame)
+    projected_dict_bytes = int(dict_bytes_per_address * len(frame))
+    return {
+        "frame_addresses": len(frame),
+        "frame_runs": len(frame.runs),
+        "interval_bytes": interval_bytes,
+        "interval_bytes_per_address": round(interval_per_address, 4),
+        "dict_sample": dict_sample,
+        "dict_bytes_per_address": round(dict_bytes_per_address, 1),
+        "projected_dict_bytes": projected_dict_bytes,
+        "ratio": round(dict_bytes_per_address / interval_per_address, 1),
+    }
+
+
 # -- regression gate ----------------------------------------------------------
 
 def check_regression(current: dict, committed: dict, tolerance: float) -> list[str]:
@@ -403,6 +531,16 @@ def check_regression(current: dict, committed: dict, tolerance: float) -> list[s
                 pairs.append(
                     (f"workers={count} {what} scaling efficiency", now, then)
                 )
+    # Rescan and memory ratios are machine-independent; gate them like
+    # the speedups.  ``.get`` keeps schema-3 files working.
+    for section, key, what in (
+        ("rescan", "speedup_at_churn", "rescan speedup at 2% churn"),
+        ("memory", "ratio", "dict/interval bytes-per-address ratio"),
+    ):
+        now = current.get(section, {}).get(key)
+        then = committed.get(section, {}).get(key)
+        if now is not None and then is not None:
+            pairs.append((what, now, then))
     for label, now, then in pairs:
         floor = then * (1.0 - tolerance)
         if now < floor:
@@ -446,6 +584,41 @@ def check_scaling_floors(current: dict) -> list[str]:
     return failures
 
 
+def check_rescan_floors(current: dict) -> list[str]:
+    """Absolute floors on this run's rescan speedup and memory ratio.
+
+    Both numbers compare two measurements from the same process on the
+    same machine, so unlike raw throughput they carry no hardware term
+    and can be gated absolutely.
+    """
+    failures: list[str] = []
+    rescan = current.get("rescan")
+    if rescan is None:
+        failures.append("--enforce-rescan-floors needs the rescan section; "
+                        "run without --no-rescan")
+    else:
+        speedup = rescan["speedup_at_churn"]
+        if speedup < RESCAN_SPEEDUP_FLOOR:
+            failures.append(
+                f"incremental re-scan at {rescan['churn']:.0%} churn beat the "
+                f"full sweep by only {speedup:.2f}x "
+                f"(floor {RESCAN_SPEEDUP_FLOOR}x)"
+            )
+    memory = current.get("memory")
+    if memory is None:
+        failures.append("--enforce-rescan-floors needs the memory section; "
+                        "run without --no-rescan")
+    else:
+        ratio = memory["ratio"]
+        if ratio < MEMORY_RATIO_FLOOR:
+            failures.append(
+                f"interval frame cost {memory['interval_bytes_per_address']} "
+                f"bytes/address vs dict {memory['dict_bytes_per_address']} "
+                f"— ratio {ratio:.1f} under the {MEMORY_RATIO_FLOOR}x floor"
+            )
+    return failures
+
+
 # -- entry point --------------------------------------------------------------
 
 def main(argv: list[str] | None = None) -> int:
@@ -484,6 +657,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-profile", action="store_true",
                         help="skip the profile-attribution section "
                              "(halves the bench's wall time)")
+    parser.add_argument("--no-rescan", action="store_true",
+                        help="skip the rescan and population-memory "
+                             "sections (they build their own world)")
+    parser.add_argument("--rescan-addresses", type=int, default=10_000_000,
+                        help="interval-frame size for the rescan and "
+                             "memory sections")
+    parser.add_argument("--enforce-rescan-floors", action="store_true",
+                        help="fail unless the incremental re-scan beats a "
+                             "full sweep by >= 5x at 2%% churn and the "
+                             "interval frame costs <= 1/10 the bytes per "
+                             "address of a naive dict")
     parser.add_argument("--sim-addresses", type=int, default=30000,
                         help="frame cap for the chaos-driven SimClock "
                              "attribution arm (retries make it slow per "
@@ -537,6 +721,20 @@ def main(argv: list[str] | None = None) -> int:
                   f"+{regression['self_delta_seconds']}s self in "
                   f"{regression['dominant_path']}")
         results["profile"] = {"sim": sim, "wall": wall}
+
+    if not args.no_rescan:
+        print("benching incremental re-scan ...", flush=True)
+        rescan = bench_rescan(args.rescan_addresses)
+        print(f"  full sweep {rescan['full_sweep_seconds']}s, incremental "
+              f"{rescan['rescan_seconds']}s at {rescan['churn']:.0%} churn "
+              f"({rescan['speedup_at_churn']}x)")
+        memory = bench_population_memory(args.rescan_addresses)
+        print(f"  frame {memory['interval_bytes_per_address']} B/addr vs "
+              f"dict {memory['dict_bytes_per_address']} B/addr "
+              f"({memory['ratio']}x)")
+        results["rescan"] = rescan
+        results["memory"] = memory
+
     if args.out is not None:
         args.out.write_text(json.dumps(results, indent=2) + "\n")
         print(f"wrote {args.out}")
@@ -545,6 +743,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.check is not None:
         committed = json.loads(args.check.read_text())
         failures += check_regression(results, committed, args.tolerance)
+    if args.enforce_rescan_floors:
+        rescan_failures = check_rescan_floors(results)
+        if not rescan_failures:
+            print("rescan floors passed "
+                  f"(speedup >= {RESCAN_SPEEDUP_FLOOR}x, "
+                  f"memory ratio >= {MEMORY_RATIO_FLOOR}x)")
+        failures += rescan_failures
     if args.enforce_scaling_floors:
         floor_failures = check_scaling_floors(results)
         if not floor_failures:

@@ -23,14 +23,18 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from itertools import islice
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.retry import RetryExecutor
+from repro.net.intervals import BLOCK_MASK, BLOCK_SIZE, IntervalSet, reserved_intervals
 from repro.net.ipv4 import IPv4Address, is_reserved
 from repro.net.transport import Transport
 from repro.obs.telemetry import Telemetry
 from repro.util.rand import shuffled
+
+
+#: marker for the legacy within-block shuffle mode (draws from the sweep RNG)
+_SWEEP_RNG = object()
 
 
 @dataclass
@@ -85,44 +89,101 @@ class Masscan:
     #: cache for :meth:`_bound_counters` (keyed by the telemetry object)
     _counters: tuple | None = field(default=None, init=False, repr=False)
 
+    def _plan_blocks(
+        self, candidates: Iterable[IPv4Address] | IntervalSet
+    ) -> tuple[
+        list[int], Callable[[int], list[int]], Callable[[int], int], object
+    ]:
+        """The sweep's block plan: ``(bases, lookup, sizer, order_key)``.
+
+        ``bases`` lists every /24 base in sweep block order (shuffled when
+        ``randomise_order`` is on).  ``lookup(base)`` returns the block's
+        candidate addresses as sorted raw ints (at most 256, materialised
+        on demand so an interval frame never expands wholesale);
+        ``sizer(base)`` returns how many there are *without* materialising
+        them, so a dead run costs a dict hit instead of a list build.
+        ``order_key`` says how each block is ordered internally:
+
+        * ``None`` — ascending.  Used when ``randomise_order`` is off,
+          and *always* for interval frames: every address of a /24 lands
+          in the same network whatever its position, so within-block
+          shuffling buys no politeness — block-level shuffling alone
+          spreads consecutive probes across unrelated networks.  The
+          ascending order is what lets stage I account the dead gap
+          between two live hosts in one step instead of one per address.
+        * ``_SWEEP_RNG`` — legacy list-frame order: the within-block
+          shuffle draws from the sweep RNG, so every block must consume
+          its draws even when its addresses are skipped.
+        """
+        lookup: Callable[[int], list[int]]
+        sizer: Callable[[int], int]
+        if isinstance(candidates, IntervalSet):
+            frame = candidates
+            if self.exclude_reserved:
+                frame = frame.difference(reserved_intervals())
+            counts = frame.block_counts()
+            bases = list(counts)
+            lookup = frame.block_values
+            sizer = counts.__getitem__
+            order_key: object = None
+            runs: list[tuple[int, int]] | None = list(frame.runs)
+        else:
+            blocks: dict[int, list[int]] = {}
+            for ip in candidates:
+                if self.exclude_reserved and is_reserved(ip):
+                    continue
+                blocks.setdefault(ip.value & BLOCK_MASK, []).append(ip.value)
+            bases = sorted(blocks)
+            lookup = lambda base: sorted(blocks[base])  # noqa: E731
+            sizer = lambda base: len(blocks[base])  # noqa: E731
+            order_key = _SWEEP_RNG if self.randomise_order else None
+            runs = None
+        if self.randomise_order:
+            bases = shuffled(self.rng, bases)
+        return bases, lookup, sizer, order_key, runs
+
+    def _block_order(
+        self, base: int, values: list[int], order_key: object
+    ) -> list[int]:
+        """The within-block probe order as raw ints (see :meth:`_ordered_blocks`)."""
+        if order_key is _SWEEP_RNG:
+            return shuffled(self.rng, list(values))
+        return list(values)
+
     def iter_target_order(
-        self, candidates: Iterable[IPv4Address]
+        self, candidates: Iterable[IPv4Address] | IntervalSet
     ) -> Iterator[IPv4Address]:
         """Filter reserved ranges and order targets for the sweep, lazily.
 
-        With randomisation on, /24 blocks are shuffled and addresses are
-        shuffled within each block, so consecutive probes land in
-        unrelated networks (the paper's politeness measure).  Only one
-        block is materialised beyond the block index itself, so resuming
-        deep into a multi-million-address sweep does not copy the whole
-        order.
+        With randomisation on, /24 blocks are shuffled so consecutive
+        probes land in unrelated networks (the paper's politeness
+        measure); list frames additionally keep their legacy within-block
+        shuffle, while interval frames probe each block in ascending
+        order (see :meth:`_ordered_blocks`).  Only one block is
+        materialised beyond the block index itself, so resuming deep into
+        a multi-million-address sweep does not copy the whole order.
         """
-        usable = [
-            ip for ip in candidates
-            if not (self.exclude_reserved and is_reserved(ip))
-        ]
-        if not self.randomise_order:
-            yield from sorted(usable, key=lambda ip: ip.value)
-            return
-        blocks: dict[int, list[IPv4Address]] = {}
-        for ip in usable:
-            blocks.setdefault(ip.value & 0xFFFFFF00, []).append(ip)
-        for block in shuffled(self.rng, sorted(blocks)):
-            yield from shuffled(self.rng, sorted(blocks[block]))
+        bases, lookup, _sizer, order_key, _runs = self._plan_blocks(candidates)
+        for base in bases:
+            for value in self._block_order(base, lookup(base), order_key):
+                yield IPv4Address(value)
 
-    def target_order(self, candidates: Iterable[IPv4Address]) -> list[IPv4Address]:
+    def target_order(self, candidates: Iterable[IPv4Address] | IntervalSet) -> list[IPv4Address]:
         """The full sweep order as a list (see :meth:`iter_target_order`)."""
         return list(self.iter_target_order(candidates))
 
-    def scan(self, candidates: Iterable[IPv4Address]) -> PortScanResult:
+    def scan(self, candidates: Iterable[IPv4Address] | IntervalSet) -> PortScanResult:
         """Probe every candidate on every configured port."""
         result = PortScanResult()
-        for ip in self.iter_target_order(candidates):
-            self._probe_host(ip, result)
+        for batch in self.scan_in_batches(candidates, batch_size=2**62):
+            result.merge(batch)
         return result
 
     def scan_in_batches(
-        self, candidates: Iterable[IPv4Address], batch_size: int, skip: int = 0
+        self,
+        candidates: Iterable[IPv4Address] | IntervalSet,
+        batch_size: int,
+        skip: int = 0,
     ) -> Iterator[PortScanResult]:
         """Yield partial results every ``batch_size`` addresses.
 
@@ -131,6 +192,14 @@ class Masscan:
         ``skip`` resumes a checkpointed sweep: the deterministic target
         order is recomputed and the first ``skip`` addresses — already
         scanned before the interruption — are not probed again.
+
+        When the transport offers liveness hints (see
+        ``Transport.live_values_in``) and neither retry nor supervision is
+        active, runs of guaranteed-dead addresses are accounted in bulk —
+        same probes, counters, and batch boundaries as probing them one by
+        one, without the per-address work.  A /24 with no live candidate
+        is never materialised at all, and inside a hinted block the dead
+        gap between two live hosts is accounted in one step.
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -139,21 +208,126 @@ class Masscan:
         result = PortScanResult()
         span = None
         supervision = self.supervision
-        for ip in islice(self.iter_target_order(candidates), skip, None):
-            if supervision is not None:
-                if supervision.should_stop():
-                    # Sweep deadline: stop probing, flush what we have.
-                    # The pipeline accounts the un-probed remainder as
-                    # deadline-skipped coverage.
-                    break
-                if supervision.is_quarantined(ip):
-                    supervision.note_gate_skip(ip)
+        bulk_ok = supervision is None and self.retry is None
+        stopped = False
+        bases, lookup, sizer, order_key, runs = self._plan_blocks(candidates)
+        # Legacy list-frame blocks shuffle on the sweep RNG, so their
+        # draws must be consumed even for skipped or dead blocks;
+        # wholesale skipping is sound only for the ascending mode.
+        wholesale = order_key is not _SWEEP_RNG
+        hints = self._prefetch_hints(runs) if bulk_ok else None
+        # Dead gaps accumulate across blocks and flush lazily: nothing
+        # advances the clock or touches the result between a dead run and
+        # its flush, so deferral is observationally identical while a
+        # sparse frame collapses to a few _account_dead calls per batch
+        # instead of one per dead /24.
+        pending_dead = 0
+        for base in bases:
+            block_values: list[int] | None = None
+            if wholesale:
+                # Don't materialise yet: a dead or skipped run needs only
+                # its size, and dead runs are the bulk of a sparse frame.
+                count = sizer(base)
+            else:
+                block_values = lookup(base)
+                count = len(block_values)
+            if wholesale and skip >= count:
+                skip -= count
+                continue
+            live: Sequence[int] | None = None
+            if bulk_ok:
+                live = (
+                    hints.get(base, ()) if hints is not None
+                    else self.transport.live_values_in(
+                        base, base | (BLOCK_SIZE - 1)
+                    )
+                )
+            # The block reduces to a stream of (dead gap, live value) ops;
+            # one consumer below does the accounting, probing, and exact
+            # batch-boundary chunking for every mode.
+            ops: Iterable[tuple[int, int | None]]
+            if live is not None and wholesale and not live:
+                # Dead run: fold into the pending gap, never materialised.
+                pending_dead += count - skip
+                skip = 0
+                continue
+            if live is not None and wholesale and count == BLOCK_SIZE:
+                # Full /24 in ascending order: the members are exactly the
+                # range, so the gaps between hinted hosts are arithmetic —
+                # no materialisation, no set, no per-address walk.
+                ops = _range_ops(base + skip, base | (BLOCK_SIZE - 1), live)
+                skip = 0
+            else:
+                if block_values is None:
+                    block_values = lookup(base)
+                ordered = self._block_order(base, block_values, order_key)
+                if skip >= count:
+                    skip -= count
                     continue
+                if skip:
+                    ordered = ordered[skip:]
+                    skip = 0
+                if live is not None:
+                    ops = _hinted_ops(ordered, set(live).intersection(ordered))
+                elif supervision is None:
+                    ops = ((0, value) for value in ordered)
+                else:
+                    for value in ordered:
+                        ip = IPv4Address(value)
+                        if supervision.should_stop():
+                            # Sweep deadline: stop probing, flush what we
+                            # have.  The pipeline accounts the un-probed
+                            # remainder as deadline-skipped coverage.
+                            stopped = True
+                            break
+                        if supervision.is_quarantined(ip):
+                            supervision.note_gate_skip(ip)
+                            continue
+                        if span is None and self.telemetry is not None:
+                            # Lazy: only a batch that probes at least one
+                            # address opens a span, so resumed sweeps
+                            # trace identically.
+                            span = self.telemetry.tracer.start("stage:masscan")
+                        self._probe_host(ip, result)
+                        if result.addresses_scanned >= batch_size:
+                            self._close_span(span, result)
+                            span = None
+                            yield result
+                            result = PortScanResult()
+                    if stopped:
+                        break
+                    continue
+            for dead, value in ops:
+                pending_dead += dead
+                if value is None:
+                    continue
+                while pending_dead:
+                    if span is None and self.telemetry is not None:
+                        span = self.telemetry.tracer.start("stage:masscan")
+                    take = min(
+                        pending_dead, batch_size - result.addresses_scanned
+                    )
+                    self._account_dead(result, take)
+                    pending_dead -= take
+                    if result.addresses_scanned >= batch_size:
+                        self._close_span(span, result)
+                        span = None
+                        yield result
+                        result = PortScanResult()
+                if span is None and self.telemetry is not None:
+                    span = self.telemetry.tracer.start("stage:masscan")
+                self._probe_host(IPv4Address(value), result)
+                if result.addresses_scanned >= batch_size:
+                    self._close_span(span, result)
+                    span = None
+                    yield result
+                    result = PortScanResult()
+        while pending_dead:
             if span is None and self.telemetry is not None:
-                # Lazy: only a batch that probes at least one address
-                # opens a span, so resumed sweeps trace identically.
                 span = self.telemetry.tracer.start("stage:masscan")
-            self._probe_host(ip, result)
+            take = min(pending_dead, batch_size - result.addresses_scanned)
+            self._account_dead(result, take)
+            pending_dead -= take
             if result.addresses_scanned >= batch_size:
                 self._close_span(span, result)
                 span = None
@@ -197,6 +371,45 @@ class Masscan:
             if open_ports:
                 opened.inc(len(open_ports))
 
+    def _prefetch_hints(
+        self, runs: list[tuple[int, int]] | None
+    ) -> dict[int, list[int]] | None:
+        """One liveness query per frame run instead of one per /24.
+
+        Interval frames know their runs, so the hint sweep walks them
+        directly and groups the (few) live values by block — a block
+        absent from the map is guaranteed dead.  Returns None for list
+        frames and for transports without hints; callers then fall back
+        to per-block queries.
+        """
+        if runs is None:
+            return None
+        hints: dict[int, list[int]] = {}
+        for start, end in runs:
+            values = self.transport.live_values_in(start, end)
+            if values is None:
+                return None
+            for value in values:
+                hints.setdefault(value & BLOCK_MASK, []).append(value)
+        return hints
+
+    def _account_dead(self, result: PortScanResult, count: int) -> None:
+        """Account ``count`` guaranteed-dead addresses without probing.
+
+        Mirrors :meth:`_probe_host` for addresses the liveness hint says
+        cannot answer: the same probes-sent, addresses-scanned, transport
+        stats, and telemetry counters — minus the per-address transport
+        round trip that would return nothing.
+        """
+        probes = count * len(self.ports)
+        result.probes_sent += probes
+        result.addresses_scanned += count
+        self.transport.stats.syn_probes += probes
+        if self.telemetry is not None:
+            probe_counter, address_counter, _ = self._bound_counters()
+            probe_counter.inc(probes)
+            address_counter.inc(count)
+
     def _bound_counters(self):
         """The three stage-I counters, looked up once per telemetry sink.
 
@@ -213,6 +426,44 @@ class Masscan:
                 metric("masscan_open_ports_total"),
             )
         return bound[1:]
+
+
+def _range_ops(
+    start: int, end: int, live: Sequence[int]
+) -> Iterator[tuple[int, int | None]]:
+    """(dead gap, live value) ops for a contiguous ascending block.
+
+    When a /24 is fully inside the frame its members *are* the range, so
+    the dead stretch before each hinted host is ``value - cursor`` — no
+    member list is ever built.  Hint values are ascending (transport
+    contract) and the hint is one-sided, so a "live" value may still
+    probe dead; it is probed rather than skipped either way.
+    """
+    cursor = start
+    for value in live:
+        if value < cursor:
+            continue
+        if value > end:
+            break
+        yield value - cursor, value
+        cursor = value + 1
+    if cursor <= end:
+        yield end - cursor + 1, None
+
+
+def _hinted_ops(
+    ordered: Sequence[int], live_set: set[int]
+) -> Iterator[tuple[int, int | None]]:
+    """(dead gap, live value) ops for a materialised hinted block."""
+    pending = 0
+    for value in ordered:
+        if value in live_set:
+            yield pending, value
+            pending = 0
+        else:
+            pending += 1
+    if pending:
+        yield pending, None
 
 
 def burst_profile(order: Sequence[IPv4Address], window: int = 256) -> dict[int, int]:

@@ -57,6 +57,7 @@ from typing import Iterable
 from repro.core.checkpoint import Checkpointer, check_config_matches
 from repro.core.fingerprint.knowledge_base import build_default_knowledge_base
 from repro.core.serialize import report_from_dict, report_to_dict
+from repro.net.intervals import IntervalSet, reserved_intervals
 from repro.net.ipv4 import IPv4Address, is_reserved
 from repro.net.transport import TransportStats
 from repro.obs.profile import ProfileRollup, wall_now
@@ -100,21 +101,41 @@ def _rebuild_shard(index: int, seed: int, values: tuple[int, ...]) -> "Shard":
     return Shard(index, seed, tuple(IPv4Address(v) for v in values))
 
 
+def _rebuild_interval_shard(
+    index: int, seed: int, runs: tuple[tuple[int, int], ...]
+) -> "Shard":
+    return Shard(index, seed, IntervalSet(runs))
+
+
 class Shard:
-    """One /24-aligned slice of the candidate frame."""
+    """One /24-aligned slice of the candidate frame.
+
+    ``addresses`` is either a tuple of individual addresses (list frames)
+    or an :class:`~repro.net.intervals.IntervalSet` (compressed frames);
+    both support ``len()`` and iteration, and both pickle as raw ints —
+    interval shards ship their runs, so a multi-million-address shard
+    crosses the process boundary in a handful of pairs.
+    """
 
     __slots__ = ("index", "seed", "addresses")
 
     def __init__(
-        self, index: int, seed: int, addresses: tuple[IPv4Address, ...]
+        self,
+        index: int,
+        seed: int,
+        addresses: tuple[IPv4Address, ...] | IntervalSet,
     ) -> None:
         self.index = index
         self.seed = seed
         self.addresses = addresses
 
     def __reduce__(self):
-        # Ship raw address integers across the process boundary instead
-        # of one dataclass instance per address.
+        # Ship raw address integers (or interval runs) across the process
+        # boundary instead of one dataclass instance per address.
+        if isinstance(self.addresses, IntervalSet):
+            return _rebuild_interval_shard, (
+                self.index, self.seed, self.addresses.runs,
+            )
         return _rebuild_shard, (
             self.index, self.seed, tuple(ip.value for ip in self.addresses),
         )
@@ -140,6 +161,23 @@ def plan_shards(
     """
     if shard_blocks < 1:
         raise ValueError("shard_blocks must be at least 1")
+    if isinstance(candidates, IntervalSet):
+        frame = candidates
+        if exclude_reserved:
+            frame = frame.difference(reserved_intervals())
+        bases = frame.block_bases()
+        shards = []
+        for start in range(0, len(bases), shard_blocks):
+            group = bases[start:start + shard_blocks]
+            # The group is a contiguous slice of the sorted block list, so
+            # intersecting with its covering range selects exactly those
+            # blocks — no other frame block lies between them.
+            piece = frame.intersect(
+                IntervalSet([(group[0], group[-1] | 0xFF)])
+            )
+            index = len(shards)
+            shards.append(Shard(index, stable_hash(seed, "shard", index), piece))
+        return shards
     blocks: dict[int, list[IPv4Address]] = {}
     for ip in candidates:
         if exclude_reserved and is_reserved(ip):

@@ -1,0 +1,583 @@
+"""Incremental re-scan engine for longevity campaigns.
+
+The paper's longevity study (Figure 2) re-scans the same frame every
+three hours for four weeks.  Re-running the full pipeline 224 times pays
+the stage-II/III cost for every open host every time, even though almost
+nothing changes between sweeps.  This engine runs stage I in full (the
+cheap liveness probe — with an interval frame, dead runs are skipped
+wholesale), diffs the result against the prior sweep, and re-runs the
+expensive later stages only for hosts in *churned* /24 blocks.  Every
+other host's stage-II/III contribution is replayed from the prior
+sweep's per-host ledger.
+
+The headline invariant: the :class:`~repro.core.pipeline.ScanReport` an
+incremental sweep produces is **byte-identical** to the report a
+from-scratch :meth:`ScanPipeline.run` over the same frame would produce
+— same findings in the same order, same response tallies, same telemetry
+summary, same reconciling coverage ledger.  The serialised report is a
+pure function of the world and the seed, never of how much was reused.
+
+How the replay stays exact:
+
+* stage I runs for real, so ``open_ports`` (probe order) and every
+  masscan counter are live;
+* the ledger stores, per open host, its ``(port, scheme)`` response
+  sequence, its serialised finding, and the flat telemetry deltas
+  (counters / event count / span count) its stage-II/III work produced;
+* batches are processed in canonical order and hosts in sorted order
+  within each batch — exactly the pipeline's order — so replayed
+  ``stats.note`` calls and finding insertions interleave with fresh ones
+  in the same sequence a full sweep would produce;
+* funnel and coverage are charged live with the full per-batch numbers,
+  so :meth:`CoverageReport.reconcile` holds for incremental passes too.
+
+Churn detection is two-sided: port-level changes (hosts going offline,
+new hosts, opened/closed ports) are self-detected from the stage-I diff;
+content-only changes (a fix deployed, a version upgrade behind the same
+open port) cannot be seen by stage I, so callers pass the blocks their
+churn feeds (lifecycle fates, CT-log hits) flag as ``churned_blocks``.
+Deep-probing an unchanged host in a churned block reproduces its prior
+results, so over-reporting churn costs only time, never correctness.
+
+Checkpoint/resume: an interrupted incremental pass resumes bit-identically
+— phase A (stage I) is deterministic and re-runs, completed batches
+replay from the checkpointed ledger, and the rest runs live.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.core.checkpoint import Checkpointer, check_config_matches
+from repro.core.masscan import PortScanResult
+from repro.core.pipeline import ScanPipeline, ScanReport
+from repro.core.serialize import (
+    finding_from_dict,
+    finding_to_dict,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.net.http import Scheme
+from repro.net.intervals import BLOCK_MASK, IntervalSet
+from repro.net.ipv4 import IPv4Address
+from repro.obs.telemetry import TelemetrySummary
+from repro.util.errors import ConfigError
+from repro.util.rand import stable_hash
+
+RESCAN_FORMAT_VERSION = 1
+
+
+@dataclass
+class HostRecord:
+    """One open host's stage-II/III contribution to a sweep.
+
+    Everything needed to replay the host without touching the network:
+    the responses it gave stage II (in probe order), its finding (if the
+    prefilter matched anything), and the telemetry deltas its fresh
+    probe-and-verify produced.  Records are the unit of reuse *and* the
+    unit of checkpointing, which is what makes resumed and uninterrupted
+    incremental passes bit-identical.
+    """
+
+    value: int
+    #: ``(port, scheme value)`` pairs in the order stage II recorded them
+    responses: tuple[tuple[int, str], ...] = ()
+    #: serialised finding entry (see ``finding_to_dict``), or None
+    finding: dict | None = None
+    #: flat counter-name -> delta from this host's stage-II/III work
+    counters: dict[str, float] = field(default_factory=dict)
+    events: int = 0
+    spans: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "ip": self.value,
+            "responses": [[port, scheme] for port, scheme in self.responses],
+            "finding": self.finding,
+            "counters": dict(self.counters),
+            "events": self.events,
+            "spans": self.spans,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HostRecord":
+        return cls(
+            value=int(payload["ip"]),
+            responses=tuple(
+                (int(port), str(scheme)) for port, scheme in payload["responses"]
+            ),
+            finding=payload["finding"],
+            counters={k: float(v) for k, v in payload["counters"].items()},
+            events=int(payload["events"]),
+            spans=int(payload["spans"]),
+        )
+
+
+@dataclass
+class RescanState:
+    """A completed sweep in replayable form: report + per-host ledger."""
+
+    report: ScanReport
+    records: dict[int, HostRecord]
+    frame: IntervalSet
+    seed: int
+    ports: tuple[int, ...]
+    batch_size: int
+    fingerprint: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": RESCAN_FORMAT_VERSION,
+            "config": {
+                "seed": self.seed,
+                "ports": list(self.ports),
+                "batch_size": self.batch_size,
+                "fingerprint": self.fingerprint,
+            },
+            "frame": self.frame.to_dict(),
+            "report": report_to_dict(self.report),
+            "records": [
+                self.records[value].to_dict() for value in sorted(self.records)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RescanState":
+        version = payload.get("format_version")
+        if version != RESCAN_FORMAT_VERSION:
+            raise ConfigError(
+                f"unsupported rescan state format version: {version!r}"
+            )
+        config = payload["config"]
+        records = {}
+        for raw in payload["records"]:
+            record = HostRecord.from_dict(raw)
+            records[record.value] = record
+        return cls(
+            report=report_from_dict(payload["report"]),
+            records=records,
+            frame=IntervalSet.from_dict(payload["frame"]),
+            seed=int(config["seed"]),
+            ports=tuple(config["ports"]),
+            batch_size=int(config["batch_size"]),
+            fingerprint=bool(config["fingerprint"]),
+        )
+
+
+def save_rescan_state(state: RescanState, path: str | Path) -> None:
+    """Write a sweep's replayable state as JSON (``--rescan-from`` input)."""
+    Path(path).write_text(json.dumps(state.to_dict(), indent=1))
+
+
+def load_rescan_state(path: str | Path) -> RescanState:
+    """Load a state previously written by :func:`save_rescan_state`."""
+    return RescanState.from_dict(json.loads(Path(path).read_text()))
+
+
+@dataclass
+class RescanEngine:
+    """Drives baseline and incremental sweeps over one interval frame.
+
+    The engine owns the determinism constraints: sweeps run sequentially
+    (no workers), without retry or supervision — those paths consume
+    per-probe randomness that replayed hosts would not consume, breaking
+    byte-identity.  Every sweep builds a fresh
+    :class:`~repro.core.pipeline.ScanPipeline` internally, so telemetry,
+    RNGs, and stage state always start from the seed.
+    """
+
+    transport: object
+    ports: tuple[int, ...]
+    seed: int = 0
+    batch_size: int = 4096
+    fingerprint: bool = True
+    knowledge_base: object | None = None
+
+    # -- public API -----------------------------------------------------
+
+    def baseline(
+        self, frame: IntervalSet, checkpoint: Checkpointer | None = None
+    ) -> RescanState:
+        """A from-scratch sweep, recorded so later sweeps can reuse it."""
+        return self._sweep(frame, None, set(), checkpoint)
+
+    def rescan(
+        self,
+        frame: IntervalSet,
+        prior: RescanState,
+        churned_blocks: Iterable[int | IPv4Address] = (),
+        checkpoint: Checkpointer | None = None,
+    ) -> RescanState:
+        """An incremental sweep against ``prior``.
+
+        ``churned_blocks`` marks /24s whose hosts may have changed
+        *content* without changing their open ports (lifecycle fates,
+        CT-log churn); port-level changes are self-detected from the
+        stage-I diff.  Accepts block bases or any address inside the
+        block.
+        """
+        self._check_prior(frame, prior)
+        hinted = {
+            (b.value if isinstance(b, IPv4Address) else int(b)) & BLOCK_MASK
+            for b in churned_blocks
+        }
+        return self._sweep(frame, prior, hinted, checkpoint)
+
+    # -- sweep ----------------------------------------------------------
+
+    def _sweep(
+        self,
+        frame: IntervalSet,
+        prior: RescanState | None,
+        hinted: set[int],
+        checkpoint: Checkpointer | None,
+    ) -> RescanState:
+        pipe = ScanPipeline(
+            transport=self.transport,
+            ports=self.ports,
+            seed=self.seed,
+            batch_size=self.batch_size,
+            fingerprint=self.fingerprint,
+            knowledge_base=self.knowledge_base,
+        )
+        tel = pipe.telemetry
+        prior_hash = None
+        resumed_records: dict[int, HostRecord] = {}
+        resumed_batches = 0
+        if checkpoint is not None:
+            prior_hash = self._run_hash(frame, prior, hinted)
+            payload = checkpoint.load()
+            if payload is not None:
+                check_config_matches(
+                    payload,
+                    engine="rescan",
+                    seed=self.seed,
+                    ports=list(self.ports),
+                    batch_size=self.batch_size,
+                    fingerprint=self.fingerprint,
+                    run_hash=prior_hash,
+                )
+                resumed_batches = payload["batches_done"]
+                resumed_records = {
+                    int(value): HostRecord.from_dict(raw)
+                    for value, raw in payload["records"].items()
+                }
+
+        # Phase A: the full port scan.  Runs for real every sweep — this
+        # is the "cheap liveness probe" (interval frames skip dead runs
+        # wholesale) — and must complete before later stages so churn is
+        # judged on whole /24 blocks, which batch boundaries can split.
+        report = ScanReport()
+        tel.events.info(
+            "pipeline", "sweep-start",
+            ports=len(self.ports), batch_size=self.batch_size,
+        )
+        tel.tracer.start("sweep")
+        batches: list[PortScanResult] = []
+        for batch in pipe._masscan.scan_in_batches(frame, self.batch_size):
+            report.port_scan.merge(batch)
+            batches.append(batch)
+
+        churned = set(hinted)
+        if prior is None:
+            reusable: set[int] = set()
+        else:
+            churned |= self._diff_churned_blocks(
+                prior.report.port_scan.open_ports, report.port_scan.open_ports
+            )
+            reusable = {
+                value for value in report.port_scan.open_ports
+                if (value & BLOCK_MASK) not in churned
+                and value in prior.records
+            }
+
+        # Phase B: later stages per batch, in canonical batch order.
+        # Fresh hosts run the real stages; reusable hosts replay their
+        # ledger record.  Funnel/coverage are charged live with the full
+        # numbers either way, so the account reconciles.
+        records: dict[int, HostRecord] = {}
+        synthetic = TelemetrySummary()
+        for index, batch in enumerate(batches):
+            replay_all = index < resumed_batches
+            self._run_batch(
+                pipe, report, batch, index,
+                prior, reusable, records, synthetic,
+                resumed_records if replay_all else None,
+            )
+            if checkpoint is not None and checkpoint.due(index + 1):
+                checkpoint.save({
+                    "engine": "rescan",
+                    "seed": self.seed,
+                    "ports": list(self.ports),
+                    "batch_size": self.batch_size,
+                    "fingerprint": self.fingerprint,
+                    "run_hash": prior_hash,
+                    "batches_done": index + 1,
+                    "records": {
+                        str(value): record.to_dict()
+                        for value, record in records.items()
+                    },
+                })
+
+        sweep_span = tel.tracer.end()
+        sweep_span.attrs["addresses"] = report.port_scan.addresses_scanned
+        sweep_span.attrs["batches"] = len(batches)
+        tel.events.info(
+            "pipeline", "sweep-complete",
+            addresses=report.port_scan.addresses_scanned,
+            awe_hosts=report.total_awe_hosts(),
+            mav_hosts=len(report.vulnerable_ips()),
+        )
+        pipe._fold_prefilter_stats(report)
+        summary = tel.summary()
+        summary.merge(synthetic)
+        report.telemetry = summary
+        report.coverage = pipe._coverage.copy()
+        # In-memory detections match a serialisation round trip: rebuilt
+        # from findings, so fresh and replayed hosts are indistinguishable.
+        report.detections = [
+            observation.detection
+            for finding in report.findings.values()
+            for observation in finding.observations.values()
+            if observation.detection is not None
+        ]
+        if checkpoint is not None:
+            checkpoint.clear()
+        return RescanState(
+            report=report,
+            records=records,
+            frame=frame,
+            seed=self.seed,
+            ports=tuple(self.ports),
+            batch_size=self.batch_size,
+            fingerprint=self.fingerprint,
+        )
+
+    def _run_batch(
+        self,
+        pipe: ScanPipeline,
+        report: ScanReport,
+        batch: PortScanResult,
+        index: int,
+        prior: RescanState | None,
+        reusable: set[int],
+        records: dict[int, HostRecord],
+        synthetic: TelemetrySummary,
+        replay_records: dict[int, HostRecord] | None,
+    ) -> None:
+        """Stages II/III for one batch, mirroring the pipeline's charges.
+
+        ``replay_records`` is set when resuming: the batch completed
+        before the interruption, so *every* host replays from the
+        checkpointed ledger (including hosts that ran fresh back then —
+        their records carry the captured deltas).
+        """
+        tel = pipe.telemetry
+        prefilter = pipe._prefilter
+        batch_span = tel.tracer.start("batch", index=index)
+        entered = batch.addresses_scanned
+        open_hosts = len(batch.open_ports)
+        tel.funnel("masscan", entered, open_hosts)
+        pipe._coverage.charge("masscan", entered, open_hosts)
+        hosts = batch.hosts_with_open_ports()
+
+        def record_for(ip: IPv4Address) -> HostRecord | None:
+            if replay_records is not None:
+                return replay_records.get(ip.value)
+            if prior is not None and ip.value in reusable:
+                return prior.records.get(ip.value)
+            return None
+
+        fresh_findings: dict[int, list] = {}
+        with tel.tracer.span("stage:prefilter", hosts=open_hosts):
+            for ip in hosts:
+                record = record_for(ip)
+                if record is not None:
+                    for port, scheme in record.responses:
+                        prefilter.stats.note(ip, port, Scheme(scheme))
+                    continue
+                before = self._capture(tel)
+                http_seen = dict(prefilter.stats.http_responses)
+                https_seen = dict(prefilter.stats.https_responses)
+                findings = []
+                for port in batch.ports_of(ip):
+                    findings.extend(prefilter.probe(ip, port))
+                fresh_findings[ip.value] = findings
+                responses = []
+                for port in batch.ports_of(ip):
+                    for scheme in prefilter.schemes_for_port(port):
+                        seen = (
+                            http_seen if scheme is Scheme.HTTP else https_seen
+                        )
+                        now = (
+                            prefilter.stats.http_responses
+                            if scheme is Scheme.HTTP
+                            else prefilter.stats.https_responses
+                        )
+                        if now.get(port, 0) > seen.get(port, 0):
+                            responses.append((port, scheme.value))
+                records[ip.value] = HostRecord(
+                    value=ip.value, responses=tuple(responses),
+                )
+                self._charge_record(records[ip.value], before, self._capture(tel))
+
+        candidate_values = []
+        for ip in hosts:
+            record = record_for(ip)
+            if record is not None:
+                if record.finding is not None:
+                    candidate_values.append(ip.value)
+            elif fresh_findings.get(ip.value):
+                candidate_values.append(ip.value)
+        tel.funnel("prefilter", open_hosts, len(candidate_values))
+        pipe._coverage.charge("prefilter", open_hosts, len(candidate_values))
+
+        with tel.tracer.span("stage:tsunami", hosts=len(candidate_values)):
+            for ip in hosts:
+                record = record_for(ip)
+                if record is not None:
+                    if record.finding is not None:
+                        # Reused records come verbatim from the prior
+                        # sweep, so its (immutable) finding object can be
+                        # shared instead of re-parsed.  Checkpoint-replay
+                        # records are *this* sweep's results and may
+                        # differ from the prior report — always re-parse.
+                        finding = None
+                        if replay_records is None and prior is not None:
+                            finding = prior.report.findings.get(ip.value)
+                        if finding is None:
+                            finding = finding_from_dict(record.finding)
+                        report.findings[ip.value] = finding
+                    records[ip.value] = record
+                    synthetic.merge(
+                        TelemetrySummary(
+                            dict(record.counters), record.events, record.spans
+                        )
+                    )
+                    continue
+                findings = fresh_findings.get(ip.value, ())
+                before = self._capture(tel)
+                for finding in findings:
+                    pipe._verify_and_fingerprint(finding, report)
+                self._charge_record(
+                    records[ip.value], before, self._capture(tel)
+                )
+                host_finding = report.findings.get(ip.value)
+                if host_finding is not None:
+                    records[ip.value].finding = finding_to_dict(host_finding)
+
+        vulnerable_hosts = sum(
+            1 for value in candidate_values
+            if report.findings[value].vulnerable_slugs
+        )
+        tel.funnel("tsunami", len(candidate_values), vulnerable_hosts)
+        pipe._coverage.charge(
+            "tsunami", len(candidate_values), vulnerable_hosts
+        )
+        batch_span.attrs["addresses"] = batch.addresses_scanned
+        tel.tracer.end(batch_span)
+        tel.events.info(
+            "pipeline", "batch-complete",
+            index=index,
+            addresses=batch.addresses_scanned,
+            open_hosts=len(batch.open_ports),
+        )
+
+    # -- helpers --------------------------------------------------------
+
+    @staticmethod
+    def _capture(tel) -> tuple[dict[str, float], int, int]:
+        return (
+            tel.metrics.counters_flat(),
+            len(tel.events),
+            len(tel.tracer.finished),
+        )
+
+    @staticmethod
+    def _charge_record(
+        record: HostRecord,
+        before: tuple[dict[str, float], int, int],
+        after: tuple[dict[str, float], int, int],
+    ) -> None:
+        """Fold a captured live-telemetry delta into a host record."""
+        for name, value in after[0].items():
+            delta = value - before[0].get(name, 0.0)
+            if delta:
+                record.counters[name] = record.counters.get(name, 0.0) + delta
+        record.events += after[1] - before[1]
+        record.spans += after[2] - before[2]
+
+    @staticmethod
+    def _diff_churned_blocks(
+        prior_open: dict[int, tuple[int, ...]],
+        current_open: dict[int, tuple[int, ...]],
+    ) -> set[int]:
+        """Blocks whose stage-I picture changed since the prior sweep."""
+        churned = set()
+        for value, ports in current_open.items():
+            if prior_open.get(value) != ports:
+                churned.add(value & BLOCK_MASK)
+        for value, ports in prior_open.items():
+            if current_open.get(value) != ports:
+                churned.add(value & BLOCK_MASK)
+        return churned
+
+    def _check_prior(self, frame: IntervalSet, prior: RescanState) -> None:
+        if prior.frame != frame:
+            raise ConfigError(
+                "prior rescan state covers a different frame; incremental "
+                "re-scans must diff against the same candidate frame"
+            )
+        for name, ours, theirs in (
+            ("seed", self.seed, prior.seed),
+            ("ports", tuple(self.ports), tuple(prior.ports)),
+            ("batch_size", self.batch_size, prior.batch_size),
+            ("fingerprint", self.fingerprint, prior.fingerprint),
+        ):
+            if ours != theirs:
+                raise ConfigError(
+                    f"prior rescan state was taken with {name}={theirs!r}, "
+                    f"but this engine uses {name}={ours!r}"
+                )
+
+    def _run_hash(
+        self,
+        frame: IntervalSet,
+        prior: RescanState | None,
+        hinted: set[int],
+    ) -> int:
+        """Fingerprint of everything a resumed pass must agree on."""
+        prior_digest = None
+        if prior is not None:
+            prior_digest = stable_hash(
+                json.dumps(report_to_dict(prior.report), sort_keys=True)
+            )
+        return stable_hash(frame.runs, sorted(hinted), prior_digest)
+
+
+def run_full_sweep(
+    transport: object,
+    ports: Sequence[int],
+    frame: IntervalSet,
+    seed: int = 0,
+    batch_size: int = 4096,
+    fingerprint: bool = True,
+    knowledge_base: object | None = None,
+) -> ScanReport:
+    """A from-scratch sequential pipeline sweep (the equivalence oracle).
+
+    The longevity experiment and the determinism tests compare incremental
+    reports against this — same configuration the engine builds internally.
+    """
+    pipe = ScanPipeline(
+        transport=transport,
+        ports=tuple(ports),
+        seed=seed,
+        batch_size=batch_size,
+        fingerprint=fingerprint,
+        knowledge_base=knowledge_base,
+    )
+    return pipe.run(frame)

@@ -24,31 +24,69 @@ from repro.net.ipv4 import IPv4Address
 FORMAT_VERSION = 1
 
 
+def finding_to_dict(finding: HostFinding) -> dict:
+    """One host's stage-II/III results as a JSON-safe entry."""
+    observations = []
+    for observation in finding.observations.values():
+        entry: dict = {
+            "slug": observation.slug,
+            "port": observation.port,
+            "scheme": observation.scheme.value,
+            "vulnerable": observation.vulnerable,
+        }
+        if observation.fingerprint is not None:
+            entry["fingerprint"] = {
+                "slug": observation.fingerprint.slug,
+                "version": observation.fingerprint.version,
+                "method": observation.fingerprint.method.value,
+            }
+        if observation.detection is not None:
+            entry["detection"] = {
+                "title": observation.detection.title,
+                "details": observation.detection.details,
+            }
+        observations.append(entry)
+    return {"ip": str(finding.ip), "observations": observations}
+
+
+def finding_from_dict(entry: dict) -> HostFinding:
+    """Rebuild one host's finding from :func:`finding_to_dict` output."""
+    ip = IPv4Address.parse(entry["ip"])
+    finding = HostFinding(ip)
+    for raw in entry["observations"]:
+        observation = AppObservation(
+            ip=ip,
+            slug=raw["slug"],
+            port=raw["port"],
+            scheme=Scheme(raw["scheme"]),
+            vulnerable=raw["vulnerable"],
+        )
+        fingerprint = raw.get("fingerprint")
+        if fingerprint:
+            observation.fingerprint = Fingerprint(
+                slug=fingerprint["slug"],
+                version=fingerprint["version"],
+                method=FingerprintMethod(fingerprint["method"]),
+            )
+        detection = raw.get("detection")
+        if detection:
+            observation.detection = DetectionReport(
+                ip=ip,
+                port=raw["port"],
+                scheme=Scheme(raw["scheme"]),
+                slug=raw["slug"],
+                title=detection["title"],
+                details=detection["details"],
+            )
+        finding.observations[raw["slug"]] = observation
+    return finding
+
+
 def report_to_dict(report: ScanReport) -> dict:
     """A JSON-safe dictionary capturing the whole report."""
-    findings = []
-    for finding in report.findings.values():
-        observations = []
-        for observation in finding.observations.values():
-            entry: dict = {
-                "slug": observation.slug,
-                "port": observation.port,
-                "scheme": observation.scheme.value,
-                "vulnerable": observation.vulnerable,
-            }
-            if observation.fingerprint is not None:
-                entry["fingerprint"] = {
-                    "slug": observation.fingerprint.slug,
-                    "version": observation.fingerprint.version,
-                    "method": observation.fingerprint.method.value,
-                }
-            if observation.detection is not None:
-                entry["detection"] = {
-                    "title": observation.detection.title,
-                    "details": observation.detection.details,
-                }
-            observations.append(entry)
-        findings.append({"ip": str(finding.ip), "observations": observations})
+    findings = [
+        finding_to_dict(finding) for finding in report.findings.values()
+    ]
     return {
         "format_version": FORMAT_VERSION,
         "open_ports": {
@@ -86,35 +124,8 @@ def report_from_dict(payload: dict) -> ScanReport:
     report.coverage = CoverageReport.from_dict(payload.get("coverage", {}))
 
     for entry in payload["findings"]:
-        ip = IPv4Address.parse(entry["ip"])
-        finding = HostFinding(ip)
-        for raw in entry["observations"]:
-            observation = AppObservation(
-                ip=ip,
-                slug=raw["slug"],
-                port=raw["port"],
-                scheme=Scheme(raw["scheme"]),
-                vulnerable=raw["vulnerable"],
-            )
-            fingerprint = raw.get("fingerprint")
-            if fingerprint:
-                observation.fingerprint = Fingerprint(
-                    slug=fingerprint["slug"],
-                    version=fingerprint["version"],
-                    method=FingerprintMethod(fingerprint["method"]),
-                )
-            detection = raw.get("detection")
-            if detection:
-                observation.detection = DetectionReport(
-                    ip=ip,
-                    port=raw["port"],
-                    scheme=Scheme(raw["scheme"]),
-                    slug=raw["slug"],
-                    title=detection["title"],
-                    details=detection["details"],
-                )
-            finding.observations[raw["slug"]] = observation
-        report.findings[ip.value] = finding
+        finding = finding_from_dict(entry)
+        report.findings[finding.ip.value] = finding
         report.detections.extend(
             o.detection for o in finding.observations.values()
             if o.detection is not None

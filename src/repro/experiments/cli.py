@@ -35,7 +35,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiment",
         choices=("full", "scan", "observe", "honeypot", "defender",
                  "ct-race", "vhosts", "packet-loss", "recall-recovery",
-                 "chaos-soak", "chaos-coverage"),
+                 "chaos-soak", "chaos-coverage", "longevity"),
         default="full",
     )
     parser.add_argument("--scale", choices=sorted(_SCALES), default="default")
@@ -85,6 +85,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--console-port", type=int, default=None,
         help="serve the live operations console on this loopback port "
              "for the duration of the run (0 = ephemeral)",
+    )
+    longevity = parser.add_argument_group(
+        "incremental longevity campaign",
+        "the interval-compressed re-scan campaign (--experiment "
+        "longevity): one recorded baseline sweep, then incremental "
+        "re-scans on the study's cadence with sampled byte-identity "
+        "verification against from-scratch sweeps",
+    )
+    longevity.add_argument(
+        "--frame-addresses", type=int, default=10_000_000,
+        help="size of the interval-compressed scan frame (default 10M; "
+             "the paper's full scale is 100M)",
+    )
+    longevity.add_argument(
+        "--max-sweeps", type=int, default=None,
+        help="cap the cadence ticks for smoke runs (default: the whole "
+             "observation window)",
+    )
+    longevity.add_argument(
+        "--rescan-from", type=str, default=None,
+        help="resume an earlier campaign from this saved re-scan state: "
+             "the baseline sweep is skipped and the first tick diffs "
+             "against the loaded sweep",
+    )
+    longevity.add_argument(
+        "--rescan-out", type=str, default=None,
+        help="save the campaign's final re-scan state to this file so a "
+             "later run can continue with --rescan-from",
     )
     supervision = parser.add_argument_group(
         "supervised runtime",
@@ -143,6 +171,7 @@ def _run(
     supervisor=None,
     profile: bool = False,
     console=None,
+    longevity_args=None,
 ):
     """Run one experiment; returns (report text, Telemetry or None)."""
     if experiment == "full":
@@ -192,6 +221,23 @@ def _run(
         from repro.experiments.packet_loss import run_recall_recovery_study
 
         return run_recall_recovery_study().table().render(), None
+    if experiment == "longevity":
+        from repro.core.rescan import load_rescan_state, save_rescan_state
+        from repro.experiments.longevity import run_longevity_study
+
+        options = longevity_args or {}
+        resume = None
+        if options.get("rescan_from"):
+            resume = load_rescan_state(options["rescan_from"])
+        study = run_longevity_study(
+            config,
+            frame_addresses=options.get("frame_addresses", 10_000_000),
+            max_sweeps=options.get("max_sweeps"),
+            resume_from=resume,
+        )
+        if options.get("rescan_out"):
+            save_rescan_state(study.final_state, options["rescan_out"])
+        return study.render(), None
     if experiment == "chaos-soak":
         from repro.experiments.chaos_soak import run_chaos_soak
 
@@ -225,6 +271,12 @@ def main(argv: list[str] | None = None) -> int:
             executor=args.executor,
             supervisor=_supervisor_config(args),
             profile=profile, console=hub,
+            longevity_args={
+                "frame_addresses": args.frame_addresses,
+                "max_sweeps": args.max_sweeps,
+                "rescan_from": args.rescan_from,
+                "rescan_out": args.rescan_out,
+            },
         )
     finally:
         if server is not None:

@@ -9,6 +9,7 @@ addresses, but only populated ones cost memory.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Iterator
 
 from repro.net.host import Host, HostKind
@@ -22,6 +23,7 @@ class SimulatedInternet:
 
     def __init__(self) -> None:
         self._hosts: dict[int, Host] = {}
+        self._sorted_values: list[int] | None = None
 
     # -- population --------------------------------------------------------
 
@@ -29,9 +31,11 @@ class SimulatedInternet:
         if host.ip.value in self._hosts:
             raise ValueError(f"duplicate host at {host.ip}")
         self._hosts[host.ip.value] = host
+        self._sorted_values = None
 
     def remove_host(self, ip: IPv4Address) -> None:
         self._hosts.pop(ip.value, None)
+        self._sorted_values = None
 
     def host_at(self, ip: IPv4Address) -> Host | None:
         return self._hosts.get(ip.value)
@@ -51,6 +55,20 @@ class SimulatedInternet:
     def populated_addresses(self) -> list[IPv4Address]:
         """All addresses with a host, sorted (deterministic iteration)."""
         return [IPv4Address(v) for v in sorted(self._hosts)]
+
+    def populated_values_in(self, start: int, end: int) -> list[int]:
+        """Raw address ints with a host inside inclusive ``[start, end]``.
+
+        Backed by a sorted-key cache (rebuilt after population changes),
+        so the interval fast path in stage I can classify a /24 block
+        with two bisections instead of 256 dictionary lookups.
+        """
+        if self._sorted_values is None:
+            self._sorted_values = sorted(self._hosts)
+        values = self._sorted_values
+        lo = bisect_left(values, start)
+        hi = bisect_right(values, end)
+        return values[lo:hi]
 
     # -- what the wire exposes ------------------------------------------------
 

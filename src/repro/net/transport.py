@@ -114,6 +114,18 @@ class Transport(ABC):
         """
         return [port for port in ports if self.syn_probe(ip, port)]
 
+    def live_values_in(self, start: int, end: int) -> Sequence[int] | None:
+        """Liveness hint: addresses in ``[start, end]`` that *may* answer.
+
+        Returns a sorted sequence of raw address ints, or None when the
+        backend cannot know.  The contract is one-sided: an address absent
+        from the hint is guaranteed to answer nothing, so stage I may
+        account for its probes in bulk without sending them; an address
+        present may still turn out dead.  Fault-injecting decorators keep
+        the default (None) so every probe still pays their per-call toll.
+        """
+        return None
+
     def fork(self, shard_seed: int, clock=None) -> "Transport":
         """An independent transport over the same network for one shard.
 
@@ -199,6 +211,12 @@ class InMemoryTransport(Transport):
         if host is None:
             return []
         return [port for port in ports if host.is_port_open(port)]
+
+    def live_values_in(self, start: int, end: int) -> Sequence[int] | None:
+        # Populated addresses are the only ones that can answer; offline
+        # hosts stay in the hint (they answer nothing when probed, which
+        # is exactly what probing them individually reports).
+        return self.internet.populated_values_in(start, end)
 
     def fork(self, shard_seed: int, clock=None) -> "InMemoryTransport":
         # The simulated Internet is read-only during a sweep; only the

@@ -266,6 +266,32 @@ class WallProfile:
             return None
         return max(sorted(self.path_self), key=lambda p: self.path_self[p])
 
+    def shard_summary(self, top: int = 5) -> dict:
+        """Distribution of per-shard wall times plus the slowest ``top``.
+
+        A 100M-address sweep shards into hundreds of /24 groups; dumping
+        every shard's wall time made the bench file scale with the frame.
+        The distribution plus the worst offenders is what a regression
+        hunt actually reads.
+        """
+        if not self.shards:
+            return {"count": 0, "top": {}}
+        walls = sorted(self.shards.values())
+        count = len(walls)
+        slowest = sorted(
+            sorted(self.shards), key=lambda index: -self.shards[index]
+        )[:top]
+        return {
+            "count": count,
+            "min": round(walls[0], 6),
+            "median": round(walls[count // 2], 6),
+            "p95": round(walls[min(count - 1, int(count * 0.95))], 6),
+            "max": round(walls[-1], 6),
+            "top": {
+                str(index): round(self.shards[index], 6) for index in slowest
+            },
+        }
+
     def to_dict(self, top: int | None = None) -> dict:
         ranked = sorted(
             sorted(self.path_self),
@@ -275,10 +301,7 @@ class WallProfile:
             ranked = ranked[:top]
         return {
             "elapsed": round(self.elapsed(), 6),
-            "shards": {
-                str(index): round(self.shards[index], 6)
-                for index in sorted(self.shards)
-            },
+            "shards": self.shard_summary(),
             "dominant_path": self.dominant_path(),
             "paths": {
                 path: {

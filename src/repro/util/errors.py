@@ -83,6 +83,10 @@ class CoverageError(ReproError):
     """A CoverageReport failed its invariant or report reconciliation."""
 
 
+class VerificationError(ReproError):
+    """An incremental result diverged from its from-scratch oracle."""
+
+
 class PluginError(ReproError):
     """A Tsunami detection plugin failed in an unexpected way."""
 

@@ -174,3 +174,94 @@ class TestCrossExecutorResume:
             *sweep("hostile-supervised", 1, "thread")
         )
         assert artifacts(report, pipeline) == reference
+
+
+class TestIncrementalRescan:
+    """The rescan engine's arms of the matrix.
+
+    The engine is sequential by contract (workers, retry, and
+    supervision draw per-probe randomness that replayed hosts would not
+    consume), so its golden is the SEQUENTIAL pipeline over the same
+    interval frame — and its artifact is the serialized report, the only
+    thing the incremental contract promises byte for byte.
+    """
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        from repro.net.intervals import BLOCK_MASK, IntervalSet
+
+        internet, ips = build_world()
+        frame = IntervalSet(
+            (ip.value & BLOCK_MASK, (ip.value & BLOCK_MASK) | 255)
+            for ip in ips
+        )
+        transport = InMemoryTransport(internet)
+        return internet, transport, frame
+
+    @pytest.fixture(scope="class")
+    def sequential_golden(self, world):
+        _, transport, frame = world
+        pipeline = ScanPipeline(
+            transport, scanned_ports(), seed=7, batch_size=8,
+        )
+        return json.dumps(report_to_dict(pipeline.run(frame)), sort_keys=True)
+
+    @pytest.fixture(scope="class")
+    def engine(self, world):
+        from repro.core.rescan import RescanEngine
+
+        _, transport, _ = world
+        return RescanEngine(transport, scanned_ports(), seed=7, batch_size=8)
+
+    def test_baseline_matches_sequential_golden(
+        self, engine, world, sequential_golden
+    ):
+        _, _, frame = world
+        state = engine.baseline(frame)
+        assert (
+            json.dumps(report_to_dict(state.report), sort_keys=True)
+            == sequential_golden
+        )
+
+    def test_zero_churn_rescan_matches_sequential_golden(
+        self, engine, world, sequential_golden
+    ):
+        _, _, frame = world
+        state = engine.rescan(frame, engine.baseline(frame))
+        assert (
+            json.dumps(report_to_dict(state.report), sort_keys=True)
+            == sequential_golden
+        )
+
+    def test_incremental_kill_and_resume_matches_golden(
+        self, engine, world, sequential_golden, tmp_path
+    ):
+        _, _, frame = world
+        prior = engine.baseline(frame)
+        path = str(tmp_path / "rescan.ckpt")
+        crasher = CrashingCheckpointer(path, 2, every_batches=1)
+        with pytest.raises(SimulatedCrash):
+            engine.rescan(frame, prior, checkpoint=crasher)
+        resumed = engine.rescan(
+            frame, prior, checkpoint=Checkpointer(path, every_batches=1)
+        )
+        assert (
+            json.dumps(report_to_dict(resumed.report), sort_keys=True)
+            == sequential_golden
+        )
+
+    def test_baseline_kill_and_resume_matches_golden(
+        self, engine, world, sequential_golden, tmp_path
+    ):
+        _, _, frame = world
+        path = str(tmp_path / "baseline.ckpt")
+        crasher = CrashingCheckpointer(path, 2, every_batches=1)
+        with pytest.raises(SimulatedCrash):
+            engine.baseline(frame, checkpoint=crasher)
+        resumed = engine.baseline(
+            frame, checkpoint=Checkpointer(path, every_batches=1)
+        )
+        assert (
+            json.dumps(report_to_dict(resumed.report), sort_keys=True)
+            == sequential_golden
+        )

@@ -1,0 +1,175 @@
+"""Tests for the incremental re-scan engine.
+
+The engine's whole contract is byte-identity: a recorded baseline must
+serialise exactly like a plain sequential pipeline run, and an
+incremental re-scan must serialise exactly like scanning the frame from
+scratch — only cheaper.  Every test here compares full
+``report_to_dict`` dumps, not summaries.
+"""
+
+import json
+
+import pytest
+
+from repro.apps.catalog import scanned_ports
+from repro.core.checkpoint import Checkpointer
+from repro.core.pipeline import ScanPipeline
+from repro.core.rescan import (
+    RescanEngine,
+    load_rescan_state,
+    save_rescan_state,
+)
+from repro.core.serialize import report_to_dict
+from repro.net.intervals import CompressedPopulation
+from repro.net.ipv4 import IPv4Address
+from repro.net.population import PopulationModel, generate_internet
+from repro.net.transport import InMemoryTransport
+from repro.util.errors import ConfigError
+
+SEED = 20210603
+
+
+def dump(report) -> str:
+    return json.dumps(report_to_dict(report), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A private world: churn tests mutate it, so no session fixtures."""
+    internet, _, _ = generate_internet(
+        PopulationModel(awe_rate=0.001, vuln_rate=0.1, background_rate=1e-7)
+    )
+    transport = InMemoryTransport(internet)
+    pop = CompressedPopulation.build(internet, 400_000, seed=SEED)
+    return internet, transport, pop.frame, pop
+
+
+@pytest.fixture(scope="module")
+def engine(world):
+    _, transport, _, _ = world
+    return RescanEngine(transport, scanned_ports(), seed=SEED, batch_size=4096)
+
+
+@pytest.fixture(scope="module")
+def baseline(engine, world):
+    _, _, frame, _ = world
+    return engine.baseline(frame)
+
+
+def fresh_oracle(world):
+    _, transport, frame, _ = world
+    pipe = ScanPipeline(transport, scanned_ports(), seed=SEED, batch_size=4096)
+    return pipe.run(frame)
+
+
+class TestBaseline:
+    def test_matches_sequential_pipeline_byte_for_byte(self, baseline, world):
+        assert dump(baseline.report) == dump(fresh_oracle(world))
+
+    def test_coverage_reconciles(self, baseline):
+        baseline.report.coverage.reconcile(baseline.report)
+
+    def test_records_cover_stage_i_survivors(self, baseline):
+        assert set(baseline.records) == set(baseline.report.port_scan.open_ports)
+
+
+class TestZeroChurn:
+    def test_rescan_is_byte_identical(self, engine, baseline, world):
+        _, _, frame, _ = world
+        second = engine.rescan(frame, baseline)
+        assert dump(second.report) == dump(baseline.report)
+        second.report.coverage.reconcile(second.report)
+
+    def test_rescan_sends_no_http_traffic(self, engine, baseline, world):
+        _, transport, frame, _ = world
+        before = transport.stats.http_requests
+        engine.rescan(frame, baseline)
+        assert transport.stats.http_requests == before
+
+    def test_over_hinting_is_safe(self, engine, baseline, world):
+        _, _, frame, pop = world
+        live = pop.live_values()
+        hinted = engine.rescan(frame, baseline, churned_blocks=[live[0], live[-1]])
+        assert dump(hinted.report) == dump(baseline.report)
+
+
+class TestChurn:
+    def test_port_level_churn_is_self_detected(self, engine, baseline, world):
+        # Removing a host changes its stage-I picture; the diff must
+        # catch it with no churn hint at all.
+        internet, _, frame, pop = world
+        live = pop.live_values()
+        victim = IPv4Address(live[len(live) // 2])
+        internet.remove_host(victim)
+        rescanned = engine.rescan(frame, baseline)
+        assert dump(rescanned.report) == dump(fresh_oracle(world))
+        assert victim.value not in rescanned.report.port_scan.open_ports
+
+
+class TestStatePersistence:
+    def test_round_trip_then_rescan(self, engine, baseline, world, tmp_path):
+        _, _, frame, _ = world
+        path = tmp_path / "state.json"
+        save_rescan_state(baseline, path)
+        loaded = load_rescan_state(path)
+        assert dump(loaded.report) == dump(baseline.report)
+        assert loaded.frame == baseline.frame
+        assert loaded.records.keys() == baseline.records.keys()
+        rescanned = engine.rescan(frame, loaded)
+        assert dump(rescanned.report) == dump(fresh_oracle(world))
+
+
+class TestConfigGuards:
+    def test_frame_mismatch_rejected(self, engine, baseline, world):
+        _, _, frame, _ = world
+        other = frame.take(len(frame) - 1)
+        with pytest.raises(ConfigError):
+            engine.rescan(other, baseline)
+
+    def test_seed_mismatch_rejected(self, baseline, world):
+        _, transport, frame, _ = world
+        other = RescanEngine(transport, scanned_ports(), seed=SEED + 1)
+        with pytest.raises(ConfigError):
+            other.rescan(frame, baseline)
+
+    def test_ports_mismatch_rejected(self, baseline, world):
+        _, transport, frame, _ = world
+        other = RescanEngine(transport, (80,), seed=SEED, batch_size=4096)
+        with pytest.raises(ConfigError):
+            other.rescan(frame, baseline)
+
+
+class _Crashing(Checkpointer):
+    def __init__(self, path, crash_after, every_batches=1):
+        super().__init__(path, every_batches)
+        self.saves = 0
+        self.crash_after = crash_after
+
+    def save(self, payload):
+        super().save(payload)
+        self.saves += 1
+        if self.saves == self.crash_after:
+            raise KeyboardInterrupt("simulated kill")
+
+
+class TestResume:
+    def test_rescan_kill_and_resume_bit_identical(
+        self, engine, baseline, world, tmp_path
+    ):
+        _, _, frame, _ = world
+        path = tmp_path / "rescan.ckpt"
+        with pytest.raises(KeyboardInterrupt):
+            engine.rescan(frame, baseline, checkpoint=_Crashing(path, 3))
+        resumed = engine.rescan(frame, baseline, checkpoint=Checkpointer(path))
+        assert dump(resumed.report) == dump(fresh_oracle(world))
+        assert not path.exists()  # cleared after a completed run
+
+    def test_baseline_kill_and_resume_bit_identical(
+        self, engine, world, tmp_path
+    ):
+        _, _, frame, _ = world
+        path = tmp_path / "baseline.ckpt"
+        with pytest.raises(KeyboardInterrupt):
+            engine.baseline(frame, checkpoint=_Crashing(path, 2))
+        resumed = engine.baseline(frame, checkpoint=Checkpointer(path))
+        assert dump(resumed.report) == dump(fresh_oracle(world))

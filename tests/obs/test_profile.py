@@ -191,7 +191,24 @@ class TestWallProfile:
         payload = book.to_dict(top=2)
         assert list(payload["paths"]) == ["b", "c"]
         assert payload["dominant_path"] == "b"
-        assert payload["shards"] == {"0": 1.0}
+        assert payload["shards"] == {
+            "count": 1, "min": 1.0, "median": 1.0, "p95": 1.0, "max": 1.0,
+            "top": {"0": 1.0},
+        }
+
+    def test_shard_summary_is_a_distribution_not_a_table(self):
+        book = WallProfile()
+        for index in range(20):
+            book.note_shard(index, {"elapsed": float(index + 1), "paths": {}})
+        summary = book.shard_summary(top=5)
+        assert summary["count"] == 20
+        assert summary["min"] == 1.0
+        assert summary["max"] == 20.0
+        assert summary["median"] == 11.0
+        assert summary["p95"] == 20.0
+        # Only the five slowest shards are named, keyed by shard index.
+        assert list(summary["top"]) == ["19", "18", "17", "16", "15"]
+        assert summary["top"]["19"] == 20.0
 
     def test_unarmed_book_is_empty(self):
         book = WallProfile()
@@ -199,7 +216,8 @@ class TestWallProfile:
         assert book.elapsed() == 0.0
         assert book.dominant_path() is None
         assert book.to_dict() == {
-            "elapsed": 0.0, "shards": {}, "dominant_path": None, "paths": {},
+            "elapsed": 0.0, "shards": {"count": 0, "top": {}},
+            "dominant_path": None, "paths": {},
         }
 
 

@@ -379,3 +379,106 @@ def test_flight_recorder_pickle_round_trip(before, after):
     assert twin.to_dict() == recorder.to_dict()
     assert twin.probes_seen == recorder.probes_seen
     assert twin.snapshot_state() == recorder.snapshot_state()
+
+
+# ---------------------------------------------------------------------------
+# Interval algebra vs a set-of-ints oracle
+# ---------------------------------------------------------------------------
+
+_interval_run = st.integers(min_value=0, max_value=4000).flatmap(
+    lambda start: st.tuples(
+        st.just(start), st.integers(min_value=start, max_value=start + 600)
+    )
+)
+_interval_set = st.lists(_interval_run, max_size=8)
+
+
+def _oracle(runs) -> set[int]:
+    values: set[int] = set()
+    for start, end in runs:
+        values.update(range(start, end + 1))
+    return values
+
+
+@given(_interval_set)
+def test_interval_normalisation_preserves_membership(runs):
+    """Merging and sorting runs never changes the member set."""
+    from repro.net.intervals import IntervalSet
+
+    s = IntervalSet(runs)
+    oracle = _oracle(runs)
+    assert set(s.iter_values()) == oracle
+    assert len(s) == len(oracle)
+    # Canonical form: sorted, disjoint, non-adjacent.
+    for (_, prev_end), (next_start, _) in zip(s.runs, s.runs[1:]):
+        assert next_start > prev_end + 1
+
+
+@given(_interval_set, _interval_set)
+def test_interval_algebra_matches_set_algebra(a_runs, b_runs):
+    """union/intersect/difference agree with Python set semantics."""
+    from repro.net.intervals import IntervalSet
+
+    a, b = IntervalSet(a_runs), IntervalSet(b_runs)
+    a_oracle, b_oracle = _oracle(a_runs), _oracle(b_runs)
+    assert set(a.union(b).iter_values()) == a_oracle | b_oracle
+    assert set(a.intersect(b).iter_values()) == a_oracle & b_oracle
+    assert set(a.difference(b).iter_values()) == a_oracle - b_oracle
+
+
+@given(_interval_set, st.integers(min_value=0, max_value=5000))
+def test_interval_membership_matches_oracle(runs, probe):
+    from repro.net.intervals import IntervalSet
+
+    assert (probe in IntervalSet(runs)) == (probe in _oracle(runs))
+
+
+@given(
+    _interval_set,
+    st.integers(min_value=0, max_value=5000),
+    st.integers(min_value=0, max_value=1200),
+)
+def test_interval_range_queries_match_oracle(runs, start, width):
+    from repro.net.intervals import IntervalSet
+
+    s = IntervalSet(runs)
+    end = start + width
+    expected = sorted(v for v in _oracle(runs) if start <= v <= end)
+    assert s.values_in(start, end) == expected
+    assert s.count_in(start, end) == len(expected)
+
+
+@given(_interval_set)
+def test_interval_block_views_match_oracle(runs):
+    """block_bases/block_values/block_counts agree with the member set."""
+    from repro.net.intervals import BLOCK_MASK, IntervalSet
+
+    s = IntervalSet(runs)
+    oracle = _oracle(runs)
+    bases = sorted({value & BLOCK_MASK for value in oracle})
+    assert s.block_bases() == bases
+    counts = s.block_counts()
+    assert list(counts) == bases
+    for base in bases:
+        members = sorted(v for v in oracle if v & BLOCK_MASK == base)
+        assert s.block_values(base) == members
+        assert counts[base] == len(members)
+
+
+@given(_interval_set, st.integers(min_value=0, max_value=3000))
+def test_interval_take_is_lowest_prefix(runs, count):
+    from repro.net.intervals import IntervalSet
+
+    s = IntervalSet(runs)
+    taken = set(s.take(count).iter_values())
+    expected = set(sorted(_oracle(runs))[:count])
+    assert taken == expected
+
+
+@given(_interval_set)
+def test_interval_serialisation_round_trip(runs):
+    from repro.net.intervals import IntervalSet
+
+    s = IntervalSet(runs)
+    assert IntervalSet.from_dict(s.to_dict()) == s
+    assert IntervalSet.from_values(s.iter_values()) == s
